@@ -1,0 +1,68 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "metrics/report.hpp"
+
+namespace pmemflow::bench {
+
+int run_figure(int argc, char** argv, const FigureSpec& figure) {
+  std::string csv_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    }
+  }
+
+  std::cout << "=== " << figure.title << " ===\n";
+  std::cout << "workload: " << to_string(figure.family) << " over "
+            << to_string(figure.stack) << ", 10 iterations/rank\n\n";
+
+  core::Executor executor;
+  CsvWriter csv(metrics::sweep_csv_header());
+  int matched = 0;
+
+  for (const Panel& panel : figure.panels) {
+    const auto spec =
+        workloads::make_workflow(figure.family, panel.ranks, figure.stack);
+    auto sweep = executor.sweep(spec);
+    if (!sweep.has_value()) {
+      std::cerr << "error: " << sweep.error().message << "\n";
+      return 1;
+    }
+
+    if (!quiet) {
+      metrics::print_panel(
+          std::cout,
+          format("%s (%u ranks)", panel.caption, panel.ranks), *sweep);
+    }
+    const std::string measured = sweep->best().config.label();
+    const bool match = measured == panel.paper_winner;
+    if (match) ++matched;
+    std::cout << format("paper winner: %-6s  measured winner: %-6s  %s\n\n",
+                        panel.paper_winner, measured.c_str(),
+                        match ? "[reproduced]" : "[DEVIATION]");
+    metrics::append_sweep_rows(csv, std::string(to_string(figure.family)),
+                               panel.ranks, *sweep);
+  }
+
+  std::cout << format("%d/%zu panels reproduce the paper's winner\n",
+                      matched, figure.panels.size());
+
+  if (!csv_path.empty()) {
+    if (!csv.write_file(csv_path)) {
+      std::cerr << "error: could not write " << csv_path << "\n";
+      return 1;
+    }
+    std::cout << "series written to " << csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace pmemflow::bench

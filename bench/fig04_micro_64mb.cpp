@@ -1,0 +1,17 @@
+// Reproduces Fig 4: the 64 MB-object microbenchmark workflow at
+// 8/16/24 ranks (80/160/240 GB total). Paper: serial local-write
+// (S-LocW) is best at every concurrency; at 16-24 ranks it is up to
+// ~2.5x better than the remote-write configurations (SVI-A).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  pmemflow::bench::FigureSpec figure;
+  figure.title = "Fig 4: Benchmark Writer + Reader with 64MB objects";
+  figure.family = pmemflow::workloads::Family::kMicro64MB;
+  figure.panels = {
+      {8, "S-LocW", "Fig 4a, 80 GB"},
+      {16, "S-LocW", "Fig 4b, 160 GB"},
+      {24, "S-LocW", "Fig 4c, 240 GB"},
+  };
+  return pmemflow::bench::run_figure(argc, argv, figure);
+}

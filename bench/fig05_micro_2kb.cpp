@@ -1,0 +1,18 @@
+// Reproduces Fig 5: the 2 KB-object microbenchmark workflow. Paper:
+// software overhead dominates, bandwidth is not saturated, so the
+// local-read placements win - in parallel mode at 8/16 ranks (10-14%
+// over serial) and serial mode at 24 ranks (11.5% over parallel,
+// SVI-B/SVI-D).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  pmemflow::bench::FigureSpec figure;
+  figure.title = "Fig 5: Benchmark Writer + Reader with 2K objects";
+  figure.family = pmemflow::workloads::Family::kMicro2KB;
+  figure.panels = {
+      {8, "P-LocR", "Fig 5a, 80 GB"},
+      {16, "P-LocR", "Fig 5b, 160 GB"},
+      {24, "S-LocR", "Fig 5c, 240 GB"},
+  };
+  return pmemflow::bench::run_figure(argc, argv, figure);
+}

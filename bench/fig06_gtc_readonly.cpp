@@ -1,0 +1,17 @@
+// Reproduces Fig 6: GTC + Read-Only. Paper: the compute-heavy
+// simulation leaves PMEM unconstrained at low/medium concurrency
+// (P-LocR at 8 ranks, S-LocR at 16), but at 24 ranks remote writes
+// begin to dominate and S-LocW wins by ~6% (SVI-A/B/D).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  pmemflow::bench::FigureSpec figure;
+  figure.title = "Fig 6: GTC + Read only";
+  figure.family = pmemflow::workloads::Family::kGtcReadOnly;
+  figure.panels = {
+      {8, "P-LocR", "Fig 6a"},
+      {16, "S-LocR", "Fig 6b"},
+      {24, "S-LocW", "Fig 6c"},
+  };
+  return pmemflow::bench::run_figure(argc, argv, figure);
+}

@@ -1,0 +1,17 @@
+// Reproduces Fig 7: GTC + MatrixMult. The analytics' interleaved
+// compute hides access latency and keeps effective read concurrency
+// low, so parallel local-read stays optimal through 16 ranks; at 24
+// the workflow becomes bandwidth constrained and S-LocW wins (SVI-A/D).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  pmemflow::bench::FigureSpec figure;
+  figure.title = "Fig 7: GTC + matrixmult";
+  figure.family = pmemflow::workloads::Family::kGtcMatrixMult;
+  figure.panels = {
+      {8, "P-LocR", "Fig 7a"},
+      {16, "P-LocR", "Fig 7b"},
+      {24, "S-LocW", "Fig 7c"},
+  };
+  return pmemflow::bench::run_figure(argc, argv, figure);
+}

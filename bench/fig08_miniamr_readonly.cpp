@@ -1,0 +1,17 @@
+// Reproduces Fig 8: miniAMR + Read-Only. Many small (4.5 KB) objects
+// from an I/O-heavy simulation: P-LocR at 8 ranks, S-LocR at 16
+// (6% over P-LocR), and at 24 ranks remote writes saturate so S-LocW
+// wins by ~25% over S-LocR (SVI-A/B/D).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  pmemflow::bench::FigureSpec figure;
+  figure.title = "Fig 8: miniAMR + Read only";
+  figure.family = pmemflow::workloads::Family::kMiniAmrReadOnly;
+  figure.panels = {
+      {8, "P-LocR", "Fig 8a"},
+      {16, "S-LocR", "Fig 8b"},
+      {24, "S-LocW", "Fig 8c"},
+  };
+  return pmemflow::bench::run_figure(argc, argv, figure);
+}

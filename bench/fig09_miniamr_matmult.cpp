@@ -1,0 +1,16 @@
+// Reproduces Fig 9: miniAMR + MatrixMult. The compute-heavy analytics
+// lets placement prioritize the I/O-heavy simulation: P-LocW at 8
+// ranks (7% over P-LocR), S-LocW at 16/24 (SVI-C, Table II rows 4/8).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  pmemflow::bench::FigureSpec figure;
+  figure.title = "Fig 9: miniAMR + matrixmult";
+  figure.family = pmemflow::workloads::Family::kMiniAmrMatrixMult;
+  figure.panels = {
+      {8, "P-LocW", "Fig 9a"},
+      {16, "S-LocW", "Fig 9b"},
+      {24, "S-LocW", "Fig 9c"},
+  };
+  return pmemflow::bench::run_figure(argc, argv, figure);
+}

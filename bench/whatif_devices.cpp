@@ -1,0 +1,147 @@
+// Extension: would the recommendations survive the next device?
+//
+// Optane gen1 (the paper's testbed) is discontinued; the lasting
+// question is whether PMEM-aware scheduling still matters on successor
+// memories. This bench re-runs the suite on three hypothetical devices
+// and reports how Table I winners shift:
+//
+//   gen2-like    — ~30-50% more bandwidth, writes scale further (the
+//                  published Optane 200-series deltas);
+//   cxl-like     — memory behind a CXL link: locality vanishes
+//                  (uniform access from both sockets, modeled as a fat
+//                  symmetric link), latency higher;
+//   dram-like    — byte-addressable storage with DRAM-class bandwidth
+//                  and no small-access pathologies.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/executor.hpp"
+#include "workloads/suite.hpp"
+
+namespace pmemflow {
+namespace {
+
+struct DevicePreset {
+  const char* name;
+  pmemsim::OptaneParams optane;
+  interconnect::UpiParams upi;
+};
+
+std::vector<DevicePreset> presets() {
+  std::vector<DevicePreset> out;
+  out.push_back({"optane-gen1", {}, {}});
+
+  DevicePreset gen2{"gen2-like", {}, {}};
+  gen2.optane.read_peak = gbps(51.0);
+  gen2.optane.write_peak = gbps(20.6);
+  gen2.optane.write_scaling_threads = 6.0;
+  gen2.optane.write_decline_start = 12.0;
+  gen2.upi.remote_write_ceiling = gbps(12.0);
+  out.push_back(gen2);
+
+  DevicePreset cxl{"cxl-like", {}, {}};
+  // Locality vanishes: the "remote" path is as wide as local access,
+  // with no write collapse — but every access pays link latency.
+  cxl.upi.link_bandwidth = gbps(39.4);
+  cxl.upi.remote_write_ceiling = gbps(13.9);
+  cxl.upi.write_contention_slope = 0.0;
+  cxl.upi.write_contention_floor = 1.0;
+  cxl.upi.read_contention_slope = 0.0;
+  cxl.upi.remote_read_latency_ns = 80.0;
+  cxl.upi.remote_write_latency_ns = 80.0;
+  out.push_back(cxl);
+
+  DevicePreset dram{"dram-like", {}, {}};
+  dram.optane.read_peak = gbps(100.0);
+  dram.optane.write_peak = gbps(80.0);
+  dram.optane.read_scaling_threads = 8.0;
+  dram.optane.write_scaling_threads = 8.0;
+  dram.optane.write_decline_per_thread = 0.0;
+  dram.optane.read_latency_ns = 90.0;
+  dram.optane.write_latency_ns = 90.0;
+  dram.optane.small_access_coeff = 0.0;
+  dram.optane.small_stall_quad = 0.0;
+  dram.optane.per_thread_small_read_cap = gbps(8.0);
+  dram.optane.per_thread_small_write_cap = gbps(8.0);
+  dram.optane.per_thread_read_cap = gbps(12.0);
+  dram.optane.per_thread_write_cap = gbps(12.0);
+  out.push_back(dram);
+  return out;
+}
+
+}  // namespace
+}  // namespace pmemflow
+
+int main(int argc, char** argv) {
+  using namespace pmemflow;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    }
+  }
+
+  std::cout << "=== Extension: suite winners on hypothetical successor "
+               "devices ===\n\n";
+
+  const auto device_presets = presets();
+  TextTable table({"Workload", "gen1", "gen2-like", "cxl-like",
+                   "dram-like"},
+                  {Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft,
+                   Align::kLeft});
+  CsvWriter csv({"workload", "device", "winner", "worst_penalty"});
+
+  std::map<std::string, double> worst_penalty;
+  std::map<std::string, std::set<std::string>> winners_per_device;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& spec : workloads::full_suite()) {
+    std::vector<std::string> row{spec.label};
+    for (const auto& preset : device_presets) {
+      core::Executor executor{
+          workflow::Runner({}, preset.optane, preset.upi)};
+      auto sweep = executor.sweep(spec);
+      if (!sweep.has_value()) {
+        std::cerr << "error: " << sweep.error().message << "\n";
+        return 1;
+      }
+      const std::string winner = sweep->best().config.label();
+      row.push_back(winner);
+      winners_per_device[preset.name].insert(winner);
+      worst_penalty[preset.name] = std::max(worst_penalty[preset.name],
+                                            sweep->worst_case_penalty());
+      csv.add_row({spec.label, preset.name, winner,
+                   format("%.4f", sweep->worst_case_penalty())});
+    }
+    table.add_row(row);
+  }
+  table.write(std::cout);
+
+  std::cout << "\nper-device summary:\n";
+  for (const auto& preset : device_presets) {
+    std::cout << format(
+        "  %-12s distinct winners: %zu, worst mis-config penalty: "
+        "%.0f%%\n",
+        preset.name, winners_per_device[preset.name].size(),
+        (worst_penalty[preset.name] - 1.0) * 100.0);
+  }
+  std::cout << "\nReading: configuration choice stays consequential on a "
+               "gen2-like part.\nA CXL-like symmetric link collapses the "
+               "placement dimension (LocW vs\nLocR become ties) and "
+               "shrinks the worst-case penalty. DRAM-class\nbandwidth "
+               "removes placement sensitivity entirely but *raises* the\n"
+               "stakes of the mode decision: with I/O cheap, serializing "
+               "components\nforfeits all overlap, so a wrong "
+               "serial/parallel choice costs more\nthan it did on "
+               "Optane.\n";
+
+  if (!csv_path.empty() && !csv.write_file(csv_path)) {
+    std::cerr << "error: could not write " << csv_path << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Bringing your own application to the scheduler.
+//
+//   $ ./custom_workload
+//
+// Scenario: a shock-hydrodynamics code (LULESH-like) checkpoints a
+// medium-size mesh every iteration, coupled to a histogram analytics
+// kernel. Neither is part of the built-in suite — this example shows
+// how to implement the two model interfaces, then lets the auto-tuner
+// find the right deployment at several concurrency levels.
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/autotuner.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+/// Writer: 128 mesh chunks of 1 MiB per rank per iteration behind a
+/// noticeable (but not dominant) hydro compute phase.
+class HydroSimulation final : public workflow::SimulationModel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "hydro"; }
+
+  [[nodiscard]] stack::SnapshotPart part_for(
+      std::uint32_t rank, std::uint32_t /*total_ranks*/,
+      std::uint64_t version) const override {
+    stack::SyntheticRun run;
+    run.first_index = 0;
+    run.count = 128;
+    run.object_size = 1 * kMiB;
+    run.base_seed = derive_seed(0x68796472, rank, version);
+    return run;
+  }
+
+  [[nodiscard]] double compute_ns_per_iteration(
+      std::uint32_t, std::uint32_t total_ranks) const override {
+    // Strong-scaled Lagrange leapfrog phase: ~4 s of node work split
+    // across the ranks.
+    return 4e9 / static_cast<double>(total_ranks);
+  }
+};
+
+/// Reader: builds a histogram per chunk — a few hundred microseconds of
+/// compute interleaved with each 1 MiB read.
+class HistogramAnalytics final : public workflow::AnalyticsModel {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "histogram";
+  }
+  [[nodiscard]] double compute_ns_per_object(
+      Bytes object_size) const override {
+    // One pass over the chunk at ~2 GB/s scan speed.
+    return static_cast<double>(object_size) / 2.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  workflow::WorkflowSpec spec;
+  spec.simulation = std::make_shared<HydroSimulation>();
+  spec.analytics = std::make_shared<HistogramAnalytics>();
+  spec.iterations = 10;
+
+  core::AutoTuner tuner;
+  std::printf("%-8s %-10s %-10s %-28s\n", "ranks", "best", "rule-based",
+              "runtimes S-LocW/S-LocR/P-LocW/P-LocR (s)");
+  for (std::uint32_t ranks : {4u, 8u, 16u, 24u}) {
+    spec.ranks = ranks;
+    spec.label = "hydro+histogram@" + std::to_string(ranks);
+    auto report = tuner.tune(spec);
+    if (!report.has_value()) {
+      std::fprintf(stderr, "tuning failed: %s\n",
+                   report.error().message.c_str());
+      return 1;
+    }
+    std::printf("%-8u %-10s %-10s %.2f/%.2f/%.2f/%.2f\n", ranks,
+                report->best.label().c_str(),
+                report->rule_based.config.label().c_str(),
+                static_cast<double>(
+                    report->sweep.results[0].run.total_ns) / 1e9,
+                static_cast<double>(
+                    report->sweep.results[1].run.total_ns) / 1e9,
+                static_cast<double>(
+                    report->sweep.results[2].run.total_ns) / 1e9,
+                static_cast<double>(
+                    report->sweep.results[3].run.total_ns) / 1e9);
+  }
+  std::printf("\nThe best deployment shifts with concurrency — exactly the\n"
+              "paper's point: schedulers must re-decide per workflow\n"
+              "configuration, not once per application.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Internal assertion macros.
+//
+// PMEMFLOW_ASSERT is active in all build types: the simulator's
+// correctness depends on invariants (event ordering, flow conservation)
+// whose violation must never be silently ignored in release runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pmemflow::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pmemflow: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pmemflow::detail
+
+#define PMEMFLOW_ASSERT(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pmemflow::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                      \
+  } while (false)
+
+#define PMEMFLOW_ASSERT_MSG(expr, msg)                                  \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::pmemflow::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,61 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace pmemflow {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void write_field(std::ostream& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+void write_row(std::ostream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out << ',';
+    write_field(out, row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PMEMFLOW_ASSERT_MSG(!header_.empty(), "CSV header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  PMEMFLOW_ASSERT_MSG(row.size() == header_.size(),
+                      "CSV row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  write_row(out, header_);
+  for (const auto& row : rows_) write_row(out, row);
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace pmemflow

@@ -1,0 +1,37 @@
+// CSV emission for experiment results.
+//
+// Every figure bench can dump its series as CSV (via --csv <path>) so the
+// paper's plots can be regenerated with any external plotting tool.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pmemflow {
+
+/// Accumulates rows and writes RFC-4180-style CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows accumulated so far.
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Writes header + rows to `out`, quoting fields as needed.
+  void write(std::ostream& out) const;
+
+  /// Convenience: writes to the named file. Returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmemflow

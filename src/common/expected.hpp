@@ -1,0 +1,80 @@
+// Minimal expected<T, E> substitute (std::expected is C++23).
+//
+// Used for recoverable failures on library boundaries (storage stack
+// operations, configuration parsing). Programming errors use
+// PMEMFLOW_ASSERT instead.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace pmemflow {
+
+/// Error payload carried by Expected on the failure path.
+struct Error {
+  std::string message;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Tag wrapper distinguishing an error-constructing argument from a value.
+struct Unexpected {
+  Error error;
+};
+
+inline Unexpected make_error(std::string message) {
+  return Unexpected{Error{std::move(message)}};
+}
+
+/// Result-of-an-operation type: either a T or an Error.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected unexpected)
+      : state_(std::in_place_index<1>, std::move(unexpected.error)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    PMEMFLOW_ASSERT_MSG(has_value(), error_message());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    PMEMFLOW_ASSERT_MSG(has_value(), error_message());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    PMEMFLOW_ASSERT_MSG(has_value(), error_message());
+    return std::get<0>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    PMEMFLOW_ASSERT(!has_value());
+    return std::get<1>(state_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  const char* error_message() const {
+    return has_value() ? "" : std::get<1>(state_).message.c_str();
+  }
+
+  std::variant<T, Error> state_;
+};
+
+/// Specialization-like alias for operations with no value payload.
+struct Ok {};
+using Status = Expected<Ok>;
+
+inline Status ok_status() { return Status(Ok{}); }
+
+}  // namespace pmemflow

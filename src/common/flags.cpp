@@ -1,0 +1,156 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::add(const std::string& name, Value default_value,
+                     std::string help) {
+  PMEMFLOW_ASSERT_MSG(!flags_.contains(name), "duplicate flag");
+  PMEMFLOW_ASSERT_MSG(!name.empty() && name[0] != '-',
+                      "flag names are given without dashes");
+  flags_.emplace(name, Flag{std::move(default_value), std::move(help)});
+}
+
+void FlagParser::add_bool(const std::string& name, bool default_value,
+                          std::string help) {
+  add(name, Value(default_value), std::move(help));
+}
+void FlagParser::add_int(const std::string& name,
+                         std::int64_t default_value, std::string help) {
+  add(name, Value(default_value), std::move(help));
+}
+void FlagParser::add_double(const std::string& name, double default_value,
+                            std::string help) {
+  add(name, Value(default_value), std::move(help));
+}
+void FlagParser::add_string(const std::string& name,
+                            std::string default_value, std::string help) {
+  add(name, Value(std::move(default_value)), std::move(help));
+}
+
+const FlagParser::Flag& FlagParser::flag_ref(const std::string& name) const {
+  const auto it = flags_.find(name);
+  PMEMFLOW_ASSERT_MSG(it != flags_.end(), "unknown flag queried");
+  return it->second;
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  return std::get<bool>(flag_ref(name).value);
+}
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  return std::get<std::int64_t>(flag_ref(name).value);
+}
+double FlagParser::get_double(const std::string& name) const {
+  return std::get<double>(flag_ref(name).value);
+}
+const std::string& FlagParser::get_string(const std::string& name) const {
+  return std::get<std::string>(flag_ref(name).value);
+}
+
+Status FlagParser::set_from_text(const std::string& name,
+                                 const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return make_error(format("unknown flag --%s", name.c_str()));
+  }
+  Value& value = it->second.value;
+  if (std::holds_alternative<bool>(value)) {
+    if (text == "true" || text == "1") {
+      value = true;
+    } else if (text == "false" || text == "0") {
+      value = false;
+    } else {
+      return make_error(format("--%s expects true/false, got '%s'",
+                               name.c_str(), text.c_str()));
+    }
+    return ok_status();
+  }
+  if (std::holds_alternative<std::int64_t>(value)) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      return make_error(format("--%s expects an integer, got '%s'",
+                               name.c_str(), text.c_str()));
+    }
+    value = static_cast<std::int64_t>(parsed);
+    return ok_status();
+  }
+  if (std::holds_alternative<double>(value)) {
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      return make_error(format("--%s expects a number, got '%s'",
+                               name.c_str(), text.c_str()));
+    }
+    value = parsed;
+    return ok_status();
+  }
+  value = text;
+  return ok_status();
+}
+
+Status FlagParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return make_error(usage(argc > 0 ? argv[0] : "program"));
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      auto set = set_from_text(body.substr(0, equals),
+                               body.substr(equals + 1));
+      if (!set.has_value()) return set;
+      continue;
+    }
+    // `--name value`, except booleans which may stand alone.
+    const auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return make_error(format("unknown flag --%s", body.c_str()));
+    }
+    if (std::holds_alternative<bool>(it->second.value)) {
+      // Bare boolean sets true; an explicit value must use '='.
+      it->second.value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return make_error(format("--%s is missing its value", body.c_str()));
+    }
+    auto set = set_from_text(body, argv[++i]);
+    if (!set.has_value()) return set;
+  }
+  return ok_status();
+}
+
+std::string FlagParser::usage(const std::string& program_name) const {
+  std::string out = description_ + "\n\nusage: " + program_name +
+                    " [flags] [args]\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    std::string default_text;
+    if (const auto* b = std::get_if<bool>(&flag.value)) {
+      default_text = *b ? "true" : "false";
+    } else if (const auto* i = std::get_if<std::int64_t>(&flag.value)) {
+      default_text = format("%lld", static_cast<long long>(*i));
+    } else if (const auto* d = std::get_if<double>(&flag.value)) {
+      default_text = format("%g", *d);
+    } else {
+      default_text = "'" + std::get<std::string>(flag.value) + "'";
+    }
+    out += format("  --%-18s %s (default: %s)\n", name.c_str(),
+                  flag.help.c_str(), default_text.c_str());
+  }
+  return out;
+}
+
+}  // namespace pmemflow

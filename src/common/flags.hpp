@@ -1,0 +1,67 @@
+// Minimal typed command-line flag parsing for the tools and examples.
+//
+// Supports `--name value`, `--name=value`, boolean flags (`--verify` /
+// `--verify=false`), automatic `--help` text, and positional-argument
+// collection. Unknown flags are errors (catching typos beats ignoring
+// them in experiment tooling).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace pmemflow {
+
+class FlagParser {
+ public:
+  using Value = std::variant<bool, std::int64_t, double, std::string>;
+
+  explicit FlagParser(std::string program_description);
+
+  /// Registers a flag with its default value (which also fixes its type).
+  void add_bool(const std::string& name, bool default_value,
+                std::string help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               std::string help);
+  void add_double(const std::string& name, double default_value,
+                  std::string help);
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help);
+
+  /// Parses argv. On `--help`, returns an error whose message is the
+  /// usage text (callers print it and exit 0).
+  Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  /// Non-flag arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// The generated usage text.
+  [[nodiscard]] std::string usage(const std::string& program_name) const;
+
+ private:
+  struct Flag {
+    Value value;
+    std::string help;
+  };
+
+  void add(const std::string& name, Value default_value, std::string help);
+  Status set_from_text(const std::string& name, const std::string& text);
+  [[nodiscard]] const Flag& flag_ref(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pmemflow

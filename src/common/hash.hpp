@@ -1,0 +1,50 @@
+// Streaming 64-bit content hashing (FNV-1a).
+//
+// Used to checksum object payloads end-to-end: writers hash what they
+// store, readers hash what they load, and integrity tests compare the two.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pmemflow {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Hasher64 {
+ public:
+  constexpr Hasher64() noexcept = default;
+
+  constexpr void update(std::span<const std::byte> data) noexcept {
+    for (std::byte b : data) {
+      hash_ ^= static_cast<std::uint64_t>(b);
+      hash_ *= kPrime;
+    }
+  }
+
+  constexpr void update_u64(std::uint64_t value) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xffU;
+      hash_ *= kPrime;
+    }
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept {
+    return hash_;
+  }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  std::uint64_t hash_ = kOffset;
+};
+
+/// One-shot convenience wrapper over Hasher64.
+constexpr std::uint64_t hash_bytes(std::span<const std::byte> data) noexcept {
+  Hasher64 hasher;
+  hasher.update(data);
+  return hasher.digest();
+}
+
+}  // namespace pmemflow

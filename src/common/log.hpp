@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per engine, so the
+// logger is intentionally simple: a global level filter and printf-style
+// formatting to stderr. Benches set the level to Warn to keep figure
+// output clean.
+#pragma once
+
+#include <cstdarg>
+
+namespace pmemflow {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace pmemflow
+
+#define PMEMFLOW_LOG(level, ...)                                   \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::pmemflow::log_level())) {               \
+      ::pmemflow::detail::log_message(level, __VA_ARGS__);         \
+    }                                                              \
+  } while (false)
+
+#define PMEMFLOW_TRACE(...) \
+  PMEMFLOW_LOG(::pmemflow::LogLevel::kTrace, __VA_ARGS__)
+#define PMEMFLOW_DEBUG(...) \
+  PMEMFLOW_LOG(::pmemflow::LogLevel::kDebug, __VA_ARGS__)
+#define PMEMFLOW_INFO(...) \
+  PMEMFLOW_LOG(::pmemflow::LogLevel::kInfo, __VA_ARGS__)
+#define PMEMFLOW_WARN(...) \
+  PMEMFLOW_LOG(::pmemflow::LogLevel::kWarn, __VA_ARGS__)
+#define PMEMFLOW_ERROR(...) \
+  PMEMFLOW_LOG(::pmemflow::LogLevel::kError, __VA_ARGS__)

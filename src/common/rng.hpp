@@ -1,0 +1,101 @@
+// Deterministic pseudo-random generation.
+//
+// All stochastic choices in pmemflow (payload contents, synthetic object
+// populations) flow through these generators so that any run is exactly
+// reproducible from its seed. xoshiro256** is used for bulk generation;
+// SplitMix64 seeds it and derives independent substreams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pmemflow {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used for seeding and for
+/// deriving per-entity seeds from (workload seed, rank, iteration, ...).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes an arbitrary number of 64-bit components into one seed.
+/// Deterministic and order-sensitive.
+template <typename... Parts>
+constexpr std::uint64_t derive_seed(std::uint64_t base, Parts... parts) {
+  SplitMix64 mixer(base);
+  std::uint64_t seed = mixer.next();
+  ((seed = SplitMix64(seed ^ static_cast<std::uint64_t>(parts)).next()), ...);
+  return seed;
+}
+
+/// xoshiro256**: fast general-purpose PRNG with 256-bit state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 mixer(seed);
+    for (auto& word : state_) word = mixer.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace pmemflow

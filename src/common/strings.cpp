@@ -1,0 +1,98 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace pmemflow {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  PMEMFLOW_ASSERT(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view input, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(input.substr(start));
+      return fields;
+    }
+    fields.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_bytes(Bytes bytes) {
+  if (bytes >= kGiB) {
+    return format("%.2f GiB", static_cast<double>(bytes) /
+                                  static_cast<double>(kGiB));
+  }
+  if (bytes >= kMiB) {
+    return format("%.2f MiB", static_cast<double>(bytes) /
+                                  static_cast<double>(kMiB));
+  }
+  if (bytes >= kKiB) {
+    return format("%.2f KiB", static_cast<double>(bytes) /
+                                  static_cast<double>(kKiB));
+  }
+  return format("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string format_duration(SimDuration ns) {
+  if (ns >= kSecond) {
+    return format("%.3f s", static_cast<double>(ns) /
+                                static_cast<double>(kSecond));
+  }
+  if (ns >= kMillisecond) {
+    return format("%.3f ms", static_cast<double>(ns) /
+                                 static_cast<double>(kMillisecond));
+  }
+  if (ns >= kMicrosecond) {
+    return format("%.3f us", static_cast<double>(ns) /
+                                 static_cast<double>(kMicrosecond));
+  }
+  return format("%llu ns", static_cast<unsigned long long>(ns));
+}
+
+std::string format_rate(Rate bytes_per_ns) {
+  return format("%.2f GB/s", bytes_per_ns);
+}
+
+}  // namespace pmemflow

@@ -1,0 +1,27 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmemflow {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> split(std::string_view input, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace pmemflow

@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace pmemflow {
+
+TextTable::TextTable(std::vector<std::string> header,
+                     std::vector<Align> alignment)
+    : header_(std::move(header)), alignment_(std::move(alignment)) {
+  PMEMFLOW_ASSERT(!header_.empty());
+  if (alignment_.empty()) {
+    alignment_.assign(header_.size(), Align::kLeft);
+  }
+  PMEMFLOW_ASSERT(alignment_.size() == header_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PMEMFLOW_ASSERT_MSG(row.size() == header_.size(),
+                      "table row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::write(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (alignment_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << row[c];
+      if (alignment_[c] == Align::kLeft && c + 1 != row.size()) {
+        out << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out << "  ";
+    out << std::string(widths[c], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  PMEMFLOW_ASSERT(width > 0);
+  if (max_value <= 0.0 || value <= 0.0) return std::string();
+  const double fraction = std::min(1.0, value / max_value);
+  const int cells = static_cast<int>(fraction * width + 0.5);
+  return std::string(static_cast<std::size_t>(std::max(cells, 1)), '#');
+}
+
+}  // namespace pmemflow

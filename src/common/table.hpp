@@ -1,0 +1,45 @@
+// Fixed-width text table rendering.
+//
+// The figure benches print the paper's tables/series as aligned text;
+// this helper keeps that formatting in one place.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pmemflow {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders an aligned table with a
+/// header rule, e.g.:
+///
+///   Config    Runtime   vs best
+///   --------  --------  -------
+///   S-LocW    12.31 s   1.00x
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> alignment = {});
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table to `out`, two spaces between columns.
+  void write(std::ostream& out) const;
+
+  /// Renders to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar of `width` cells filled proportionally
+/// to value/max_value; used for quick visual comparison in bench output.
+std::string ascii_bar(double value, double max_value, int width);
+
+}  // namespace pmemflow

@@ -1,0 +1,66 @@
+// Units used throughout pmemflow.
+//
+// Simulated time is an integral nanosecond count (`SimTime` /
+// `SimDuration`); data volumes are byte counts; transfer rates are
+// double-precision bytes-per-nanosecond (numerically equal to GB/s,
+// which keeps calibration constants readable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pmemflow {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time in nanoseconds.
+using SimDuration = std::uint64_t;
+
+/// A data volume in bytes.
+using Bytes = std::uint64_t;
+
+/// A transfer or processing rate in bytes per nanosecond.
+///
+/// 1 byte/ns == 1 GB/s (decimal), so e.g. Optane's 39.4 GB/s local read
+/// peak is written simply as `39.4`.
+using Rate = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+inline constexpr Bytes kGB = 1000 * kMB;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Converts a rate in GB/s (decimal gigabytes) to bytes/ns.
+constexpr Rate gbps(double gigabytes_per_second) noexcept {
+  return gigabytes_per_second;  // 1 GB/s == 1 byte/ns by construction.
+}
+
+/// Duration of transferring `bytes` at `rate`, rounded up to a whole
+/// nanosecond so zero-duration transfers cannot occur for nonzero sizes.
+constexpr SimDuration transfer_time(Bytes bytes, Rate rate) noexcept {
+  if (bytes == 0) return 0;
+  if (rate <= 0.0) return ~SimDuration{0};
+  const double ns = static_cast<double>(bytes) / rate;
+  const auto whole = static_cast<SimDuration>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+/// Renders a byte count with a binary-unit suffix ("4.5 KiB", "229 MiB").
+std::string format_bytes(Bytes bytes);
+
+/// Renders a simulated duration with an appropriate unit ("1.25 s").
+std::string format_duration(SimDuration ns);
+
+/// Renders a rate as "X.XX GB/s".
+std::string format_rate(Rate bytes_per_ns);
+
+}  // namespace pmemflow

@@ -1,0 +1,79 @@
+// Workflow characterization (paper §IV).
+//
+// Measures, per component, the paper's *I/O index*: the fraction of an
+// iteration spent in I/O when the component runs standalone — serially,
+// with node-local PMEM access (§IV-C: "the ratio of I/O time /
+// Iteration time when the application is executing standalone"). The
+// characterizer obtains it exactly that way: it simulates the component
+// standalone, once as specified and once with its compute zeroed, and
+// divides the two runtimes.
+//
+// Also extracts the static features a scheduler can read off the launch
+// configuration: object size class, concurrency class, per-iteration
+// volumes.
+#pragma once
+
+#include "core/executor.hpp"
+
+namespace pmemflow::core {
+
+/// Qualitative level used by the paper's Table II.
+enum class Level { kNil, kLow, kMedium, kHigh };
+
+[[nodiscard]] const char* to_string(Level level) noexcept;
+
+/// Measured standalone profile of one component.
+struct ComponentProfile {
+  /// Standalone per-iteration wall time (node-local, serial), ns.
+  double iteration_ns = 0.0;
+  /// Same with the compute phase removed: pure I/O time, ns.
+  double io_ns = 0.0;
+  /// io_ns / iteration_ns (the paper's I/O index), in [0, 1].
+  [[nodiscard]] double io_index() const noexcept {
+    return iteration_ns > 0.0 ? io_ns / iteration_ns : 0.0;
+  }
+
+  Bytes object_size = 0;
+  std::uint64_t objects_per_iteration = 0;
+  Bytes bytes_per_iteration = 0;
+};
+
+/// Scheduler-facing features of a whole workflow (Table II columns).
+struct WorkflowFeatures {
+  Level sim_compute = Level::kNil;
+  Level sim_write = Level::kNil;
+  Level analytics_compute = Level::kNil;
+  Level analytics_read = Level::kNil;
+  /// true for sub-stripe ("small") object sizes.
+  bool small_objects = false;
+  /// low (<=8) / medium (<=16) / high concurrency.
+  Level concurrency = Level::kLow;
+};
+
+/// Full characterization result.
+struct WorkflowProfile {
+  ComponentProfile simulation;
+  ComponentProfile analytics;
+  std::uint32_t ranks = 0;
+  WorkflowFeatures features;
+};
+
+class Characterizer {
+ public:
+  explicit Characterizer(Executor executor = Executor())
+      : executor_(std::move(executor)) {}
+
+  /// Simulates the standalone runs and derives features.
+  [[nodiscard]] Expected<WorkflowProfile> profile(
+      const workflow::WorkflowSpec& spec) const;
+
+  /// Feature discretization, exposed for tests.
+  [[nodiscard]] static WorkflowFeatures derive_features(
+      const ComponentProfile& simulation, const ComponentProfile& analytics,
+      std::uint32_t ranks, Bytes small_threshold);
+
+ private:
+  Executor executor_;
+};
+
+}  // namespace pmemflow::core

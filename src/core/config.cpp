@@ -1,0 +1,48 @@
+#include "core/config.hpp"
+
+#include "common/strings.hpp"
+
+namespace pmemflow::core {
+
+const char* to_string(ExecutionMode mode) noexcept {
+  return mode == ExecutionMode::kSerial ? "Serial" : "Parallel";
+}
+
+const char* to_string(Placement placement) noexcept {
+  return placement == Placement::kLocalWrite ? "local-write-remote-read"
+                                             : "remote-write-local-read";
+}
+
+std::string DeploymentConfig::label() const {
+  return format("%c-Loc%c", mode == ExecutionMode::kSerial ? 'S' : 'P',
+                placement == Placement::kLocalWrite ? 'W' : 'R');
+}
+
+workflow::RunOptions DeploymentConfig::run_options() const {
+  workflow::RunOptions options;
+  options.serial = (mode == ExecutionMode::kSerial);
+  options.writer_socket = 0;
+  options.reader_socket = 1;
+  options.channel_socket =
+      (placement == Placement::kLocalWrite) ? options.writer_socket
+                                            : options.reader_socket;
+  return options;
+}
+
+std::array<DeploymentConfig, 4> all_configs() {
+  return {DeploymentConfig{ExecutionMode::kSerial, Placement::kLocalWrite},
+          DeploymentConfig{ExecutionMode::kSerial, Placement::kLocalRead},
+          DeploymentConfig{ExecutionMode::kParallel, Placement::kLocalWrite},
+          DeploymentConfig{ExecutionMode::kParallel, Placement::kLocalRead}};
+}
+
+Expected<DeploymentConfig> parse_config(std::string_view label) {
+  for (const DeploymentConfig& config : all_configs()) {
+    if (config.label() == label) return config;
+  }
+  return make_error(format("unknown configuration '%.*s' (expected "
+                           "S-LocW, S-LocR, P-LocW or P-LocR)",
+                           static_cast<int>(label.size()), label.data()));
+}
+
+}  // namespace pmemflow::core

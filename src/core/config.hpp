@@ -1,0 +1,49 @@
+// Scheduler configuration taxonomy (paper Table I).
+//
+// Two orthogonal decisions the workflow scheduler makes about the
+// shared PMEM resource:
+//   Execution mode — Serial (analytics after simulation; PMEM accesses
+//     never overlap) vs Parallel (components co-run; accesses overlap);
+//   Placement — which component the streaming-I/O channel is local to:
+//     local-write/remote-read (LocW) or remote-write/local-read (LocR).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "workflow/runner.hpp"
+
+namespace pmemflow::core {
+
+enum class ExecutionMode { kSerial, kParallel };
+enum class Placement { kLocalWrite, kLocalRead };
+
+[[nodiscard]] const char* to_string(ExecutionMode mode) noexcept;
+[[nodiscard]] const char* to_string(Placement placement) noexcept;
+
+/// One of the four Table I configurations.
+struct DeploymentConfig {
+  ExecutionMode mode = ExecutionMode::kSerial;
+  Placement placement = Placement::kLocalWrite;
+
+  /// Paper label: "S-LocW", "S-LocR", "P-LocW" or "P-LocR".
+  [[nodiscard]] std::string label() const;
+
+  /// Translates the taxonomy into concrete deployment options:
+  /// simulation on socket 0, analytics on socket 1, channel in the
+  /// PMEM of whichever side the placement makes local.
+  [[nodiscard]] workflow::RunOptions run_options() const;
+
+  friend bool operator==(const DeploymentConfig&,
+                         const DeploymentConfig&) = default;
+};
+
+/// All four configurations in Table I order
+/// (S-LocW, S-LocR, P-LocW, P-LocR).
+[[nodiscard]] std::array<DeploymentConfig, 4> all_configs();
+
+/// Parses a label ("S-LocW" etc.); error on anything else.
+[[nodiscard]] Expected<DeploymentConfig> parse_config(
+    std::string_view label);
+
+}  // namespace pmemflow::core

@@ -1,0 +1,53 @@
+#include "core/executor.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmemflow::core {
+
+std::size_t ConfigSweep::best_index() const {
+  PMEMFLOW_ASSERT(!results.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].run.total_ns < results[best].run.total_ns) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double ConfigSweep::normalized(std::size_t index) const {
+  PMEMFLOW_ASSERT(index < results.size());
+  const auto best_ns = results[best_index()].run.total_ns;
+  PMEMFLOW_ASSERT(best_ns > 0);
+  return static_cast<double>(results[index].run.total_ns) /
+         static_cast<double>(best_ns);
+}
+
+double ConfigSweep::worst_case_penalty() const {
+  double worst = 1.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    worst = std::max(worst, normalized(i));
+  }
+  return worst;
+}
+
+Expected<ConfigResult> Executor::execute(
+    const workflow::WorkflowSpec& spec,
+    const DeploymentConfig& config) const {
+  auto run = runner_.run(spec, config.run_options());
+  if (!run.has_value()) return Unexpected{run.error()};
+  return ConfigResult{config, *std::move(run)};
+}
+
+Expected<ConfigSweep> Executor::sweep(
+    const workflow::WorkflowSpec& spec) const {
+  ConfigSweep sweep;
+  for (const DeploymentConfig& config : all_configs()) {
+    auto result = execute(spec, config);
+    if (!result.has_value()) return Unexpected{result.error()};
+    sweep.results.push_back(*std::move(result));
+  }
+  return sweep;
+}
+
+}  // namespace pmemflow::core

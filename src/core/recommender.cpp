@@ -1,0 +1,236 @@
+#include "core/recommender.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "pmemsim/allocator.hpp"
+#include "stack/channel.hpp"
+
+namespace pmemflow::core {
+
+namespace {
+
+/// A set of acceptable levels for one Table II feature cell.
+struct LevelSet {
+  bool nil = false, low = false, medium = false, high = false;
+
+  [[nodiscard]] bool contains(Level level) const noexcept {
+    switch (level) {
+      case Level::kNil: return nil;
+      case Level::kLow: return low;
+      case Level::kMedium: return medium;
+      case Level::kHigh: return high;
+    }
+    return false;
+  }
+};
+
+constexpr LevelSet kNilOnly{.nil = true};
+constexpr LevelSet kNilOrLow{.nil = true, .low = true};
+constexpr LevelSet kLowOnly{.low = true};
+constexpr LevelSet kLowMed{.low = true, .medium = true};
+constexpr LevelSet kMedHigh{.medium = true, .high = true};
+constexpr LevelSet kHighOnly{.high = true};
+constexpr LevelSet kLowToHigh{.low = true, .medium = true, .high = true};
+constexpr LevelSet kAny{.nil = true, .low = true, .medium = true,
+                        .high = true};
+
+/// One row of Table II. `ambiguous` marks rows the table itself cannot
+/// separate with qualitative features alone (rows 3/4/5 and 7 share
+/// feature patterns with different answers at the boundaries); matches
+/// on ambiguous rows are confirmed with the model-based estimate.
+struct Table2Row {
+  int number;
+  LevelSet sim_compute, sim_write, ana_compute, ana_read;
+  bool small_objects;
+  LevelSet concurrency;
+  DeploymentConfig config;
+  bool ambiguous;
+};
+
+const std::vector<Table2Row>& table2() {
+  using M = ExecutionMode;
+  using P = Placement;
+  static const std::vector<Table2Row> rows = {
+      // #1: pure-I/O large-object streams: S-LocW at every concurrency.
+      {1, kNilOnly, kHighOnly, kNilOrLow, kHighOnly, false, kAny,
+       {M::kSerial, P::kLocalWrite}, false},
+      // #2: compute-heavy sim, large objects, high concurrency.
+      {2, kHighOnly, kLowOnly, kLowToHigh, kMedHigh, false, kHighOnly,
+       {M::kSerial, P::kLocalWrite}, false},
+      // #3: I/O-heavy sim, I/O-heavy analytics, small objects, high
+      // concurrency (miniAMR + Read-Only, Fig 8c).
+      {3, kNilOrLow, kHighOnly, kNilOrLow, kHighOnly, true, kHighOnly,
+       {M::kSerial, P::kLocalWrite}, true},
+      // #4: I/O-heavy sim, compute-heavy analytics, small objects,
+      // medium/high concurrency (miniAMR + MatrixMult, Fig 9b/9c).
+      {4, kNilOrLow, kHighOnly, kMedHigh, kNilOrLow, true, kMedHigh,
+       {M::kSerial, P::kLocalWrite}, true},
+      // #5: pure-I/O small-object streams at high concurrency
+      // (2K microbenchmark, Fig 5c).
+      {5, kNilOrLow, kHighOnly, kNilOnly, kHighOnly, true, kHighOnly,
+       {M::kSerial, P::kLocalRead}, true},
+      // #6: compute-heavy sim, large objects, medium concurrency
+      // (GTC + Read-Only, Fig 6b).
+      {6, kHighOnly, kLowOnly, kNilOrLow, kHighOnly, false, kMedHigh,
+       {M::kSerial, P::kLocalRead}, true},
+      // #7: I/O-heavy sim, small objects, medium concurrency
+      // (miniAMR + Read-Only, Fig 8b).
+      {7, kNilOrLow, kHighOnly, kNilOrLow, kHighOnly, true, kMedHigh,
+       {M::kSerial, P::kLocalRead}, true},
+      // #8: I/O-heavy sim, compute-heavy analytics, small objects, low
+      // concurrency (miniAMR + MatrixMult, Fig 9a).
+      {8, kNilOrLow, kHighOnly, kMedHigh, kNilOrLow, true,
+       LevelSet{.low = true}, {M::kParallel, P::kLocalWrite}, false},
+      // #9: pure-I/O small-object streams, low/medium concurrency
+      // (2K microbenchmark Fig 5a/5b; miniAMR + Read-Only Fig 8a).
+      {9, kNilOrLow, kHighOnly, kNilOrLow, kMedHigh, true,
+       LevelSet{.low = true, .medium = true},
+       {M::kParallel, P::kLocalRead}, true},
+      // #10: compute-heavy sim, large objects, low/medium concurrency
+      // (GTC + Read-Only Fig 6a; GTC + MatrixMult Fig 7a/7b).
+      {10, kHighOnly, kLowOnly, kLowToHigh, kLowToHigh, false, kLowMed,
+       {M::kParallel, P::kLocalRead}, true},
+  };
+  return rows;
+}
+
+bool row_matches(const Table2Row& row, const WorkflowFeatures& f) {
+  return row.sim_compute.contains(f.sim_compute) &&
+         row.sim_write.contains(f.sim_write) &&
+         row.ana_compute.contains(f.analytics_compute) &&
+         row.ana_read.contains(f.analytics_read) &&
+         row.small_objects == f.small_objects &&
+         row.concurrency.contains(f.concurrency);
+}
+
+}  // namespace
+
+double Recommender::estimate_ns(const WorkflowProfile& profile,
+                                const workflow::WorkflowSpec& spec,
+                                const DeploymentConfig& config) const {
+  PMEMFLOW_ASSERT(spec.simulation != nullptr && spec.analytics != nullptr);
+  pmemsim::OptaneRateAllocator allocator(
+      pmemsim::BandwidthModel(optane_, interconnect::UpiModel(upi_)));
+
+  const stack::SoftwareCostModel costs = spec.cost_override.value_or(
+      (spec.stack == workflow::WorkflowSpec::Stack::kNvStream)
+          ? stack::nvstream_cost_model()
+          : stack::nova_cost_model());
+
+  const Bytes op = profile.simulation.object_size;
+  const std::uint64_t ops = profile.simulation.objects_per_iteration;
+  const Bytes bytes_iter = profile.simulation.bytes_per_iteration;
+  if (bytes_iter == 0 || ops == 0) return 0.0;
+
+  const double sim_compute_per_op =
+      spec.simulation->compute_ns_per_iteration(0, spec.ranks) /
+      static_cast<double>(ops);
+  const double ana_compute_per_op = spec.analytics->compute_ns_per_object(op);
+
+  const sim::Locality writer_locality =
+      (config.placement == Placement::kLocalWrite) ? sim::Locality::kLocal
+                                                   : sim::Locality::kRemote;
+  const sim::Locality reader_locality =
+      (config.placement == Placement::kLocalWrite) ? sim::Locality::kRemote
+                                                   : sim::Locality::kLocal;
+
+  const auto make_flows = [&](sim::IoKind kind, sim::Locality locality,
+                              double sw, double compute) {
+    std::vector<sim::Flow> flows(spec.ranks);
+    for (auto& flow : flows) {
+      flow.spec.kind = kind;
+      flow.spec.locality = locality;
+      flow.spec.total_bytes = bytes_iter;
+      flow.spec.op_size = op;
+      flow.spec.sw_ns_per_op = sw;
+      flow.spec.compute_ns_per_op = compute;
+      flow.remaining_bytes = static_cast<double>(bytes_iter);
+    }
+    return flows;
+  };
+
+  const auto solve_rate = [&](std::vector<sim::Flow>& writers,
+                              std::vector<sim::Flow>& readers)
+      -> std::pair<double, double> {
+    std::vector<sim::Flow*> pointers;
+    for (auto& flow : writers) pointers.push_back(&flow);
+    for (auto& flow : readers) pointers.push_back(&flow);
+    if (pointers.empty()) return {0.0, 0.0};
+    allocator.allocate(pointers);
+    const double writer_rate =
+        writers.empty() ? 0.0 : writers.front().progress_rate;
+    const double reader_rate =
+        readers.empty() ? 0.0 : readers.front().progress_rate;
+    return {writer_rate, reader_rate};
+  };
+
+  auto writers = make_flows(sim::IoKind::kWrite, writer_locality,
+                            costs.write_op_cost(op), sim_compute_per_op);
+  auto readers = make_flows(sim::IoKind::kRead, reader_locality,
+                            costs.read_op_cost(op), ana_compute_per_op);
+  const double iters = static_cast<double>(spec.iterations);
+  const double volume = static_cast<double>(bytes_iter);
+
+  if (config.mode == ExecutionMode::kSerial) {
+    std::vector<sim::Flow> none;
+    const auto [writer_rate, unused_r] = solve_rate(writers, none);
+    const auto [unused_w, reader_rate] = solve_rate(none, readers);
+    (void)unused_r;
+    (void)unused_w;
+    PMEMFLOW_ASSERT(writer_rate > 0.0 && reader_rate > 0.0);
+    return iters * (volume / writer_rate + volume / reader_rate);
+  }
+
+  // Parallel: components contend simultaneously; the pipeline finishes
+  // one laggard-iteration after the slower side's span.
+  const auto [writer_rate, reader_rate] = solve_rate(writers, readers);
+  PMEMFLOW_ASSERT(writer_rate > 0.0 && reader_rate > 0.0);
+  const double writer_iter = volume / writer_rate;
+  const double reader_iter = volume / reader_rate;
+  return iters * std::max(writer_iter, reader_iter) +
+         std::min(writer_iter, reader_iter);
+}
+
+Recommendation Recommender::model_based(
+    const WorkflowProfile& profile,
+    const workflow::WorkflowSpec& spec) const {
+  Recommendation recommendation;
+  const auto configs = all_configs();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    recommendation.predicted_ns[i] = estimate_ns(profile, spec, configs[i]);
+    if (recommendation.predicted_ns[i] <
+        recommendation.predicted_ns[best]) {
+      best = i;
+    }
+  }
+  recommendation.config = configs[best];
+  recommendation.table2_row = 0;
+  return recommendation;
+}
+
+Recommendation Recommender::rule_based(
+    const WorkflowProfile& profile,
+    const workflow::WorkflowSpec& spec) const {
+  for (const Table2Row& row : table2()) {
+    if (!row_matches(row, profile.features)) continue;
+    if (!row.ambiguous) {
+      Recommendation recommendation;
+      recommendation.config = row.config;
+      recommendation.table2_row = row.number;
+      return recommendation;
+    }
+    // Ambiguous row: qualitative features alone cannot separate it from
+    // its sibling rows; confirm the row's answer against the model and
+    // keep whichever the model prefers (SVIII procedure).
+    Recommendation model = model_based(profile, spec);
+    model.table2_row = row.number;
+    return model;
+  }
+  // Outside the table entirely: fall back to the model.
+  return model_based(profile, spec);
+}
+
+}  // namespace pmemflow::core

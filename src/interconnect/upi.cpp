@@ -1,0 +1,37 @@
+#include "interconnect/upi.hpp"
+
+#include <algorithm>
+
+namespace pmemflow::interconnect {
+
+namespace {
+
+double knee_degradation(double n, double knee, double slope) noexcept {
+  const double excess = std::max(0.0, n - knee);
+  return 1.0 / (1.0 + slope * excess);
+}
+
+}  // namespace
+
+double UpiModel::write_degradation(
+    double concurrent_large_remote_writers) const noexcept {
+  const double factor =
+      knee_degradation(std::max(0.0, concurrent_large_remote_writers),
+                       params_.write_contention_knee,
+                       params_.write_contention_slope);
+  return std::max(params_.write_contention_floor, factor);
+}
+
+double UpiModel::read_degradation(
+    double concurrent_remote_readers) const noexcept {
+  return knee_degradation(std::max(0.0, concurrent_remote_readers),
+                          params_.read_contention_knee,
+                          params_.read_contention_slope);
+}
+
+double UpiModel::remote_latency_ns(bool is_write) const noexcept {
+  return is_write ? params_.remote_write_latency_ns
+                  : params_.remote_read_latency_ns;
+}
+
+}  // namespace pmemflow::interconnect

@@ -1,0 +1,87 @@
+// UPI (socket interconnect) contention model.
+//
+// Remote PMEM traffic crosses a UPI link. The paper's measurements
+// (§II-B) and its references show three distinct remote effects, which
+// this model separates:
+//
+//   1. *Remote write collapse*: sustained large remote write streams
+//      back-pressure the remote iMC write-pending queue and the
+//      device-internal buffer across the link; effective bandwidth
+//      collapses with the number of concurrent large streams (the
+//      paper quotes a 15x drop for raw ops at 24 writers), down to a
+//      floor.
+//   2. *Remote write ceiling*: independent of concurrency, remote
+//      writes cannot exceed the link's write-credit budget — well
+//      below the local 13.9 GB/s write peak. This is what penalizes
+//      workloads that saturate write bandwidth (miniAMR at high
+//      concurrency) even when their accesses are small.
+//   3. *Remote reads* degrade mildly (1.3x at 24 readers) and pay the
+//      hop latency; remote writes complete once accepted by the remote
+//      WPQ, so their latency adder is small (§VI-B: "writes are marked
+//      complete once they are stored in the PMEM controller").
+#pragma once
+
+#include "common/units.hpp"
+
+namespace pmemflow::interconnect {
+
+/// Calibration constants for one UPI link.
+struct UpiParams {
+  /// Raw unidirectional link bandwidth (bytes/ns == GB/s).
+  Rate link_bandwidth = gbps(20.8);
+
+  /// Flat ceiling on aggregate remote write bandwidth (write credits).
+  Rate remote_write_ceiling = gbps(8.5);
+
+  /// Extra per-op latency of a remote access (ns) - roughly the UPI
+  /// hop. Remote costs are dominated by the bandwidth-side effects
+  /// below, not these adders.
+  double remote_read_latency_ns = 60.0;
+  double remote_write_latency_ns = 66.8;
+
+  /// Large-stream remote-write collapse:
+  /// factor(n) = max(floor, 1 / (1 + slope * max(0, n - knee))),
+  /// where n counts *large* concurrent remote write streams
+  /// (duty-cycle weighted). Calibrated against Fig 4's serial
+  /// remote-write runtimes.
+  double write_contention_knee = 3.149;
+  double write_contention_slope = 0.2679;
+  double write_contention_floor = 0.2688;
+
+  /// Remote reads: mild degradation, 1.3x at 24 concurrent readers.
+  double read_contention_knee = 1.0;
+  double read_contention_slope = 0.3 / 23.0;
+};
+
+/// Stateless UPI contention math.
+class UpiModel {
+ public:
+  explicit UpiModel(UpiParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const UpiParams& params() const noexcept { return params_; }
+
+  /// Multiplier (<= 1) on effective bandwidth for remote *writes*,
+  /// driven by the number of concurrent *large* remote write streams.
+  [[nodiscard]] double write_degradation(
+      double concurrent_large_remote_writers) const noexcept;
+
+  /// Multiplier (<= 1) on effective bandwidth for remote *reads*.
+  [[nodiscard]] double read_degradation(
+      double concurrent_remote_readers) const noexcept;
+
+  /// Additional per-op latency of crossing the link (ns).
+  [[nodiscard]] double remote_latency_ns(bool is_write) const noexcept;
+
+  /// Hard caps for remote traffic classes.
+  [[nodiscard]] Rate link_cap() const noexcept {
+    return params_.link_bandwidth;
+  }
+  [[nodiscard]] Rate remote_write_ceiling() const noexcept {
+    return params_.remote_write_ceiling;
+  }
+
+ private:
+  UpiParams params_;
+};
+
+}  // namespace pmemflow::interconnect

@@ -1,0 +1,80 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace pmemflow::metrics {
+
+double to_seconds(SimDuration ns) noexcept {
+  return static_cast<double>(ns) / 1e9;
+}
+
+void print_panel(std::ostream& out, const std::string& title,
+                 const core::ConfigSweep& sweep) {
+  out << title << '\n';
+  SimDuration slowest = 0;
+  for (const auto& result : sweep.results) {
+    slowest = std::max(slowest, result.run.total_ns);
+  }
+  TextTable table({"Config", "Total", "Writer", "Reader", ""},
+                  {Align::kLeft, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kLeft});
+  for (const auto& result : sweep.results) {
+    const bool serial =
+        result.config.mode == core::ExecutionMode::kSerial;
+    table.add_row({
+        result.config.label(),
+        format("%.3f s", to_seconds(result.run.total_ns)),
+        serial ? format("%.3f s", to_seconds(result.run.writer_span_ns))
+               : std::string("-"),
+        serial ? format("%.3f s", to_seconds(result.run.reader_span_ns()))
+               : std::string("-"),
+        ascii_bar(static_cast<double>(result.run.total_ns),
+                  static_cast<double>(slowest), 30),
+    });
+  }
+  table.write(out);
+  out << format("best: %s (%.3f s)\n\n",
+                sweep.best().config.label().c_str(),
+                to_seconds(sweep.best().run.total_ns));
+}
+
+void print_normalized(std::ostream& out, const std::string& title,
+                      const core::ConfigSweep& sweep) {
+  out << title << '\n';
+  TextTable table({"Config", "Normalized", ""},
+                  {Align::kLeft, Align::kRight, Align::kLeft});
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const double normalized = sweep.normalized(i);
+    table.add_row({sweep.results[i].config.label(),
+                   format("%.2fx", normalized),
+                   ascii_bar(normalized, sweep.worst_case_penalty(), 30)});
+  }
+  table.write(out);
+  out << '\n';
+}
+
+std::vector<std::string> sweep_csv_header() {
+  return {"workload", "ranks",    "config",  "total_s",
+          "writer_s", "reader_s", "normalized"};
+}
+
+void append_sweep_rows(CsvWriter& csv, const std::string& workload,
+                       std::uint32_t ranks, const core::ConfigSweep& sweep) {
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& result = sweep.results[i];
+    csv.add_row({
+        workload,
+        format("%u", ranks),
+        result.config.label(),
+        format("%.6f", to_seconds(result.run.total_ns)),
+        format("%.6f", to_seconds(result.run.writer_span_ns)),
+        format("%.6f", to_seconds(result.run.reader_span_ns())),
+        format("%.4f", sweep.normalized(i)),
+    });
+  }
+}
+
+}  // namespace pmemflow::metrics

@@ -1,0 +1,39 @@
+// Result reporting for the figure/table benches.
+//
+// Renders configuration sweeps the way the paper presents them:
+//   - runtime bars per configuration, split into writer/reader
+//     components for serial modes (Figs 4-9);
+//   - runtimes normalized to the best configuration (Fig 10);
+//   - CSV export so the plots can be regenerated externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/executor.hpp"
+
+namespace pmemflow::metrics {
+
+/// Prints one figure panel: four configurations' runtimes with split
+/// writer/reader components for serial modes and an ASCII bar scaled to
+/// the slowest configuration.
+void print_panel(std::ostream& out, const std::string& title,
+                 const core::ConfigSweep& sweep);
+
+/// Prints the Fig 10-style normalized view (runtime / best).
+void print_normalized(std::ostream& out, const std::string& title,
+                      const core::ConfigSweep& sweep);
+
+/// Appends one row per configuration to `csv` with columns
+/// {workload, ranks, config, total_s, writer_s, reader_s, normalized}.
+void append_sweep_rows(CsvWriter& csv, const std::string& workload,
+                       std::uint32_t ranks, const core::ConfigSweep& sweep);
+
+/// Header matching append_sweep_rows.
+[[nodiscard]] std::vector<std::string> sweep_csv_header();
+
+/// Converts simulated ns to seconds for display.
+[[nodiscard]] double to_seconds(SimDuration ns) noexcept;
+
+}  // namespace pmemflow::metrics

@@ -1,0 +1,52 @@
+// Fixed-point bandwidth allocation for the Optane device.
+//
+// Given the active flow set, computes each flow's end-to-end progress
+// rate. The core quantity is per-flow *utilization* u_i: the fraction of
+// time flow i actually occupies the device (the rest is per-op software
+// overhead, interleaved compute, and access latency). Effective class
+// concurrency is the sum of utilizations, and the device's capacity
+// curves are evaluated at those effective counts — so the solution is a
+// fixed point:
+//
+//     u -> census(u) -> capacities -> per-flow device rates -> u'
+//
+// solved by damped iteration. This reproduces the paper's key mechanism:
+// high software overhead or interleaved compute lowers effective PMEM
+// concurrency and therefore contention (§VIII).
+#pragma once
+
+#include <span>
+
+#include "pmemsim/bandwidth.hpp"
+#include "sim/flow.hpp"
+
+namespace pmemflow::pmemsim {
+
+/// Snapshot of one solved allocation (exposed for tests/inspection).
+struct AllocationReport {
+  ClassCensus census;
+  int iterations = 0;
+  bool converged = false;
+};
+
+class OptaneRateAllocator final : public sim::RateAllocator {
+ public:
+  explicit OptaneRateAllocator(BandwidthModel model) : model_(model) {}
+
+  void allocate(std::span<sim::Flow* const> flows) override;
+
+  /// Census/convergence data of the most recent allocate() call.
+  [[nodiscard]] const AllocationReport& last_report() const noexcept {
+    return last_report_;
+  }
+
+  [[nodiscard]] const BandwidthModel& model() const noexcept {
+    return model_;
+  }
+
+ private:
+  BandwidthModel model_;
+  AllocationReport last_report_;
+};
+
+}  // namespace pmemflow::pmemsim

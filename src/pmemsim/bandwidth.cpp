@@ -1,0 +1,98 @@
+#include "pmemsim/bandwidth.hpp"
+
+#include <algorithm>
+
+namespace pmemflow::pmemsim {
+
+Rate BandwidthModel::read_media_bandwidth(double n_readers) const noexcept {
+  const double n = std::max(0.0, n_readers);
+  const double ramp = std::min(1.0, n / params_.read_scaling_threads);
+  return params_.read_peak * ramp;
+}
+
+Rate BandwidthModel::write_media_bandwidth(double n_writers) const noexcept {
+  const double n = std::max(0.0, n_writers);
+  const double ramp = std::min(1.0, n / params_.write_scaling_threads);
+  Rate bandwidth = params_.write_peak * ramp;
+  if (n > params_.write_decline_start) {
+    const double decline =
+        1.0 - params_.write_decline_per_thread * (n - params_.write_decline_start);
+    bandwidth *= std::max(params_.write_floor_fraction, decline);
+  }
+  return bandwidth;
+}
+
+double BandwidthModel::mixed_read_factor(
+    const ClassCensus& census) const noexcept {
+  const double total = census.total();
+  if (total <= 0.0 || census.writes() <= 0.0 || census.reads() <= 0.0) {
+    return 1.0;
+  }
+  return 1.0 - params_.mixed_interference * (census.writes() / total);
+}
+
+double BandwidthModel::mixed_write_factor(
+    const ClassCensus& census) const noexcept {
+  const double total = census.total();
+  if (total <= 0.0 || census.writes() <= 0.0 || census.reads() <= 0.0) {
+    return 1.0;
+  }
+  return 1.0 - params_.mixed_interference * (census.reads() / total);
+}
+
+double BandwidthModel::cache_thrash_factor(
+    double n_total_effective) const noexcept {
+  const double excess =
+      std::max(0.0, n_total_effective - params_.cache_thrash_threshold);
+  return 1.0 / (1.0 + params_.cache_thrash_coeff * excess);
+}
+
+double BandwidthModel::small_access_factor(
+    double n_small_effective) const noexcept {
+  const double excess =
+      std::max(0.0, n_small_effective - params_.small_access_flows);
+  return 1.0 / (1.0 + params_.small_access_coeff * excess);
+}
+
+Rate BandwidthModel::remote_cap(sim::IoKind kind,
+                                const ClassCensus& census) const noexcept {
+  switch (kind) {
+    case sim::IoKind::kRead: {
+      const Rate base = std::min(params_.read_peak, upi_.link_cap());
+      return base * upi_.read_degradation(census.remote_read);
+    }
+    case sim::IoKind::kWrite: {
+      const Rate base =
+          std::min({params_.write_peak, upi_.link_cap(),
+                    upi_.remote_write_ceiling()});
+      return base * upi_.write_degradation(census.remote_write_large);
+    }
+  }
+  return 0.0;
+}
+
+double BandwidthModel::op_latency_ns(
+    sim::IoKind kind, sim::Locality locality,
+    double n_kind_effective) const noexcept {
+  const double base = (kind == sim::IoKind::kRead) ? params_.read_latency_ns
+                                                   : params_.write_latency_ns;
+  double latency =
+      base * (1.0 + params_.latency_load_coeff *
+                        std::max(0.0, n_kind_effective - 1.0));
+  if (locality == sim::Locality::kRemote) {
+    latency += upi_.remote_latency_ns(kind == sim::IoKind::kWrite);
+  }
+  return latency;
+}
+
+Rate BandwidthModel::per_thread_cap(sim::IoKind kind,
+                                    bool small) const noexcept {
+  if (small) {
+    return (kind == sim::IoKind::kRead) ? params_.per_thread_small_read_cap
+                                        : params_.per_thread_small_write_cap;
+  }
+  return (kind == sim::IoKind::kRead) ? params_.per_thread_read_cap
+                                      : params_.per_thread_write_cap;
+}
+
+}  // namespace pmemflow::pmemsim

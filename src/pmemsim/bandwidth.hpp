@@ -1,0 +1,114 @@
+// Effective-bandwidth curves of the simulated Optane device.
+//
+// The device's usable bandwidth is not a constant: it depends on how
+// many flows of which kind (read/write), locality (local/remote) and
+// granularity (small/large) are *effectively* concurrent. "Effectively"
+// means duty-cycle weighted: a rank that spends 80 % of each operation
+// in software overhead only counts as 0.2 of a concurrent accessor —
+// which is exactly the paper's observation that "the actual level of
+// concurrency experienced by PMEM is a complex function of the number
+// of MPI ranks, software overhead ... and interleaving compute" (§VIII).
+//
+// This header exposes the pure curve math; the fixed-point solver that
+// computes effective concurrency lives in allocator.cpp.
+#pragma once
+
+#include "common/units.hpp"
+#include "interconnect/upi.hpp"
+#include "pmemsim/params.hpp"
+#include "sim/flow.hpp"
+
+namespace pmemflow::pmemsim {
+
+/// Duty-cycle-weighted census of the active flow set.
+struct ClassCensus {
+  double local_read = 0.0;
+  double local_write = 0.0;
+  double remote_read = 0.0;
+  double remote_write = 0.0;
+  /// Effective concurrency of small-granularity flows (any class).
+  double small = 0.0;
+  /// Effective concurrency of *large* remote write streams (drives the
+  /// UPI remote-write collapse; see interconnect::UpiParams).
+  double remote_write_large = 0.0;
+
+  [[nodiscard]] double reads() const noexcept {
+    return local_read + remote_read;
+  }
+  [[nodiscard]] double writes() const noexcept {
+    return local_write + remote_write;
+  }
+  [[nodiscard]] double total() const noexcept { return reads() + writes(); }
+};
+
+/// Pure bandwidth/latency curve evaluation for one Optane interleave set.
+class BandwidthModel {
+ public:
+  BandwidthModel(OptaneParams params, interconnect::UpiModel upi)
+      : params_(params), upi_(upi) {}
+
+  [[nodiscard]] const OptaneParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const interconnect::UpiModel& upi() const noexcept {
+    return upi_;
+  }
+
+  /// Aggregate media read bandwidth with `n_readers` effective
+  /// concurrent readers (before mixed-traffic adjustment). Ramps to
+  /// read_peak at read_scaling_threads and stays flat beyond.
+  [[nodiscard]] Rate read_media_bandwidth(double n_readers) const noexcept;
+
+  /// Aggregate media write bandwidth: ramps to write_peak at
+  /// write_scaling_threads, flat until write_decline_start, then
+  /// declines (WPQ/XPBuffer pressure) to a floor.
+  [[nodiscard]] Rate write_media_bandwidth(double n_writers) const noexcept;
+
+  /// Multiplier (<=1) on read capacity when writes are also active,
+  /// proportional to the write share of total effective concurrency.
+  [[nodiscard]] double mixed_read_factor(
+      const ClassCensus& census) const noexcept;
+
+  /// Multiplier (<=1) on write capacity when reads are also active.
+  [[nodiscard]] double mixed_write_factor(
+      const ClassCensus& census) const noexcept;
+
+  /// Multiplier (<=1) on both media capacities from device-internal
+  /// buffer (XPBuffer) thrash at high total effective concurrency.
+  [[nodiscard]] double cache_thrash_factor(
+      double n_total_effective) const noexcept;
+
+  /// Multiplier (<=1) applied to the device rate of *small* flows:
+  /// sub-stripe accesses from many threads collide on individual DIMMs
+  /// and thrash the device-internal buffer.
+  [[nodiscard]] double small_access_factor(
+      double n_small_effective) const noexcept;
+
+  /// True if an op granularity falls in the small-access regime.
+  [[nodiscard]] bool is_small(Bytes op_size) const noexcept {
+    return op_size <= params_.small_access_threshold;
+  }
+
+  /// Ceiling for remote traffic of the given kind (UPI link caps,
+  /// write-credit ceiling, and contention degradation). Reads degrade
+  /// with the remote-read count; writes collapse with the *large*
+  /// remote-write stream count and never exceed the write ceiling.
+  [[nodiscard]] Rate remote_cap(sim::IoKind kind,
+                                const ClassCensus& census) const noexcept;
+
+  /// Per-op access latency (ns): media latency inflated by load, plus
+  /// the UPI hop for remote flows.
+  [[nodiscard]] double op_latency_ns(sim::IoKind kind,
+                                     sim::Locality locality,
+                                     double n_kind_effective) const noexcept;
+
+  /// Per-flow device-rate ceiling for the kind and granularity class.
+  [[nodiscard]] Rate per_thread_cap(sim::IoKind kind,
+                                    bool small) const noexcept;
+
+ private:
+  OptaneParams params_;
+  interconnect::UpiModel upi_;
+};
+
+}  // namespace pmemflow::pmemsim

@@ -1,0 +1,16 @@
+#include "pmemsim/device.hpp"
+
+#include "common/strings.hpp"
+
+namespace pmemflow::pmemsim {
+
+OptaneDevice::OptaneDevice(sim::Engine& engine, topo::SocketId socket,
+                           Bytes capacity, OptaneParams params,
+                           interconnect::UpiParams upi_params)
+    : engine_(engine),
+      socket_(socket),
+      allocator_(BandwidthModel(params, interconnect::UpiModel(upi_params))),
+      resource_(engine, allocator_, format("pmem-socket%u", socket)),
+      space_(capacity) {}
+
+}  // namespace pmemflow::pmemsim

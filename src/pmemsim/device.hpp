@@ -1,0 +1,64 @@
+// One socket's Optane interleave set: address space + timing model.
+//
+// The device couples a functional PmemSpace (real bytes, sparse) with a
+// fluid-flow FlowResource whose rates come from OptaneRateAllocator.
+// Storage stacks call `io()` to charge simulated transfer time and use
+// `space()` to actually move bytes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pmemsim/allocator.hpp"
+#include "pmemsim/space.hpp"
+#include "sim/engine.hpp"
+#include "sim/flow.hpp"
+#include "topo/platform.hpp"
+
+namespace pmemflow::pmemsim {
+
+class OptaneDevice {
+ public:
+  /// Creates the device attached to `socket`, with the given capacity
+  /// and timing parameters.
+  OptaneDevice(sim::Engine& engine, topo::SocketId socket, Bytes capacity,
+               OptaneParams params = {},
+               interconnect::UpiParams upi_params = {});
+
+  OptaneDevice(const OptaneDevice&) = delete;
+  OptaneDevice& operator=(const OptaneDevice&) = delete;
+
+  [[nodiscard]] topo::SocketId socket() const noexcept { return socket_; }
+  [[nodiscard]] PmemSpace& space() noexcept { return space_; }
+  [[nodiscard]] const PmemSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const BandwidthModel& model() const noexcept {
+    return allocator_.model();
+  }
+  [[nodiscard]] const sim::FlowResourceStats& stats() const noexcept {
+    return resource_.stats();
+  }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  /// Locality of an access issued from `from_socket`.
+  [[nodiscard]] sim::Locality locality_of(
+      topo::SocketId from_socket) const noexcept {
+    return from_socket == socket_ ? sim::Locality::kLocal
+                                  : sim::Locality::kRemote;
+  }
+
+  /// Charges simulated time for an aggregated I/O phase: `spec.locality`
+  /// is overwritten based on `from_socket`. Awaitable.
+  auto io(topo::SocketId from_socket, sim::FlowSpec spec) {
+    spec.locality = locality_of(from_socket);
+    return resource_.transfer(spec);
+  }
+
+ private:
+  sim::Engine& engine_;
+  topo::SocketId socket_;
+  OptaneRateAllocator allocator_;
+  sim::FlowResource resource_;
+  PmemSpace space_;
+};
+
+}  // namespace pmemflow::pmemsim

@@ -1,0 +1,106 @@
+// Calibration constants of the Optane PMEM device model.
+//
+// Every number here is anchored in published first-generation Optane
+// measurements quoted by the reproduced paper (§II-B) and its references
+// [2] Yang et al. FAST'20, [3] Peng et al. MEMSYS'19, [14] Izraelevitz
+// et al.:
+//   - interleaved local read peak 39.4 GB/s, scaling up to ~17 threads
+//   - interleaved local write peak 13.9 GB/s, saturating at 4 threads
+//   - idle write latency 90 ns (buffered in the iMC WPQ), read 169 ns
+//   - 4 KB chunks striped into 24 KB stripes across 6 DIMMs; >= 6
+//     threads of small accesses collide on individual DIMMs
+//   - device-internal (XPBuffer) cache thrashing at high concurrency
+// Remote-access behaviour lives in interconnect::UpiParams.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace pmemflow::pmemsim {
+
+struct OptaneParams {
+  // ---- Aggregate bandwidth curves (local access) ----
+
+  /// Peak interleaved read bandwidth (bytes/ns == GB/s).
+  Rate read_peak = gbps(39.4);
+  /// Read bandwidth scales roughly linearly up to this many concurrent
+  /// read flows (paper: "read bandwidth scales up to 17 concurrent
+  /// operations").
+  double read_scaling_threads = 17.0;
+
+  /// Peak interleaved write bandwidth.
+  Rate write_peak = gbps(13.9);
+  /// Writes stop scaling beyond this many concurrent write flows.
+  double write_scaling_threads = 4.0;
+  /// Beyond this concurrency, write bandwidth *degrades* (WPQ and
+  /// XPBuffer pressure), by `write_decline_per_thread` of peak per
+  /// extra flow, floored at `write_floor_fraction` of peak.
+  double write_decline_start = 8.0;
+  double write_decline_per_thread = 0.0198;
+  double write_floor_fraction = 0.55;
+
+  // ---- Device-internal cache (XPBuffer) contention ----
+
+  /// Total effective concurrency (reads + writes, local + remote)
+  /// beyond which the internal cache starts to thrash.
+  double cache_thrash_threshold = 14.9;
+  /// Capacity multiplier per flow beyond the threshold:
+  /// factor = 1 / (1 + coeff * (n_total - threshold)).
+  double cache_thrash_coeff = 0.0369;
+
+  // ---- Mixed read/write interference ----
+
+  /// Controller-level interference beyond plain media time-sharing
+  /// (which the allocator enforces separately): when both classes are
+  /// active, each class's capacity is additionally scaled by
+  /// (1 - mixed_interference * other_class_utilization_share).
+  double mixed_interference = 0.1777;
+
+  // ---- Small-granularity (sub-stripe-chunk) access penalty ----
+
+  /// Accesses at or below this op size hit a single 4 KB chunk and can
+  /// collide on one DIMM of the interleave set.
+  Bytes small_access_threshold = 16 * kKiB;
+  /// Collision penalty kicks in beyond this many concurrent
+  /// small-access flows (raw thread count issuing sub-chunk accesses).
+  double small_access_flows = 17.58;
+  /// Device-rate multiplier per extra small flow beyond the knee:
+  /// rate *= 1/(1 + coeff * (n_small - knee)).
+  double small_access_coeff = 0.0522;
+
+  /// Per-op stall multiplier for small accesses, driven by the *raw
+  /// count* of concurrent small-access flows (thread count, not duty):
+  /// op_time *= 1 + quad * max(0, count - knee)^2. Models XPBuffer miss
+  /// stalls hitting every small op once many threads interleave
+  /// sub-stripe accesses — the paper's "contention for Optane internal
+  /// cache" that makes serial execution win at 24 ranks (SVI-B) while
+  /// leaving 8-16-rank runs largely unaffected.
+  double small_stall_knee = 10.49;
+  double small_stall_quad = 0.0017657;
+
+  /// Per-flow device-rate ceilings for sub-stripe-chunk accesses: a
+  /// single thread of small random accesses reaches nowhere near the
+  /// sequential streaming rate (Yang et al. FAST'20).
+  Rate per_thread_small_read_cap = gbps(2.9);
+  Rate per_thread_small_write_cap = gbps(3.5);
+
+  // ---- Per-op media latency (idle device) ----
+
+  /// Loads must reach 3D-XPoint media: 169 ns idle.
+  double read_latency_ns = 169.0;
+  /// Stores complete once accepted by the iMC write-pending queue: 90 ns.
+  double write_latency_ns = 90.0;
+  /// Latency inflation with load: l = l0 * (1 + latency_load_coeff * n_eff).
+  double latency_load_coeff = 0.000818;
+
+  // ---- Geometry ----
+
+  /// Interleave stripe chunk (per DIMM) and full-stripe sizes.
+  Bytes stripe_chunk = 4 * kKiB;
+  std::uint32_t interleave_ways = 6;
+
+  /// Per-flow device-rate ceilings (single-thread microbenchmark rates).
+  Rate per_thread_read_cap = gbps(2.9);
+  Rate per_thread_write_cap = gbps(3.5);
+};
+
+}  // namespace pmemflow::pmemsim

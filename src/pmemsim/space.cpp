@@ -1,0 +1,110 @@
+#include "pmemsim/space.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow::pmemsim {
+
+PmemSpace::PmemSpace(Bytes capacity) : capacity_(capacity) {
+  PMEMFLOW_ASSERT(capacity > 0);
+}
+
+Expected<PmemOffset> PmemSpace::reserve(Bytes size) {
+  if (size == 0) {
+    return make_error("cannot reserve a zero-byte extent");
+  }
+  if (next_free_ + size > capacity_) {
+    return make_error(format(
+        "PMEM space exhausted: %s requested, %s of %s free",
+        format_bytes(size).c_str(),
+        format_bytes(capacity_ - next_free_).c_str(),
+        format_bytes(capacity_).c_str()));
+  }
+  const PmemOffset offset = next_free_;
+  next_free_ += size;
+  return offset;
+}
+
+PmemSpace::Page& PmemSpace::materialize(std::uint64_t page_index) {
+  auto& slot = pages_[page_index];
+  if (!slot) {
+    slot = std::make_unique<Page>(kPageSize, std::byte{0});
+  }
+  return *slot;
+}
+
+void PmemSpace::write(PmemOffset offset, std::span<const std::byte> data) {
+  PMEMFLOW_ASSERT_MSG(offset + data.size() <= next_free_,
+                      "write outside reserved space");
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const PmemOffset position = offset + written;
+    const std::uint64_t page_index = position / kPageSize;
+    const std::size_t page_offset =
+        static_cast<std::size_t>(position % kPageSize);
+    const std::size_t chunk = std::min<std::size_t>(
+        data.size() - written, static_cast<std::size_t>(kPageSize) - page_offset);
+    Page& page = materialize(page_index);
+    std::memcpy(page.data() + page_offset, data.data() + written, chunk);
+    written += chunk;
+  }
+}
+
+void PmemSpace::read(PmemOffset offset, std::span<std::byte> out) const {
+  PMEMFLOW_ASSERT_MSG(offset + out.size() <= next_free_,
+                      "read outside reserved space");
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PmemOffset position = offset + done;
+    const std::uint64_t page_index = position / kPageSize;
+    const std::size_t page_offset =
+        static_cast<std::size_t>(position % kPageSize);
+    const std::size_t chunk = std::min<std::size_t>(
+        out.size() - done, static_cast<std::size_t>(kPageSize) - page_offset);
+    const auto it = pages_.find(page_index);
+    if (it == pages_.end()) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      std::memcpy(out.data() + done, it->second->data() + page_offset, chunk);
+    }
+    done += chunk;
+  }
+}
+
+std::size_t PmemSpace::punch_hole(PmemOffset offset, Bytes size) {
+  if (size == 0) return 0;
+  // First fully-covered page.
+  const std::uint64_t first = (offset + kPageSize - 1) / kPageSize;
+  // One past the last fully-covered page.
+  const std::uint64_t last = (offset + size) / kPageSize;
+  if (first >= last) return 0;
+  std::size_t dropped = 0;
+  if (last - first > pages_.size()) {
+    // Sparse extent (mostly holes): walk the page map instead of the
+    // index range, or punching a multi-GB reservation costs millions
+    // of no-op lookups.
+    for (auto it = pages_.begin(); it != pages_.end();) {
+      if (it->first >= first && it->first < last) {
+        it = pages_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+  for (std::uint64_t page = first; page < last; ++page) {
+    dropped += pages_.erase(page);
+  }
+  return dropped;
+}
+
+void PmemSpace::reset() {
+  pages_.clear();
+  next_free_ = 0;
+}
+
+}  // namespace pmemflow::pmemsim

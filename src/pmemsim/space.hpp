@@ -1,0 +1,76 @@
+// Byte-addressable persistent-memory address space.
+//
+// Functionally real, sparsely materialized: reads/writes move actual
+// bytes, but pages are only allocated when first written, so simulating
+// a 3 TB interleave set does not require 3 TB of host RAM. Storage
+// stacks (novafs, nvstream) lay out their structures in this space;
+// device *timing* is handled separately by pmemsim::OptaneDevice.
+//
+// The space also supports "unmaterialized" bulk extents: a stack can
+// reserve an extent and record only a content descriptor for it (used
+// for the paper's multi-hundred-GB workloads, where payload bytes are
+// synthesized deterministically rather than stored). Reading an
+// unmaterialized page returns zero bytes; integrity of bulk payloads is
+// checked via descriptor checksums at the stack layer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/units.hpp"
+
+namespace pmemflow::pmemsim {
+
+/// Offset within a PmemSpace.
+using PmemOffset = std::uint64_t;
+
+class PmemSpace {
+ public:
+  static constexpr Bytes kPageSize = 4 * kKiB;
+
+  explicit PmemSpace(Bytes capacity);
+
+  [[nodiscard]] Bytes capacity() const noexcept { return capacity_; }
+
+  /// Bytes handed out by reserve() so far.
+  [[nodiscard]] Bytes reserved() const noexcept { return next_free_; }
+
+  /// Bytes of actually materialized pages.
+  [[nodiscard]] Bytes materialized() const noexcept {
+    return static_cast<Bytes>(pages_.size()) * kPageSize;
+  }
+
+  /// Bump-allocates an extent. Fails when capacity is exhausted.
+  Expected<PmemOffset> reserve(Bytes size);
+
+  /// Copies `data` into the space at `offset` (materializing pages).
+  /// The extent must lie within reserved space.
+  void write(PmemOffset offset, std::span<const std::byte> data);
+
+  /// Copies bytes out of the space; unmaterialized pages read as zero.
+  void read(PmemOffset offset, std::span<std::byte> out) const;
+
+  /// Drops materialized pages in [offset, offset+size) that are fully
+  /// covered, returning their memory to the host. Used when a consumed
+  /// snapshot version is recycled. Partially covered boundary pages are
+  /// kept. Returns the number of pages dropped.
+  std::size_t punch_hole(PmemOffset offset, Bytes size);
+
+  /// Releases all reservations and pages (fresh device).
+  void reset();
+
+ private:
+  using Page = std::vector<std::byte>;
+
+  Page& materialize(std::uint64_t page_index);
+
+  Bytes capacity_;
+  Bytes next_free_ = 0;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace pmemflow::pmemsim

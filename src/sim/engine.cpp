@@ -1,0 +1,113 @@
+#include "sim/engine.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace pmemflow::sim {
+
+namespace detail {
+
+void notify_root_finished(Engine& engine, std::coroutine_handle<> handle,
+                          std::exception_ptr exception) {
+  engine.root_finished(handle, exception);
+}
+
+}  // namespace detail
+
+Engine::~Engine() {
+  // Unfired callbacks may capture coroutine handles; drop them before
+  // destroying any stranded frames so nothing dangles.
+  while (!queue_.empty()) {
+    queue_.pop();
+  }
+  for (auto handle : finished_roots_) {
+    handle.destroy();
+  }
+}
+
+EventId Engine::call_at(SimTime when, EventQueue::Callback callback) {
+  PMEMFLOW_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  return queue_.schedule(when, std::move(callback));
+}
+
+void Engine::schedule_resume(SimTime when, std::coroutine_handle<> handle) {
+  PMEMFLOW_ASSERT(handle);
+  PMEMFLOW_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  queue_.schedule(when, [handle] { handle.resume(); });
+}
+
+void Engine::spawn(Task task) {
+  PMEMFLOW_ASSERT_MSG(task.valid(), "cannot spawn an empty task");
+  Task::Handle handle = task.release();
+  handle.promise().owning_engine = this;
+  ++live_roots_;
+  queue_.schedule(now_, [handle] { handle.resume(); });
+}
+
+void Engine::root_finished(std::coroutine_handle<> handle,
+                           std::exception_ptr exception) {
+  PMEMFLOW_ASSERT(live_roots_ > 0);
+  --live_roots_;
+  // The frame is suspended at its final suspend point; defer destruction
+  // until the engine is torn down or run() completes, so resuming code
+  // further up the stack never touches a freed frame.
+  finished_roots_.push_back(handle);
+  if (exception && !first_error_) {
+    first_error_ = exception;
+  }
+}
+
+RunStats Engine::run() {
+  RunStats stats;
+  while (!queue_.empty()) {
+    auto [when, callback] = queue_.pop();
+    PMEMFLOW_ASSERT(when >= now_);
+    now_ = when;
+    callback();
+    ++stats.events_processed;
+    if (first_error_) {
+      std::exception_ptr error = std::exchange(first_error_, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+  stats.end_time = now_;
+  stats.stranded_roots = live_roots_;
+  if (stats.stranded_roots != 0) {
+    PMEMFLOW_WARN("simulation drained with %zu stranded root task(s) "
+                  "(deadlock?)",
+                  stats.stranded_roots);
+  }
+  // Frames finished during this run can be reclaimed now.
+  for (auto handle : finished_roots_) {
+    handle.destroy();
+  }
+  finished_roots_.clear();
+  return stats;
+}
+
+RunStats Engine::run_until(SimTime deadline) {
+  RunStats stats;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [when, callback] = queue_.pop();
+    PMEMFLOW_ASSERT(when >= now_);
+    now_ = when;
+    callback();
+    ++stats.events_processed;
+    if (first_error_) {
+      std::exception_ptr error = std::exchange(first_error_, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+  stats.end_time = now_;
+  stats.stranded_roots = live_roots_;
+  return stats;
+}
+
+RunStats Engine::run_to_completion() {
+  RunStats stats = run();
+  PMEMFLOW_ASSERT_MSG(stats.stranded_roots == 0,
+                      "simulation deadlocked: stranded root tasks remain");
+  return stats;
+}
+
+}  // namespace pmemflow::sim

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback callback) {
+  PMEMFLOW_ASSERT(callback != nullptr);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{when, next_sequence_++, id});
+  live_.emplace(id, std::move(callback));
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  return live_.erase(id.value) != 0;
+}
+
+void EventQueue::drop_dead_entries() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // drop_dead_entries is non-const; replicate the scan without mutating.
+  // Callers always pop right after, so the cost is acceptable.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead_entries();
+  PMEMFLOW_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  drop_dead_entries();
+  PMEMFLOW_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.id);
+  PMEMFLOW_ASSERT(it != live_.end());
+  Callback callback = std::move(it->second);
+  live_.erase(it);
+  return {top.when, std::move(callback)};
+}
+
+}  // namespace pmemflow::sim

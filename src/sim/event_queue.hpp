@@ -1,0 +1,73 @@
+// Time-ordered event queue with O(log n) insert/pop and cancellation.
+//
+// Events at equal timestamps fire in insertion order (FIFO), which makes
+// every simulation run fully deterministic. Cancellation is lazy: a
+// cancelled entry stays in the heap and is skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pmemflow::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Min-heap of (time, sequence) ordered callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` to fire at absolute time `when`.
+  EventId schedule(SimTime when, Callback callback);
+
+  /// Cancels a previously scheduled event. Returns false if the event
+  /// already fired or was already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
+
+  /// Number of live (non-cancelled, not-yet-fired) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+
+  /// Timestamp of the earliest live event; queue must not be empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event's callback together
+  /// with its timestamp; queue must not be empty.
+  std::pair<SimTime, Callback> pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t sequence;
+    std::uint64_t id;
+
+    // std::priority_queue is a max-heap; invert for earliest-first, and
+    // break time ties by sequence for FIFO ordering.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void drop_dead_entries();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<std::uint64_t, Callback> live_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace pmemflow::sim

@@ -1,0 +1,23 @@
+#include "sim/sync.hpp"
+
+#include <algorithm>
+
+namespace pmemflow::sim {
+
+void VersionGate::advance_to(std::uint64_t new_value) {
+  PMEMFLOW_ASSERT_MSG(new_value >= value_, "VersionGate must be monotone");
+  value_ = new_value;
+  // Partition satisfied waiters out and wake them in arrival order.
+  std::vector<Waiter> still_waiting;
+  still_waiting.reserve(waiters_.size());
+  for (const Waiter& waiter : waiters_) {
+    if (waiter.threshold <= value_) {
+      engine_.schedule_resume(engine_.now(), waiter.handle);
+    } else {
+      still_waiting.push_back(waiter);
+    }
+  }
+  waiters_ = std::move(still_waiting);
+}
+
+}  // namespace pmemflow::sim

@@ -1,0 +1,164 @@
+// Synchronization primitives for simulated processes.
+//
+// All primitives resume waiters by scheduling them on the engine at the
+// current time (never by direct inline resumption), so wakeup order is
+// the deterministic FIFO order of the event queue.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace pmemflow::sim {
+
+/// A monotonically increasing counter processes can wait on. Used for
+/// snapshot version availability: the writer advances the gate to v when
+/// snapshot v is durable; readers `co_await gate.wait_for(v)`.
+class VersionGate {
+ public:
+  explicit VersionGate(Engine& engine) : engine_(engine) {}
+
+  /// Current published value.
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+  /// Raises the value (must be monotone) and wakes satisfied waiters.
+  void advance_to(std::uint64_t new_value);
+
+  /// Awaitable that completes once value() >= threshold.
+  auto wait_for(std::uint64_t threshold) {
+    struct Awaiter {
+      VersionGate& gate;
+      std::uint64_t threshold;
+
+      bool await_ready() const noexcept {
+        return gate.value_ >= threshold;
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        gate.waiters_.push_back(Waiter{threshold, handle});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, threshold};
+  }
+
+  /// Number of processes currently blocked on the gate.
+  [[nodiscard]] std::size_t waiter_count() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  struct Waiter {
+    std::uint64_t threshold;
+    std::coroutine_handle<> handle;
+  };
+
+  Engine& engine_;
+  std::uint64_t value_ = 0;
+  std::vector<Waiter> waiters_;
+};
+
+/// Cyclic barrier over a fixed number of parties, as used by the ranks
+/// of one workflow component at the end of each iteration.
+class Barrier {
+ public:
+  Barrier(Engine& engine, std::size_t parties)
+      : engine_(engine), parties_(parties) {
+    PMEMFLOW_ASSERT(parties_ > 0);
+  }
+
+  /// Awaitable: blocks until all parties have arrived, then releases the
+  /// whole generation. Returns (via await_resume) true for exactly one
+  /// arriving party per generation (the last one), which is convenient
+  /// for "one rank publishes the snapshot" patterns.
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& barrier;
+      bool is_releaser = false;
+
+      bool await_ready() noexcept {
+        if (barrier.arrived_ + 1 == barrier.parties_) {
+          // Last arrival: release everyone without suspending.
+          barrier.arrived_ = 0;
+          barrier.release_all();
+          is_releaser = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        ++barrier.arrived_;
+        barrier.waiting_.push_back(handle);
+      }
+      bool await_resume() const noexcept { return is_releaser; }
+    };
+    return Awaiter{*this};
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  void release_all() {
+    for (auto handle : waiting_) {
+      engine_.schedule_resume(engine_.now(), handle);
+    }
+    waiting_.clear();
+  }
+
+  Engine& engine_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+/// Counting semaphore; used for bounded channel capacity (number of
+/// in-flight snapshot versions the PMEM channel can hold).
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t initial)
+      : engine_(engine), available_(initial) {}
+
+  /// Awaitable acquire of one unit.
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& semaphore;
+
+      bool await_ready() const noexcept {
+        if (semaphore.available_ > 0) {
+          --semaphore.available_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        semaphore.waiting_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Releases one unit, waking the oldest waiter if any.
+  void release() {
+    if (!waiting_.empty()) {
+      auto handle = waiting_.front();
+      waiting_.pop_front();
+      // The unit is handed directly to the waiter.
+      engine_.schedule_resume(engine_.now(), handle);
+      return;
+    }
+    ++available_;
+  }
+
+  [[nodiscard]] std::size_t available() const noexcept { return available_; }
+
+ private:
+  Engine& engine_;
+  std::size_t available_;
+  std::deque<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace pmemflow::sim

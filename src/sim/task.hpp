@@ -1,0 +1,135 @@
+// Coroutine process type for the discrete-event engine.
+//
+// A simulated process (an MPI rank, a scheduler activity, ...) is a
+// C++20 coroutine returning sim::Task. Tasks are either
+//   - spawned as roots on an Engine (Engine::spawn), which owns them, or
+//   - awaited as children from another Task (`co_await child()`), in
+//     which case the parent frame owns them and resumes when they finish.
+//
+// Tasks are eagerly-started *only* through the engine's event loop: the
+// initial suspend is unconditional, so no simulation code runs outside
+// Engine::run(). Exceptions thrown inside a child propagate to the
+// awaiting parent; exceptions escaping a root are captured by the engine
+// and rethrown from Engine::run().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::sim {
+
+class Engine;
+
+namespace detail {
+// Called by the final awaiter of detached (engine-owned) tasks.
+void notify_root_finished(Engine& engine, std::coroutine_handle<> handle,
+                          std::exception_ptr exception);
+}  // namespace detail
+
+/// Coroutine handle wrapper for a simulated process. Move-only; owns the
+/// coroutine frame unless ownership was transferred to an Engine.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    Engine* owning_engine = nullptr;  // set when detached via spawn()
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        promise_type& promise = h.promise();
+        if (promise.owning_engine != nullptr) {
+          // Detached root: hand the frame back to the engine, which
+          // destroys it and records any escaped exception.
+          detail::notify_root_finished(*promise.owning_engine, h,
+                                       promise.exception);
+          return std::noop_coroutine();
+        }
+        if (promise.continuation) return promise.continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+  };
+
+  Task() noexcept = default;
+  explicit Task(Handle handle) noexcept : handle_(handle) {}
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.done();
+  }
+
+  /// Awaiting a Task starts the child immediately (symmetric transfer)
+  /// and resumes the parent when the child completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+
+      bool await_ready() const noexcept {
+        return !handle || handle.done();
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      void await_resume() const {
+        if (handle && handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+
+  /// Transfers frame ownership out (used by Engine::spawn).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace pmemflow::sim

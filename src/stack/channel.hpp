@@ -1,0 +1,148 @@
+// Streaming-I/O channel abstraction.
+//
+// A StreamChannel is the PMEM-resident transport between the simulation
+// (writer) and analytics (reader) components of one workflow: a stream
+// of versioned snapshots, each contributed to by every writer rank and
+// consumed by the paired reader rank (1:1 exchange, as in the paper's
+// suite, §IV-C).
+//
+// Two implementations exist, matching the paper's software stacks (§V):
+//   - NvStreamChannel: a userspace log-structured versioned object
+//     store (NVStream [1]);
+//   - NovaChannel: files on a NOVA-like log-structured PMEM filesystem,
+//     paying per-op syscall and journaling costs.
+//
+// Channel methods both (a) move real bytes through the simulated PMEM
+// space and (b) charge simulated device/software time via the owning
+// OptaneDevice. `from_socket` determines access locality.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "pmemsim/device.hpp"
+#include "sim/task.hpp"
+#include "stack/payload.hpp"
+#include "topo/platform.hpp"
+
+namespace pmemflow::stack {
+
+/// A dense run of `count` equally sized synthetic objects. Object
+/// `first_index + i` has seed `object_seed(first_index + i)`. Bulk
+/// workloads (e.g. miniAMR's 528 K objects per snapshot) are described
+/// by runs instead of half-million-entry vectors.
+struct SyntheticRun {
+  std::uint64_t first_index = 0;
+  std::uint64_t count = 0;
+  Bytes object_size = 0;
+  std::uint64_t base_seed = 0;
+
+  [[nodiscard]] Bytes total_bytes() const noexcept {
+    return count * object_size;
+  }
+  /// Seed of the object at absolute index `index`.
+  [[nodiscard]] std::uint64_t object_seed(std::uint64_t index) const {
+    return derive_seed(base_seed, index);
+  }
+  /// Order-sensitive combination of every object's synthetic checksum;
+  /// this is what gets persisted and verified on read.
+  [[nodiscard]] std::uint64_t combined_checksum() const;
+
+  friend bool operator==(const SyntheticRun&, const SyntheticRun&) = default;
+};
+
+/// What one rank contributes to one snapshot: either explicit objects
+/// (real payload bytes, stored verbatim) or a synthetic bulk run.
+using SnapshotPart = std::variant<std::vector<ObjectData>, SyntheticRun>;
+
+/// Total payload bytes of a part.
+[[nodiscard]] Bytes part_bytes(const SnapshotPart& part);
+
+/// Number of application-level objects in a part.
+[[nodiscard]] std::uint64_t part_object_count(const SnapshotPart& part);
+
+/// Representative per-op granularity of a part (uniform size for runs,
+/// mean size for explicit lists; never 0 for nonempty parts).
+[[nodiscard]] Bytes part_op_size(const SnapshotPart& part);
+
+/// Per-operation software costs of a storage stack. These run on the
+/// issuing core — off-device — and therefore lower the *effective*
+/// device concurrency (paper §VIII: "High software stack I/O overheads
+/// lower PMEM contention").
+struct SoftwareCostModel {
+  /// Fixed CPU cost to issue one object write (metadata bookkeeping,
+  /// and for filesystems the user->kernel crossing + journal append).
+  double write_ns_per_op = 0.0;
+  /// Fixed CPU cost to issue one object read.
+  double read_ns_per_op = 0.0;
+  /// CPU cost per payload byte written (index maintenance, copy path).
+  double write_ns_per_byte = 0.0;
+  /// CPU cost per payload byte read.
+  double read_ns_per_byte = 0.0;
+
+  [[nodiscard]] double write_op_cost(Bytes op_size) const noexcept {
+    return write_ns_per_op +
+           write_ns_per_byte * static_cast<double>(op_size);
+  }
+  [[nodiscard]] double read_op_cost(Bytes op_size) const noexcept {
+    return read_ns_per_op + read_ns_per_byte * static_cast<double>(op_size);
+  }
+};
+
+/// Cumulative functional statistics for a channel.
+struct ChannelStats {
+  std::uint64_t objects_written = 0;
+  std::uint64_t objects_read = 0;
+  Bytes payload_bytes_written = 0;
+  Bytes payload_bytes_read = 0;
+  std::uint64_t versions_committed = 0;
+  std::uint64_t versions_recycled = 0;
+  std::uint64_t checksum_failures = 0;
+};
+
+class StreamChannel {
+ public:
+  virtual ~StreamChannel() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual const SoftwareCostModel& cost_model() const = 0;
+  [[nodiscard]] virtual pmemsim::OptaneDevice& device() = 0;
+  [[nodiscard]] virtual const ChannelStats& stats() const = 0;
+
+  /// Writes one rank's part of snapshot `version`. Charges simulated
+  /// time (software overhead + device transfer, plus
+  /// `compute_ns_per_op` of caller compute interleaved between ops) and
+  /// stores the part durably in the channel's PMEM space.
+  virtual sim::Task write_part(topo::SocketId from, std::uint64_t version,
+                               std::uint32_t rank, SnapshotPart part,
+                               double compute_ns_per_op) = 0;
+
+  /// Marks `version` durable once every rank has written it (the
+  /// workflow runner calls this after its writer barrier).
+  virtual void commit_version(std::uint64_t version) = 0;
+
+  /// Latest committed version (0 = none).
+  [[nodiscard]] virtual std::uint64_t committed_version() const = 0;
+
+  /// Reads back the part one rank wrote for `version`, verifying stored
+  /// checksums (throws std::runtime_error on corruption). Charges
+  /// simulated time symmetrically to write_part.
+  virtual sim::Task read_part(topo::SocketId from, std::uint64_t version,
+                              std::uint32_t rank, SnapshotPart& out,
+                              double compute_ns_per_op) = 0;
+
+  /// Releases the storage of a fully consumed version (streaming
+  /// truncation). Reading a recycled version afterwards throws.
+  virtual void recycle_version(std::uint64_t version) = 0;
+};
+
+/// Default cost models for the two stacks (§V). NVStream is a thin
+/// userspace log (one metadata append per object, non-temporal stores);
+/// NOVA pays a user->kernel crossing plus journal and inode-log updates
+/// per operation. Values are calibration anchors, not measurements.
+[[nodiscard]] SoftwareCostModel nvstream_cost_model();
+[[nodiscard]] SoftwareCostModel nova_cost_model();
+
+}  // namespace pmemflow::stack

@@ -1,0 +1,132 @@
+// NVStream: a userspace log-structured versioned object store for
+// streaming workflow I/O (after Fernando et al. [1], simplified).
+//
+// Persistent layout inside the device's PmemSpace:
+//
+//   [superblock]  magic, rank count, committed version, per-rank
+//                 head/tail offsets of the record log chains
+//   [records...]  one record per explicit object or per synthetic run,
+//                 singly linked per rank, each with a header CRC for
+//                 torn-write detection
+//   [payloads...] real payload extents (synthetic runs reserve an
+//                 extent but leave it unmaterialized)
+//
+// A volatile index maps (version, rank) -> record offsets; recover()
+// rebuilds it by walking the persistent chains, discarding any torn
+// tail and any records newer than the committed version — the same
+// guarantees the real NVStream derives from its log structure.
+//
+// Simulated-time costs: one software-overhead charge per object
+// (userspace metadata append; non-temporal stores on the write path)
+// plus the device transfer, all folded into a single fluid flow per
+// write_part/read_part call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "stack/channel.hpp"
+
+namespace pmemflow::stack {
+
+class NvStreamChannel final : public StreamChannel {
+ public:
+  /// Creates (formats) a channel on `device` for `num_ranks` writer
+  /// ranks. The superblock is written immediately.
+  NvStreamChannel(pmemsim::OptaneDevice& device, std::string name,
+                  std::uint32_t num_ranks,
+                  SoftwareCostModel costs = nvstream_cost_model());
+
+  // StreamChannel:
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const SoftwareCostModel& cost_model() const override {
+    return costs_;
+  }
+  [[nodiscard]] pmemsim::OptaneDevice& device() override { return device_; }
+  [[nodiscard]] const ChannelStats& stats() const override { return stats_; }
+
+  sim::Task write_part(topo::SocketId from, std::uint64_t version,
+                       std::uint32_t rank, SnapshotPart part,
+                       double compute_ns_per_op) override;
+  void commit_version(std::uint64_t version) override;
+  [[nodiscard]] std::uint64_t committed_version() const override {
+    return committed_version_;
+  }
+  sim::Task read_part(topo::SocketId from, std::uint64_t version,
+                      std::uint32_t rank, SnapshotPart& out,
+                      double compute_ns_per_op) override;
+  void recycle_version(std::uint64_t version) override;
+
+  // --- Recovery surface (exercised by failure-injection tests) ---
+
+  /// Discards all volatile state, as a process crash would.
+  void drop_volatile_state();
+
+  /// Rebuilds the volatile index from persistent logs. Returns an error
+  /// if the superblock is unreadable; torn record tails are silently
+  /// truncated (that is the log-structured recovery contract).
+  Status recover();
+
+  /// Oldest version whose storage is still live.
+  [[nodiscard]] std::uint64_t min_live_version() const {
+    return min_live_version_;
+  }
+
+  [[nodiscard]] std::uint32_t num_ranks() const noexcept {
+    return num_ranks_;
+  }
+
+ private:
+  struct Record {
+    std::uint64_t version = 0;
+    std::uint32_t rank = 0;
+    bool synthetic = false;
+    /// True when the record describes a SyntheticRun (its checksum
+    /// is the run's combined checksum, not a per-object one) -- a
+    /// run of count 1 is still a run.
+    bool is_run = false;
+    std::uint64_t first_index = 0;
+    std::uint64_t count = 0;
+    Bytes object_size = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t checksum = 0;
+    pmemsim::PmemOffset payload_offset = 0;
+    Bytes payload_bytes = 0;
+    pmemsim::PmemOffset next_offset = 0;
+  };
+
+  static constexpr std::uint64_t kSuperblockMagic = 0x4e565354524d5342ULL;
+  static constexpr std::uint64_t kRecordMagic = 0x4e565354524d5231ULL;
+  static constexpr Bytes kSuperblockSize = 8 * kKiB;
+  static constexpr Bytes kRecordSize = 96;
+  static constexpr std::uint32_t kMaxRanks = 256;
+
+  void persist_superblock();
+  Expected<Ok> load_superblock();
+  void persist_record(pmemsim::PmemOffset offset, const Record& record);
+  Expected<Record> load_record(pmemsim::PmemOffset offset) const;
+  /// Appends a record to `rank`'s chain; returns its offset.
+  Expected<pmemsim::PmemOffset> append_record(Record record);
+
+  pmemsim::OptaneDevice& device_;
+  std::string name_;
+  std::uint32_t num_ranks_;
+  SoftwareCostModel costs_;
+  ChannelStats stats_;
+
+  pmemsim::PmemOffset superblock_offset_ = 0;
+  std::uint64_t committed_version_ = 0;
+  std::uint64_t min_live_version_ = 1;
+  std::vector<pmemsim::PmemOffset> head_;  // per rank, 0 = empty
+  std::vector<pmemsim::PmemOffset> tail_;
+
+  /// (version, rank) -> record offsets, in write order.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::vector<pmemsim::PmemOffset>>>
+      index_;
+};
+
+}  // namespace pmemflow::stack

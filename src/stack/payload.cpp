@@ -1,0 +1,68 @@
+#include "stack/payload.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmemflow::stack {
+
+Payload Payload::real(std::vector<std::byte> bytes) {
+  Payload payload;
+  payload.synthetic_ = false;
+  payload.size_ = bytes.size();
+  payload.checksum_ = hash_bytes(bytes);
+  payload.bytes_ = std::move(bytes);
+  return payload;
+}
+
+Payload Payload::synthetic(std::uint64_t seed, Bytes size) {
+  Payload payload;
+  payload.synthetic_ = true;
+  payload.size_ = size;
+  payload.seed_ = seed;
+  payload.checksum_ = synthetic_checksum(seed, size);
+  return payload;
+}
+
+std::span<const std::byte> Payload::bytes() const {
+  PMEMFLOW_ASSERT_MSG(!synthetic_,
+                      "bytes() called on a synthetic payload; use "
+                      "materialize() to expand it");
+  return bytes_;
+}
+
+std::vector<std::byte> Payload::materialize() const {
+  if (!synthetic_) return bytes_;
+  return generate_bytes(seed_, size_);
+}
+
+std::uint64_t Payload::synthetic_checksum(std::uint64_t seed,
+                                          Bytes size) noexcept {
+  Hasher64 hasher;
+  hasher.update_u64(0x70617973796e7468ULL);  // domain separator
+  hasher.update_u64(seed);
+  hasher.update_u64(size);
+  return hasher.digest();
+}
+
+std::vector<std::byte> Payload::generate_bytes(std::uint64_t seed,
+                                               Bytes size) {
+  std::vector<std::byte> out(size);
+  Xoshiro256 rng(seed);
+  std::size_t i = 0;
+  // Fill 8 bytes at a time, then the tail.
+  for (; i + 8 <= out.size(); i += 8) {
+    const std::uint64_t word = rng();
+    for (int b = 0; b < 8; ++b) {
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<std::byte>((word >> (8 * b)) & 0xff);
+    }
+  }
+  if (i < out.size()) {
+    const std::uint64_t word = rng();
+    for (int b = 0; i < out.size(); ++i, ++b) {
+      out[i] = static_cast<std::byte>((word >> (8 * b)) & 0xff);
+    }
+  }
+  return out;
+}
+
+}  // namespace pmemflow::stack

@@ -1,0 +1,70 @@
+// Object payloads flowing through a workflow.
+//
+// Payloads come in two flavors:
+//   - *real*: owned bytes, stored verbatim in simulated PMEM and read
+//     back bit-exactly (used by tests, examples, and small runs);
+//   - *synthetic*: a (seed, size) descriptor whose bytes are a pure
+//     function of the descriptor. Multi-hundred-GB paper workloads use
+//     synthetic payloads so host RAM stays bounded; integrity is still
+//     checked end-to-end through descriptor checksums, and
+//     materialize() can expand a descriptor to its actual bytes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace pmemflow::stack {
+
+class Payload {
+ public:
+  /// An empty real payload (size 0).
+  Payload() = default;
+
+  /// Wraps owned bytes; checksum is computed from content.
+  static Payload real(std::vector<std::byte> bytes);
+
+  /// Describes `size` deterministic bytes derived from `seed`.
+  static Payload synthetic(std::uint64_t seed, Bytes size);
+
+  [[nodiscard]] bool is_synthetic() const noexcept { return synthetic_; }
+  [[nodiscard]] Bytes size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Bytes of a real payload. Must not be called on synthetic payloads.
+  [[nodiscard]] std::span<const std::byte> bytes() const;
+
+  /// Expands any payload to its concrete bytes (synthetic ones are
+  /// generated; real ones are copied).
+  [[nodiscard]] std::vector<std::byte> materialize() const;
+
+  /// The checksum a synthetic payload of (seed, size) must carry.
+  /// Pure function; writers and readers agree on it without touching
+  /// payload bytes.
+  [[nodiscard]] static std::uint64_t synthetic_checksum(std::uint64_t seed,
+                                                        Bytes size) noexcept;
+
+  /// Generates the canonical byte expansion of (seed, size).
+  [[nodiscard]] static std::vector<std::byte> generate_bytes(
+      std::uint64_t seed, Bytes size);
+
+ private:
+  bool synthetic_ = false;
+  Bytes size_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::vector<std::byte> bytes_;
+};
+
+/// One object within a snapshot: a stable per-rank index plus payload.
+struct ObjectData {
+  std::uint64_t index = 0;
+  Payload payload;
+};
+
+}  // namespace pmemflow::stack

@@ -1,0 +1,129 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::trace {
+
+namespace {
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::begin(const std::string& track, std::string name, SimTime at) {
+  open_[track].push_back(OpenSpan{std::move(name), at});
+}
+
+void Tracer::end(const std::string& track, SimTime at) {
+  auto it = open_.find(track);
+  PMEMFLOW_ASSERT_MSG(it != open_.end() && !it->second.empty(),
+                      "trace: end() without a matching begin()");
+  OpenSpan open = std::move(it->second.back());
+  it->second.pop_back();
+  PMEMFLOW_ASSERT_MSG(at >= open.begin,
+                      "trace: span ends before it begins");
+  spans_.push_back(Span{track, std::move(open.name), open.begin, at});
+}
+
+void Tracer::instant(const std::string& track, std::string name,
+                     SimTime at) {
+  instants_.push_back(Instant{track, std::move(name), at});
+}
+
+std::size_t Tracer::open_spans() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [track, stack] : open_) {
+    count += stack.size();
+  }
+  return count;
+}
+
+std::map<std::string, SpanStats> Tracer::statistics() const {
+  std::map<std::string, SpanStats> stats;
+  for (const Span& span : spans_) {
+    SpanStats& entry = stats[span.name];
+    const SimDuration duration = span.duration();
+    if (entry.count == 0) {
+      entry.min_ns = duration;
+      entry.max_ns = duration;
+    } else {
+      entry.min_ns = std::min(entry.min_ns, duration);
+      entry.max_ns = std::max(entry.max_ns, duration);
+    }
+    ++entry.count;
+    entry.total_ns += duration;
+  }
+  return stats;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  // Assign stable tids by track name (sorted for determinism).
+  std::map<std::string, int> tids;
+  for (const Span& span : spans_) tids.emplace(span.track, 0);
+  for (const Instant& instant : instants_) tids.emplace(instant.track, 0);
+  int next_tid = 1;
+  for (auto& [track, tid] : tids) tid = next_tid++;
+
+  out << "[";
+  bool first = true;
+  const auto emit = [&](const std::string& json) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << json;
+  };
+
+  // Thread-name metadata so viewers label the tracks.
+  for (const auto& [track, tid] : tids) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         json_escape(track) + "\"}}");
+  }
+  for (const Span& span : spans_) {
+    const double ts = static_cast<double>(span.begin) / 1000.0;
+    const double duration = static_cast<double>(span.duration()) / 1000.0;
+    emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+         std::to_string(tids.at(span.track)) + ",\"ts\":" +
+         std::to_string(ts) + ",\"dur\":" + std::to_string(duration) +
+         ",\"name\":\"" + json_escape(span.name) + "\"}");
+  }
+  for (const Instant& instant : instants_) {
+    const double ts = static_cast<double>(instant.at) / 1000.0;
+    emit("{\"ph\":\"i\",\"pid\":1,\"tid\":" +
+         std::to_string(tids.at(instant.track)) + ",\"ts\":" +
+         std::to_string(ts) + ",\"s\":\"t\",\"name\":\"" +
+         json_escape(instant.name) + "\"}");
+  }
+  out << "\n]\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  open_.clear();
+  spans_.clear();
+  instants_.clear();
+}
+
+}  // namespace pmemflow::trace

@@ -1,0 +1,107 @@
+// Execution tracing for simulated workflow runs.
+//
+// A Tracer records named spans (begin/end) and instant events on named
+// tracks — one track per simulated rank, by convention — against the
+// simulated clock. Output formats:
+//   - Chrome trace JSON (load in chrome://tracing or Perfetto) for
+//     visual timelines of compute/wait/IO phases per rank;
+//   - aggregate span statistics (count, total, mean, min, max) for
+//     programmatic assertions and reports.
+//
+// The workflow runner accepts an optional Tracer (RunOptions::tracer)
+// and emits spans for every compute, write, wait, read, and verify
+// phase, which is how the examples visualize scheduling decisions.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/units.hpp"
+
+namespace pmemflow::trace {
+
+/// One completed span on a track.
+struct Span {
+  std::string track;
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] SimDuration duration() const noexcept {
+    return end - begin;
+  }
+};
+
+/// One instant (zero-duration) event.
+struct Instant {
+  std::string track;
+  std::string name;
+  SimTime at = 0;
+};
+
+/// Aggregate statistics for all spans sharing a name.
+struct SpanStats {
+  std::uint64_t count = 0;
+  SimDuration total_ns = 0;
+  SimDuration min_ns = 0;
+  SimDuration max_ns = 0;
+
+  [[nodiscard]] double mean_ns() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+class Tracer {
+ public:
+  /// Opens a span on `track`. Spans on one track may nest (LIFO).
+  void begin(const std::string& track, std::string name, SimTime at);
+
+  /// Closes the innermost open span on `track`. Aborts if none is open
+  /// or if `at` precedes the span's begin.
+  void end(const std::string& track, SimTime at);
+
+  /// Records a zero-duration marker.
+  void instant(const std::string& track, std::string name, SimTime at);
+
+  /// Completed spans, in completion order.
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<Instant>& instants() const noexcept {
+    return instants_;
+  }
+
+  /// Number of currently open (unclosed) spans across all tracks.
+  [[nodiscard]] std::size_t open_spans() const noexcept;
+
+  /// Aggregates spans by name.
+  [[nodiscard]] std::map<std::string, SpanStats> statistics() const;
+
+  /// Serializes to the Chrome trace-event JSON array format.
+  /// Timestamps are microseconds (the format's unit); each track maps
+  /// to one tid under a single pid.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Convenience: writes the Chrome trace to a file.
+  [[nodiscard]] bool write_chrome_trace_file(const std::string& path) const;
+
+  /// Drops all recorded data (open spans included).
+  void clear();
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    SimTime begin;
+  };
+
+  std::map<std::string, std::vector<OpenSpan>> open_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+};
+
+}  // namespace pmemflow::trace

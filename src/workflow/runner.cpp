@@ -1,0 +1,348 @@
+#include "workflow/runner.hpp"
+
+#include <map>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "stack/nova_channel.hpp"
+#include "stack/nvstream.hpp"
+
+namespace pmemflow::workflow {
+
+const char* to_string(WorkflowSpec::Stack stack) noexcept {
+  switch (stack) {
+    case WorkflowSpec::Stack::kNvStream: return "nvstream";
+    case WorkflowSpec::Stack::kNova: return "nova";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Verifies a read-back part against the model's ground truth. Returns
+/// the number of mismatches (0 = clean).
+std::uint64_t verify_part(const stack::SnapshotPart& expected,
+                          const stack::SnapshotPart& actual) {
+  if (const auto* run = std::get_if<stack::SyntheticRun>(&expected)) {
+    const auto* actual_run = std::get_if<stack::SyntheticRun>(&actual);
+    if (actual_run == nullptr) return run->count;
+    return (*run == *actual_run) ? 0 : run->count;
+  }
+  const auto& expected_objects =
+      std::get<std::vector<stack::ObjectData>>(expected);
+  const auto* actual_objects =
+      std::get_if<std::vector<stack::ObjectData>>(&actual);
+  if (actual_objects == nullptr ||
+      actual_objects->size() != expected_objects.size()) {
+    return expected_objects.size();
+  }
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < expected_objects.size(); ++i) {
+    const auto& want = expected_objects[i];
+    const auto& got = (*actual_objects)[i];
+    if (want.index != got.index ||
+        want.payload.checksum() != got.payload.checksum()) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+/// Per-workflow simulation state for one (possibly co-located) run.
+struct Instance {
+  const WorkflowSpec* spec = nullptr;
+  RunOptions options;
+  std::string track_prefix;  // disambiguates tracer tracks per tenant
+
+  std::unique_ptr<stack::StreamChannel> channel;
+  std::unique_ptr<sim::VersionGate> version_gate;   // snapshot commits
+  std::unique_ptr<sim::VersionGate> writers_done;   // serial-mode gate
+  std::unique_ptr<sim::Barrier> writer_barrier;
+  std::unique_ptr<sim::Barrier> reader_barrier;
+  std::unique_ptr<sim::Semaphore> capacity;  // null when unbounded
+  std::unique_ptr<sim::VersionGate> capacity_gate;
+
+  SimTime writer_finish = 0;
+  SimTime finish = 0;
+  std::uint64_t objects_verified = 0;
+  std::uint64_t verification_failures = 0;
+};
+
+sim::Task writer_rank(sim::Engine& engine, Instance& instance,
+                      std::uint32_t rank) {
+  const WorkflowSpec& spec = *instance.spec;
+  const RunOptions& options = instance.options;
+  trace::Tracer* tracer = options.tracer;
+  const std::string track =
+      format("%ssim/rank%u", instance.track_prefix.c_str(), rank);
+  for (std::uint64_t version = 1; version <= spec.iterations; ++version) {
+    if (instance.capacity != nullptr) {
+      // Finite channel: one slot per in-flight version, acquired by the
+      // first rank on behalf of the component.
+      if (rank == 0) {
+        if (tracer != nullptr) {
+          tracer->begin(track, "wait capacity", engine.now());
+        }
+        co_await instance.capacity->acquire();
+        if (tracer != nullptr) tracer->end(track, engine.now());
+        instance.capacity_gate->advance_to(version);
+      } else {
+        co_await instance.capacity_gate->wait_for(version);
+      }
+    }
+    stack::SnapshotPart part =
+        spec.simulation->part_for(rank, spec.ranks, version);
+    const std::uint64_t objects = stack::part_object_count(part);
+    const double compute =
+        spec.simulation->compute_ns_per_iteration(rank, spec.ranks);
+    const double compute_per_op =
+        (objects > 0) ? compute / static_cast<double>(objects) : 0.0;
+    if (objects == 0 && compute > 0.0) {
+      // Pure-compute iteration (no I/O this round).
+      co_await sim::sleep_for(engine, static_cast<SimDuration>(compute));
+    }
+    if (tracer != nullptr) {
+      tracer->begin(track, format("compute+write v%llu",
+                                  static_cast<unsigned long long>(version)),
+                    engine.now());
+    }
+    co_await instance.channel->write_part(options.writer_socket, version,
+                                          rank, std::move(part),
+                                          compute_per_op);
+    if (tracer != nullptr) tracer->end(track, engine.now());
+    const bool releaser =
+        co_await instance.writer_barrier->arrive_and_wait();
+    if (releaser) {
+      instance.channel->commit_version(version);
+      if (tracer != nullptr) {
+        tracer->instant(instance.track_prefix + "channel",
+                        format("commit v%llu",
+                               static_cast<unsigned long long>(version)),
+                        engine.now());
+      }
+      instance.version_gate->advance_to(version);
+      if (version == spec.iterations) {
+        instance.writer_finish = engine.now();
+        instance.writers_done->advance_to(1);
+      }
+    }
+  }
+}
+
+sim::Task reader_rank(sim::Engine& engine, Instance& instance,
+                      std::uint32_t rank) {
+  const WorkflowSpec& spec = *instance.spec;
+  const RunOptions& options = instance.options;
+  trace::Tracer* tracer = options.tracer;
+  const std::string track =
+      format("%sana/rank%u", instance.track_prefix.c_str(), rank);
+  if (options.serial) {
+    if (tracer != nullptr) {
+      tracer->begin(track, "wait all-writers", engine.now());
+    }
+    co_await instance.writers_done->wait_for(1);
+    if (tracer != nullptr) tracer->end(track, engine.now());
+  }
+  for (std::uint64_t version = 1; version <= spec.iterations; ++version) {
+    if (tracer != nullptr) {
+      tracer->begin(track, format("wait v%llu",
+                                  static_cast<unsigned long long>(version)),
+                    engine.now());
+    }
+    co_await instance.version_gate->wait_for(version);
+    if (tracer != nullptr) tracer->end(track, engine.now());
+
+    stack::SnapshotPart part;
+    const Bytes op_size = [&] {
+      // Per-object analytics compute needs the object granularity the
+      // model wrote; derive it from the (deterministic) expected part.
+      const stack::SnapshotPart expected =
+          spec.simulation->part_for(rank, spec.ranks, version);
+      return stack::part_op_size(expected);
+    }();
+    const double compute_per_op =
+        spec.analytics->compute_ns_per_object(op_size);
+    if (tracer != nullptr) {
+      tracer->begin(track, format("read+analyze v%llu",
+                                  static_cast<unsigned long long>(version)),
+                    engine.now());
+    }
+    co_await instance.channel->read_part(options.reader_socket, version,
+                                         rank, part, compute_per_op);
+    if (tracer != nullptr) tracer->end(track, engine.now());
+
+    if (spec.verify_reads) {
+      const stack::SnapshotPart expected =
+          spec.simulation->part_for(rank, spec.ranks, version);
+      instance.verification_failures += verify_part(expected, part);
+      instance.objects_verified += stack::part_object_count(expected);
+    }
+
+    const bool releaser =
+        co_await instance.reader_barrier->arrive_and_wait();
+    if (releaser) {
+      instance.channel->recycle_version(version);
+      if (instance.capacity != nullptr) {
+        instance.capacity->release();
+      }
+      if (version == spec.iterations) {
+        instance.finish = engine.now();
+      }
+    }
+  }
+}
+
+Status validate_deployment(const topo::PlatformSpec& platform,
+                           const WorkflowSpec& spec,
+                           const RunOptions& options) {
+  if (spec.simulation == nullptr || spec.analytics == nullptr) {
+    return make_error("workflow spec is missing a component model");
+  }
+  if (spec.ranks == 0 || spec.iterations == 0) {
+    return make_error("workflow needs at least one rank and one iteration");
+  }
+  if (options.writer_socket == options.reader_socket) {
+    return make_error(
+        "in situ components must be pinned to distinct sockets "
+        "(same-socket deployments are out of scope, paper SII-A)");
+  }
+  if (options.writer_socket >= platform.sockets ||
+      options.reader_socket >= platform.sockets ||
+      options.channel_socket >= platform.sockets) {
+    return make_error("deployment references a socket the platform lacks");
+  }
+  if (options.channel_socket != options.writer_socket &&
+      options.channel_socket != options.reader_socket) {
+    return make_error("channel must be local to one of the components");
+  }
+  if (spec.ranks > platform.cores_per_socket) {
+    return make_error(format("%u ranks exceed the %u cores of a socket",
+                             spec.ranks, platform.cores_per_socket));
+  }
+  if (options.serial && spec.channel_capacity != 0 &&
+      spec.channel_capacity < spec.iterations) {
+    return make_error(format(
+        "serial execution keeps all %u versions live; channel capacity "
+        "%u would deadlock the writers",
+        spec.iterations, spec.channel_capacity));
+  }
+  return ok_status();
+}
+
+}  // namespace
+
+Runner::Runner(topo::PlatformSpec platform, pmemsim::OptaneParams optane,
+               interconnect::UpiParams upi)
+    : platform_(platform), optane_(optane), upi_(upi) {}
+
+Expected<RunResult> Runner::run(const WorkflowSpec& spec,
+                                const RunOptions& options) const {
+  const Deployment deployment{spec, options};
+  auto colocated = run_colocated({&deployment, 1});
+  if (!colocated.has_value()) return Unexpected{colocated.error()};
+  return std::move(colocated->workflows.front());
+}
+
+Expected<ColocatedResult> Runner::run_colocated(
+    std::span<const Deployment> deployments) const {
+  if (deployments.empty()) {
+    return make_error("no deployments given");
+  }
+  topo::Platform platform(platform_);
+  for (const Deployment& deployment : deployments) {
+    auto valid =
+        validate_deployment(platform_, deployment.spec, deployment.options);
+    if (!valid.has_value()) return Unexpected{valid.error()};
+  }
+  // Joint core-demand validation (allocations are released with the
+  // Platform object; they exist to reject over-committed co-locations).
+  for (const Deployment& deployment : deployments) {
+    auto writers = platform.allocate_cores(
+        deployment.options.writer_socket, deployment.spec.ranks);
+    if (!writers.has_value()) return Unexpected{writers.error()};
+    auto readers = platform.allocate_cores(
+        deployment.options.reader_socket, deployment.spec.ranks);
+    if (!readers.has_value()) return Unexpected{readers.error()};
+  }
+
+  sim::Engine engine;
+
+  // One device per socket that hosts at least one channel.
+  std::map<topo::SocketId, std::unique_ptr<pmemsim::OptaneDevice>> devices;
+  for (const Deployment& deployment : deployments) {
+    const topo::SocketId socket = deployment.options.channel_socket;
+    if (!devices.contains(socket)) {
+      devices.emplace(socket, std::make_unique<pmemsim::OptaneDevice>(
+                                  engine, socket,
+                                  platform_.pmem_per_socket(), optane_,
+                                  upi_));
+    }
+  }
+
+  std::vector<std::unique_ptr<Instance>> instances;
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    const Deployment& deployment = deployments[i];
+    const WorkflowSpec& spec = deployment.spec;
+    auto instance = std::make_unique<Instance>();
+    instance->spec = &spec;
+    instance->options = deployment.options;
+    instance->track_prefix =
+        deployments.size() > 1 ? format("w%zu/", i) : std::string();
+
+    pmemsim::OptaneDevice& device =
+        *devices.at(deployment.options.channel_socket);
+    switch (spec.stack) {
+      case WorkflowSpec::Stack::kNvStream:
+        instance->channel = std::make_unique<stack::NvStreamChannel>(
+            device, spec.label, spec.ranks,
+            spec.cost_override.value_or(stack::nvstream_cost_model()));
+        break;
+      case WorkflowSpec::Stack::kNova:
+        instance->channel = std::make_unique<stack::NovaChannel>(
+            device, spec.label, spec.ranks,
+            spec.cost_override.value_or(stack::nova_cost_model()));
+        break;
+    }
+    instance->version_gate = std::make_unique<sim::VersionGate>(engine);
+    instance->writers_done = std::make_unique<sim::VersionGate>(engine);
+    instance->writer_barrier =
+        std::make_unique<sim::Barrier>(engine, spec.ranks);
+    instance->reader_barrier =
+        std::make_unique<sim::Barrier>(engine, spec.ranks);
+    if (spec.channel_capacity != 0 && !deployment.options.serial) {
+      instance->capacity = std::make_unique<sim::Semaphore>(
+          engine, spec.channel_capacity);
+      instance->capacity_gate = std::make_unique<sim::VersionGate>(engine);
+    }
+    instances.push_back(std::move(instance));
+  }
+
+  for (auto& instance : instances) {
+    for (std::uint32_t rank = 0; rank < instance->spec->ranks; ++rank) {
+      engine.spawn(writer_rank(engine, *instance, rank));
+      engine.spawn(reader_rank(engine, *instance, rank));
+    }
+  }
+  const sim::RunStats engine_stats = engine.run_to_completion();
+
+  ColocatedResult result;
+  for (const auto& instance : instances) {
+    RunResult run;
+    run.total_ns = instance->finish;
+    run.writer_span_ns = instance->writer_finish;
+    run.objects_verified = instance->objects_verified;
+    run.verification_failures = instance->verification_failures;
+    run.channel = instance->channel->stats();
+    run.device = devices.at(instance->options.channel_socket)->stats();
+    run.engine_events = engine_stats.events_processed;
+    result.makespan_ns = std::max(result.makespan_ns, run.total_ns);
+    result.workflows.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace pmemflow::workflow

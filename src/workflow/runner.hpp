@@ -1,0 +1,131 @@
+// Workflow execution engine.
+//
+// Builds a simulated platform (engine + per-socket Optane devices +
+// streaming channels), spawns one coroutine process per writer and
+// reader rank, and runs workflows to completion under the requested
+// execution mode and placement. This is the mechanism underneath the
+// scheduler configurations of Table I; the taxonomy itself
+// (S/P-LocW/LocR) lives in core/config.hpp.
+//
+// Mode semantics (paper §II-A):
+//   serial:   analytics ranks start only after the simulation has
+//             finished all iterations; PMEM accesses never overlap.
+//   parallel: analytics consumes snapshot v as soon as it commits, so
+//             reads overlap the simulation's compute and writes.
+//
+// Besides single-workflow runs, the runner supports *co-located*
+// deployments: multiple workflows sharing the node at once, their
+// channels placed on the same per-socket PMEM devices — the
+// multi-tenancy setting the paper's §II-A motivates. Cross-workflow
+// contention emerges naturally from the shared device models.
+//
+// Every run verifies data end-to-end when spec.verify_reads is set:
+// readers check what they decode against what the simulation model says
+// was written.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "interconnect/upi.hpp"
+#include "pmemsim/params.hpp"
+#include "topo/platform.hpp"
+#include "trace/tracer.hpp"
+#include "workflow/model.hpp"
+
+namespace pmemflow::workflow {
+
+/// How to deploy one workflow.
+struct RunOptions {
+  /// Serial (true) or parallel (false) execution mode.
+  bool serial = false;
+  /// Socket the simulation's ranks are pinned to.
+  topo::SocketId writer_socket = 0;
+  /// Socket the analytics' ranks are pinned to (must differ).
+  topo::SocketId reader_socket = 1;
+  /// Socket whose PMEM holds the streaming channel: equal to
+  /// writer_socket for local-write placement, reader_socket for
+  /// local-read placement.
+  topo::SocketId channel_socket = 0;
+
+  /// Optional execution tracer: records per-rank compute / write /
+  /// wait / read spans against the simulated clock (Chrome trace
+  /// exportable). Must outlive the run() call.
+  trace::Tracer* tracer = nullptr;
+};
+
+/// One workflow plus its deployment, for co-located runs.
+struct Deployment {
+  WorkflowSpec spec;
+  RunOptions options;
+};
+
+/// Measured outcome of one workflow's run.
+struct RunResult {
+  /// End-to-end workflow runtime (the paper's primary metric).
+  SimDuration total_ns = 0;
+  /// Time at which the last writer rank finished its final iteration.
+  SimDuration writer_span_ns = 0;
+  /// total - writer span; in serial mode this is the reader phase of
+  /// the split bar graphs (Fig 4-9).
+  [[nodiscard]] SimDuration reader_span_ns() const noexcept {
+    return total_ns - writer_span_ns;
+  }
+
+  std::uint64_t objects_verified = 0;
+  std::uint64_t verification_failures = 0;
+  stack::ChannelStats channel;
+  /// Stats of the channel's device. Under co-location the device is
+  /// shared, so these aggregate all tenants' traffic on that socket.
+  sim::FlowResourceStats device;
+  std::uint64_t engine_events = 0;
+};
+
+/// Outcome of a co-located run.
+struct ColocatedResult {
+  /// Per-deployment results, in input order.
+  std::vector<RunResult> workflows;
+  /// Time the last workflow finished (all start at t = 0).
+  SimDuration makespan_ns = 0;
+};
+
+/// Reusable run harness; owns only immutable configuration, so one
+/// Runner can execute many workflows/configurations sequentially.
+class Runner {
+ public:
+  explicit Runner(topo::PlatformSpec platform = {},
+                  pmemsim::OptaneParams optane = {},
+                  interconnect::UpiParams upi = {});
+
+  /// Simulates one workflow deployment. Fails (no side effects) on
+  /// invalid deployments: same-socket components, rank counts exceeding
+  /// per-socket cores, or unknown sockets.
+  Expected<RunResult> run(const WorkflowSpec& spec,
+                          const RunOptions& options) const;
+
+  /// Simulates several workflows sharing the node simultaneously. Core
+  /// demands are validated jointly (each component needs its ranks'
+  /// worth of cores on its socket); channels land on the per-socket
+  /// devices, so tenants contend for PMEM exactly as the paper's
+  /// multi-tenancy discussion describes.
+  Expected<ColocatedResult> run_colocated(
+      std::span<const Deployment> deployments) const;
+
+  [[nodiscard]] const topo::PlatformSpec& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] const pmemsim::OptaneParams& optane() const noexcept {
+    return optane_;
+  }
+  [[nodiscard]] const interconnect::UpiParams& upi() const noexcept {
+    return upi_;
+  }
+
+ private:
+  topo::PlatformSpec platform_;
+  pmemsim::OptaneParams optane_;
+  interconnect::UpiParams upi_;
+};
+
+}  // namespace pmemflow::workflow

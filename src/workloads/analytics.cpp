@@ -1,0 +1,45 @@
+#include "workloads/analytics.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmemflow::workloads {
+
+MatrixMultAnalytics::MatrixMultAnalytics(Params params, std::string label)
+    : params_(params), label_(std::move(label)) {
+  PMEMFLOW_ASSERT(params_.matrix_edge >= 2);
+  PMEMFLOW_ASSERT(params_.mults_per_object > 0.0);
+  PMEMFLOW_ASSERT(params_.flops_per_ns > 0.0);
+}
+
+double MatrixMultAnalytics::compute_ns_per_object(
+    Bytes /*object_size*/) const {
+  const double edge = static_cast<double>(params_.matrix_edge);
+  const double flops_per_mult = 2.0 * edge * edge * edge;
+  return flops_per_mult * params_.mults_per_object / params_.flops_per_ns;
+}
+
+std::shared_ptr<const ReadOnlyAnalytics> readonly_analytics() {
+  return std::make_shared<const ReadOnlyAnalytics>();
+}
+
+std::shared_ptr<const MatrixMultAnalytics> gtc_matrixmult() {
+  MatrixMultAnalytics::Params params;
+  // Large 2-D arrays: a handful of 512x512 multiplications per 229 MB
+  // checkpoint array gives a long per-object compute phase (~170 ms).
+  params.matrix_edge = 512;
+  params.mults_per_object = 4.853;
+  return std::make_shared<const MatrixMultAnalytics>(params,
+                                                     "matrixmult-gtc");
+}
+
+std::shared_ptr<const MatrixMultAnalytics> miniamr_matrixmult() {
+  MatrixMultAnalytics::Params params;
+  // 5 small multiplications per 4.5 KB block (~10 us each block); the
+  // compute phase is still long because snapshots hold 528 K blocks.
+  params.matrix_edge = 20;
+  params.mults_per_object = 5.106;
+  return std::make_shared<const MatrixMultAnalytics>(params,
+                                                     "matrixmult-miniamr");
+}
+
+}  // namespace pmemflow::workloads

@@ -1,0 +1,68 @@
+// Analytics kernels (§IV-B).
+//
+// Two kernels from the paper's suite:
+//   - Read-Only: consumes objects with no compute phase — an I/O-heavy
+//     analytics component (high analytics I/O index);
+//   - MatrixMult: performs matrix multiplications over each object read
+//     — a compute-intensive stand-in whose interleaved compute hides
+//     access latency and lowers the analytics' effective device
+//     concurrency. The paper uses different sizings for GTC (10 M
+//     multiplications over large 2-D arrays) and miniAMR (5 small
+//     multiplications per 4.5 KB block, which still yields a long
+//     compute phase because there are 528 K blocks per snapshot).
+#pragma once
+
+#include "workflow/model.hpp"
+
+namespace pmemflow::workloads {
+
+/// Read-only kernel: no compute between reads.
+class ReadOnlyAnalytics final : public workflow::AnalyticsModel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "readonly"; }
+  [[nodiscard]] double compute_ns_per_object(
+      Bytes /*object_size*/) const override {
+    return 0.0;
+  }
+};
+
+/// Matrix-multiplication kernel: fixed FLOP count per object, converted
+/// to time through a per-core throughput constant.
+class MatrixMultAnalytics final : public workflow::AnalyticsModel {
+ public:
+  struct Params {
+    /// Square-matrix edge length the kernel multiplies.
+    std::uint32_t matrix_edge = 64;
+    /// Multiplications performed per object read.
+    double mults_per_object = 1.0;
+    /// Core throughput in FLOP/ns (double-precision FMA pipeline).
+    double flops_per_ns = 8.0;
+  };
+
+  explicit MatrixMultAnalytics(Params params, std::string label);
+
+  [[nodiscard]] std::string_view name() const override { return label_; }
+
+  /// 2 * edge^3 FLOPs per multiplication; independent of object size
+  /// (the kernel's matrix shape is fixed by the workload coupling).
+  [[nodiscard]] double compute_ns_per_object(
+      Bytes object_size) const override;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  std::string label_;
+};
+
+[[nodiscard]] std::shared_ptr<const ReadOnlyAnalytics> readonly_analytics();
+
+/// GTC coupling: 10 M multiplications of large 2-D arrays per object
+/// (objects are few and large, so per-object compute is long).
+[[nodiscard]] std::shared_ptr<const MatrixMultAnalytics> gtc_matrixmult();
+
+/// miniAMR coupling: 5 multiplications per block; per-object compute is
+/// short but there are hundreds of thousands of blocks per snapshot.
+[[nodiscard]] std::shared_ptr<const MatrixMultAnalytics> miniamr_matrixmult();
+
+}  // namespace pmemflow::workloads

@@ -1,0 +1,53 @@
+#include "workloads/gtc.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::workloads {
+
+GtcSimulation::GtcSimulation() : GtcSimulation(Params{}) {}
+
+GtcSimulation::GtcSimulation(Params params) : params_(params) {
+  PMEMFLOW_ASSERT(params_.object_size > 0);
+  PMEMFLOW_ASSERT(params_.objects_per_rank > 0);
+  PMEMFLOW_ASSERT(params_.reference_ranks > 0);
+}
+
+stack::SnapshotPart GtcSimulation::part_for(
+    std::uint32_t rank, std::uint32_t /*total_ranks*/,
+    std::uint64_t version) const {
+  if (params_.objects_per_rank <= 4) {
+    // Few large arrays: explicit synthetic objects (one per array).
+    std::vector<stack::ObjectData> objects;
+    objects.reserve(params_.objects_per_rank);
+    for (std::uint32_t i = 0; i < params_.objects_per_rank; ++i) {
+      objects.push_back(
+          {i, stack::Payload::synthetic(
+                  derive_seed(params_.seed, rank, version, i),
+                  params_.object_size)});
+    }
+    return objects;
+  }
+  stack::SyntheticRun run;
+  run.first_index = 0;
+  run.count = params_.objects_per_rank;
+  run.object_size = params_.object_size;
+  run.base_seed = derive_seed(params_.seed, rank, version);
+  return run;
+}
+
+double GtcSimulation::compute_ns_per_iteration(
+    std::uint32_t /*rank*/, std::uint32_t total_ranks) const {
+  PMEMFLOW_ASSERT(total_ranks > 0);
+  const double ratio = static_cast<double>(params_.reference_ranks) /
+                       static_cast<double>(total_ranks);
+  return params_.base_compute_ns *
+         std::pow(ratio, params_.compute_scaling_exponent);
+}
+
+std::shared_ptr<const GtcSimulation> gtc_simulation() {
+  return std::make_shared<const GtcSimulation>();
+}
+
+}  // namespace pmemflow::workloads

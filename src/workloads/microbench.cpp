@@ -1,0 +1,39 @@
+#include "workloads/microbench.hpp"
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow::workloads {
+
+MicroSimulation::MicroSimulation(Params params) : params_(params) {
+  PMEMFLOW_ASSERT_MSG(params_.object_size > 0, "object size must be nonzero");
+  PMEMFLOW_ASSERT_MSG(
+      params_.snapshot_bytes_per_rank >= params_.object_size,
+      "snapshot must hold at least one object");
+  name_ = format("micro-%s", format_bytes(params_.object_size).c_str());
+}
+
+stack::SnapshotPart MicroSimulation::part_for(
+    std::uint32_t rank, std::uint32_t /*total_ranks*/,
+    std::uint64_t version) const {
+  stack::SyntheticRun run;
+  run.first_index = 0;
+  run.count = objects_per_snapshot();
+  run.object_size = params_.object_size;
+  run.base_seed = derive_seed(params_.seed, rank, version);
+  return run;
+}
+
+std::shared_ptr<const MicroSimulation> micro_2kb() {
+  MicroSimulation::Params params;
+  params.object_size = 2 * kKB;
+  return std::make_shared<const MicroSimulation>(params);
+}
+
+std::shared_ptr<const MicroSimulation> micro_64mb() {
+  MicroSimulation::Params params;
+  params.object_size = 64 * kMB;
+  return std::make_shared<const MicroSimulation>(params);
+}
+
+}  // namespace pmemflow::workloads

@@ -1,0 +1,52 @@
+// The paper's workflow microbenchmark (§IV-B).
+//
+// Pure streaming I/O with no compute kernel: every rank emits one
+// snapshot of `snapshot_bytes_per_rank` per iteration, as objects of a
+// configurable size. The paper uses 1 GB snapshots per rank with
+// either small (2 KB) or large (64 MB) objects, at 8/16/24 ranks and
+// 10 iterations per rank (data sizes 80/160/240 GB in Figs 4-5).
+#pragma once
+
+#include "common/rng.hpp"
+#include "workflow/model.hpp"
+
+namespace pmemflow::workloads {
+
+class MicroSimulation final : public workflow::SimulationModel {
+ public:
+  struct Params {
+    Bytes object_size = 64 * kMB;
+    Bytes snapshot_bytes_per_rank = 1 * kGB;
+    std::uint64_t seed = 0x6d6963726fULL;  // "micro"
+  };
+
+  explicit MicroSimulation(Params params);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] stack::SnapshotPart part_for(
+      std::uint32_t rank, std::uint32_t total_ranks,
+      std::uint64_t version) const override;
+
+  /// Microbenchmark writers perform only I/O (paper: "Both writers and
+  /// readers perform only I/O and do not have a compute kernel").
+  [[nodiscard]] double compute_ns_per_iteration(
+      std::uint32_t /*rank*/, std::uint32_t /*total_ranks*/) const override {
+    return 0.0;
+  }
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t objects_per_snapshot() const noexcept {
+    return params_.snapshot_bytes_per_rank / params_.object_size;
+  }
+
+ private:
+  Params params_;
+  std::string name_;
+};
+
+/// Convenience factories matching the paper's two configurations.
+[[nodiscard]] std::shared_ptr<const MicroSimulation> micro_2kb();
+[[nodiscard]] std::shared_ptr<const MicroSimulation> micro_64mb();
+
+}  // namespace pmemflow::workloads

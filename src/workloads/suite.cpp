@@ -1,0 +1,78 @@
+#include "workloads/suite.hpp"
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "workloads/analytics.hpp"
+#include "workloads/gtc.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/miniamr.hpp"
+
+namespace pmemflow::workloads {
+
+const char* to_string(Family family) noexcept {
+  switch (family) {
+    case Family::kMicro64MB: return "micro-64MB";
+    case Family::kMicro2KB: return "micro-2KB";
+    case Family::kGtcReadOnly: return "gtc+readonly";
+    case Family::kGtcMatrixMult: return "gtc+matrixmult";
+    case Family::kMiniAmrReadOnly: return "miniamr+readonly";
+    case Family::kMiniAmrMatrixMult: return "miniamr+matrixmult";
+  }
+  return "?";
+}
+
+std::vector<Family> all_families() {
+  return {Family::kMicro64MB,        Family::kMicro2KB,
+          Family::kGtcReadOnly,      Family::kGtcMatrixMult,
+          Family::kMiniAmrReadOnly,  Family::kMiniAmrMatrixMult};
+}
+
+workflow::WorkflowSpec make_workflow(Family family, std::uint32_t ranks,
+                                     workflow::WorkflowSpec::Stack stack) {
+  workflow::WorkflowSpec spec;
+  spec.ranks = ranks;
+  spec.iterations = 10;
+  spec.stack = stack;
+  switch (family) {
+    case Family::kMicro64MB:
+      spec.simulation = micro_64mb();
+      spec.analytics = readonly_analytics();
+      break;
+    case Family::kMicro2KB:
+      spec.simulation = micro_2kb();
+      spec.analytics = readonly_analytics();
+      break;
+    case Family::kGtcReadOnly:
+      spec.simulation = gtc_simulation();
+      spec.analytics = readonly_analytics();
+      break;
+    case Family::kGtcMatrixMult:
+      spec.simulation = gtc_simulation();
+      spec.analytics = gtc_matrixmult();
+      break;
+    case Family::kMiniAmrReadOnly:
+      spec.simulation = miniamr_simulation();
+      spec.analytics = readonly_analytics();
+      break;
+    case Family::kMiniAmrMatrixMult:
+      spec.simulation = miniamr_simulation();
+      spec.analytics = miniamr_matrixmult();
+      break;
+  }
+  PMEMFLOW_ASSERT(spec.simulation != nullptr);
+  spec.label = format("%s@%u", to_string(family), ranks);
+  return spec;
+}
+
+std::vector<workflow::WorkflowSpec> full_suite(
+    workflow::WorkflowSpec::Stack stack) {
+  std::vector<workflow::WorkflowSpec> suite;
+  for (Family family : all_families()) {
+    for (std::uint32_t ranks : kConcurrencyLevels) {
+      suite.push_back(make_workflow(family, ranks, stack));
+    }
+  }
+  return suite;
+}
+
+}  // namespace pmemflow::workloads

@@ -1,0 +1,51 @@
+// The paper's 18-workflow evaluation suite (§IV-C).
+//
+// Six workflow families x three concurrency levels (8/16/24 ranks):
+//   micro-64MB + reader     (Fig 4a-c)
+//   micro-2KB  + reader     (Fig 5a-c)
+//   GTC        + Read-Only  (Fig 6a-c)
+//   GTC        + MatrixMult (Fig 7a-c)
+//   miniAMR    + Read-Only  (Fig 8a-c)
+//   miniAMR    + MatrixMult (Fig 9a-c)
+//
+// Each workflow runs both components with the same rank count (1:1
+// exchange) for 10 iterations, over NVStream by default.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "workflow/model.hpp"
+
+namespace pmemflow::workloads {
+
+/// The three concurrency levels of the paper (low/medium/high).
+inline constexpr std::uint32_t kConcurrencyLevels[] = {8, 16, 24};
+
+/// Workflow family identifiers, in paper figure order.
+enum class Family {
+  kMicro64MB,
+  kMicro2KB,
+  kGtcReadOnly,
+  kGtcMatrixMult,
+  kMiniAmrReadOnly,
+  kMiniAmrMatrixMult,
+};
+
+[[nodiscard]] const char* to_string(Family family) noexcept;
+
+/// All family values, in figure order (Figs 4-9).
+[[nodiscard]] std::vector<Family> all_families();
+
+/// Builds one workflow of the suite.
+[[nodiscard]] workflow::WorkflowSpec make_workflow(
+    Family family, std::uint32_t ranks,
+    workflow::WorkflowSpec::Stack stack =
+        workflow::WorkflowSpec::Stack::kNvStream);
+
+/// The full 18-workflow suite, family-major then concurrency.
+[[nodiscard]] std::vector<workflow::WorkflowSpec> full_suite(
+    workflow::WorkflowSpec::Stack stack =
+        workflow::WorkflowSpec::Stack::kNvStream);
+
+}  // namespace pmemflow::workloads

@@ -1,0 +1,72 @@
+#include "workloads/synthetic.hpp"
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow::workloads {
+
+SyntheticSimulation::SyntheticSimulation()
+    : SyntheticSimulation(Params{}) {}
+
+SyntheticSimulation::SyntheticSimulation(Params params)
+    : params_(std::move(params)) {
+  PMEMFLOW_ASSERT(params_.object_size > 0);
+  PMEMFLOW_ASSERT(params_.objects_per_rank > 0);
+  PMEMFLOW_ASSERT_MSG(!params_.real_payloads ||
+                          params_.object_size * params_.objects_per_rank <=
+                              64 * kMiB,
+                      "real payloads are for bounded workloads only");
+}
+
+stack::SnapshotPart SyntheticSimulation::part_for(
+    std::uint32_t rank, std::uint32_t /*total_ranks*/,
+    std::uint64_t version) const {
+  if (params_.real_payloads) {
+    std::vector<stack::ObjectData> objects;
+    objects.reserve(params_.objects_per_rank);
+    for (std::uint64_t i = 0; i < params_.objects_per_rank; ++i) {
+      objects.push_back(
+          {i, stack::Payload::real(stack::Payload::generate_bytes(
+                  derive_seed(params_.seed, rank, version, i),
+                  params_.object_size))});
+    }
+    return objects;
+  }
+  stack::SyntheticRun run;
+  run.first_index = 0;
+  run.count = params_.objects_per_rank;
+  run.object_size = params_.object_size;
+  run.base_seed = derive_seed(params_.seed, rank, version);
+  return run;
+}
+
+double SyntheticSimulation::compute_ns_per_iteration(
+    std::uint32_t /*rank*/, std::uint32_t /*total_ranks*/) const {
+  return params_.compute_ns;
+}
+
+SyntheticAnalytics::SyntheticAnalytics() : SyntheticAnalytics(Params{}) {}
+
+SyntheticAnalytics::SyntheticAnalytics(Params params)
+    : params_(std::move(params)) {
+  PMEMFLOW_ASSERT(params_.compute_ns_per_object >= 0.0);
+}
+
+workflow::WorkflowSpec make_synthetic_workflow(
+    SyntheticSimulation::Params sim, SyntheticAnalytics::Params analytics,
+    std::uint32_t ranks, std::uint32_t iterations,
+    workflow::WorkflowSpec::Stack stack) {
+  workflow::WorkflowSpec spec;
+  spec.label = format("%s+%s@%u", sim.name.c_str(), analytics.name.c_str(),
+                      ranks);
+  spec.simulation =
+      std::make_shared<const SyntheticSimulation>(std::move(sim));
+  spec.analytics =
+      std::make_shared<const SyntheticAnalytics>(std::move(analytics));
+  spec.ranks = ranks;
+  spec.iterations = iterations;
+  spec.stack = stack;
+  return spec;
+}
+
+}  // namespace pmemflow::workloads

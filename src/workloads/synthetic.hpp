@@ -1,0 +1,80 @@
+// Fully configurable synthetic workflow components.
+//
+// SyntheticSimulation/SyntheticAnalytics expose every workload knob the
+// characterizer cares about (object size, objects per rank, bulk and
+// interleaved compute, real-vs-synthetic payloads), for three uses:
+//   - downstream users modeling their own applications without writing
+//     a SimulationModel subclass;
+//   - parameter-space sweeps beyond the paper's suite;
+//   - randomized property tests (tests/integration/fuzz_test.cpp).
+#pragma once
+
+#include "common/rng.hpp"
+#include "workflow/model.hpp"
+
+namespace pmemflow::workloads {
+
+class SyntheticSimulation final : public workflow::SimulationModel {
+ public:
+  struct Params {
+    Bytes object_size = 1 * kMiB;
+    std::uint64_t objects_per_rank = 16;
+    /// Bulk compute per iteration per rank (ns); constant across rank
+    /// counts (weak scaling).
+    double compute_ns = 0.0;
+    /// Emit explicit real payloads instead of a synthetic run (bounded
+    /// sizes only: every byte is materialized).
+    bool real_payloads = false;
+    std::uint64_t seed = 0x73796eULL;
+    std::string name = "synthetic-sim";
+  };
+
+  SyntheticSimulation();  // default parameters
+  explicit SyntheticSimulation(Params params);
+
+  [[nodiscard]] std::string_view name() const override {
+    return params_.name;
+  }
+  [[nodiscard]] stack::SnapshotPart part_for(
+      std::uint32_t rank, std::uint32_t total_ranks,
+      std::uint64_t version) const override;
+  [[nodiscard]] double compute_ns_per_iteration(
+      std::uint32_t rank, std::uint32_t total_ranks) const override;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+class SyntheticAnalytics final : public workflow::AnalyticsModel {
+ public:
+  struct Params {
+    /// Interleaved compute per object read (ns).
+    double compute_ns_per_object = 0.0;
+    std::string name = "synthetic-ana";
+  };
+
+  SyntheticAnalytics();  // default parameters
+  explicit SyntheticAnalytics(Params params);
+
+  [[nodiscard]] std::string_view name() const override {
+    return params_.name;
+  }
+  [[nodiscard]] double compute_ns_per_object(
+      Bytes /*object_size*/) const override {
+    return params_.compute_ns_per_object;
+  }
+
+ private:
+  Params params_;
+};
+
+/// Builds a complete synthetic workflow spec in one call.
+[[nodiscard]] workflow::WorkflowSpec make_synthetic_workflow(
+    SyntheticSimulation::Params sim, SyntheticAnalytics::Params analytics,
+    std::uint32_t ranks, std::uint32_t iterations,
+    workflow::WorkflowSpec::Stack stack =
+        workflow::WorkflowSpec::Stack::kNvStream);
+
+}  // namespace pmemflow::workloads

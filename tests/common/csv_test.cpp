@@ -1,0 +1,54 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pmemflow {
+namespace {
+
+std::string render(const CsvWriter& writer) {
+  std::ostringstream out;
+  writer.write(out);
+  return out.str();
+}
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter writer({"config", "runtime_s"});
+  EXPECT_EQ(render(writer), "config,runtime_s\n");
+  EXPECT_EQ(writer.row_count(), 0u);
+}
+
+TEST(Csv, PlainRows) {
+  CsvWriter writer({"a", "b"});
+  writer.add_row({"1", "2"});
+  writer.add_row({"3", "4"});
+  EXPECT_EQ(render(writer), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(writer.row_count(), 2u);
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  CsvWriter writer({"name"});
+  writer.add_row({"serial, local write"});
+  EXPECT_EQ(render(writer), "name\n\"serial, local write\"\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  CsvWriter writer({"name"});
+  writer.add_row({R"(the "best" config)"});
+  EXPECT_EQ(render(writer), "name\n\"the \"\"best\"\" config\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  CsvWriter writer({"note"});
+  writer.add_row({"line1\nline2"});
+  EXPECT_EQ(render(writer), "note\n\"line1\nline2\"\n");
+}
+
+TEST(CsvDeathTest, RowArityMismatchAborts) {
+  CsvWriter writer({"a", "b"});
+  EXPECT_DEATH(writer.add_row({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace pmemflow

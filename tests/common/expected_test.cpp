@@ -1,0 +1,61 @@
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace pmemflow {
+namespace {
+
+Expected<int> parse_positive(int x) {
+  if (x <= 0) return make_error("not positive");
+  return x;
+}
+
+TEST(Expected, ValuePath) {
+  auto result = parse_positive(5);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(*result, 5);
+  EXPECT_EQ(result.value(), 5);
+}
+
+TEST(Expected, ErrorPath) {
+  auto result = parse_positive(-1);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().message, "not positive");
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.has_value());
+  auto owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(Expected, StatusHelpers) {
+  Status good = ok_status();
+  EXPECT_TRUE(good.has_value());
+  Status bad = make_error("boom");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().message, "boom");
+}
+
+TEST(ExpectedDeathTest, ValueOnErrorAborts) {
+  auto result = parse_positive(0);
+  EXPECT_DEATH((void)result.value(), "not positive");
+}
+
+TEST(ExpectedDeathTest, ErrorOnValueAborts) {
+  auto result = parse_positive(3);
+  EXPECT_DEATH((void)result.error(), "");
+}
+
+}  // namespace
+}  // namespace pmemflow

@@ -1,0 +1,112 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser parser("test tool");
+  parser.add_int("ranks", 8, "rank count");
+  parser.add_double("scale", 1.5, "scale factor");
+  parser.add_string("config", "S-LocW", "deployment config");
+  parser.add_bool("verify", true, "verify reads");
+  return parser;
+}
+
+Status parse(FlagParser& parser, const std::vector<const char*>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  argv.push_back("prog");
+  for (const char* arg : args) argv.push_back(arg);
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, DefaultsHoldWithoutArguments) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parse(parser, {}).has_value());
+  EXPECT_EQ(parser.get_int("ranks"), 8);
+  EXPECT_DOUBLE_EQ(parser.get_double("scale"), 1.5);
+  EXPECT_EQ(parser.get_string("config"), "S-LocW");
+  EXPECT_TRUE(parser.get_bool("verify"));
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--ranks", "24", "--config", "P-LocR"})
+                  .has_value());
+  EXPECT_EQ(parser.get_int("ranks"), 24);
+  EXPECT_EQ(parser.get_string("config"), "P-LocR");
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--scale=2.25", "--verify=false"}).has_value());
+  EXPECT_DOUBLE_EQ(parser.get_double("scale"), 2.25);
+  EXPECT_FALSE(parser.get_bool("verify"));
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  auto parser = make_parser();
+  FlagParser parser2("t");
+  parser2.add_bool("trace", false, "enable tracing");
+  std::vector<const char*> args{"prog", "--trace"};
+  ASSERT_TRUE(parser2.parse(2, args.data()).has_value());
+  EXPECT_TRUE(parser2.get_bool("trace"));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"one", "--ranks", "4", "two"}).has_value());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Flags, UnknownFlagIsError) {
+  auto parser = make_parser();
+  auto result = parse(parser, {"--bogus", "1"});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("unknown flag"), std::string::npos);
+}
+
+TEST(Flags, TypeErrorsAreReported) {
+  auto parser = make_parser();
+  auto bad_int = parse(parser, {"--ranks", "eight"});
+  ASSERT_FALSE(bad_int.has_value());
+  EXPECT_NE(bad_int.error().message.find("integer"), std::string::npos);
+
+  auto parser2 = make_parser();
+  auto bad_bool = parse(parser2, {"--verify=maybe"});
+  ASSERT_FALSE(bad_bool.has_value());
+  EXPECT_NE(bad_bool.error().message.find("true/false"),
+            std::string::npos);
+}
+
+TEST(Flags, MissingValueIsError) {
+  auto parser = make_parser();
+  auto result = parse(parser, {"--ranks"});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("missing"), std::string::npos);
+}
+
+TEST(Flags, HelpReturnsUsageText) {
+  auto parser = make_parser();
+  auto result = parse(parser, {"--help"});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("--ranks"), std::string::npos);
+  EXPECT_NE(result.error().message.find("default: 8"), std::string::npos);
+  EXPECT_NE(result.error().message.find("test tool"), std::string::npos);
+}
+
+TEST(Flags, NegativeNumbersParse) {
+  FlagParser parser("t");
+  parser.add_int("offset", 0, "offset");
+  parser.add_double("bias", 0.0, "bias");
+  std::vector<const char*> args{"prog", "--offset", "-5", "--bias=-2.5"};
+  ASSERT_TRUE(parser.parse(4, args.data()).has_value());
+  EXPECT_EQ(parser.get_int("offset"), -5);
+  EXPECT_DOUBLE_EQ(parser.get_double("bias"), -2.5);
+}
+
+}  // namespace
+}  // namespace pmemflow

@@ -1,0 +1,67 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace pmemflow {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+TEST(Hash, EmptyInputIsFnvOffset) {
+  EXPECT_EQ(hash_bytes({}), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hash, KnownFnv1aVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(hash_bytes(bytes_of("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(hash_bytes(bytes_of("foobar")), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, StreamingMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  Hasher64 streaming;
+  streaming.update(std::span(data).subspan(0, 10));
+  streaming.update(std::span(data).subspan(10));
+  EXPECT_EQ(streaming.digest(), hash_bytes(data));
+}
+
+TEST(Hash, SensitiveToSingleBitFlip) {
+  auto data = bytes_of("abcdefgh");
+  const auto original = hash_bytes(data);
+  data[3] ^= std::byte{1};
+  EXPECT_NE(hash_bytes(data), original);
+}
+
+TEST(Hash, UpdateU64MatchesByteWiseLittleEndian) {
+  Hasher64 via_u64;
+  via_u64.update_u64(0x0123456789abcdefULL);
+
+  std::array<std::byte, 8> raw{};
+  for (int i = 0; i < 8; ++i) {
+    raw[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((0x0123456789abcdefULL >> (8 * i)) & 0xff);
+  }
+  EXPECT_EQ(via_u64.digest(), hash_bytes(raw));
+}
+
+TEST(Hash, OrderMatters) {
+  Hasher64 ab;
+  ab.update_u64(1);
+  ab.update_u64(2);
+  Hasher64 ba;
+  ba.update_u64(2);
+  ba.update_u64(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+}  // namespace
+}  // namespace pmemflow

@@ -1,0 +1,64 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow {
+namespace {
+
+TEST(Serialize, RoundTripScalars) {
+  ByteWriter writer;
+  writer.u8(0xab);
+  writer.u32(0xdeadbeef);
+  writer.u64(0x0123456789abcdefULL);
+  EXPECT_EQ(writer.size(), 13u);
+
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.u32(0x01020304);
+  const auto view = writer.view();
+  EXPECT_EQ(view[0], std::byte{0x04});
+  EXPECT_EQ(view[1], std::byte{0x03});
+  EXPECT_EQ(view[2], std::byte{0x02});
+  EXPECT_EQ(view[3], std::byte{0x01});
+}
+
+TEST(Serialize, BytesPassThrough) {
+  ByteWriter writer;
+  const std::vector<std::byte> blob{std::byte{1}, std::byte{2},
+                                    std::byte{3}};
+  writer.bytes(blob);
+  EXPECT_EQ(writer.size(), 3u);
+  EXPECT_EQ(writer.view()[1], std::byte{2});
+}
+
+TEST(Serialize, TakeMovesBuffer) {
+  ByteWriter writer;
+  writer.u64(7);
+  auto taken = std::move(writer).take();
+  EXPECT_EQ(taken.size(), 8u);
+}
+
+TEST(Serialize, ZeroValues) {
+  ByteWriter writer;
+  writer.u64(0);
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.u64(), 0u);
+}
+
+TEST(SerializeDeathTest, ShortReadAborts) {
+  ByteWriter writer;
+  writer.u32(1);
+  ByteReader reader(writer.view());
+  (void)reader.u32();
+  EXPECT_DEATH((void)reader.u8(), "short read");
+}
+
+}  // namespace
+}  // namespace pmemflow

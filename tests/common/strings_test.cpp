@@ -1,0 +1,64 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow {
+namespace {
+
+TEST(Format, BasicSubstitution) {
+  EXPECT_EQ(format("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+}
+
+TEST(Format, LongOutput) {
+  const std::string long_arg(1000, 'q');
+  EXPECT_EQ(format("%s!", long_arg.c_str()), long_arg + "!");
+}
+
+TEST(Split, SimpleFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto fields = split(",x,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(Split, NoDelimiterYieldsWholeInput) {
+  const auto fields = split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"p", "q", "r"};
+  EXPECT_EQ(join(parts, "-"), "p-q-r");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Join, EmptyVector) {
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nope"), "nope");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("S-LocW", "S-"));
+  EXPECT_FALSE(starts_with("S-LocW", "P-"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+}  // namespace
+}  // namespace pmemflow

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Config", "Runtime"});
+  table.add_row({"S-LocW", "12.3 s"});
+  table.add_row({"P-LocR", "9.1 s"});
+  EXPECT_EQ(table.to_string(),
+            "Config  Runtime\n"
+            "------  -------\n"
+            "S-LocW  12.3 s\n"
+            "P-LocR  9.1 s\n");
+}
+
+TEST(TextTable, RightAlignment) {
+  TextTable table({"n", "value"}, {Align::kRight, Align::kRight});
+  table.add_row({"8", "1"});
+  table.add_row({"24", "100"});
+  EXPECT_EQ(table.to_string(),
+            " n  value\n"
+            "--  -----\n"
+            " 8      1\n"
+            "24    100\n");
+}
+
+TEST(TextTable, WidensForLongCell) {
+  TextTable table({"x"});
+  table.add_row({"longer-than-header"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("------------------"), std::string::npos);
+}
+
+TEST(AsciiBar, Proportional) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 10), "##########");
+}
+
+TEST(AsciiBar, NonzeroValueGetsAtLeastOneCell) {
+  EXPECT_EQ(ascii_bar(0.001, 100.0, 10), "#");
+}
+
+TEST(AsciiBar, ZeroOrNegativeIsEmpty) {
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10), "");
+  EXPECT_EQ(ascii_bar(5.0, 0.0, 10), "");
+}
+
+TEST(AsciiBar, ClampsAboveMax) {
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 10), "##########");
+}
+
+}  // namespace
+}  // namespace pmemflow

@@ -1,0 +1,69 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow {
+namespace {
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(kKB, 1000u);
+  EXPECT_EQ(kGB, 1000u * 1000u * 1000u);
+}
+
+TEST(Units, TimeConstants) {
+  EXPECT_EQ(kSecond, 1'000'000'000u);
+  EXPECT_EQ(kMillisecond, 1'000'000u);
+  EXPECT_EQ(kMicrosecond, 1'000u);
+}
+
+TEST(Units, GbpsIsIdentity) {
+  // 1 byte/ns == 1 GB/s by construction of the Rate unit.
+  EXPECT_DOUBLE_EQ(gbps(39.4), 39.4);
+}
+
+TEST(TransferTime, ZeroBytesIsInstant) {
+  EXPECT_EQ(transfer_time(0, 10.0), 0u);
+}
+
+TEST(TransferTime, ExactDivision) {
+  // 1000 bytes at 2 bytes/ns -> 500 ns.
+  EXPECT_EQ(transfer_time(1000, 2.0), 500u);
+}
+
+TEST(TransferTime, RoundsUp) {
+  // 1001 bytes at 2 bytes/ns -> 500.5 ns -> 501 ns.
+  EXPECT_EQ(transfer_time(1001, 2.0), 501u);
+}
+
+TEST(TransferTime, NonzeroBytesNeverTakeZeroTime) {
+  EXPECT_GE(transfer_time(1, 1e9), 1u);
+}
+
+TEST(TransferTime, NonPositiveRateSaturates) {
+  EXPECT_EQ(transfer_time(1, 0.0), ~SimDuration{0});
+  EXPECT_EQ(transfer_time(1, -1.0), ~SimDuration{0});
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2.00 KiB");
+  EXPECT_EQ(format_bytes(64 * kMiB), "64.00 MiB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3.00 GiB");
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration(10), "10 ns");
+  EXPECT_EQ(format_duration(1500), "1.500 us");
+  EXPECT_EQ(format_duration(2 * kMillisecond), "2.000 ms");
+  EXPECT_EQ(format_duration(3 * kSecond + kSecond / 2), "3.500 s");
+}
+
+TEST(Format, Rate) {
+  EXPECT_EQ(format_rate(39.4), "39.40 GB/s");
+}
+
+}  // namespace
+}  // namespace pmemflow

@@ -1,0 +1,110 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/suite.hpp"
+
+namespace pmemflow::core {
+namespace {
+
+std::vector<workflow::WorkflowSpec> small_batch() {
+  auto a = workloads::make_workflow(workloads::Family::kMicro64MB, 8);
+  a.iterations = 2;
+  auto b = workloads::make_workflow(workloads::Family::kMiniAmrReadOnly, 8);
+  b.iterations = 2;
+  auto c = workloads::make_workflow(workloads::Family::kMicro2KB, 8);
+  c.iterations = 2;
+  return {a, b, c};
+}
+
+TEST(BatchScheduler, ItemsRunBackToBack) {
+  BatchScheduler scheduler;
+  const auto batch = small_batch();
+  auto result = scheduler.schedule(batch, BatchPolicy::kOracle);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->items.size(), 3u);
+  SimTime expected_start = 0;
+  for (const auto& item : result->items) {
+    EXPECT_EQ(item.start_ns, expected_start);
+    EXPECT_GT(item.runtime_ns, 0u);
+    expected_start = item.finish_ns();
+  }
+  EXPECT_EQ(result->makespan_ns, expected_start);
+}
+
+TEST(BatchScheduler, FixedPoliciesUseTheFixedConfig) {
+  BatchScheduler scheduler;
+  const auto batch = small_batch();
+  auto fixed = scheduler.schedule(batch, BatchPolicy::kFixedSLocW);
+  ASSERT_TRUE(fixed.has_value());
+  for (const auto& item : fixed->items) {
+    EXPECT_EQ(item.config.label(), "S-LocW");
+  }
+  auto parallel = scheduler.schedule(batch, BatchPolicy::kFixedPLocR);
+  ASSERT_TRUE(parallel.has_value());
+  for (const auto& item : parallel->items) {
+    EXPECT_EQ(item.config.label(), "P-LocR");
+  }
+}
+
+TEST(BatchScheduler, OracleIsNeverWorseThanFixedPolicies) {
+  BatchScheduler scheduler;
+  const auto batch = small_batch();
+  auto oracle = scheduler.schedule(batch, BatchPolicy::kOracle);
+  auto fixed_serial = scheduler.schedule(batch, BatchPolicy::kFixedSLocW);
+  auto fixed_parallel = scheduler.schedule(batch, BatchPolicy::kFixedPLocR);
+  ASSERT_TRUE(oracle.has_value());
+  ASSERT_TRUE(fixed_serial.has_value());
+  ASSERT_TRUE(fixed_parallel.has_value());
+  EXPECT_LE(oracle->makespan_ns, fixed_serial->makespan_ns);
+  EXPECT_LE(oracle->makespan_ns, fixed_parallel->makespan_ns);
+}
+
+TEST(BatchScheduler, RecommendersAreNearOracle) {
+  BatchScheduler scheduler;
+  const auto batch = small_batch();
+  auto oracle = scheduler.schedule(batch, BatchPolicy::kOracle);
+  auto rule = scheduler.schedule(batch, BatchPolicy::kRuleBased);
+  auto model = scheduler.schedule(batch, BatchPolicy::kModelBased);
+  ASSERT_TRUE(oracle.has_value() && rule.has_value() && model.has_value());
+  const double oracle_ns = static_cast<double>(oracle->makespan_ns);
+  EXPECT_LE(static_cast<double>(rule->makespan_ns), 1.25 * oracle_ns);
+  EXPECT_LE(static_cast<double>(model->makespan_ns), 1.25 * oracle_ns);
+}
+
+TEST(BatchScheduler, CompareCoversAllPolicies) {
+  BatchScheduler scheduler;
+  const auto batch = small_batch();
+  auto results = scheduler.compare(batch);
+  ASSERT_TRUE(results.has_value());
+  ASSERT_EQ(results->size(), 5u);
+  EXPECT_EQ((*results)[0].policy, BatchPolicy::kFixedSLocW);
+  EXPECT_EQ((*results)[4].policy, BatchPolicy::kOracle);
+}
+
+TEST(BatchScheduler, EmptyBatchHasZeroMakespan) {
+  BatchScheduler scheduler;
+  auto result = scheduler.schedule({}, BatchPolicy::kOracle);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->items.empty());
+  EXPECT_EQ(result->makespan_ns, 0u);
+}
+
+TEST(BatchScheduler, ErrorsPropagate) {
+  BatchScheduler scheduler;
+  auto bad = workloads::make_workflow(workloads::Family::kMicro64MB, 8);
+  bad.ranks = 100;
+  std::vector<workflow::WorkflowSpec> batch{bad};
+  EXPECT_FALSE(scheduler.schedule(batch, BatchPolicy::kOracle).has_value());
+}
+
+TEST(BatchPolicyNames, AllDistinct) {
+  EXPECT_STREQ(to_string(BatchPolicy::kFixedSLocW), "fixed-S-LocW");
+  EXPECT_STREQ(to_string(BatchPolicy::kFixedPLocR), "fixed-P-LocR");
+  EXPECT_STREQ(to_string(BatchPolicy::kRuleBased), "rule-based");
+  EXPECT_STREQ(to_string(BatchPolicy::kModelBased), "model-based");
+  EXPECT_STREQ(to_string(BatchPolicy::kOracle), "oracle");
+}
+
+}  // namespace
+}  // namespace pmemflow::core

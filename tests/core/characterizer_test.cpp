@@ -1,0 +1,113 @@
+#include "core/characterizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/analytics.hpp"
+#include "workloads/gtc.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/miniamr.hpp"
+#include "workloads/suite.hpp"
+
+namespace pmemflow::core {
+namespace {
+
+TEST(Characterizer, PureIoComponentHasIoIndexNearOne) {
+  Characterizer characterizer;
+  const auto spec = workloads::make_workflow(
+      workloads::Family::kMicro64MB, 8);
+  auto profile = characterizer.profile(spec);
+  ASSERT_TRUE(profile.has_value());
+  // Microbenchmark components perform only I/O (SIV-B).
+  EXPECT_GT(profile->simulation.io_index(), 0.98);
+  EXPECT_GT(profile->analytics.io_index(), 0.98);
+}
+
+TEST(Characterizer, GtcSimulationHasLowIoIndex) {
+  Characterizer characterizer;
+  const auto spec = workloads::make_workflow(
+      workloads::Family::kGtcReadOnly, 16);
+  auto profile = characterizer.profile(spec);
+  ASSERT_TRUE(profile.has_value());
+  // GTC is compute-heavy: "low Simulation I/O Index" (SIV-C / Fig 3).
+  EXPECT_LT(profile->simulation.io_index(), 0.4);
+  // The read-only analytics kernel is pure I/O.
+  EXPECT_GT(profile->analytics.io_index(), 0.9);
+}
+
+TEST(Characterizer, MiniAmrSimulationIsIoHeavy) {
+  Characterizer characterizer;
+  const auto spec = workloads::make_workflow(
+      workloads::Family::kMiniAmrReadOnly, 16);
+  auto profile = characterizer.profile(spec);
+  ASSERT_TRUE(profile.has_value());
+  // miniAMR: I/O-heavy simulation kernel (SVI-A).
+  EXPECT_GT(profile->simulation.io_index(), 0.6);
+}
+
+TEST(Characterizer, MatrixMultLowersAnalyticsIoIndex) {
+  Characterizer characterizer;
+  const auto readonly = characterizer.profile(workloads::make_workflow(
+      workloads::Family::kMiniAmrReadOnly, 16));
+  const auto matmult = characterizer.profile(workloads::make_workflow(
+      workloads::Family::kMiniAmrMatrixMult, 16));
+  ASSERT_TRUE(readonly.has_value() && matmult.has_value());
+  EXPECT_LT(matmult->analytics.io_index(),
+            readonly->analytics.io_index());
+}
+
+TEST(Characterizer, VolumesMatchTheModel) {
+  Characterizer characterizer;
+  const auto spec = workloads::make_workflow(
+      workloads::Family::kMiniAmrReadOnly, 16);
+  auto profile = characterizer.profile(spec);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->simulation.object_size, 4608u);
+  EXPECT_EQ(profile->simulation.objects_per_iteration, 33'000u);
+  EXPECT_EQ(profile->simulation.bytes_per_iteration, 33'000u * 4608u);
+}
+
+TEST(Characterizer, FeatureDiscretization) {
+  ComponentProfile pure_io;
+  pure_io.iteration_ns = 100.0;
+  pure_io.io_ns = 100.0;
+  ComponentProfile compute_heavy;
+  compute_heavy.iteration_ns = 100.0;
+  compute_heavy.io_ns = 10.0;
+  pure_io.object_size = 2048;
+  compute_heavy.object_size = 2048;
+
+  const auto features = Characterizer::derive_features(
+      compute_heavy, pure_io, 24, /*small_threshold=*/16 * kKiB);
+  EXPECT_EQ(features.sim_compute, Level::kHigh);
+  EXPECT_EQ(features.sim_write, Level::kLow);
+  EXPECT_EQ(features.analytics_compute, Level::kNil);
+  EXPECT_EQ(features.analytics_read, Level::kHigh);
+  EXPECT_TRUE(features.small_objects);
+  EXPECT_EQ(features.concurrency, Level::kHigh);
+}
+
+TEST(Characterizer, ConcurrencyClasses) {
+  ComponentProfile any;
+  any.iteration_ns = 1.0;
+  any.io_ns = 1.0;
+  any.object_size = 64 * kMB;
+  EXPECT_EQ(Characterizer::derive_features(any, any, 8, 16 * kKiB)
+                .concurrency,
+            Level::kLow);
+  EXPECT_EQ(Characterizer::derive_features(any, any, 16, 16 * kKiB)
+                .concurrency,
+            Level::kMedium);
+  EXPECT_EQ(Characterizer::derive_features(any, any, 24, 16 * kKiB)
+                .concurrency,
+            Level::kHigh);
+}
+
+TEST(Characterizer, LevelNames) {
+  EXPECT_STREQ(to_string(Level::kNil), "Nil");
+  EXPECT_STREQ(to_string(Level::kLow), "low");
+  EXPECT_STREQ(to_string(Level::kMedium), "medium");
+  EXPECT_STREQ(to_string(Level::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace pmemflow::core

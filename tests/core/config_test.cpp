@@ -1,0 +1,77 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow::core {
+namespace {
+
+TEST(Config, LabelsMatchTableOne) {
+  EXPECT_EQ((DeploymentConfig{ExecutionMode::kSerial,
+                              Placement::kLocalWrite})
+                .label(),
+            "S-LocW");
+  EXPECT_EQ((DeploymentConfig{ExecutionMode::kSerial,
+                              Placement::kLocalRead})
+                .label(),
+            "S-LocR");
+  EXPECT_EQ((DeploymentConfig{ExecutionMode::kParallel,
+                              Placement::kLocalWrite})
+                .label(),
+            "P-LocW");
+  EXPECT_EQ((DeploymentConfig{ExecutionMode::kParallel,
+                              Placement::kLocalRead})
+                .label(),
+            "P-LocR");
+}
+
+TEST(Config, AllConfigsInTableOneOrder) {
+  const auto configs = all_configs();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].label(), "S-LocW");
+  EXPECT_EQ(configs[1].label(), "S-LocR");
+  EXPECT_EQ(configs[2].label(), "P-LocW");
+  EXPECT_EQ(configs[3].label(), "P-LocR");
+}
+
+TEST(Config, RunOptionsForLocalWrite) {
+  const DeploymentConfig config{ExecutionMode::kSerial,
+                                Placement::kLocalWrite};
+  const auto options = config.run_options();
+  EXPECT_TRUE(options.serial);
+  EXPECT_EQ(options.channel_socket, options.writer_socket);
+  EXPECT_NE(options.writer_socket, options.reader_socket);
+}
+
+TEST(Config, RunOptionsForLocalRead) {
+  const DeploymentConfig config{ExecutionMode::kParallel,
+                                Placement::kLocalRead};
+  const auto options = config.run_options();
+  EXPECT_FALSE(options.serial);
+  EXPECT_EQ(options.channel_socket, options.reader_socket);
+}
+
+TEST(Config, ParseRoundTrip) {
+  for (const auto& config : all_configs()) {
+    const auto parsed = parse_config(config.label());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, config);
+  }
+}
+
+TEST(Config, ParseRejectsUnknownLabel) {
+  auto result = parse_config("X-LocQ");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("unknown"), std::string::npos);
+}
+
+TEST(Config, ModeAndPlacementNames) {
+  EXPECT_STREQ(to_string(ExecutionMode::kSerial), "Serial");
+  EXPECT_STREQ(to_string(ExecutionMode::kParallel), "Parallel");
+  EXPECT_STREQ(to_string(Placement::kLocalWrite),
+               "local-write-remote-read");
+  EXPECT_STREQ(to_string(Placement::kLocalRead),
+               "remote-write-local-read");
+}
+
+}  // namespace
+}  // namespace pmemflow::core

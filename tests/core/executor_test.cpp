@@ -1,0 +1,96 @@
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/analytics.hpp"
+#include "workloads/microbench.hpp"
+
+namespace pmemflow::core {
+namespace {
+
+workflow::WorkflowSpec tiny_spec(std::uint32_t ranks = 4) {
+  workloads::MicroSimulation::Params params;
+  params.object_size = 256 * kKB;
+  params.snapshot_bytes_per_rank = 4 * kMB;
+  workflow::WorkflowSpec spec;
+  spec.label = "tiny";
+  spec.simulation =
+      std::make_shared<const workloads::MicroSimulation>(params);
+  spec.analytics = workloads::readonly_analytics();
+  spec.ranks = ranks;
+  spec.iterations = 3;
+  return spec;
+}
+
+TEST(Executor, ExecuteSingleConfig) {
+  Executor executor;
+  const DeploymentConfig config{ExecutionMode::kSerial,
+                                Placement::kLocalWrite};
+  auto result = executor.execute(tiny_spec(), config);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->config, config);
+  EXPECT_GT(result->run.total_ns, 0u);
+  EXPECT_EQ(result->run.verification_failures, 0u);
+}
+
+TEST(Executor, SweepCoversAllFourConfigs) {
+  Executor executor;
+  auto sweep = executor.sweep(tiny_spec());
+  ASSERT_TRUE(sweep.has_value());
+  ASSERT_EQ(sweep->results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sweep->results[i].config, all_configs()[i]);
+    EXPECT_GT(sweep->results[i].run.total_ns, 0u);
+  }
+}
+
+TEST(Executor, BestIsMinimum) {
+  Executor executor;
+  auto sweep = executor.sweep(tiny_spec());
+  ASSERT_TRUE(sweep.has_value());
+  const auto& best = sweep->best();
+  for (const auto& result : sweep->results) {
+    EXPECT_LE(best.run.total_ns, result.run.total_ns);
+  }
+}
+
+TEST(Executor, NormalizedIsOneForBestAndAtLeastOneElsewhere) {
+  Executor executor;
+  auto sweep = executor.sweep(tiny_spec());
+  ASSERT_TRUE(sweep.has_value());
+  EXPECT_DOUBLE_EQ(sweep->normalized(sweep->best_index()), 1.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(sweep->normalized(i), 1.0);
+  }
+}
+
+TEST(Executor, WorstCasePenaltyIsMaxNormalized) {
+  Executor executor;
+  auto sweep = executor.sweep(tiny_spec());
+  ASSERT_TRUE(sweep.has_value());
+  double expected = 1.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    expected = std::max(expected, sweep->normalized(i));
+  }
+  EXPECT_DOUBLE_EQ(sweep->worst_case_penalty(), expected);
+}
+
+TEST(Executor, SweepIsDeterministic) {
+  Executor executor;
+  auto a = executor.sweep(tiny_spec());
+  auto b = executor.sweep(tiny_spec());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a->results[i].run.total_ns, b->results[i].run.total_ns);
+  }
+}
+
+TEST(Executor, ErrorsPropagate) {
+  Executor executor;
+  auto spec = tiny_spec(/*ranks=*/64);  // exceeds socket cores
+  auto result = executor.sweep(spec);
+  EXPECT_FALSE(result.has_value());
+}
+
+}  // namespace
+}  // namespace pmemflow::core

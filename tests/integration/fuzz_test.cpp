@@ -1,0 +1,97 @@
+// Randomized property tests over the whole pipeline.
+//
+// For each seed, generates a random (but bounded) workflow and a random
+// deployment, runs it twice, and checks the system invariants:
+//   - determinism: identical runtimes and event counts across reruns;
+//   - conservation: bytes read back == bytes written;
+//   - integrity: every object verifies, zero checksum failures;
+//   - lifecycle: every committed version is recycled exactly once;
+//   - causality: serial runs order readers strictly after writers.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pmemflow {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+workflow::WorkflowSpec random_spec(Xoshiro256& rng) {
+  workloads::SyntheticSimulation::Params sim;
+  // Mix of small and large object regimes, bounded for test speed.
+  const Bytes sizes[] = {512,       2 * kKB,   4608,
+                         64 * kKiB, 1 * kMiB,  8 * kMiB};
+  sim.object_size = sizes[rng.below(6)];
+  sim.objects_per_rank = 1 + rng.below(32);
+  sim.compute_ns = (rng.below(2) == 0)
+                       ? 0.0
+                       : rng.uniform(1e5, 5e7);
+  sim.real_payloads =
+      sim.object_size * sim.objects_per_rank <= 4 * kMiB &&
+      rng.below(2) == 0;
+  sim.seed = rng();
+
+  workloads::SyntheticAnalytics::Params analytics;
+  analytics.compute_ns_per_object =
+      (rng.below(2) == 0) ? 0.0 : rng.uniform(100.0, 1e6);
+
+  const std::uint32_t ranks = static_cast<std::uint32_t>(1 + rng.below(24));
+  const std::uint32_t iterations =
+      static_cast<std::uint32_t>(1 + rng.below(4));
+  const auto stack = (rng.below(4) == 0)
+                         ? workflow::WorkflowSpec::Stack::kNova
+                         : workflow::WorkflowSpec::Stack::kNvStream;
+  return workloads::make_synthetic_workflow(sim, analytics, ranks,
+                                            iterations, stack);
+}
+
+core::DeploymentConfig random_config(Xoshiro256& rng) {
+  return core::all_configs()[rng.below(4)];
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, InvariantsHold) {
+  Xoshiro256 rng(GetParam());
+  const auto spec = random_spec(rng);
+  const auto config = random_config(rng);
+
+  core::Executor executor;
+  auto first = executor.execute(spec, config);
+  ASSERT_TRUE(first.has_value()) << first.error().message;
+  auto second = executor.execute(spec, config);
+  ASSERT_TRUE(second.has_value());
+
+  const auto& run = first->run;
+  // Determinism.
+  EXPECT_EQ(run.total_ns, second->run.total_ns) << spec.label;
+  EXPECT_EQ(run.engine_events, second->run.engine_events);
+
+  // Conservation + integrity.
+  EXPECT_EQ(run.channel.payload_bytes_written,
+            run.channel.payload_bytes_read);
+  EXPECT_EQ(run.verification_failures, 0u);
+  EXPECT_EQ(run.channel.checksum_failures, 0u);
+  EXPECT_GT(run.objects_verified, 0u);
+
+  // Lifecycle.
+  EXPECT_EQ(run.channel.versions_committed, spec.iterations);
+  EXPECT_EQ(run.channel.versions_recycled, spec.iterations);
+
+  // Causality and sanity.
+  EXPECT_GT(run.total_ns, 0u);
+  EXPECT_LE(run.writer_span_ns, run.total_ns);
+  if (config.mode == core::ExecutionMode::kSerial) {
+    EXPECT_GT(run.reader_span_ns(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace pmemflow

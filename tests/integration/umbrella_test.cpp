@@ -1,0 +1,22 @@
+// Compilation + smoke test of the umbrella header: the whole public
+// API must be includable from one header and usable together.
+#include "pmemflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughPublicApi) {
+  using namespace pmemflow;
+  core::Executor executor;
+  auto spec = workloads::make_workflow(workloads::Family::kMicro64MB, 8);
+  spec.iterations = 2;
+  auto result = executor.execute(
+      spec, core::DeploymentConfig{core::ExecutionMode::kSerial,
+                                   core::Placement::kLocalWrite});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->run.total_ns, 0u);
+  EXPECT_EQ(result->run.verification_failures, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "interconnect/upi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow::interconnect {
+namespace {
+
+TEST(Upi, NoDegradationAtOrBelowKnee) {
+  UpiModel upi;
+  EXPECT_DOUBLE_EQ(upi.write_degradation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(upi.write_degradation(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      upi.write_degradation(upi.params().write_contention_knee), 1.0);
+  EXPECT_DOUBLE_EQ(upi.read_degradation(1.0), 1.0);
+}
+
+TEST(Upi, WriteDegradationBeyondKnee) {
+  UpiModel upi;
+  // Paper (SII-B): remote writes degrade quickly once past the knee.
+  const double knee = upi.params().write_contention_knee;
+  EXPECT_LT(upi.write_degradation(knee + 6.0), 0.75);
+  EXPECT_LT(upi.write_degradation(knee + 15.0), 0.45);
+}
+
+TEST(Upi, WriteCollapseSaturatesAtFloor) {
+  UpiModel upi;
+  // The collapse saturates at the calibrated floor (Fig 4's serial
+  // remote-write runtimes pin it around 4x below the ceiling).
+  const auto& params = upi.params();
+  EXPECT_DOUBLE_EQ(upi.write_degradation(24.0),
+                   params.write_contention_floor);
+  EXPECT_DOUBLE_EQ(upi.write_degradation(1000.0),
+                   params.write_contention_floor);
+  EXPECT_LT(params.write_contention_floor, 0.3);
+}
+
+TEST(Upi, ReadSlowdownAnchorAt24Readers) {
+  UpiModel upi;
+  // Paper: 1.3x read slowdown at 24 concurrent remote readers.
+  EXPECT_NEAR(upi.read_degradation(24.0), 1.0 / 1.3, 1e-9);
+}
+
+TEST(Upi, ReadsDegradeFarLessThanWrites) {
+  UpiModel upi;
+  for (double n = 8; n <= 24; n += 4) {
+    EXPECT_GT(upi.read_degradation(n), upi.write_degradation(n));
+  }
+}
+
+TEST(Upi, DegradationIsMonotoneDecreasing) {
+  UpiModel upi;
+  double previous_write = 2.0;
+  double previous_read = 2.0;
+  for (double n = 0; n <= 48; n += 1) {
+    const double w = upi.write_degradation(n);
+    const double r = upi.read_degradation(n);
+    EXPECT_LE(w, previous_write);
+    EXPECT_LE(r, previous_read);
+    previous_write = w;
+    previous_read = r;
+  }
+}
+
+TEST(Upi, RemoteLatencyAdders) {
+  UpiModel upi;
+  // Both adders are a fraction of a microsecond: the hop itself is
+  // cheap; remote costs are dominated by the bandwidth-side effects
+  // (write ceiling/collapse, read degradation). The calibration landed
+  // both near the UPI hop cost.
+  EXPECT_GT(upi.remote_latency_ns(/*is_write=*/false), 0.0);
+  EXPECT_GT(upi.remote_latency_ns(/*is_write=*/true), 0.0);
+  EXPECT_LT(upi.remote_latency_ns(false), 1000.0);
+  EXPECT_LT(upi.remote_latency_ns(true), 1000.0);
+}
+
+TEST(Upi, LinkCap) {
+  UpiModel upi;
+  EXPECT_GT(upi.link_cap(), 0.0);
+  EXPECT_DOUBLE_EQ(upi.link_cap(), upi.params().link_bandwidth);
+}
+
+TEST(Upi, CustomParams) {
+  UpiParams params;
+  params.write_contention_knee = 10.0;
+  params.write_contention_slope = 1.0;
+  params.write_contention_floor = 0.0;
+  UpiModel upi(params);
+  EXPECT_DOUBLE_EQ(upi.write_degradation(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(upi.write_degradation(12.0), 1.0 / 3.0);
+}
+
+TEST(Upi, RemoteWriteCeilingBelowLink) {
+  UpiModel upi;
+  EXPECT_LT(upi.remote_write_ceiling(), upi.link_cap());
+  EXPECT_GT(upi.remote_write_ceiling(), 0.0);
+}
+
+}  // namespace
+}  // namespace pmemflow::interconnect

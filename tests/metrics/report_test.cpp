@@ -1,0 +1,75 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/suite.hpp"
+
+namespace pmemflow::metrics {
+namespace {
+
+core::ConfigSweep tiny_sweep() {
+  core::Executor executor;
+  auto spec = workloads::make_workflow(workloads::Family::kMicro64MB, 8);
+  spec.iterations = 2;
+  auto sweep = executor.sweep(spec);
+  EXPECT_TRUE(sweep.has_value());
+  return *std::move(sweep);
+}
+
+TEST(Report, ToSeconds) {
+  EXPECT_DOUBLE_EQ(to_seconds(1'500'000'000), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(0), 0.0);
+}
+
+TEST(Report, PanelContainsAllConfigsAndSplitBars) {
+  const auto sweep = tiny_sweep();
+  std::ostringstream out;
+  print_panel(out, "test panel", sweep);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("test panel"), std::string::npos);
+  for (const auto& config : core::all_configs()) {
+    EXPECT_NE(text.find(config.label()), std::string::npos);
+  }
+  // Serial rows have writer/reader splits; parallel rows show "-".
+  EXPECT_NE(text.find("Writer"), std::string::npos);
+  EXPECT_NE(text.find("-"), std::string::npos);
+  EXPECT_NE(text.find("best:"), std::string::npos);
+}
+
+TEST(Report, NormalizedViewShowsRatios) {
+  const auto sweep = tiny_sweep();
+  std::ostringstream out;
+  print_normalized(out, "normalized", sweep);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1.00x"), std::string::npos);
+  EXPECT_NE(text.find("Normalized"), std::string::npos);
+}
+
+TEST(Report, CsvRowsMatchHeaderArity) {
+  const auto sweep = tiny_sweep();
+  CsvWriter csv(sweep_csv_header());
+  append_sweep_rows(csv, "micro", 8, sweep);
+  EXPECT_EQ(csv.row_count(), 4u);
+  std::ostringstream out;
+  csv.write(out);
+  // 1 header + 4 rows.
+  int lines = 0;
+  for (char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(Report, CsvNormalizedColumnHasBestAtOne) {
+  const auto sweep = tiny_sweep();
+  CsvWriter csv(sweep_csv_header());
+  append_sweep_rows(csv, "micro", 8, sweep);
+  std::ostringstream out;
+  csv.write(out);
+  EXPECT_NE(out.str().find("1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmemflow::metrics

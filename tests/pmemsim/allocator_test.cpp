@@ -1,0 +1,263 @@
+#include "pmemsim/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace pmemflow::pmemsim {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  OptaneRateAllocator allocator_{
+      BandwidthModel(OptaneParams{}, interconnect::UpiModel{})};
+
+  static sim::Flow make_flow(sim::IoKind kind, sim::Locality locality,
+                             Bytes op_size, double sw_ns = 0.0,
+                             double compute_ns = 0.0) {
+    sim::Flow flow;
+    flow.spec.kind = kind;
+    flow.spec.locality = locality;
+    flow.spec.op_size = op_size;
+    flow.spec.total_bytes = op_size * 100;
+    flow.spec.sw_ns_per_op = sw_ns;
+    flow.spec.compute_ns_per_op = compute_ns;
+    flow.remaining_bytes = static_cast<double>(flow.spec.total_bytes);
+    return flow;
+  }
+
+  void allocate(std::vector<sim::Flow>& flows) {
+    std::vector<sim::Flow*> pointers;
+    pointers.reserve(flows.size());
+    for (auto& flow : flows) pointers.push_back(&flow);
+    allocator_.allocate(pointers);
+  }
+};
+
+TEST_F(AllocatorTest, SingleLargeReadGetsPerThreadClassRate) {
+  std::vector<sim::Flow> flows{
+      make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 64 * kMB)};
+  allocate(flows);
+  EXPECT_TRUE(allocator_.last_report().converged);
+  // A single pure reader: device rate = read curve at n=1 (one thread
+  // cannot pull the full interleave-set bandwidth).
+  const BandwidthModel& model = allocator_.model();
+  const Rate expected = std::min(model.read_media_bandwidth(1.0),
+                                 model.per_thread_cap(sim::IoKind::kRead, false));
+  EXPECT_NEAR(flows[0].device_rate, expected, 1e-6);
+  // Large ops: latency is negligible, so progress ~ device rate.
+  EXPECT_NEAR(flows[0].progress_rate, flows[0].device_rate,
+              0.01 * flows[0].device_rate);
+}
+
+TEST_F(AllocatorTest, PureFlowsHaveUtilizationNearOne) {
+  std::vector<sim::Flow> flows;
+  for (int i = 0; i < 8; ++i) {
+    flows.push_back(
+        make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB));
+  }
+  allocate(flows);
+  EXPECT_NEAR(allocator_.last_report().census.local_write, 8.0, 0.05);
+}
+
+TEST_F(AllocatorTest, EightLocalWritersSaturateWritePeak) {
+  std::vector<sim::Flow> flows;
+  for (int i = 0; i < 8; ++i) {
+    flows.push_back(
+        make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB));
+  }
+  allocate(flows);
+  double aggregate = 0.0;
+  for (const auto& flow : flows) aggregate += flow.progress_rate;
+  // 8 concurrent writers reach the 13.9 GB/s write peak (within a few
+  // percent: latency steals a sliver of each op).
+  EXPECT_NEAR(aggregate, gbps(13.9), 0.05 * gbps(13.9));
+}
+
+TEST_F(AllocatorTest, SoftwareOverheadLowersEffectiveConcurrency) {
+  // 24 writers whose per-op software overhead dwarfs the device time:
+  // the device must see far fewer than 24 effective writers. (Objects
+  // above the small-access threshold keep the DIMM-collision feedback
+  // out of this test.)
+  std::vector<sim::Flow> flows;
+  for (int i = 0; i < 24; ++i) {
+    flows.push_back(make_flow(sim::IoKind::kWrite, sim::Locality::kLocal,
+                              32 * kKiB, /*sw_ns=*/100000.0));
+  }
+  allocate(flows);
+  EXPECT_TRUE(allocator_.last_report().converged);
+  const double effective = allocator_.last_report().census.local_write;
+  EXPECT_LT(effective, 12.0);
+  EXPECT_GT(effective, 0.5);
+}
+
+TEST_F(AllocatorTest, InterleavedComputeAlsoLowersEffectiveConcurrency) {
+  std::vector<sim::Flow> flows;
+  for (int i = 0; i < 16; ++i) {
+    flows.push_back(make_flow(sim::IoKind::kRead, sim::Locality::kLocal,
+                              64 * kMB, /*sw_ns=*/0.0,
+                              /*compute_ns=*/200'000'000.0));
+  }
+  allocate(flows);
+  const double effective = allocator_.last_report().census.local_read;
+  EXPECT_LT(effective, 4.0);
+}
+
+TEST_F(AllocatorTest, RemoteWritersCollapseLocalWritersDoNot) {
+  std::vector<sim::Flow> local;
+  std::vector<sim::Flow> remote;
+  for (int i = 0; i < 24; ++i) {
+    local.push_back(
+        make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB));
+    remote.push_back(
+        make_flow(sim::IoKind::kWrite, sim::Locality::kRemote, 64 * kMB));
+  }
+  allocate(local);
+  double local_aggregate = 0.0;
+  for (const auto& flow : local) local_aggregate += flow.progress_rate;
+
+  allocate(remote);
+  double remote_aggregate = 0.0;
+  for (const auto& flow : remote) remote_aggregate += flow.progress_rate;
+
+  // Paper: remote writes collapse much harder than local writes at 24
+  // concurrent writers (the model calibrates the *runtime figure*
+  // shapes, which land the aggregate ratio near 3x).
+  EXPECT_GT(local_aggregate / remote_aggregate, 2.0);
+}
+
+TEST_F(AllocatorTest, RemoteReadsDegradeMildly) {
+  std::vector<sim::Flow> local;
+  std::vector<sim::Flow> remote;
+  for (int i = 0; i < 24; ++i) {
+    local.push_back(
+        make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 64 * kMB));
+    remote.push_back(
+        make_flow(sim::IoKind::kRead, sim::Locality::kRemote, 64 * kMB));
+  }
+  allocate(local);
+  double local_aggregate = 0.0;
+  for (const auto& flow : local) local_aggregate += flow.progress_rate;
+  allocate(remote);
+  double remote_aggregate = 0.0;
+  for (const auto& flow : remote) remote_aggregate += flow.progress_rate;
+
+  const double drop = local_aggregate / remote_aggregate;
+  EXPECT_GT(drop, 1.0);
+  EXPECT_LT(drop, 3.0);
+}
+
+TEST_F(AllocatorTest, SmallFlowsPenalizedAtHighConcurrency) {
+  std::vector<sim::Flow> few;
+  std::vector<sim::Flow> many;
+  for (int i = 0; i < 4; ++i) {
+    few.push_back(
+        make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 4 * kKiB));
+  }
+  for (int i = 0; i < 24; ++i) {
+    many.push_back(
+        make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 4 * kKiB));
+  }
+  allocate(few);
+  const double rate_few = few[0].device_rate;
+  allocate(many);
+  const double rate_many = many[0].device_rate;
+  // Per-flow device rate falls by more than plain capacity sharing
+  // (39.4/24 vs 39.4/17 at peak) because of DIMM collisions.
+  EXPECT_LT(rate_many, rate_few);
+}
+
+TEST_F(AllocatorTest, MixedReadWriteInterferes) {
+  // Writers alone:
+  std::vector<sim::Flow> writers_only;
+  for (int i = 0; i < 8; ++i) {
+    writers_only.push_back(
+        make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB));
+  }
+  allocate(writers_only);
+  double writers_alone = 0.0;
+  for (const auto& flow : writers_only) writers_alone += flow.progress_rate;
+
+  // Writers + concurrent readers:
+  std::vector<sim::Flow> mixed;
+  for (int i = 0; i < 8; ++i) {
+    mixed.push_back(
+        make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB));
+    mixed.push_back(
+        make_flow(sim::IoKind::kRead, sim::Locality::kRemote, 64 * kMB));
+  }
+  allocate(mixed);
+  double writers_mixed = 0.0;
+  for (const auto& flow : mixed) {
+    if (flow.spec.kind == sim::IoKind::kWrite) {
+      writers_mixed += flow.progress_rate;
+    }
+  }
+  EXPECT_LT(writers_mixed, writers_alone);
+}
+
+TEST_F(AllocatorTest, RatesAreAlwaysPositive) {
+  std::vector<sim::Flow> flows;
+  for (int i = 0; i < 48; ++i) {
+    flows.push_back(make_flow(
+        (i % 2 == 0) ? sim::IoKind::kRead : sim::IoKind::kWrite,
+        (i % 3 == 0) ? sim::Locality::kRemote : sim::Locality::kLocal,
+        (i % 5 == 0) ? 2 * kKB : 64 * kMB, (i % 7) * 500.0));
+  }
+  allocate(flows);
+  for (const auto& flow : flows) {
+    EXPECT_GT(flow.progress_rate, 0.0);
+    EXPECT_GT(flow.device_rate, 0.0);
+  }
+}
+
+TEST_F(AllocatorTest, DeterministicAcrossCalls) {
+  auto build = [] {
+    std::vector<sim::Flow> flows;
+    for (int i = 0; i < 12; ++i) {
+      flows.push_back(make_flow(
+          (i % 2 == 0) ? sim::IoKind::kRead : sim::IoKind::kWrite,
+          sim::Locality::kLocal, 2 * kKB, 800.0));
+    }
+    return flows;
+  };
+  auto a = build();
+  auto b = build();
+  allocate(a);
+  allocate(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].progress_rate, b[i].progress_rate);
+  }
+}
+
+// Parameterized concurrency sweep: aggregate progress must be monotone
+// non-decreasing as flows are added up to the scaling threshold, and
+// bounded by the class peak everywhere.
+class WriterScalingSweep : public AllocatorTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(WriterScalingSweep, AggregateBoundedByPeak) {
+  const int n = GetParam();
+  std::vector<sim::Flow> flows;
+  for (int i = 0; i < n; ++i) {
+    flows.push_back(
+        make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB));
+  }
+  allocate(flows);
+  double aggregate = 0.0;
+  for (const auto& flow : flows) aggregate += flow.progress_rate;
+  EXPECT_LE(aggregate, gbps(13.9) + 1e-3);
+  // Within the paper's measured range (4-24 threads) writes hold at
+  // least half of peak; far beyond it, WPQ/XPBuffer thrash may cut
+  // deeper, which the upper bound still covers.
+  if (n >= 4 && n <= 24) {
+    EXPECT_GT(aggregate, 0.5 * gbps(13.9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Writers, WriterScalingSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 24, 32));
+
+}  // namespace
+}  // namespace pmemflow::pmemsim

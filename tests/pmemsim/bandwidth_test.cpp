@@ -1,0 +1,194 @@
+#include "pmemsim/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow::pmemsim {
+namespace {
+
+BandwidthModel default_model() {
+  return BandwidthModel(OptaneParams{}, interconnect::UpiModel{});
+}
+
+TEST(Bandwidth, ReadPeakAnchor) {
+  const auto model = default_model();
+  // Paper SII-B: 39.4 GB/s local read peak, reached at 17 threads.
+  EXPECT_DOUBLE_EQ(model.read_media_bandwidth(17.0), gbps(39.4));
+  EXPECT_DOUBLE_EQ(model.read_media_bandwidth(30.0), gbps(39.4));
+}
+
+TEST(Bandwidth, ReadScalesLinearlyBelowThreshold) {
+  const auto model = default_model();
+  const Rate at_half = model.read_media_bandwidth(17.0 / 2.0);
+  EXPECT_NEAR(at_half, gbps(39.4) / 2.0, 1e-9);
+}
+
+TEST(Bandwidth, WritePeakAnchor) {
+  const auto model = default_model();
+  // Paper SII-B: 13.9 GB/s local write peak, saturating at 4 threads.
+  EXPECT_DOUBLE_EQ(model.write_media_bandwidth(4.0), gbps(13.9));
+  EXPECT_DOUBLE_EQ(model.write_media_bandwidth(6.0), gbps(13.9));
+}
+
+TEST(Bandwidth, WriteDeclinesBeyondStart) {
+  const auto model = default_model();
+  const OptaneParams params;
+  const Rate at_start = model.write_media_bandwidth(params.write_decline_start);
+  const Rate beyond = model.write_media_bandwidth(24.0);
+  EXPECT_LT(beyond, at_start);
+  EXPECT_GE(beyond, params.write_peak * params.write_floor_fraction);
+}
+
+TEST(Bandwidth, WriteNeverBelowFloor) {
+  const auto model = default_model();
+  const OptaneParams params;
+  EXPECT_GE(model.write_media_bandwidth(200.0),
+            params.write_peak * params.write_floor_fraction - 1e-12);
+}
+
+TEST(Bandwidth, ReadLatencyAnchor) {
+  const auto model = default_model();
+  // 169 ns idle read latency.
+  EXPECT_NEAR(model.op_latency_ns(sim::IoKind::kRead, sim::Locality::kLocal,
+                                  /*n_kind_effective=*/1.0),
+              169.0, 1e-9);
+}
+
+TEST(Bandwidth, WriteLatencyAnchor) {
+  const auto model = default_model();
+  // 90 ns idle write latency (completes in the iMC WPQ).
+  EXPECT_NEAR(model.op_latency_ns(sim::IoKind::kWrite, sim::Locality::kLocal,
+                                  1.0),
+              90.0, 1e-9);
+}
+
+TEST(Bandwidth, LatencyInflatesWithLoad) {
+  const auto model = default_model();
+  const double idle =
+      model.op_latency_ns(sim::IoKind::kRead, sim::Locality::kLocal, 1.0);
+  const double loaded =
+      model.op_latency_ns(sim::IoKind::kRead, sim::Locality::kLocal, 24.0);
+  EXPECT_GT(loaded, idle);
+}
+
+TEST(Bandwidth, RemoteLatencyAddsHop) {
+  const auto model = default_model();
+  const double local =
+      model.op_latency_ns(sim::IoKind::kRead, sim::Locality::kLocal, 1.0);
+  const double remote =
+      model.op_latency_ns(sim::IoKind::kRead, sim::Locality::kRemote, 1.0);
+  EXPECT_GT(remote, local);
+}
+
+TEST(Bandwidth, MixedTrafficReducesBothClasses) {
+  const auto model = default_model();
+  ClassCensus census;
+  census.local_read = 8.0;
+  census.local_write = 8.0;
+  EXPECT_LT(model.mixed_read_factor(census), 1.0);
+  EXPECT_LT(model.mixed_write_factor(census), 1.0);
+}
+
+TEST(Bandwidth, SingleClassTrafficUnaffectedByMixFactor) {
+  const auto model = default_model();
+  ClassCensus reads_only;
+  reads_only.local_read = 16.0;
+  EXPECT_DOUBLE_EQ(model.mixed_read_factor(reads_only), 1.0);
+  EXPECT_DOUBLE_EQ(model.mixed_write_factor(reads_only), 1.0);
+}
+
+TEST(Bandwidth, SmallAccessClassification) {
+  const auto model = default_model();
+  EXPECT_TRUE(model.is_small(2 * kKB));       // 2K microbenchmark objects
+  EXPECT_TRUE(model.is_small(4608));          // miniAMR 4.5 KB objects
+  EXPECT_FALSE(model.is_small(64 * kMB));     // 64MB microbenchmark
+  EXPECT_FALSE(model.is_small(229 * kMB));    // GTC checkpoint arrays
+}
+
+TEST(Bandwidth, SmallAccessPenaltyKneesAtCalibratedCount) {
+  const auto model = default_model();
+  const double knee = model.params().small_access_flows;
+  EXPECT_DOUBLE_EQ(model.small_access_factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.small_access_factor(knee), 1.0);
+  EXPECT_LT(model.small_access_factor(knee + 8.0), 1.0);
+  EXPECT_LT(model.small_access_factor(knee + 16.0),
+            model.small_access_factor(knee + 8.0));
+}
+
+TEST(Bandwidth, RemoteCapsDegradeWithConcurrency) {
+  const auto model = default_model();
+  ClassCensus few;
+  few.remote_write = 2.0;
+  few.remote_write_large = 2.0;
+  ClassCensus many;
+  many.remote_write = 24.0;
+  many.remote_write_large = 24.0;
+  const Rate write_low = model.remote_cap(sim::IoKind::kWrite, few);
+  const Rate write_high = model.remote_cap(sim::IoKind::kWrite, many);
+  EXPECT_GT(write_low, write_high);
+  // Remote writes collapse far harder than remote reads (the paper
+  // quotes 15x for raw ops vs 1.3x for reads).
+  ClassCensus readers;
+  readers.remote_read = 24.0;
+  const Rate read_high = model.remote_cap(sim::IoKind::kRead, readers);
+  const double write_drop = model.params().write_peak / write_high;
+  const double read_drop =
+      std::min(model.params().read_peak, model.upi().link_cap()) / read_high;
+  EXPECT_GT(write_drop, 4.0);
+  EXPECT_LT(read_drop, 1.5);
+}
+
+TEST(Bandwidth, RemoteWriteCeilingCapsEvenWithoutLargeStreams) {
+  // Small remote writes never collapse, but they cannot exceed the UPI
+  // write-credit ceiling either.
+  const auto model = default_model();
+  ClassCensus small_writers;
+  small_writers.remote_write = 24.0;  // all small: remote_write_large = 0
+  const Rate cap = model.remote_cap(sim::IoKind::kWrite, small_writers);
+  EXPECT_DOUBLE_EQ(cap, model.upi().remote_write_ceiling());
+  EXPECT_LT(cap, model.params().write_peak);
+}
+
+TEST(Bandwidth, RemoteWriteCollapseHasFloor) {
+  const auto model = default_model();
+  ClassCensus extreme;
+  extreme.remote_write = 200.0;
+  extreme.remote_write_large = 200.0;
+  const Rate cap = model.remote_cap(sim::IoKind::kWrite, extreme);
+  const Rate base = std::min({model.params().write_peak,
+                              model.upi().link_cap(),
+                              model.upi().remote_write_ceiling()});
+  EXPECT_GE(cap, base * model.upi().params().write_contention_floor - 1e-9);
+}
+
+TEST(Bandwidth, PerThreadCaps) {
+  const auto model = default_model();
+  EXPECT_GT(model.per_thread_cap(sim::IoKind::kRead, false), 0.0);
+  EXPECT_GT(model.per_thread_cap(sim::IoKind::kWrite, false), 0.0);
+  // Small random accesses cannot reach streaming per-thread rates.
+  EXPECT_LE(model.per_thread_cap(sim::IoKind::kRead, true),
+            model.per_thread_cap(sim::IoKind::kRead, false));
+  EXPECT_LE(model.per_thread_cap(sim::IoKind::kWrite, true),
+            model.per_thread_cap(sim::IoKind::kWrite, false));
+}
+
+// Property sweep: all bandwidth curves are non-negative and monotone
+// non-decreasing in their ramp region.
+class BandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthSweep, CurvesAreSane) {
+  const auto model = default_model();
+  const double n = GetParam();
+  EXPECT_GE(model.read_media_bandwidth(n), 0.0);
+  EXPECT_GE(model.write_media_bandwidth(n), 0.0);
+  EXPECT_LE(model.read_media_bandwidth(n), model.params().read_peak + 1e-9);
+  EXPECT_LE(model.write_media_bandwidth(n), model.params().write_peak + 1e-9);
+  EXPECT_GT(model.small_access_factor(n), 0.0);
+  EXPECT_LE(model.small_access_factor(n), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concurrency, BandwidthSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0, 8.0,
+                                           16.0, 17.0, 24.0, 48.0, 96.0));
+
+}  // namespace
+}  // namespace pmemflow::pmemsim

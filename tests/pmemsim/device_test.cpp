@@ -1,0 +1,108 @@
+#include "pmemsim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.hpp"
+
+namespace pmemflow::pmemsim {
+namespace {
+
+sim::FlowSpec write_spec(Bytes total, Bytes op) {
+  sim::FlowSpec spec;
+  spec.kind = sim::IoKind::kWrite;
+  spec.total_bytes = total;
+  spec.op_size = op;
+  return spec;
+}
+
+TEST(Device, LocalityFollowsSocket) {
+  sim::Engine engine;
+  OptaneDevice device(engine, /*socket=*/0, 1 * kGiB);
+  EXPECT_EQ(device.locality_of(0), sim::Locality::kLocal);
+  EXPECT_EQ(device.locality_of(1), sim::Locality::kRemote);
+  EXPECT_EQ(device.socket(), 0u);
+}
+
+TEST(Device, SingleWriterTimingMatchesModel) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 1 * kGiB);
+
+  SimTime finished = 0;
+  auto writer = [&]() -> sim::Task {
+    co_await device.io(/*from_socket=*/0, write_spec(64 * kMB, 64 * kMB));
+    finished = engine.now();
+  };
+  engine.spawn(writer());
+  engine.run_to_completion();
+
+  // One local writer: device rate = min(write curve at n=1, per-thread
+  // write cap) = min(13.9/4, 3.5) = 3.475 GB/s; latency negligible.
+  const double expected_ns = 64e6 / 3.475;
+  EXPECT_NEAR(static_cast<double>(finished), expected_ns, expected_ns * 0.01);
+}
+
+TEST(Device, RemoteWriterSlowerThanLocal) {
+  auto run_one = [](topo::SocketId from) -> SimTime {
+    sim::Engine engine;
+    OptaneDevice device(engine, 0, 1 * kGiB);
+    SimTime finished = 0;
+    auto writer = [&]() -> sim::Task {
+      // 8 concurrent remote writers to get past the contention knee.
+      co_await device.io(from, write_spec(64 * kMB, 64 * kMB));
+      finished = engine.now();
+    };
+    for (int i = 0; i < 8; ++i) engine.spawn(writer());
+    engine.run_to_completion();
+    return finished;
+  };
+  EXPECT_GT(run_one(1), run_one(0));
+}
+
+TEST(Device, SpaceIsUsable) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 1 * kGiB);
+  const auto offset = device.space().reserve(4096);
+  ASSERT_TRUE(offset.has_value());
+  std::vector<std::byte> payload(256, std::byte{0xab});
+  device.space().write(*offset, payload);
+  std::vector<std::byte> out(256);
+  device.space().read(*offset, out);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(Device, StatsAccumulate) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 1 * kGiB);
+  auto writer = [&]() -> sim::Task {
+    co_await device.io(0, write_spec(10 * kMB, 10 * kMB));
+  };
+  engine.spawn(writer());
+  engine.spawn(writer());
+  engine.run_to_completion();
+  EXPECT_EQ(device.stats().flows_completed, 2u);
+  EXPECT_NEAR(device.stats().bytes_written, 20e6, 1e4);
+}
+
+TEST(Device, ConcurrentMixOnOneDeviceRunsToCompletion) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 4 * kGiB);
+  int done = 0;
+  auto worker = [&](sim::IoKind kind, topo::SocketId from) -> sim::Task {
+    sim::FlowSpec spec;
+    spec.kind = kind;
+    spec.total_bytes = 32 * kMB;
+    spec.op_size = 2 * kKB;
+    spec.sw_ns_per_op = 700.0;
+    co_await device.io(from, spec);
+    ++done;
+  };
+  for (int i = 0; i < 12; ++i) {
+    engine.spawn(worker(sim::IoKind::kWrite, 0));
+    engine.spawn(worker(sim::IoKind::kRead, 1));
+  }
+  engine.run_to_completion();
+  EXPECT_EQ(done, 24);
+}
+
+}  // namespace
+}  // namespace pmemflow::pmemsim

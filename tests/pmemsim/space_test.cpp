@@ -1,0 +1,217 @@
+#include "pmemsim/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pmemflow::pmemsim {
+namespace {
+
+std::vector<std::byte> random_bytes(std::uint64_t seed, std::size_t size) {
+  Xoshiro256 rng(seed);
+  std::vector<std::byte> out(size);
+  for (auto& b : out) b = static_cast<std::byte>(rng() & 0xff);
+  return out;
+}
+
+TEST(Space, ReserveBumpAllocates) {
+  PmemSpace space(1 * kMiB);
+  auto a = space.reserve(100);
+  auto b = space.reserve(200);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 100u);
+  EXPECT_EQ(space.reserved(), 300u);
+}
+
+TEST(Space, ReserveZeroFails) {
+  PmemSpace space(1 * kMiB);
+  EXPECT_FALSE(space.reserve(0).has_value());
+}
+
+TEST(Space, ExhaustionFails) {
+  PmemSpace space(1024);
+  ASSERT_TRUE(space.reserve(1000).has_value());
+  auto result = space.reserve(100);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("exhausted"), std::string::npos);
+}
+
+TEST(Space, WriteReadRoundTrip) {
+  PmemSpace space(1 * kMiB);
+  const auto offset = space.reserve(4096).value();
+  const auto data = random_bytes(1, 4096);
+  space.write(offset, data);
+
+  std::vector<std::byte> out(4096);
+  space.read(offset, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Space, CrossPageWriteReadRoundTrip) {
+  PmemSpace space(1 * kMiB);
+  // Offset straddling several 4 KiB pages.
+  const auto offset = space.reserve(100 * kKiB).value();
+  const auto data = random_bytes(2, 10000);
+  space.write(offset + 3000, data);
+
+  std::vector<std::byte> out(10000);
+  space.read(offset + 3000, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Space, UnmaterializedReadsAsZero) {
+  PmemSpace space(1 * kMiB);
+  const auto offset = space.reserve(8192).value();
+  std::vector<std::byte> out(100, std::byte{0xff});
+  space.read(offset, out);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(Space, SparseMaterialization) {
+  PmemSpace space(1 * kGiB);
+  const auto offset = space.reserve(512 * kMiB).value();
+  EXPECT_EQ(space.materialized(), 0u);
+  const auto data = random_bytes(3, 100);
+  space.write(offset + 256 * kMiB, data);
+  // A 100-byte write materializes at most 2 pages.
+  EXPECT_LE(space.materialized(), 2 * PmemSpace::kPageSize);
+}
+
+TEST(Space, OverlappingWritesLastOneWins) {
+  PmemSpace space(1 * kMiB);
+  const auto offset = space.reserve(1024).value();
+  const auto first = random_bytes(4, 1024);
+  const auto second = random_bytes(5, 512);
+  space.write(offset, first);
+  space.write(offset + 256, second);
+
+  std::vector<std::byte> out(1024);
+  space.read(offset, out);
+  EXPECT_TRUE(std::memcmp(out.data(), first.data(), 256) == 0);
+  EXPECT_TRUE(std::memcmp(out.data() + 256, second.data(), 512) == 0);
+  EXPECT_TRUE(std::memcmp(out.data() + 768, first.data() + 768, 256) == 0);
+}
+
+TEST(Space, PunchHoleDropsFullyCoveredPages) {
+  PmemSpace space(1 * kMiB);
+  const Bytes page = PmemSpace::kPageSize;
+  const auto offset = space.reserve(8 * page).value();
+  const auto data = random_bytes(6, static_cast<std::size_t>(8 * page));
+  space.write(offset, data);
+  EXPECT_EQ(space.materialized(), 8 * page);
+
+  // Punch pages 2..5 (offset 2*page, length 4*page).
+  const std::size_t dropped = space.punch_hole(offset + 2 * page, 4 * page);
+  EXPECT_EQ(dropped, 4u);
+  EXPECT_EQ(space.materialized(), 4 * page);
+
+  // Punched region reads as zero; the rest is intact.
+  std::vector<std::byte> out(static_cast<std::size_t>(8 * page));
+  space.read(offset, out);
+  EXPECT_TRUE(std::memcmp(out.data(), data.data(),
+                          static_cast<std::size_t>(2 * page)) == 0);
+  for (Bytes i = 2 * page; i < 6 * page; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)], std::byte{0});
+  }
+  EXPECT_TRUE(std::memcmp(out.data() + 6 * page, data.data() + 6 * page,
+                          static_cast<std::size_t>(2 * page)) == 0);
+}
+
+TEST(Space, PunchHoleKeepsPartialBoundaryPages) {
+  PmemSpace space(1 * kMiB);
+  const Bytes page = PmemSpace::kPageSize;
+  const auto offset = space.reserve(4 * page).value();
+  space.write(offset, random_bytes(7, static_cast<std::size_t>(4 * page)));
+
+  // Hole not aligned: covers half of page 0 through half of page 2.
+  const std::size_t dropped =
+      space.punch_hole(offset + page / 2, 2 * page);
+  EXPECT_EQ(dropped, 1u);  // only page 1 fully covered
+}
+
+TEST(Space, ResetClearsEverything) {
+  PmemSpace space(1 * kMiB);
+  const auto offset = space.reserve(4096).value();
+  space.write(offset, random_bytes(8, 4096));
+  space.reset();
+  EXPECT_EQ(space.reserved(), 0u);
+  EXPECT_EQ(space.materialized(), 0u);
+}
+
+// Property fuzz: random interleaved writes/reads/punches against a
+// shadow byte array must stay consistent (punched pages read as zero).
+class SpaceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpaceFuzz, MatchesShadowModel) {
+  Xoshiro256 rng(GetParam());
+  constexpr Bytes kArena = 256 * kKiB;
+  PmemSpace space(kArena);
+  const auto base = space.reserve(kArena).value();
+  std::vector<std::byte> shadow(static_cast<std::size_t>(kArena),
+                                std::byte{0});
+
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t offset = rng.below(kArena - 1);
+    const std::uint64_t size = 1 + rng.below(
+        std::min<std::uint64_t>(kArena - offset, 16 * kKiB));
+    switch (rng.below(3)) {
+      case 0: {  // write
+        const auto data = random_bytes(rng(), static_cast<std::size_t>(size));
+        space.write(base + offset, data);
+        std::copy(data.begin(), data.end(),
+                  shadow.begin() + static_cast<std::ptrdiff_t>(offset));
+        break;
+      }
+      case 1: {  // read + compare
+        std::vector<std::byte> out(static_cast<std::size_t>(size));
+        space.read(base + offset, out);
+        ASSERT_TRUE(std::equal(
+            out.begin(), out.end(),
+            shadow.begin() + static_cast<std::ptrdiff_t>(offset)))
+            << "step " << step;
+        break;
+      }
+      case 2: {  // punch hole: fully covered pages zero in the shadow
+        space.punch_hole(base + offset, size);
+        const std::uint64_t first =
+            (base + offset + PmemSpace::kPageSize - 1) /
+            PmemSpace::kPageSize * PmemSpace::kPageSize;
+        const std::uint64_t last =
+            (base + offset + size) / PmemSpace::kPageSize *
+            PmemSpace::kPageSize;
+        for (std::uint64_t b = first; b < last; ++b) {
+          shadow[static_cast<std::size_t>(b - base)] = std::byte{0};
+        }
+        break;
+      }
+    }
+  }
+  // Final full comparison.
+  std::vector<std::byte> all(static_cast<std::size_t>(kArena));
+  space.read(base, all);
+  EXPECT_EQ(all, shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(SpaceDeathTest, WriteOutsideReservationAborts) {
+  PmemSpace space(1 * kMiB);
+  (void)space.reserve(100).value();
+  const auto data = random_bytes(9, 200);
+  EXPECT_DEATH(space.write(0, data), "outside reserved");
+}
+
+TEST(SpaceDeathTest, ReadOutsideReservationAborts) {
+  PmemSpace space(1 * kMiB);
+  std::vector<std::byte> out(10);
+  EXPECT_DEATH(space.read(0, out), "outside reserved");
+}
+
+}  // namespace
+}  // namespace pmemflow::pmemsim

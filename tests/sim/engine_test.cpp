@@ -1,0 +1,209 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace pmemflow::sim {
+namespace {
+
+TEST(Engine, ClockStartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0u);
+}
+
+TEST(Engine, CallbacksAdvanceClock) {
+  Engine engine;
+  std::vector<SimTime> seen;
+  engine.call_after(100, [&] { seen.push_back(engine.now()); });
+  engine.call_after(50, [&] { seen.push_back(engine.now()); });
+  const RunStats stats = engine.run_to_completion();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(stats.events_processed, 2u);
+  EXPECT_EQ(stats.end_time, 100u);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine engine;
+  std::vector<SimTime> seen;
+  engine.call_after(10, [&] {
+    seen.push_back(engine.now());
+    engine.call_after(5, [&] { seen.push_back(engine.now()); });
+  });
+  engine.run_to_completion();
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Engine, CancelledCallbackDoesNotFire) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.call_after(10, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+Task simple_process(Engine& engine, std::vector<SimTime>& trace) {
+  trace.push_back(engine.now());
+  co_await sleep_for(engine, 100);
+  trace.push_back(engine.now());
+  co_await sleep_for(engine, 50);
+  trace.push_back(engine.now());
+}
+
+TEST(Engine, TaskSleepsAdvanceTime) {
+  Engine engine;
+  std::vector<SimTime> trace;
+  engine.spawn(simple_process(engine, trace));
+  engine.run_to_completion();
+  EXPECT_EQ(trace, (std::vector<SimTime>{0, 100, 150}));
+  EXPECT_EQ(engine.live_roots(), 0u);
+}
+
+TEST(Engine, TwoTasksInterleaveDeterministically) {
+  Engine engine;
+  std::vector<std::pair<int, SimTime>> trace;
+  auto make = [&](int id, SimDuration step) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await sleep_for(engine, step);
+      trace.emplace_back(id, engine.now());
+    }
+  };
+  engine.spawn(make(1, 10));
+  engine.spawn(make(2, 15));
+  engine.run_to_completion();
+  // At t=30 both wake; task 2's resume was scheduled first (at t=15,
+  // vs t=20 for task 1), so FIFO tie-breaking runs it first.
+  const std::vector<std::pair<int, SimTime>> expected{
+      {1, 10}, {2, 15}, {1, 20}, {2, 30}, {1, 30}, {2, 45}};
+  EXPECT_EQ(trace, expected);
+}
+
+Task parent_task(Engine& engine, std::vector<int>& trace) {
+  auto child = [](Engine& eng, std::vector<int>& tr) -> Task {
+    tr.push_back(1);
+    co_await sleep_for(eng, 10);
+    tr.push_back(2);
+  };
+  trace.push_back(0);
+  co_await child(engine, trace);
+  trace.push_back(3);
+}
+
+TEST(Engine, ChildTaskCompletesBeforeParentContinues) {
+  Engine engine;
+  std::vector<int> trace;
+  engine.spawn(parent_task(engine, trace));
+  engine.run_to_completion();
+  EXPECT_EQ(trace, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Task throwing_child(Engine& engine) {
+  co_await sleep_for(engine, 5);
+  throw std::runtime_error("child failed");
+}
+
+Task catching_parent(Engine& engine, bool& caught) {
+  try {
+    co_await throwing_child(engine);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Engine, ChildExceptionPropagatesToParent) {
+  Engine engine;
+  bool caught = false;
+  engine.spawn(catching_parent(engine, caught));
+  engine.run_to_completion();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, RootExceptionRethrownFromRun) {
+  Engine engine;
+  engine.spawn(throwing_child(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+// An awaiter that suspends and never resumes, for deadlock detection.
+struct NeverAwaiter {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+Task stuck_task() {
+  co_await NeverAwaiter{};
+}
+
+TEST(Engine, StrandedRootReportedAsDeadlock) {
+  Engine engine;
+  engine.spawn(stuck_task());
+  const RunStats stats = engine.run();
+  EXPECT_EQ(stats.stranded_roots, 1u);
+  EXPECT_EQ(engine.live_roots(), 1u);
+}
+
+TEST(Engine, YieldNowKeepsTimeConstant) {
+  Engine engine;
+  std::vector<SimTime> trace;
+  auto task = [&]() -> Task {
+    trace.push_back(engine.now());
+    co_await yield_now(engine);
+    trace.push_back(engine.now());
+  };
+  engine.spawn(task());
+  engine.run_to_completion();
+  EXPECT_EQ(trace, (std::vector<SimTime>{0, 0}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine engine;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10u, 20u, 30u, 40u}) {
+    engine.call_at(t, [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  const RunStats first = engine.run_until(25);
+  EXPECT_EQ(first.events_processed, 2u);
+  EXPECT_EQ(engine.now(), 20u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+
+  const RunStats rest = engine.run_to_completion();
+  EXPECT_EQ(rest.events_processed, 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(Engine, RunUntilInclusiveOfDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.call_at(50, [&] { ++fired; });
+  (void)engine.run_until(50);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilOnEmptyQueueIsNoop) {
+  Engine engine;
+  const RunStats stats = engine.run_until(100);
+  EXPECT_EQ(stats.events_processed, 0u);
+  EXPECT_EQ(engine.now(), 0u);
+}
+
+TEST(Engine, ManySequentialRootsReuseEngine) {
+  Engine engine;
+  int completed = 0;
+  auto worker = [&](SimDuration d) -> Task {
+    co_await sleep_for(engine, d);
+    ++completed;
+  };
+  for (int i = 0; i < 100; ++i) {
+    engine.spawn(worker(static_cast<SimDuration>(i + 1)));
+  }
+  engine.run_to_completion();
+  EXPECT_EQ(completed, 100);
+}
+
+}  // namespace
+}  // namespace pmemflow::sim

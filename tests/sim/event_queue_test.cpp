@@ -1,0 +1,116 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pmemflow::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(30, [&] { fired.push_back(3); });
+  queue.schedule(10, [&] { fired.push_back(1); });
+  queue.schedule(20, [&] { fired.push_back(2); });
+
+  while (!queue.empty()) {
+    auto [when, cb] = queue.pop();
+    (void)when;
+    cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.pop().second();
+  }
+  ASSERT_EQ(fired.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, ReportsNextTime) {
+  EventQueue queue;
+  queue.schedule(42, [] {});
+  queue.schedule(7, [] {});
+  EXPECT_EQ(queue.next_time(), 7u);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(10, [&] { fired = true; });
+  queue.schedule(20, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+
+  auto [when, cb] = queue.pop();
+  EXPECT_EQ(when, 20u);
+  cb();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  EventQueue queue;
+  const EventId id = queue.schedule(10, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue queue;
+  const EventId id = queue.schedule(10, [] {});
+  queue.pop().second();
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelledHeadIsSkipped) {
+  EventQueue queue;
+  const EventId early = queue.schedule(1, [] {});
+  queue.schedule(2, [] {});
+  queue.cancel(early);
+  EXPECT_EQ(queue.next_time(), 2u);
+  auto [when, cb] = queue.pop();
+  EXPECT_EQ(when, 2u);
+  cb();
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue queue;
+  std::vector<SimTime> fire_times;
+  // Insert times in a scrambled deterministic pattern.
+  for (SimTime t = 0; t < 1000; ++t) {
+    const SimTime when = (t * 7919) % 1000;
+    queue.schedule(when, [&fire_times, when] { fire_times.push_back(when); });
+  }
+  while (!queue.empty()) {
+    queue.pop().second();
+  }
+  ASSERT_EQ(fire_times.size(), 1000u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    EXPECT_LE(fire_times[i - 1], fire_times[i]);
+  }
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyAborts) {
+  EventQueue queue;
+  EXPECT_DEATH((void)queue.pop(), "empty");
+}
+
+}  // namespace
+}  // namespace pmemflow::sim

@@ -1,0 +1,253 @@
+#include "sim/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace pmemflow::sim {
+namespace {
+
+/// Shares a fixed aggregate bandwidth equally among active flows.
+class EqualShareAllocator : public RateAllocator {
+ public:
+  explicit EqualShareAllocator(Rate aggregate) : aggregate_(aggregate) {}
+
+  void allocate(std::span<Flow* const> flows) override {
+    const Rate share = aggregate_ / static_cast<double>(flows.size());
+    for (Flow* flow : flows) {
+      flow->progress_rate = share;
+      flow->device_rate = share;
+    }
+  }
+
+ private:
+  Rate aggregate_;
+};
+
+FlowSpec read_spec(Bytes total, Bytes op = 0) {
+  FlowSpec spec;
+  spec.kind = IoKind::kRead;
+  spec.total_bytes = total;
+  spec.op_size = (op == 0) ? total : op;
+  return spec;
+}
+
+TEST(FlowResource, SingleFlowTakesBytesOverRate) {
+  Engine engine;
+  EqualShareAllocator allocator(2.0);  // 2 bytes/ns
+  FlowResource resource(engine, allocator, "dev");
+
+  SimTime finished = 0;
+  auto proc = [&]() -> Task {
+    co_await resource.transfer(read_spec(1000));
+    finished = engine.now();
+  };
+  engine.spawn(proc());
+  engine.run_to_completion();
+  EXPECT_EQ(finished, 500u);
+  EXPECT_EQ(resource.stats().flows_completed, 1u);
+  EXPECT_DOUBLE_EQ(resource.stats().bytes_read, 1000.0);
+}
+
+TEST(FlowResource, ZeroByteTransferCompletesInstantly) {
+  Engine engine;
+  EqualShareAllocator allocator(1.0);
+  FlowResource resource(engine, allocator, "dev");
+  SimTime finished = 42;
+  auto proc = [&]() -> Task {
+    co_await resource.transfer(read_spec(0, 1));
+    finished = engine.now();
+  };
+  engine.spawn(proc());
+  engine.run_to_completion();
+  EXPECT_EQ(finished, 0u);
+  EXPECT_EQ(resource.stats().flows_completed, 0u);
+}
+
+TEST(FlowResource, TwoEqualFlowsShareBandwidth) {
+  Engine engine;
+  EqualShareAllocator allocator(2.0);
+  FlowResource resource(engine, allocator, "dev");
+
+  std::vector<SimTime> finish_times;
+  auto proc = [&]() -> Task {
+    co_await resource.transfer(read_spec(1000));
+    finish_times.push_back(engine.now());
+  };
+  engine.spawn(proc());
+  engine.spawn(proc());
+  engine.run_to_completion();
+
+  // Each flow gets 1 byte/ns -> both finish at 1000 ns.
+  ASSERT_EQ(finish_times.size(), 2u);
+  EXPECT_EQ(finish_times[0], 1000u);
+  EXPECT_EQ(finish_times[1], 1000u);
+  EXPECT_EQ(resource.stats().peak_concurrency, 2u);
+}
+
+TEST(FlowResource, LateArrivalSlowsExistingFlow) {
+  Engine engine;
+  EqualShareAllocator allocator(2.0);
+  FlowResource resource(engine, allocator, "dev");
+
+  std::vector<std::pair<int, SimTime>> finish;
+  auto first = [&]() -> Task {
+    co_await resource.transfer(read_spec(1000));
+    finish.emplace_back(1, engine.now());
+  };
+  auto second = [&]() -> Task {
+    co_await sleep_for(engine, 250);
+    co_await resource.transfer(read_spec(1000));
+    finish.emplace_back(2, engine.now());
+  };
+  engine.spawn(first());
+  engine.spawn(second());
+  engine.run_to_completion();
+
+  // Flow 1: 250 ns alone at 2 B/ns -> 500 bytes done; remaining 500 at
+  // 1 B/ns -> finishes at 750. Flow 2 then runs alone: 500 bytes done at
+  // 750, remaining 500 at 2 B/ns -> finishes at 1000.
+  ASSERT_EQ(finish.size(), 2u);
+  EXPECT_EQ(finish[0], (std::pair<int, SimTime>{1, 750}));
+  EXPECT_EQ(finish[1], (std::pair<int, SimTime>{2, 1000}));
+}
+
+TEST(FlowResource, ConservationAcrossManyFlows) {
+  Engine engine;
+  EqualShareAllocator allocator(3.0);
+  FlowResource resource(engine, allocator, "dev");
+
+  constexpr int kFlows = 20;
+  constexpr Bytes kPerFlow = 7777;
+  int completed = 0;
+  auto proc = [&](SimDuration start) -> Task {
+    co_await sleep_for(engine, start);
+    co_await resource.transfer(read_spec(kPerFlow));
+    ++completed;
+  };
+  for (int i = 0; i < kFlows; ++i) {
+    engine.spawn(proc(static_cast<SimDuration>(i * 13)));
+  }
+  engine.run_to_completion();
+
+  EXPECT_EQ(completed, kFlows);
+  EXPECT_EQ(resource.stats().flows_completed, kFlows);
+  EXPECT_NEAR(resource.stats().bytes_read,
+              static_cast<double>(kFlows) * static_cast<double>(kPerFlow),
+              1.0 * kFlows);
+  EXPECT_EQ(resource.active_flows(), 0u);
+}
+
+TEST(FlowResource, TracksReadWriteAndRemoteBytes) {
+  Engine engine;
+  EqualShareAllocator allocator(1.0);
+  FlowResource resource(engine, allocator, "dev");
+
+  auto proc = [&](IoKind kind, Locality locality) -> Task {
+    FlowSpec spec;
+    spec.kind = kind;
+    spec.locality = locality;
+    spec.total_bytes = 100;
+    spec.op_size = 100;
+    co_await resource.transfer(spec);
+  };
+  engine.spawn(proc(IoKind::kRead, Locality::kLocal));
+  engine.spawn(proc(IoKind::kWrite, Locality::kRemote));
+  engine.run_to_completion();
+
+  EXPECT_NEAR(resource.stats().bytes_read, 100.0, 1.0);
+  EXPECT_NEAR(resource.stats().bytes_written, 100.0, 1.0);
+  EXPECT_NEAR(resource.stats().bytes_remote, 100.0, 1.0);
+}
+
+TEST(FlowResource, BusyTimeAndConcurrencyIntegral) {
+  Engine engine;
+  EqualShareAllocator allocator(1.0);
+  FlowResource resource(engine, allocator, "dev");
+
+  auto proc = [&]() -> Task {
+    co_await resource.transfer(read_spec(100));
+  };
+  engine.spawn(proc());
+  engine.spawn(proc());
+  engine.run_to_completion();
+
+  // Both flows run [0, 200] at 0.5 B/ns each.
+  EXPECT_NEAR(resource.stats().busy_time, 200.0, 2.0);
+  EXPECT_NEAR(resource.stats().concurrency_time_integral, 400.0, 4.0);
+}
+
+/// Allocator that prioritizes writes 3:1 over reads, to verify that
+/// allocator policy (not FlowResource) controls sharing.
+class WritePriorityAllocator : public RateAllocator {
+ public:
+  void allocate(std::span<Flow* const> flows) override {
+    double weight_total = 0.0;
+    for (const Flow* flow : flows) {
+      weight_total += weight(*flow);
+    }
+    for (Flow* flow : flows) {
+      flow->progress_rate = 4.0 * weight(*flow) / weight_total;
+      flow->device_rate = flow->progress_rate;
+    }
+  }
+
+ private:
+  static double weight(const Flow& flow) {
+    return flow.spec.kind == IoKind::kWrite ? 3.0 : 1.0;
+  }
+};
+
+TEST(FlowResource, AllocatorPolicyControlsSharing) {
+  Engine engine;
+  WritePriorityAllocator allocator;
+  FlowResource resource(engine, allocator, "dev");
+
+  std::vector<std::pair<const char*, SimTime>> finish;
+  auto proc = [&](IoKind kind, const char* label) -> Task {
+    FlowSpec spec;
+    spec.kind = kind;
+    spec.total_bytes = 1200;
+    spec.op_size = 1200;
+    co_await resource.transfer(spec);
+    finish.emplace_back(label, engine.now());
+  };
+  engine.spawn(proc(IoKind::kWrite, "write"));
+  engine.spawn(proc(IoKind::kRead, "read"));
+  engine.run_to_completion();
+
+  // Writer gets 3 B/ns, reader 1 B/ns while both active. Writer finishes
+  // at 400 ns; reader has 800 bytes left, then runs at 4 B/ns -> 600 ns.
+  ASSERT_EQ(finish.size(), 2u);
+  EXPECT_STREQ(finish[0].first, "write");
+  EXPECT_EQ(finish[0].second, 400u);
+  EXPECT_STREQ(finish[1].first, "read");
+  EXPECT_EQ(finish[1].second, 600u);
+}
+
+TEST(FlowResourceDeathTest, OpSizeZeroAborts) {
+  Engine engine;
+  EqualShareAllocator allocator(1.0);
+  FlowResource resource(engine, allocator, "dev");
+  auto proc = [&]() -> Task {
+    FlowSpec spec;
+    spec.total_bytes = 10;
+    spec.op_size = 0;
+    co_await resource.transfer(spec);
+  };
+  engine.spawn(proc());
+  EXPECT_DEATH(engine.run(), "granularity");
+}
+
+TEST(FlowToString, Names) {
+  EXPECT_STREQ(to_string(IoKind::kRead), "read");
+  EXPECT_STREQ(to_string(IoKind::kWrite), "write");
+  EXPECT_STREQ(to_string(Locality::kLocal), "local");
+  EXPECT_STREQ(to_string(Locality::kRemote), "remote");
+}
+
+}  // namespace
+}  // namespace pmemflow::sim

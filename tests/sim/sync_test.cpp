@@ -1,0 +1,209 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace pmemflow::sim {
+namespace {
+
+TEST(VersionGate, StartsAtZero) {
+  Engine engine;
+  VersionGate gate(engine);
+  EXPECT_EQ(gate.value(), 0u);
+  EXPECT_EQ(gate.waiter_count(), 0u);
+}
+
+TEST(VersionGate, WaitOnSatisfiedThresholdDoesNotSuspend) {
+  Engine engine;
+  VersionGate gate(engine);
+  gate.advance_to(5);
+  std::vector<SimTime> trace;
+  auto reader = [&]() -> Task {
+    co_await gate.wait_for(3);
+    trace.push_back(engine.now());
+  };
+  engine.spawn(reader());
+  engine.run_to_completion();
+  EXPECT_EQ(trace, (std::vector<SimTime>{0}));
+}
+
+TEST(VersionGate, WaiterWakesWhenAdvanced) {
+  Engine engine;
+  VersionGate gate(engine);
+  std::vector<std::pair<const char*, SimTime>> trace;
+
+  auto reader = [&]() -> Task {
+    co_await gate.wait_for(1);
+    trace.emplace_back("read-v1", engine.now());
+    co_await gate.wait_for(2);
+    trace.emplace_back("read-v2", engine.now());
+  };
+  auto writer = [&]() -> Task {
+    co_await sleep_for(engine, 100);
+    gate.advance_to(1);
+    co_await sleep_for(engine, 100);
+    gate.advance_to(2);
+    trace.emplace_back("wrote-v2", engine.now());
+  };
+  engine.spawn(reader());
+  engine.spawn(writer());
+  engine.run_to_completion();
+
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_STREQ(trace[0].first, "read-v1");
+  EXPECT_EQ(trace[0].second, 100u);
+  EXPECT_STREQ(trace[1].first, "wrote-v2");
+  EXPECT_STREQ(trace[2].first, "read-v2");
+  EXPECT_EQ(trace[2].second, 200u);
+}
+
+TEST(VersionGate, MultipleWaitersWithDifferentThresholds) {
+  Engine engine;
+  VersionGate gate(engine);
+  std::vector<int> woken;
+
+  auto waiter = [&](int id, std::uint64_t threshold) -> Task {
+    co_await gate.wait_for(threshold);
+    woken.push_back(id);
+  };
+  engine.spawn(waiter(1, 1));
+  engine.spawn(waiter(2, 2));
+  engine.spawn(waiter(3, 1));
+  engine.call_after(10, [&] { gate.advance_to(1); });
+  engine.call_after(20, [&] { gate.advance_to(2); });
+  engine.run_to_completion();
+
+  // Threshold-1 waiters wake in arrival order at t=10, then threshold-2.
+  EXPECT_EQ(woken, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(VersionGateDeathTest, NonMonotoneAdvanceAborts) {
+  Engine engine;
+  VersionGate gate(engine);
+  gate.advance_to(5);
+  EXPECT_DEATH(gate.advance_to(4), "monotone");
+}
+
+TEST(Barrier, AllPartiesReleaseTogether) {
+  Engine engine;
+  Barrier barrier(engine, 3);
+  std::vector<std::pair<int, SimTime>> released;
+
+  auto party = [&](int id, SimDuration arrive_at) -> Task {
+    co_await sleep_for(engine, arrive_at);
+    co_await barrier.arrive_and_wait();
+    released.emplace_back(id, engine.now());
+  };
+  engine.spawn(party(1, 10));
+  engine.spawn(party(2, 30));
+  engine.spawn(party(3, 20));
+  engine.run_to_completion();
+
+  ASSERT_EQ(released.size(), 3u);
+  for (const auto& [id, when] : released) {
+    (void)id;
+    EXPECT_EQ(when, 30u);  // released when the last party arrives
+  }
+}
+
+TEST(Barrier, ExactlyOneReleaserPerGeneration) {
+  Engine engine;
+  Barrier barrier(engine, 4);
+  int releasers = 0;
+  auto party = [&](SimDuration arrive_at) -> Task {
+    co_await sleep_for(engine, arrive_at);
+    if (co_await barrier.arrive_and_wait()) ++releasers;
+  };
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn(party(static_cast<SimDuration>(10 * (i + 1))));
+  }
+  engine.run_to_completion();
+  EXPECT_EQ(releasers, 1);
+}
+
+TEST(Barrier, IsCyclic) {
+  Engine engine;
+  Barrier barrier(engine, 2);
+  std::vector<SimTime> a_trace;
+
+  auto party = [&](SimDuration step, std::vector<SimTime>* trace) -> Task {
+    for (int iter = 0; iter < 3; ++iter) {
+      co_await sleep_for(engine, step);
+      co_await barrier.arrive_and_wait();
+      if (trace != nullptr) trace->push_back(engine.now());
+    }
+  };
+  engine.spawn(party(10, &a_trace));
+  engine.spawn(party(25, nullptr));
+  engine.run_to_completion();
+
+  // Each generation releases when the slower party (25/iter) arrives.
+  EXPECT_EQ(a_trace, (std::vector<SimTime>{25, 50, 75}));
+}
+
+TEST(Semaphore, AcquireBelowCapacityDoesNotBlock) {
+  Engine engine;
+  Semaphore semaphore(engine, 2);
+  std::vector<SimTime> trace;
+  auto worker = [&]() -> Task {
+    co_await semaphore.acquire();
+    trace.push_back(engine.now());
+  };
+  engine.spawn(worker());
+  engine.spawn(worker());
+  engine.run_to_completion();
+  EXPECT_EQ(trace, (std::vector<SimTime>{0, 0}));
+  EXPECT_EQ(semaphore.available(), 0u);
+}
+
+TEST(Semaphore, BlocksUntilRelease) {
+  Engine engine;
+  Semaphore semaphore(engine, 1);
+  std::vector<std::pair<int, SimTime>> trace;
+
+  auto holder = [&]() -> Task {
+    co_await semaphore.acquire();
+    trace.emplace_back(1, engine.now());
+    co_await sleep_for(engine, 100);
+    semaphore.release();
+  };
+  auto waiter = [&]() -> Task {
+    co_await sleep_for(engine, 10);
+    co_await semaphore.acquire();
+    trace.emplace_back(2, engine.now());
+    semaphore.release();
+  };
+  engine.spawn(holder());
+  engine.spawn(waiter());
+  engine.run_to_completion();
+
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], (std::pair<int, SimTime>{1, 0}));
+  EXPECT_EQ(trace[1], (std::pair<int, SimTime>{2, 100}));
+}
+
+TEST(Semaphore, FifoHandOff) {
+  Engine engine;
+  Semaphore semaphore(engine, 1);
+  std::vector<int> order;
+
+  auto worker = [&](int id, SimDuration arrive) -> Task {
+    co_await sleep_for(engine, arrive);
+    co_await semaphore.acquire();
+    order.push_back(id);
+    co_await sleep_for(engine, 50);
+    semaphore.release();
+  };
+  engine.spawn(worker(1, 0));
+  engine.spawn(worker(2, 1));
+  engine.spawn(worker(3, 2));
+  engine.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace pmemflow::sim

@@ -1,0 +1,83 @@
+#include "stack/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow::stack {
+namespace {
+
+TEST(SyntheticRun, TotalBytes) {
+  SyntheticRun run{.first_index = 0, .count = 100, .object_size = 2 * kKB,
+                   .base_seed = 1};
+  EXPECT_EQ(run.total_bytes(), 200 * kKB);
+}
+
+TEST(SyntheticRun, ObjectSeedsAreDistinctAndDeterministic) {
+  SyntheticRun run{.first_index = 10, .count = 5, .object_size = 64,
+                   .base_seed = 9};
+  EXPECT_EQ(run.object_seed(10), run.object_seed(10));
+  EXPECT_NE(run.object_seed(10), run.object_seed(11));
+}
+
+TEST(SyntheticRun, CombinedChecksumSensitiveToEveryField) {
+  SyntheticRun base{.first_index = 0, .count = 10, .object_size = 128,
+                    .base_seed = 5};
+  SyntheticRun other = base;
+  other.base_seed = 6;
+  EXPECT_NE(base.combined_checksum(), other.combined_checksum());
+  other = base;
+  other.count = 11;
+  EXPECT_NE(base.combined_checksum(), other.combined_checksum());
+  other = base;
+  other.object_size = 129;
+  EXPECT_NE(base.combined_checksum(), other.combined_checksum());
+  other = base;
+  other.first_index = 1;
+  EXPECT_NE(base.combined_checksum(), other.combined_checksum());
+}
+
+TEST(PartHelpers, SyntheticRunPart) {
+  SnapshotPart part = SyntheticRun{.first_index = 0, .count = 1000,
+                                   .object_size = 4608, .base_seed = 3};
+  EXPECT_EQ(part_bytes(part), 1000u * 4608u);
+  EXPECT_EQ(part_object_count(part), 1000u);
+  EXPECT_EQ(part_op_size(part), 4608u);
+}
+
+TEST(PartHelpers, ExplicitObjectsPart) {
+  std::vector<ObjectData> objects;
+  objects.push_back({0, Payload::synthetic(1, 100)});
+  objects.push_back({1, Payload::synthetic(2, 300)});
+  SnapshotPart part = std::move(objects);
+  EXPECT_EQ(part_bytes(part), 400u);
+  EXPECT_EQ(part_object_count(part), 2u);
+  EXPECT_EQ(part_op_size(part), 200u);  // mean size
+}
+
+TEST(PartHelpers, EmptyPartHasNonzeroOpSize) {
+  SnapshotPart part = std::vector<ObjectData>{};
+  EXPECT_EQ(part_bytes(part), 0u);
+  EXPECT_EQ(part_object_count(part), 0u);
+  EXPECT_GE(part_op_size(part), 1u);
+}
+
+TEST(CostModel, OpCostScalesWithSize) {
+  SoftwareCostModel costs;
+  costs.write_ns_per_op = 100.0;
+  costs.write_ns_per_byte = 0.5;
+  costs.read_ns_per_op = 50.0;
+  costs.read_ns_per_byte = 0.25;
+  EXPECT_DOUBLE_EQ(costs.write_op_cost(200), 200.0);
+  EXPECT_DOUBLE_EQ(costs.read_op_cost(200), 100.0);
+}
+
+TEST(CostModel, NvstreamCheaperThanNovaPerOp) {
+  // The paper's reason for evaluating both stacks: NVStream avoids the
+  // POSIX syscall + journaling path (SVII).
+  const auto nvstream = nvstream_cost_model();
+  const auto nova = nova_cost_model();
+  EXPECT_LT(nvstream.write_ns_per_op, nova.write_ns_per_op);
+  EXPECT_LT(nvstream.read_ns_per_op, nova.read_ns_per_op);
+}
+
+}  // namespace
+}  // namespace pmemflow::stack

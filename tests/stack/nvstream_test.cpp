@@ -1,0 +1,254 @@
+#include "stack/nvstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/task.hpp"
+
+namespace pmemflow::stack {
+namespace {
+
+class NvStreamTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  pmemsim::OptaneDevice device_{engine_, /*socket=*/0, 8ULL * kGiB};
+  NvStreamChannel channel_{device_, "chan", /*num_ranks=*/2};
+
+  /// Runs a writer coroutine to completion.
+  void write(std::uint64_t version, std::uint32_t rank, SnapshotPart part) {
+    auto writer = [&]() -> sim::Task {
+      co_await channel_.write_part(/*from=*/0, version, rank,
+                                   std::move(part), 0.0);
+    };
+    engine_.spawn(writer());
+    engine_.run_to_completion();
+  }
+
+  SnapshotPart read(std::uint64_t version, std::uint32_t rank) {
+    SnapshotPart out;
+    auto reader = [&]() -> sim::Task {
+      co_await channel_.read_part(/*from=*/1, version, rank, out, 0.0);
+    };
+    engine_.spawn(reader());
+    engine_.run_to_completion();
+    return out;
+  }
+
+  static std::vector<ObjectData> make_real_objects(int count, Bytes size,
+                                                   std::uint64_t seed) {
+    std::vector<ObjectData> objects;
+    for (int i = 0; i < count; ++i) {
+      objects.push_back(
+          {static_cast<std::uint64_t>(i),
+           Payload::real(Payload::generate_bytes(
+               derive_seed(seed, static_cast<std::uint64_t>(i)), size))});
+    }
+    return objects;
+  }
+};
+
+TEST_F(NvStreamTest, RealObjectsRoundTrip) {
+  auto objects = make_real_objects(5, 1024, 7);
+  const auto originals = objects;
+  write(1, 0, SnapshotPart(std::move(objects)));
+  channel_.commit_version(1);
+
+  const SnapshotPart result = read(1, 0);
+  const auto& loaded = std::get<std::vector<ObjectData>>(result);
+  ASSERT_EQ(loaded.size(), originals.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].index, originals[i].index);
+    EXPECT_EQ(loaded[i].payload.checksum(), originals[i].payload.checksum());
+    EXPECT_EQ(loaded[i].payload.materialize(),
+              originals[i].payload.materialize());
+  }
+  EXPECT_EQ(channel_.stats().objects_written, 5u);
+  EXPECT_EQ(channel_.stats().objects_read, 5u);
+  EXPECT_EQ(channel_.stats().checksum_failures, 0u);
+}
+
+TEST_F(NvStreamTest, SyntheticRunRoundTrip) {
+  SyntheticRun run{.first_index = 0, .count = 50'000, .object_size = 4608,
+                   .base_seed = 99};
+  write(1, 0, SnapshotPart(run));
+  channel_.commit_version(1);
+
+  const SnapshotPart result = read(1, 0);
+  const auto& loaded = std::get<SyntheticRun>(result);
+  EXPECT_EQ(loaded, run);
+}
+
+TEST_F(NvStreamTest, SyntheticRunDoesNotMaterializePayload) {
+  SyntheticRun run{.first_index = 0, .count = 100'000, .object_size = 4608,
+                   .base_seed = 1};
+  const Bytes before = device_.space().materialized();
+  write(1, 0, SnapshotPart(run));
+  // ~460 MB of logical payload; only metadata pages may materialize.
+  EXPECT_LT(device_.space().materialized() - before, 1 * kMiB);
+}
+
+TEST_F(NvStreamTest, PerRankPartsAreIndependent) {
+  write(1, 0, SnapshotPart(make_real_objects(3, 256, 1)));
+  write(1, 1, SnapshotPart(make_real_objects(4, 512, 2)));
+  channel_.commit_version(1);
+
+  EXPECT_EQ(std::get<std::vector<ObjectData>>(read(1, 0)).size(), 3u);
+  EXPECT_EQ(std::get<std::vector<ObjectData>>(read(1, 1)).size(), 4u);
+}
+
+TEST_F(NvStreamTest, MultipleVersions) {
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    write(v, 0, SnapshotPart(make_real_objects(2, 128, v)));
+    write(v, 1, SnapshotPart(make_real_objects(2, 128, v + 100)));
+    channel_.commit_version(v);
+  }
+  EXPECT_EQ(channel_.committed_version(), 3u);
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    EXPECT_EQ(std::get<std::vector<ObjectData>>(read(v, 0)).size(), 2u);
+  }
+}
+
+TEST_F(NvStreamTest, ReadingUncommittedVersionThrows) {
+  write(1, 0, SnapshotPart(make_real_objects(1, 64, 1)));
+  bool threw = false;
+  auto reader = [&]() -> sim::Task {
+    SnapshotPart out;
+    try {
+      co_await channel_.read_part(0, 1, 0, out, 0.0);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  };
+  engine_.spawn(reader());
+  engine_.run_to_completion();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(NvStreamTest, RecycleReleasesStorageAndBlocksReads) {
+  write(1, 0, SnapshotPart(make_real_objects(4, 64 * kKiB, 5)));
+  write(1, 1, SnapshotPart(make_real_objects(4, 64 * kKiB, 6)));
+  channel_.commit_version(1);
+  const Bytes before = device_.space().materialized();
+  channel_.recycle_version(1);
+  EXPECT_LT(device_.space().materialized(), before);
+  EXPECT_EQ(channel_.min_live_version(), 2u);
+
+  bool threw = false;
+  auto reader = [&]() -> sim::Task {
+    SnapshotPart out;
+    try {
+      co_await channel_.read_part(0, 1, 0, out, 0.0);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  };
+  engine_.spawn(reader());
+  engine_.run_to_completion();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(NvStreamTest, RecoveryRebuildsIndex) {
+  write(1, 0, SnapshotPart(make_real_objects(3, 256, 1)));
+  write(1, 1, SnapshotPart(make_real_objects(3, 256, 2)));
+  channel_.commit_version(1);
+  write(2, 0, SnapshotPart(make_real_objects(2, 256, 3)));
+  write(2, 1, SnapshotPart(make_real_objects(2, 256, 4)));
+  channel_.commit_version(2);
+
+  channel_.drop_volatile_state();
+  auto recovered = channel_.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(channel_.committed_version(), 2u);
+
+  EXPECT_EQ(std::get<std::vector<ObjectData>>(read(1, 0)).size(), 3u);
+  EXPECT_EQ(std::get<std::vector<ObjectData>>(read(2, 1)).size(), 2u);
+}
+
+TEST_F(NvStreamTest, RecoveryDiscardsUncommittedTail) {
+  write(1, 0, SnapshotPart(make_real_objects(3, 256, 1)));
+  write(1, 1, SnapshotPart(make_real_objects(3, 256, 2)));
+  channel_.commit_version(1);
+  // Version 2 written but *not* committed before the "crash".
+  write(2, 0, SnapshotPart(make_real_objects(2, 256, 3)));
+
+  channel_.drop_volatile_state();
+  ASSERT_TRUE(channel_.recover().has_value());
+  EXPECT_EQ(channel_.committed_version(), 1u);
+
+  // Version 1 readable, version 2 not.
+  EXPECT_EQ(std::get<std::vector<ObjectData>>(read(1, 0)).size(), 3u);
+  bool threw = false;
+  auto reader = [&]() -> sim::Task {
+    SnapshotPart out;
+    try {
+      co_await channel_.read_part(0, 2, 0, out, 0.0);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  };
+  engine_.spawn(reader());
+  engine_.run_to_completion();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(NvStreamTest, RecoveryTruncatesTornRecord) {
+  write(1, 0, SnapshotPart(make_real_objects(2, 128, 1)));
+  write(1, 1, SnapshotPart(make_real_objects(2, 128, 2)));
+  channel_.commit_version(1);
+  write(2, 0, SnapshotPart(make_real_objects(1, 128, 3)));
+
+  // Corrupt the most recent record of rank 0's chain: flip bytes near
+  // the end of reserved space (the last record written).
+  const Bytes reserved = device_.space().reserved();
+  std::vector<std::byte> garbage(32, std::byte{0xde});
+  device_.space().write(reserved - 96 /* record size */, garbage);
+
+  channel_.drop_volatile_state();
+  ASSERT_TRUE(channel_.recover().has_value());
+  // Committed version 1 must still be fully readable.
+  EXPECT_EQ(std::get<std::vector<ObjectData>>(read(1, 0)).size(), 2u);
+  EXPECT_EQ(std::get<std::vector<ObjectData>>(read(1, 1)).size(), 2u);
+}
+
+TEST_F(NvStreamTest, CorruptedPayloadFailsChecksum) {
+  write(1, 0, SnapshotPart(make_real_objects(1, 4096, 42)));
+  channel_.commit_version(1);
+
+  // Stomp on payload bytes. The payload extent for the single object is
+  // right after the superblock (8 KiB) and before its record.
+  std::vector<std::byte> garbage(128, std::byte{0x55});
+  device_.space().write(8 * kKiB + 100, garbage);
+
+  bool threw = false;
+  auto reader = [&]() -> sim::Task {
+    SnapshotPart out;
+    try {
+      co_await channel_.read_part(0, 1, 0, out, 0.0);
+    } catch (const std::runtime_error& error) {
+      threw = std::string(error.what()).find("checksum") !=
+              std::string::npos;
+    }
+  };
+  engine_.spawn(reader());
+  engine_.run_to_completion();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(channel_.stats().checksum_failures, 1u);
+}
+
+TEST_F(NvStreamTest, WriteChargesSimulatedTime) {
+  const SimTime before = engine_.now();
+  write(1, 0, SnapshotPart(SyntheticRun{.first_index = 0, .count = 16,
+                                        .object_size = 64 * kMB,
+                                        .base_seed = 1}));
+  // 1 GiB at single-writer rate (~3.475 GB/s) is ~0.3 s of simulated time.
+  EXPECT_GT(engine_.now() - before, 200 * kMillisecond);
+}
+
+TEST_F(NvStreamTest, CommitOutOfOrderAborts) {
+  write(1, 0, SnapshotPart(make_real_objects(1, 64, 1)));
+  EXPECT_DEATH(channel_.commit_version(2), "order");
+}
+
+}  // namespace
+}  // namespace pmemflow::stack

@@ -1,0 +1,108 @@
+#include "topo/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow::topo {
+namespace {
+
+TEST(PlatformSpec, DefaultsMatchPaperTestbed) {
+  const PlatformSpec spec;
+  EXPECT_EQ(spec.sockets, 2u);
+  EXPECT_EQ(spec.cores_per_socket, 28u);
+  EXPECT_EQ(spec.imcs_per_socket, 2u);
+  EXPECT_EQ(spec.channels_per_imc, 3u);
+  EXPECT_EQ(spec.pmem_dimms_per_socket, 6u);
+  EXPECT_EQ(spec.pmem_dimm_capacity, 512ULL * kGB);
+  EXPECT_EQ(spec.pmem_per_socket(), 6ULL * 512ULL * kGB);
+  EXPECT_EQ(spec.total_cores(), 56u);
+}
+
+TEST(Platform, SocketOfCore) {
+  Platform platform;
+  EXPECT_EQ(platform.socket_of(0), 0u);
+  EXPECT_EQ(platform.socket_of(27), 0u);
+  EXPECT_EQ(platform.socket_of(28), 1u);
+  EXPECT_EQ(platform.socket_of(55), 1u);
+}
+
+TEST(Platform, CoresOfSocket) {
+  Platform platform;
+  const auto cores = platform.cores_of(1);
+  ASSERT_EQ(cores.size(), 28u);
+  EXPECT_EQ(cores.front(), 28u);
+  EXPECT_EQ(cores.back(), 55u);
+}
+
+TEST(Platform, AllocateAndRelease) {
+  Platform platform;
+  EXPECT_EQ(platform.free_cores(0), 28u);
+
+  auto assignment = platform.allocate_cores(0, 24);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_EQ(assignment->cores.size(), 24u);
+  EXPECT_EQ(assignment->socket, 0u);
+  EXPECT_EQ(platform.free_cores(0), 4u);
+  EXPECT_EQ(platform.free_cores(1), 28u);
+
+  platform.release_cores(*assignment);
+  EXPECT_EQ(platform.free_cores(0), 28u);
+}
+
+TEST(Platform, AllocationsAreDisjoint) {
+  Platform platform;
+  auto a = platform.allocate_cores(0, 16);
+  auto b = platform.allocate_cores(0, 12);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  for (CoreId core_a : a->cores) {
+    for (CoreId core_b : b->cores) {
+      EXPECT_NE(core_a, core_b);
+    }
+  }
+}
+
+TEST(Platform, OverAllocationFailsWithoutSideEffects) {
+  Platform platform;
+  auto a = platform.allocate_cores(0, 20);
+  ASSERT_TRUE(a.has_value());
+  auto b = platform.allocate_cores(0, 10);
+  ASSERT_FALSE(b.has_value());
+  EXPECT_NE(b.error().message.find("free cores"), std::string::npos);
+  EXPECT_EQ(platform.free_cores(0), 8u);
+}
+
+TEST(Platform, BadSocketFails) {
+  Platform platform;
+  auto result = platform.allocate_cores(7, 1);
+  ASSERT_FALSE(result.has_value());
+}
+
+TEST(Platform, ReleaseAll) {
+  Platform platform;
+  (void)platform.allocate_cores(0, 28);
+  (void)platform.allocate_cores(1, 28);
+  EXPECT_EQ(platform.free_cores(0), 0u);
+  platform.release_all();
+  EXPECT_EQ(platform.free_cores(0), 28u);
+  EXPECT_EQ(platform.free_cores(1), 28u);
+}
+
+TEST(Platform, DescribeMentionsGeometry) {
+  Platform platform;
+  const std::string description = platform.describe();
+  EXPECT_NE(description.find("2-socket"), std::string::npos);
+  EXPECT_NE(description.find("28 cores/socket"), std::string::npos);
+  EXPECT_NE(description.find("6 PMEM DIMMs"), std::string::npos);
+}
+
+TEST(Platform, CustomSpec) {
+  PlatformSpec spec;
+  spec.sockets = 4;
+  spec.cores_per_socket = 8;
+  Platform platform(spec);
+  EXPECT_EQ(platform.socket_of(31), 3u);
+  EXPECT_EQ(platform.free_cores(3), 8u);
+}
+
+}  // namespace
+}  // namespace pmemflow::topo

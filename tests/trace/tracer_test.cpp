@@ -1,0 +1,167 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/executor.hpp"
+#include "workloads/suite.hpp"
+
+namespace pmemflow::trace {
+namespace {
+
+TEST(Tracer, RecordsCompletedSpans) {
+  Tracer tracer;
+  tracer.begin("t0", "compute", 100);
+  tracer.end("t0", 250);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const Span& span = tracer.spans()[0];
+  EXPECT_EQ(span.track, "t0");
+  EXPECT_EQ(span.name, "compute");
+  EXPECT_EQ(span.begin, 100u);
+  EXPECT_EQ(span.end, 250u);
+  EXPECT_EQ(span.duration(), 150u);
+}
+
+TEST(Tracer, SpansNestLifoPerTrack) {
+  Tracer tracer;
+  tracer.begin("t0", "outer", 0);
+  tracer.begin("t0", "inner", 10);
+  tracer.end("t0", 20);   // closes inner
+  tracer.end("t0", 100);  // closes outer
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "inner");
+  EXPECT_EQ(tracer.spans()[1].name, "outer");
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, TracksAreIndependent) {
+  Tracer tracer;
+  tracer.begin("a", "x", 0);
+  tracer.begin("b", "y", 5);
+  tracer.end("a", 10);
+  EXPECT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.open_spans(), 1u);
+}
+
+TEST(Tracer, InstantsRecorded) {
+  Tracer tracer;
+  tracer.instant("chan", "commit v1", 42);
+  ASSERT_EQ(tracer.instants().size(), 1u);
+  EXPECT_EQ(tracer.instants()[0].at, 42u);
+}
+
+TEST(Tracer, StatisticsAggregateByName) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    tracer.begin("t", "io", static_cast<SimTime>(i * 100));
+    tracer.end("t", static_cast<SimTime>(i * 100 + 10 * (i + 1)));
+  }
+  const auto stats = tracer.statistics();
+  ASSERT_TRUE(stats.contains("io"));
+  EXPECT_EQ(stats.at("io").count, 3u);
+  EXPECT_EQ(stats.at("io").total_ns, 60u);
+  EXPECT_EQ(stats.at("io").min_ns, 10u);
+  EXPECT_EQ(stats.at("io").max_ns, 30u);
+  EXPECT_DOUBLE_EQ(stats.at("io").mean_ns(), 20.0);
+}
+
+TEST(Tracer, ChromeTraceShapeIsValid) {
+  Tracer tracer;
+  tracer.begin("rank \"0\"", "write\nv1", 1000);
+  tracer.end("rank \"0\"", 3000);
+  tracer.instant("chan", "commit", 3000);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Escaping of quotes and newlines.
+  EXPECT_NE(json.find("rank \\\"0\\\""), std::string::npos);
+  EXPECT_NE(json.find("write\\nv1"), std::string::npos);
+  // No raw newline inside any string literal (escaped only).
+  EXPECT_EQ(json.find("write\nv1"), std::string::npos);
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  Tracer tracer;
+  tracer.begin("t", "x", 0);
+  tracer.end("t", 1);
+  tracer.instant("t", "m", 2);
+  tracer.begin("t", "open", 3);
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.instants().empty());
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(TracerDeathTest, EndWithoutBeginAborts) {
+  Tracer tracer;
+  EXPECT_DEATH(tracer.end("nope", 1), "matching begin");
+}
+
+TEST(TracerDeathTest, BackwardsSpanAborts) {
+  Tracer tracer;
+  tracer.begin("t", "x", 100);
+  EXPECT_DEATH(tracer.end("t", 50), "before it begins");
+}
+
+TEST(TracerRunner, WorkflowRunEmitsExpectedSpans) {
+  Tracer tracer;
+  core::Executor executor;
+  auto spec = workloads::make_workflow(workloads::Family::kMicro64MB, 4);
+  spec.iterations = 3;
+  auto options = core::DeploymentConfig{core::ExecutionMode::kParallel,
+                                        core::Placement::kLocalRead}
+                     .run_options();
+  options.tracer = &tracer;
+  auto result = executor.runner().run(spec, options);
+  ASSERT_TRUE(result.has_value());
+
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const auto stats = tracer.statistics();
+  // Per version: 4 writer spans, 4 reader wait spans, 4 read spans.
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t waits = 0;
+  for (const auto& [name, stat] : stats) {
+    if (name.rfind("compute+write", 0) == 0) writes += stat.count;
+    if (name.rfind("read+analyze", 0) == 0) reads += stat.count;
+    if (name.rfind("wait", 0) == 0) waits += stat.count;
+  }
+  EXPECT_EQ(writes, 12u);
+  EXPECT_EQ(reads, 12u);
+  EXPECT_EQ(waits, 12u);
+  // Commit markers on the channel track.
+  EXPECT_EQ(tracer.instants().size(), 3u);
+}
+
+TEST(TracerRunner, SerialRunWaitsDominateEarlyReaders) {
+  // In serial mode every reader's first wait span covers the entire
+  // writer phase.
+  Tracer tracer;
+  core::Executor executor;
+  auto spec = workloads::make_workflow(workloads::Family::kMicro64MB, 2);
+  spec.iterations = 2;
+  auto options = core::DeploymentConfig{core::ExecutionMode::kSerial,
+                                        core::Placement::kLocalWrite}
+                     .run_options();
+  options.tracer = &tracer;
+  auto result = executor.runner().run(spec, options);
+  ASSERT_TRUE(result.has_value());
+
+  SimDuration max_wait = 0;
+  for (const Span& span : tracer.spans()) {
+    if (span.name.rfind("wait", 0) == 0) {
+      max_wait = std::max(max_wait, span.duration());
+    }
+  }
+  // The longest wait is at least as long as the writer span.
+  EXPECT_GE(max_wait + 1000, result->writer_span_ns);
+}
+
+}  // namespace
+}  // namespace pmemflow::trace

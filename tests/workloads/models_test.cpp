@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/analytics.hpp"
+#include "workloads/gtc.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/miniamr.hpp"
+
+namespace pmemflow::workloads {
+namespace {
+
+TEST(Micro, FactoriesMatchPaperConfigurations) {
+  const auto small = micro_2kb();
+  const auto large = micro_64mb();
+  EXPECT_EQ(small->params().object_size, 2 * kKB);
+  EXPECT_EQ(large->params().object_size, 64 * kMB);
+  // 1 GB snapshot per rank per iteration (80 GB at 8 ranks x 10 iters).
+  EXPECT_EQ(small->params().snapshot_bytes_per_rank, 1 * kGB);
+  EXPECT_EQ(large->params().snapshot_bytes_per_rank, 1 * kGB);
+}
+
+TEST(Micro, ObjectCounts) {
+  EXPECT_EQ(micro_2kb()->objects_per_snapshot(), 500'000u);
+  EXPECT_EQ(micro_64mb()->objects_per_snapshot(), 15u);
+}
+
+TEST(Micro, NoComputePhase) {
+  EXPECT_DOUBLE_EQ(micro_2kb()->compute_ns_per_iteration(0, 8), 0.0);
+}
+
+TEST(Micro, PartsAreDeterministicAndVersionDistinct) {
+  const auto sim = micro_2kb();
+  const auto a = sim->part_for(0, 8, 1);
+  const auto b = sim->part_for(0, 8, 1);
+  const auto c = sim->part_for(0, 8, 2);
+  const auto d = sim->part_for(1, 8, 1);
+  EXPECT_EQ(std::get<stack::SyntheticRun>(a),
+            std::get<stack::SyntheticRun>(b));
+  EXPECT_NE(std::get<stack::SyntheticRun>(a).base_seed,
+            std::get<stack::SyntheticRun>(c).base_seed);
+  EXPECT_NE(std::get<stack::SyntheticRun>(a).base_seed,
+            std::get<stack::SyntheticRun>(d).base_seed);
+}
+
+TEST(Gtc, UsesFewLargeObjects) {
+  const auto sim = gtc_simulation();
+  EXPECT_EQ(sim->params().object_size, 229 * kMB);
+  const auto part = sim->part_for(0, 16, 1);
+  const auto& objects = std::get<std::vector<stack::ObjectData>>(part);
+  EXPECT_EQ(objects.size(), sim->params().objects_per_rank);
+  EXPECT_EQ(objects[0].payload.size(), 229 * kMB);
+  EXPECT_TRUE(objects[0].payload.is_synthetic());
+}
+
+TEST(Gtc, ComputeShrinksWithRankCount) {
+  const auto sim = gtc_simulation();
+  const double at8 = sim->compute_ns_per_iteration(0, 8);
+  const double at16 = sim->compute_ns_per_iteration(0, 16);
+  const double at24 = sim->compute_ns_per_iteration(0, 24);
+  EXPECT_GT(at8, at16);
+  EXPECT_GT(at16, at24);
+  // Super-linear scaling: (16/8)^exponent.
+  const double exponent = sim->params().compute_scaling_exponent;
+  EXPECT_NEAR(at8 / at16, std::pow(2.0, exponent), 1e-6);
+}
+
+TEST(Gtc, IsComputeHeavy) {
+  // GTC's defining property: compute >> standalone I/O time.
+  const auto sim = gtc_simulation();
+  // Write time of 229 MB at the per-thread cap (3.5 GB/s) ~ 65 ms.
+  const double io_estimate_ns = 229e6 / 3.5;
+  EXPECT_GT(sim->compute_ns_per_iteration(0, 16), 4.0 * io_estimate_ns);
+}
+
+TEST(MiniAmr, BlockGeometryMatchesPaper) {
+  const auto sim = miniamr_simulation();
+  // 4.5 KB blocks (8^3 doubles + metadata), 528 K per snapshot.
+  EXPECT_EQ(sim->block_bytes(), 4608u);
+  EXPECT_EQ(sim->params().total_blocks, 528'000u);
+}
+
+TEST(MiniAmr, BlocksDecomposeAcrossRanks) {
+  const auto sim = miniamr_simulation();
+  EXPECT_EQ(sim->blocks_per_rank(8), 66'000u);
+  EXPECT_EQ(sim->blocks_per_rank(16), 33'000u);
+  EXPECT_EQ(sim->blocks_per_rank(24), 22'000u);
+}
+
+TEST(MiniAmr, PartIsARunOfBlocks) {
+  const auto sim = miniamr_simulation();
+  const auto part = sim->part_for(3, 16, 2);
+  const auto& run = std::get<stack::SyntheticRun>(part);
+  EXPECT_EQ(run.count, 33'000u);
+  EXPECT_EQ(run.object_size, 4608u);
+}
+
+TEST(MiniAmr, ComputeProportionalToBlocks) {
+  const auto sim = miniamr_simulation();
+  const double at8 = sim->compute_ns_per_iteration(0, 8);
+  const double at16 = sim->compute_ns_per_iteration(0, 16);
+  EXPECT_NEAR(at8 / at16, 2.0, 1e-9);
+}
+
+TEST(Analytics, ReadOnlyHasNoCompute) {
+  const auto kernel = readonly_analytics();
+  EXPECT_DOUBLE_EQ(kernel->compute_ns_per_object(4608), 0.0);
+  EXPECT_DOUBLE_EQ(kernel->compute_ns_per_object(229 * kMB), 0.0);
+}
+
+TEST(Analytics, MatrixMultComputeFollowsFlops) {
+  MatrixMultAnalytics::Params params;
+  params.matrix_edge = 100;
+  params.mults_per_object = 2.0;
+  params.flops_per_ns = 4.0;
+  MatrixMultAnalytics kernel(params, "test-mm");
+  // 2 * 100^3 FLOPs * 2 mults / 4 FLOP/ns = 1e6 ns.
+  EXPECT_DOUBLE_EQ(kernel.compute_ns_per_object(1), 1e6);
+}
+
+TEST(Analytics, GtcKernelHeavierPerObjectThanMiniAmr) {
+  // GTC's large arrays need far more compute per object than a 4.5 KB
+  // miniAMR block (SIV-B).
+  EXPECT_GT(gtc_matrixmult()->compute_ns_per_object(229 * kMB),
+            100.0 * miniamr_matrixmult()->compute_ns_per_object(4608));
+}
+
+}  // namespace
+}  // namespace pmemflow::workloads

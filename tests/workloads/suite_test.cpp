@@ -1,0 +1,66 @@
+#include "workloads/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmemflow::workloads {
+namespace {
+
+TEST(Suite, HasEighteenWorkflows) {
+  // 6 families x 3 concurrency levels (paper SIV-C: "18 total
+  // workloads").
+  EXPECT_EQ(full_suite().size(), 18u);
+}
+
+TEST(Suite, LabelsAreUnique) {
+  std::set<std::string> labels;
+  for (const auto& spec : full_suite()) {
+    EXPECT_TRUE(labels.insert(spec.label).second) << spec.label;
+  }
+}
+
+TEST(Suite, EveryWorkflowIsComplete) {
+  for (const auto& spec : full_suite()) {
+    EXPECT_NE(spec.simulation, nullptr) << spec.label;
+    EXPECT_NE(spec.analytics, nullptr) << spec.label;
+    EXPECT_EQ(spec.iterations, 10u) << spec.label;
+    EXPECT_TRUE(spec.ranks == 8 || spec.ranks == 16 || spec.ranks == 24)
+        << spec.label;
+  }
+}
+
+TEST(Suite, FamilyNames) {
+  EXPECT_STREQ(to_string(Family::kMicro64MB), "micro-64MB");
+  EXPECT_STREQ(to_string(Family::kGtcMatrixMult), "gtc+matrixmult");
+  EXPECT_STREQ(to_string(Family::kMiniAmrReadOnly), "miniamr+readonly");
+}
+
+TEST(Suite, MakeWorkflowLabels) {
+  const auto spec = make_workflow(Family::kMicro2KB, 16);
+  EXPECT_EQ(spec.label, "micro-2KB@16");
+  EXPECT_EQ(spec.ranks, 16u);
+}
+
+TEST(Suite, StackSelectionPropagates) {
+  const auto spec = make_workflow(Family::kGtcReadOnly, 8,
+                                  workflow::WorkflowSpec::Stack::kNova);
+  EXPECT_EQ(spec.stack, workflow::WorkflowSpec::Stack::kNova);
+}
+
+TEST(Suite, AllFamiliesInFigureOrder) {
+  const auto families = all_families();
+  ASSERT_EQ(families.size(), 6u);
+  EXPECT_EQ(families.front(), Family::kMicro64MB);
+  EXPECT_EQ(families.back(), Family::kMiniAmrMatrixMult);
+}
+
+TEST(Suite, SimulationModelsSharedAcrossConcurrency) {
+  // Same family at different rank counts couples the same kernels.
+  const auto a = make_workflow(Family::kGtcReadOnly, 8);
+  const auto b = make_workflow(Family::kGtcReadOnly, 24);
+  EXPECT_EQ(a.simulation->name(), b.simulation->name());
+}
+
+}  // namespace
+}  // namespace pmemflow::workloads
