@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_makespan.dir/batch_makespan.cpp.o"
+  "CMakeFiles/batch_makespan.dir/batch_makespan.cpp.o.d"
+  "batch_makespan"
+  "batch_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

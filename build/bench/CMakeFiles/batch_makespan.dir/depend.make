@@ -1,0 +1,2 @@
+# Empty dependencies file for batch_makespan.
+# This may be replaced when dependencies are built.

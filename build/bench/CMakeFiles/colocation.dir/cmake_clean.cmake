@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation.dir/colocation.cpp.o"
+  "CMakeFiles/colocation.dir/colocation.cpp.o.d"
+  "colocation"
+  "colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devchar_pmem.dir/devchar_pmem.cpp.o"
+  "CMakeFiles/devchar_pmem.dir/devchar_pmem.cpp.o.d"
+  "devchar_pmem"
+  "devchar_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devchar_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_parameter_space.cpp" "bench/CMakeFiles/fig03_parameter_space.dir/fig03_parameter_space.cpp.o" "gcc" "bench/CMakeFiles/fig03_parameter_space.dir/fig03_parameter_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pmemflow_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pmemflow_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pmemflow_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmemflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/pmemflow_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/pmemflow_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmemflow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemflow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/pmemflow_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

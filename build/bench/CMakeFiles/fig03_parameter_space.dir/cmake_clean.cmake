@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_parameter_space.dir/fig03_parameter_space.cpp.o"
+  "CMakeFiles/fig03_parameter_space.dir/fig03_parameter_space.cpp.o.d"
+  "fig03_parameter_space"
+  "fig03_parameter_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_parameter_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_micro_64mb.dir/fig04_micro_64mb.cpp.o"
+  "CMakeFiles/fig04_micro_64mb.dir/fig04_micro_64mb.cpp.o.d"
+  "fig04_micro_64mb"
+  "fig04_micro_64mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_micro_64mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_micro_2kb.dir/fig05_micro_2kb.cpp.o"
+  "CMakeFiles/fig05_micro_2kb.dir/fig05_micro_2kb.cpp.o.d"
+  "fig05_micro_2kb"
+  "fig05_micro_2kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_micro_2kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

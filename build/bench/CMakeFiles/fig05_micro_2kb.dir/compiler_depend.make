@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_micro_2kb.
+# This may be replaced when dependencies are built.

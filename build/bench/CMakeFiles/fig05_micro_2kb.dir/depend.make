@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_micro_2kb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gtc_readonly.dir/fig06_gtc_readonly.cpp.o"
+  "CMakeFiles/fig06_gtc_readonly.dir/fig06_gtc_readonly.cpp.o.d"
+  "fig06_gtc_readonly"
+  "fig06_gtc_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gtc_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_gtc_matmult.dir/fig07_gtc_matmult.cpp.o"
+  "CMakeFiles/fig07_gtc_matmult.dir/fig07_gtc_matmult.cpp.o.d"
+  "fig07_gtc_matmult"
+  "fig07_gtc_matmult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_gtc_matmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_miniamr_readonly.dir/fig08_miniamr_readonly.cpp.o"
+  "CMakeFiles/fig08_miniamr_readonly.dir/fig08_miniamr_readonly.cpp.o.d"
+  "fig08_miniamr_readonly"
+  "fig08_miniamr_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_miniamr_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_miniamr_matmult.dir/fig09_miniamr_matmult.cpp.o"
+  "CMakeFiles/fig09_miniamr_matmult.dir/fig09_miniamr_matmult.cpp.o.d"
+  "fig09_miniamr_matmult"
+  "fig09_miniamr_matmult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_miniamr_matmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

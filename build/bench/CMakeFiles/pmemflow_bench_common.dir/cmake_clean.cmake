@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpmemflow_bench_common.a"
+  "../lib/libpmemflow_bench_common.pdb"
+  "CMakeFiles/pmemflow_bench_common.dir/common.cpp.o"
+  "CMakeFiles/pmemflow_bench_common.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpmemflow_bench_common.a"
+)

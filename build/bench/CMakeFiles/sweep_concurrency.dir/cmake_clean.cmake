@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_concurrency.dir/sweep_concurrency.cpp.o"
+  "CMakeFiles/sweep_concurrency.dir/sweep_concurrency.cpp.o.d"
+  "sweep_concurrency"
+  "sweep_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_recommendations.dir/table2_recommendations.cpp.o"
+  "CMakeFiles/table2_recommendations.dir/table2_recommendations.cpp.o.d"
+  "table2_recommendations"
+  "table2_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

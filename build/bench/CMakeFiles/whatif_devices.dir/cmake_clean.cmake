@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_devices.dir/whatif_devices.cpp.o"
+  "CMakeFiles/whatif_devices.dir/whatif_devices.cpp.o.d"
+  "whatif_devices"
+  "whatif_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runbench.dir/runbench.cpp.o"
+  "CMakeFiles/runbench.dir/runbench.cpp.o.d"
+  "runbench"
+  "runbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

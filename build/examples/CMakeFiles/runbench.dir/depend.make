@@ -1,0 +1,2 @@
+# Empty dependencies file for runbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_workflow.dir/schedule_workflow.cpp.o"
+  "CMakeFiles/schedule_workflow.dir/schedule_workflow.cpp.o.d"
+  "schedule_workflow"
+  "schedule_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

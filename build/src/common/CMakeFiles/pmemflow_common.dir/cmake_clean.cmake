@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_common.dir/csv.cpp.o"
+  "CMakeFiles/pmemflow_common.dir/csv.cpp.o.d"
+  "CMakeFiles/pmemflow_common.dir/flags.cpp.o"
+  "CMakeFiles/pmemflow_common.dir/flags.cpp.o.d"
+  "CMakeFiles/pmemflow_common.dir/log.cpp.o"
+  "CMakeFiles/pmemflow_common.dir/log.cpp.o.d"
+  "CMakeFiles/pmemflow_common.dir/strings.cpp.o"
+  "CMakeFiles/pmemflow_common.dir/strings.cpp.o.d"
+  "CMakeFiles/pmemflow_common.dir/table.cpp.o"
+  "CMakeFiles/pmemflow_common.dir/table.cpp.o.d"
+  "libpmemflow_common.a"
+  "libpmemflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

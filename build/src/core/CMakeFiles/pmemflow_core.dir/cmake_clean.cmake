@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_core.dir/autotuner.cpp.o"
+  "CMakeFiles/pmemflow_core.dir/autotuner.cpp.o.d"
+  "CMakeFiles/pmemflow_core.dir/batch.cpp.o"
+  "CMakeFiles/pmemflow_core.dir/batch.cpp.o.d"
+  "CMakeFiles/pmemflow_core.dir/characterizer.cpp.o"
+  "CMakeFiles/pmemflow_core.dir/characterizer.cpp.o.d"
+  "CMakeFiles/pmemflow_core.dir/config.cpp.o"
+  "CMakeFiles/pmemflow_core.dir/config.cpp.o.d"
+  "CMakeFiles/pmemflow_core.dir/executor.cpp.o"
+  "CMakeFiles/pmemflow_core.dir/executor.cpp.o.d"
+  "CMakeFiles/pmemflow_core.dir/recommender.cpp.o"
+  "CMakeFiles/pmemflow_core.dir/recommender.cpp.o.d"
+  "libpmemflow_core.a"
+  "libpmemflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

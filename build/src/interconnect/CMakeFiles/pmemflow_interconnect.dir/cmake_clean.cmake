@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_interconnect.dir/upi.cpp.o"
+  "CMakeFiles/pmemflow_interconnect.dir/upi.cpp.o.d"
+  "libpmemflow_interconnect.a"
+  "libpmemflow_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

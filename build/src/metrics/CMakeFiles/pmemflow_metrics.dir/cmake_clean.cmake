@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_metrics.dir/report.cpp.o"
+  "CMakeFiles/pmemflow_metrics.dir/report.cpp.o.d"
+  "libpmemflow_metrics.a"
+  "libpmemflow_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmemsim/allocator.cpp" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/allocator.cpp.o" "gcc" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/allocator.cpp.o.d"
+  "/root/repo/src/pmemsim/bandwidth.cpp" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/bandwidth.cpp.o" "gcc" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/pmemsim/device.cpp" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/device.cpp.o" "gcc" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/device.cpp.o.d"
+  "/root/repo/src/pmemsim/space.cpp" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/space.cpp.o" "gcc" "src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmemflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemflow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/pmemflow_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_pmemsim.dir/allocator.cpp.o"
+  "CMakeFiles/pmemflow_pmemsim.dir/allocator.cpp.o.d"
+  "CMakeFiles/pmemflow_pmemsim.dir/bandwidth.cpp.o"
+  "CMakeFiles/pmemflow_pmemsim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/pmemflow_pmemsim.dir/device.cpp.o"
+  "CMakeFiles/pmemflow_pmemsim.dir/device.cpp.o.d"
+  "CMakeFiles/pmemflow_pmemsim.dir/space.cpp.o"
+  "CMakeFiles/pmemflow_pmemsim.dir/space.cpp.o.d"
+  "libpmemflow_pmemsim.a"
+  "libpmemflow_pmemsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_pmemsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

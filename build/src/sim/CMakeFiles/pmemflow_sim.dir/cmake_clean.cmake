@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_sim.dir/engine.cpp.o"
+  "CMakeFiles/pmemflow_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pmemflow_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pmemflow_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pmemflow_sim.dir/flow.cpp.o"
+  "CMakeFiles/pmemflow_sim.dir/flow.cpp.o.d"
+  "CMakeFiles/pmemflow_sim.dir/sync.cpp.o"
+  "CMakeFiles/pmemflow_sim.dir/sync.cpp.o.d"
+  "libpmemflow_sim.a"
+  "libpmemflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

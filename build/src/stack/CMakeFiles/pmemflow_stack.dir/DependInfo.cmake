@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/channel.cpp" "src/stack/CMakeFiles/pmemflow_stack.dir/channel.cpp.o" "gcc" "src/stack/CMakeFiles/pmemflow_stack.dir/channel.cpp.o.d"
+  "/root/repo/src/stack/nova_channel.cpp" "src/stack/CMakeFiles/pmemflow_stack.dir/nova_channel.cpp.o" "gcc" "src/stack/CMakeFiles/pmemflow_stack.dir/nova_channel.cpp.o.d"
+  "/root/repo/src/stack/novafs.cpp" "src/stack/CMakeFiles/pmemflow_stack.dir/novafs.cpp.o" "gcc" "src/stack/CMakeFiles/pmemflow_stack.dir/novafs.cpp.o.d"
+  "/root/repo/src/stack/nvstream.cpp" "src/stack/CMakeFiles/pmemflow_stack.dir/nvstream.cpp.o" "gcc" "src/stack/CMakeFiles/pmemflow_stack.dir/nvstream.cpp.o.d"
+  "/root/repo/src/stack/payload.cpp" "src/stack/CMakeFiles/pmemflow_stack.dir/payload.cpp.o" "gcc" "src/stack/CMakeFiles/pmemflow_stack.dir/payload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmemflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemflow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/pmemflow_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

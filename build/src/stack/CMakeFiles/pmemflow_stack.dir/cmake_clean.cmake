@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_stack.dir/channel.cpp.o"
+  "CMakeFiles/pmemflow_stack.dir/channel.cpp.o.d"
+  "CMakeFiles/pmemflow_stack.dir/nova_channel.cpp.o"
+  "CMakeFiles/pmemflow_stack.dir/nova_channel.cpp.o.d"
+  "CMakeFiles/pmemflow_stack.dir/novafs.cpp.o"
+  "CMakeFiles/pmemflow_stack.dir/novafs.cpp.o.d"
+  "CMakeFiles/pmemflow_stack.dir/nvstream.cpp.o"
+  "CMakeFiles/pmemflow_stack.dir/nvstream.cpp.o.d"
+  "CMakeFiles/pmemflow_stack.dir/payload.cpp.o"
+  "CMakeFiles/pmemflow_stack.dir/payload.cpp.o.d"
+  "libpmemflow_stack.a"
+  "libpmemflow_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

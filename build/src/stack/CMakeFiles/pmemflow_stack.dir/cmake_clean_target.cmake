@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmemflow_stack.a"
+)

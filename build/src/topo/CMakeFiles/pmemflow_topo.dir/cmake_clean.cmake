@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_topo.dir/platform.cpp.o"
+  "CMakeFiles/pmemflow_topo.dir/platform.cpp.o.d"
+  "libpmemflow_topo.a"
+  "libpmemflow_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_trace.dir/tracer.cpp.o"
+  "CMakeFiles/pmemflow_trace.dir/tracer.cpp.o.d"
+  "libpmemflow_trace.a"
+  "libpmemflow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_workflow.dir/runner.cpp.o"
+  "CMakeFiles/pmemflow_workflow.dir/runner.cpp.o.d"
+  "libpmemflow_workflow.a"
+  "libpmemflow_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemflow_workloads.dir/analytics.cpp.o"
+  "CMakeFiles/pmemflow_workloads.dir/analytics.cpp.o.d"
+  "CMakeFiles/pmemflow_workloads.dir/gtc.cpp.o"
+  "CMakeFiles/pmemflow_workloads.dir/gtc.cpp.o.d"
+  "CMakeFiles/pmemflow_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/pmemflow_workloads.dir/microbench.cpp.o.d"
+  "CMakeFiles/pmemflow_workloads.dir/miniamr.cpp.o"
+  "CMakeFiles/pmemflow_workloads.dir/miniamr.cpp.o.d"
+  "CMakeFiles/pmemflow_workloads.dir/suite.cpp.o"
+  "CMakeFiles/pmemflow_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/pmemflow_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/pmemflow_workloads.dir/synthetic.cpp.o.d"
+  "libpmemflow_workloads.a"
+  "libpmemflow_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemflow_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

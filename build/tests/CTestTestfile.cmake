@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("topo")
+subdirs("interconnect")
+subdirs("pmemsim")
+subdirs("stack")
+subdirs("workflow")
+subdirs("workloads")
+subdirs("core")
+subdirs("metrics")
+subdirs("integration")
+subdirs("trace")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_expected.dir/expected_test.cpp.o"
+  "CMakeFiles/test_common_expected.dir/expected_test.cpp.o.d"
+  "test_common_expected"
+  "test_common_expected.pdb"
+  "test_common_expected[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_expected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_flags.dir/flags_test.cpp.o"
+  "CMakeFiles/test_common_flags.dir/flags_test.cpp.o.d"
+  "test_common_flags"
+  "test_common_flags.pdb"
+  "test_common_flags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_hash.dir/hash_test.cpp.o"
+  "CMakeFiles/test_common_hash.dir/hash_test.cpp.o.d"
+  "test_common_hash"
+  "test_common_hash.pdb"
+  "test_common_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common/test_common_units[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_rng[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_hash[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_strings[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_csv[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_table[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_expected[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_serialize[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_flags[1]_include.cmake")

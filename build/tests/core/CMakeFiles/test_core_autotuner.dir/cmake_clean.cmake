@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_autotuner.dir/autotuner_test.cpp.o"
+  "CMakeFiles/test_core_autotuner.dir/autotuner_test.cpp.o.d"
+  "test_core_autotuner"
+  "test_core_autotuner.pdb"
+  "test_core_autotuner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_batch.dir/batch_test.cpp.o"
+  "CMakeFiles/test_core_batch.dir/batch_test.cpp.o.d"
+  "test_core_batch"
+  "test_core_batch.pdb"
+  "test_core_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

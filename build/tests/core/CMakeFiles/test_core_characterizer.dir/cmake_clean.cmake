@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_characterizer.dir/characterizer_test.cpp.o"
+  "CMakeFiles/test_core_characterizer.dir/characterizer_test.cpp.o.d"
+  "test_core_characterizer"
+  "test_core_characterizer.pdb"
+  "test_core_characterizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_characterizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_recommender.dir/recommender_test.cpp.o"
+  "CMakeFiles/test_core_recommender.dir/recommender_test.cpp.o.d"
+  "test_core_recommender"
+  "test_core_recommender.pdb"
+  "test_core_recommender[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

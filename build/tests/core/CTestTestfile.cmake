@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_core_config[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_executor[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_characterizer[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_recommender[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_autotuner[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_batch[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EndToEndThroughPublicApi]=]  /root/repo/build/tests/integration/test_integration_umbrella [==[--gtest_filter=Umbrella.EndToEndThroughPublicApi]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EndToEndThroughPublicApi]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests/integration SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_integration_umbrella_TESTS Umbrella.EndToEndThroughPublicApi)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interconnect_upi.dir/upi_test.cpp.o"
+  "CMakeFiles/test_interconnect_upi.dir/upi_test.cpp.o.d"
+  "test_interconnect_upi"
+  "test_interconnect_upi.pdb"
+  "test_interconnect_upi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interconnect_upi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmemsim_allocator.dir/allocator_test.cpp.o"
+  "CMakeFiles/test_pmemsim_allocator.dir/allocator_test.cpp.o.d"
+  "test_pmemsim_allocator"
+  "test_pmemsim_allocator.pdb"
+  "test_pmemsim_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmemsim_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

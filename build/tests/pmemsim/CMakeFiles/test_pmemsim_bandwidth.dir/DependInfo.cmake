@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pmemsim/bandwidth_test.cpp" "tests/pmemsim/CMakeFiles/test_pmemsim_bandwidth.dir/bandwidth_test.cpp.o" "gcc" "tests/pmemsim/CMakeFiles/test_pmemsim_bandwidth.dir/bandwidth_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmemsim/CMakeFiles/pmemflow_pmemsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemflow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/pmemflow_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmemsim_bandwidth.dir/bandwidth_test.cpp.o"
+  "CMakeFiles/test_pmemsim_bandwidth.dir/bandwidth_test.cpp.o.d"
+  "test_pmemsim_bandwidth"
+  "test_pmemsim_bandwidth.pdb"
+  "test_pmemsim_bandwidth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmemsim_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

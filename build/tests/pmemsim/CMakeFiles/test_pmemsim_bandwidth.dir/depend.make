@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pmemsim_bandwidth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pmemsim
+# Build directory: /root/repo/build/tests/pmemsim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pmemsim/test_pmemsim_bandwidth[1]_include.cmake")
+include("/root/repo/build/tests/pmemsim/test_pmemsim_allocator[1]_include.cmake")
+include("/root/repo/build/tests/pmemsim/test_pmemsim_space[1]_include.cmake")
+include("/root/repo/build/tests/pmemsim/test_pmemsim_device[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_flow.dir/flow_test.cpp.o"
+  "CMakeFiles/test_sim_flow.dir/flow_test.cpp.o.d"
+  "test_sim_flow"
+  "test_sim_flow.pdb"
+  "test_sim_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_channel_contract.dir/channel_contract_test.cpp.o"
+  "CMakeFiles/test_stack_channel_contract.dir/channel_contract_test.cpp.o.d"
+  "test_stack_channel_contract"
+  "test_stack_channel_contract.pdb"
+  "test_stack_channel_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_channel_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_nova_channel.dir/nova_channel_test.cpp.o"
+  "CMakeFiles/test_stack_nova_channel.dir/nova_channel_test.cpp.o.d"
+  "test_stack_nova_channel"
+  "test_stack_nova_channel.pdb"
+  "test_stack_nova_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_nova_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

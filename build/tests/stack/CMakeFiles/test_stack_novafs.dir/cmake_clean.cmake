@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_novafs.dir/novafs_test.cpp.o"
+  "CMakeFiles/test_stack_novafs.dir/novafs_test.cpp.o.d"
+  "test_stack_novafs"
+  "test_stack_novafs.pdb"
+  "test_stack_novafs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_novafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

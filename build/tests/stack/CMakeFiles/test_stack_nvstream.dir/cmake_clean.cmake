@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_nvstream.dir/nvstream_test.cpp.o"
+  "CMakeFiles/test_stack_nvstream.dir/nvstream_test.cpp.o.d"
+  "test_stack_nvstream"
+  "test_stack_nvstream.pdb"
+  "test_stack_nvstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_nvstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_payload.dir/payload_test.cpp.o"
+  "CMakeFiles/test_stack_payload.dir/payload_test.cpp.o.d"
+  "test_stack_payload"
+  "test_stack_payload.pdb"
+  "test_stack_payload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

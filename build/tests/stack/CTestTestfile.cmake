@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/stack
+# Build directory: /root/repo/build/tests/stack
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stack/test_stack_payload[1]_include.cmake")
+include("/root/repo/build/tests/stack/test_stack_channel[1]_include.cmake")
+include("/root/repo/build/tests/stack/test_stack_nvstream[1]_include.cmake")
+include("/root/repo/build/tests/stack/test_stack_novafs[1]_include.cmake")
+include("/root/repo/build/tests/stack/test_stack_nova_channel[1]_include.cmake")
+include("/root/repo/build/tests/stack/test_stack_channel_contract[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_tracer.dir/tracer_test.cpp.o"
+  "CMakeFiles/test_trace_tracer.dir/tracer_test.cpp.o.d"
+  "test_trace_tracer"
+  "test_trace_tracer.pdb"
+  "test_trace_tracer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_colocation.dir/colocation_test.cpp.o"
+  "CMakeFiles/test_workflow_colocation.dir/colocation_test.cpp.o.d"
+  "test_workflow_colocation"
+  "test_workflow_colocation.pdb"
+  "test_workflow_colocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

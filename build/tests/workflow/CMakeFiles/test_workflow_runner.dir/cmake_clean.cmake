@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_runner.dir/runner_test.cpp.o"
+  "CMakeFiles/test_workflow_runner.dir/runner_test.cpp.o.d"
+  "test_workflow_runner"
+  "test_workflow_runner.pdb"
+  "test_workflow_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workflow
+# Build directory: /root/repo/build/tests/workflow
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workflow/test_workflow_runner[1]_include.cmake")
+include("/root/repo/build/tests/workflow/test_workflow_colocation[1]_include.cmake")

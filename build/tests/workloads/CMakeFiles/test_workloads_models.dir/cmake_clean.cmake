@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_models.dir/models_test.cpp.o"
+  "CMakeFiles/test_workloads_models.dir/models_test.cpp.o.d"
+  "test_workloads_models"
+  "test_workloads_models.pdb"
+  "test_workloads_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_suite.dir/suite_test.cpp.o"
+  "CMakeFiles/test_workloads_suite.dir/suite_test.cpp.o.d"
+  "test_workloads_suite"
+  "test_workloads_suite.pdb"
+  "test_workloads_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_experiments.dir/gen_experiments.cpp.o"
+  "CMakeFiles/gen_experiments.dir/gen_experiments.cpp.o.d"
+  "gen_experiments"
+  "gen_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
