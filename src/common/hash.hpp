@@ -1,12 +1,19 @@
 // Streaming 64-bit content hashing (FNV-1a).
 //
-// Used to checksum object payloads end-to-end: writers hash what they
-// store, readers hash what they load, and integrity tests compare the two.
+// Used to checksum object payloads end-to-end (writers hash what they
+// store, readers hash what they load, and integrity tests compare the
+// two) and to build stable structural fingerprints (workflow-spec
+// digests for the service-layer recommendation cache). All update
+// methods feed a fixed byte encoding — little-endian integers, IEEE-754
+// bit patterns for doubles — so a given value sequence digests to the
+// same hash on every run and platform we target.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 namespace pmemflow {
 
@@ -25,6 +32,27 @@ class Hasher64 {
   constexpr void update_u64(std::uint64_t value) noexcept {
     for (int i = 0; i < 8; ++i) {
       hash_ ^= (value >> (8 * i)) & 0xffU;
+      hash_ *= kPrime;
+    }
+  }
+
+  /// Hashes the IEEE-754 bit pattern (run-to-run stable; distinguishes
+  /// -0.0 from +0.0 and every NaN payload, which is fine for
+  /// fingerprinting deterministic model parameters).
+  constexpr void update_double(double value) noexcept {
+    update_u64(std::bit_cast<std::uint64_t>(value));
+  }
+
+  constexpr void update_bool(bool value) noexcept {
+    update_u64(value ? 1 : 0);
+  }
+
+  /// Length-prefixed so consecutive strings cannot alias ("ab","c" vs
+  /// "a","bc").
+  constexpr void update_string(std::string_view text) noexcept {
+    update_u64(text.size());
+    for (char c : text) {
+      hash_ ^= static_cast<std::uint8_t>(c);
       hash_ *= kPrime;
     }
   }

@@ -1,0 +1,40 @@
+#include "metrics/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::metrics {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  PMEMFLOW_ASSERT(q >= 0.0 && q <= 100.0);
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank: the smallest value with at least q% of samples at or
+  // below it.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+SummaryStats summarize(std::span<const double> samples) {
+  SummaryStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  for (double sample : sorted) sum += sample;
+  stats.mean = sum / static_cast<double>(sorted.size());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  stats.p50 = percentile_sorted(sorted, 50.0);
+  stats.p95 = percentile_sorted(sorted, 95.0);
+  stats.p99 = percentile_sorted(sorted, 99.0);
+  return stats;
+}
+
+}  // namespace pmemflow::metrics

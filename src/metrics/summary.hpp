@@ -1,0 +1,33 @@
+// Distribution summaries for service-level metrics.
+//
+// The figure benches report single runtimes; the online scheduling
+// service reports *distributions* (queueing delay, slowdown across
+// 100k+ submissions). SummaryStats condenses a sample set into the
+// usual latency-report quantities (mean, P50/P95/P99, extremes), with
+// nearest-rank percentiles so results are exact and deterministic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pmemflow::metrics {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Nearest-rank percentile of an *ascending-sorted* sample set;
+/// `q` in [0, 100]. Returns 0 for empty input.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+/// Summarizes an arbitrary-order sample set (copies + sorts internally).
+[[nodiscard]] SummaryStats summarize(std::span<const double> samples);
+
+}  // namespace pmemflow::metrics

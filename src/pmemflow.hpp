@@ -60,6 +60,16 @@
 #include "core/executor.hpp"
 #include "core/recommender.hpp"
 
+// Online scheduling service (§X future work, online form)
+#include "service/arrivals.hpp"
+#include "service/fleet.hpp"
+#include "service/metrics.hpp"
+#include "service/profile_cache.hpp"
+#include "service/scheduler.hpp"
+#include "service/submission_queue.hpp"
+#include "service/types.hpp"
+
 // Reporting + tracing
 #include "metrics/report.hpp"
+#include "metrics/summary.hpp"
 #include "trace/tracer.hpp"

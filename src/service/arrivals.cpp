@@ -1,0 +1,95 @@
+#include "service/arrivals.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pmemflow::service {
+namespace {
+
+constexpr Bytes kObjectSizes[] = {2 * kKiB, 64 * kKiB, kMiB, 16 * kMiB,
+                                  64 * kMiB};
+constexpr std::uint32_t kRankChoices[] = {8, 16, 24};
+constexpr double kSimComputeNs[] = {0.0, 1.0e8, 5.0e8, 2.0e9};
+/// Analytics cost per payload byte (matmult-like kernels scale with
+/// object volume; 0 models read-only analytics).
+constexpr double kAnalyticsNsPerByte[] = {0.0, 0.002, 0.01};
+
+}  // namespace
+
+std::vector<workflow::WorkflowSpec> make_class_pool(std::uint32_t classes,
+                                                    std::uint64_t seed) {
+  PMEMFLOW_ASSERT(classes >= 1);
+  std::vector<workflow::WorkflowSpec> pool;
+  pool.reserve(classes);
+  Xoshiro256 rng(derive_seed(seed, 0x636c61737365ULL));  // "classe"
+  for (std::uint32_t i = 0; i < classes; ++i) {
+    const Bytes object_size = kObjectSizes[rng.below(std::size(kObjectSizes))];
+    // Keep per-iteration volume bounded so characterizing a class stays
+    // cheap: few objects when they are huge, many when they are small.
+    std::uint64_t objects_per_rank = 0;
+    if (object_size >= 16 * kMiB) {
+      objects_per_rank = 2 + rng.below(3);
+    } else if (object_size >= kMiB) {
+      objects_per_rank = 8 + rng.below(25);
+    } else {
+      objects_per_rank = 32 + rng.below(97);
+    }
+
+    workloads::SyntheticSimulation::Params sim;
+    sim.object_size = object_size;
+    sim.objects_per_rank = objects_per_rank;
+    sim.compute_ns = kSimComputeNs[rng.below(std::size(kSimComputeNs))];
+    sim.seed = derive_seed(seed, i, 1);
+    sim.name = format("svc-sim-%02u", i);
+
+    workloads::SyntheticAnalytics::Params analytics;
+    analytics.compute_ns_per_object =
+        kAnalyticsNsPerByte[rng.below(std::size(kAnalyticsNsPerByte))] *
+        static_cast<double>(object_size);
+    analytics.name = format("svc-ana-%02u", i);
+
+    const std::uint32_t ranks =
+        kRankChoices[rng.below(std::size(kRankChoices))];
+    auto spec = workloads::make_synthetic_workflow(sim, analytics, ranks,
+                                                   /*iterations=*/2);
+    spec.label = format("svc-class-%02u", i);
+    pool.push_back(std::move(spec));
+  }
+  return pool;
+}
+
+std::vector<Submission> make_submission_stream(const ArrivalParams& params) {
+  PMEMFLOW_ASSERT(params.mean_interarrival_ns > 0.0);
+  PMEMFLOW_ASSERT(params.urgent_fraction + params.batch_fraction <= 1.0);
+  const auto pool = make_class_pool(params.classes, params.seed);
+
+  std::vector<Submission> stream;
+  stream.reserve(params.count);
+  Xoshiro256 rng(derive_seed(params.seed, 0x6172726976ULL));  // "arriv"
+  double clock_ns = 0.0;
+  for (std::uint64_t i = 0; i < params.count; ++i) {
+    // Exponential inter-arrival gap (Poisson process).
+    clock_ns += -params.mean_interarrival_ns * std::log1p(-rng.uniform());
+
+    Submission submission;
+    submission.id = i;
+    submission.spec = pool[rng.below(pool.size())];
+    submission.arrival_ns = static_cast<SimTime>(clock_ns);
+    const double mix = rng.uniform();
+    if (mix < params.urgent_fraction) {
+      submission.priority = Priority::kUrgent;
+    } else if (mix < params.urgent_fraction + params.batch_fraction) {
+      submission.priority = Priority::kBatch;
+    } else {
+      submission.priority = Priority::kNormal;
+    }
+    stream.push_back(std::move(submission));
+  }
+  return stream;
+}
+
+}  // namespace pmemflow::service

@@ -1,0 +1,39 @@
+// Synthetic submission streams for driving the service.
+//
+// Builds a pool of distinct workflow *classes* spanning the paper's
+// parameter space (object size from sub-stripe to bulk, 8/16/24 ranks,
+// compute-light to compute-heavy components — the axes Table II keys
+// on), then draws a Poisson arrival process over the pool. Everything
+// is a pure function of the seed, so a stream can be regenerated
+// exactly — the determinism tests rely on this.
+#pragma once
+
+#include <vector>
+
+#include "service/types.hpp"
+
+namespace pmemflow::service {
+
+struct ArrivalParams {
+  /// Number of submissions in the stream.
+  std::uint64_t count = 1000;
+  /// Distinct workflow classes in the pool (cache working-set size).
+  std::uint32_t classes = 12;
+  /// Mean inter-arrival gap of the Poisson process (ns).
+  double mean_interarrival_ns = 50.0e6;
+  std::uint64_t seed = 0x70666c6f77ULL;  // "pflow"
+  /// Priority mix; the remainder is kNormal.
+  double urgent_fraction = 0.10;
+  double batch_fraction = 0.30;
+};
+
+/// The workflow-class pool the stream draws from, derived from `seed`.
+[[nodiscard]] std::vector<workflow::WorkflowSpec> make_class_pool(
+    std::uint32_t classes, std::uint64_t seed);
+
+/// A full submission stream: ids 0..count-1, nondecreasing arrival
+/// times, class and priority drawn per submission.
+[[nodiscard]] std::vector<Submission> make_submission_stream(
+    const ArrivalParams& params);
+
+}  // namespace pmemflow::service

@@ -1,0 +1,81 @@
+#include "service/fleet.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::service {
+
+const char* to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kLeastLoaded: return "least-loaded";
+    case PlacementPolicy::kRecommenderAware: return "recommender-aware";
+  }
+  return "?";
+}
+
+Fleet::Fleet(std::uint32_t node_count) : nodes_(node_count) {
+  PMEMFLOW_ASSERT(node_count >= 1);
+}
+
+const NodeState& Fleet::node(std::uint32_t index) const {
+  PMEMFLOW_ASSERT(index < nodes_.size());
+  return nodes_[index];
+}
+
+bool Fleet::any_idle(SimTime now) const noexcept {
+  return std::any_of(nodes_.begin(), nodes_.end(), [now](const NodeState& n) {
+    return n.free_at_ns <= now;
+  });
+}
+
+SimTime Fleet::earliest_free_ns() const noexcept {
+  SimTime earliest = nodes_.front().free_at_ns;
+  for (const NodeState& n : nodes_) {
+    earliest = std::min(earliest, n.free_at_ns);
+  }
+  return earliest;
+}
+
+std::optional<std::uint32_t> Fleet::pick_idle_node(PlacementPolicy policy,
+                                                   SimTime now) const {
+  std::optional<std::uint32_t> best;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].free_at_ns > now) continue;
+    if (policy == PlacementPolicy::kFirstFit) return i;
+    // Least-loaded (also the placement half of kRecommenderAware):
+    // least accumulated busy time, index as the deterministic tiebreak.
+    if (!best.has_value() || nodes_[i].busy_ns < nodes_[*best].busy_ns) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Fleet::assign(std::uint32_t index, SimTime start_ns,
+                   SimDuration runtime_ns) {
+  PMEMFLOW_ASSERT(index < nodes_.size());
+  NodeState& n = nodes_[index];
+  PMEMFLOW_ASSERT(n.free_at_ns <= start_ns);
+  n.free_at_ns = start_ns + runtime_ns;
+  n.busy_ns += runtime_ns;
+  ++n.completed;
+}
+
+double Fleet::utilization(std::uint32_t index, SimDuration horizon_ns) const {
+  PMEMFLOW_ASSERT(index < nodes_.size());
+  if (horizon_ns == 0) return 0.0;
+  return static_cast<double>(nodes_[index].busy_ns) /
+         static_cast<double>(horizon_ns);
+}
+
+double Fleet::mean_utilization(SimDuration horizon_ns) const {
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    sum += utilization(i, horizon_ns);
+  }
+  return sum / static_cast<double>(nodes_.size());
+}
+
+}  // namespace pmemflow::service

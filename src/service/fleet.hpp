@@ -1,0 +1,79 @@
+// Simulated fleet of dual-socket Optane nodes + placement policies.
+//
+// Each node is one instance of the paper's testbed: a dual-socket
+// machine whose two sockets an in situ workflow fully occupies (writer
+// ranks on one, reader ranks on the other — core/config.hpp). A node
+// therefore runs workflows back-to-back, and the fleet-level question
+// is *which node* gets the next workflow and *under which Table I
+// configuration* it runs — the two decisions a PlacementPolicy couples:
+//
+//   kFirstFit          — lowest-index idle node, fixed configuration;
+//   kLeastLoaded       — idle node with the least accumulated busy
+//                        time, fixed configuration;
+//   kRecommenderAware  — least-loaded placement + per-workflow Table II
+//                        configuration from the recommendation cache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pmemflow::service {
+
+enum class PlacementPolicy : std::uint8_t {
+  kFirstFit,
+  kLeastLoaded,
+  kRecommenderAware,
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy policy) noexcept;
+
+/// Load-tracking state of one node.
+struct NodeState {
+  /// Simulated time at which the node finishes its current workflow
+  /// (<= now means idle).
+  SimTime free_at_ns = 0;
+  /// Total simulated time the node has spent running workflows.
+  SimDuration busy_ns = 0;
+  std::uint64_t completed = 0;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(std::uint32_t node_count);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] const NodeState& node(std::uint32_t index) const;
+
+  [[nodiscard]] bool any_idle(SimTime now) const noexcept;
+
+  /// Earliest time any node frees (== some free_at_ns; for an idle
+  /// fleet this is in the past). Used for retry-after hints.
+  [[nodiscard]] SimTime earliest_free_ns() const noexcept;
+
+  /// Picks a node among those idle at `now` according to `policy`
+  /// (kRecommenderAware places like kLeastLoaded). Returns nullopt when
+  /// no node is idle.
+  [[nodiscard]] std::optional<std::uint32_t> pick_idle_node(
+      PlacementPolicy policy, SimTime now) const;
+
+  /// Occupies `index` with a workflow of length `runtime_ns` starting
+  /// at `start_ns`. The node must be idle at start_ns.
+  void assign(std::uint32_t index, SimTime start_ns, SimDuration runtime_ns);
+
+  /// busy_ns / horizon of one node (horizon > 0).
+  [[nodiscard]] double utilization(std::uint32_t index,
+                                   SimDuration horizon_ns) const;
+
+  /// Mean utilization across nodes.
+  [[nodiscard]] double mean_utilization(SimDuration horizon_ns) const;
+
+ private:
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace pmemflow::service

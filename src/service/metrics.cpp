@@ -1,0 +1,125 @@
+#include "service/metrics.hpp"
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace pmemflow::service {
+namespace {
+
+double to_ms(double ns) { return ns / 1e6; }
+
+}  // namespace
+
+ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
+                                 SimDuration makespan_ns,
+                                 const std::vector<double>& node_utilization,
+                                 const QueueStats& admission,
+                                 const CacheStats& cache,
+                                 std::uint64_t retries, std::uint64_t dropped) {
+  ServiceMetrics metrics;
+  metrics.completed = records.size();
+  std::vector<double> delays, slowdowns, runtimes;
+  delays.reserve(records.size());
+  slowdowns.reserve(records.size());
+  runtimes.reserve(records.size());
+  for (const CompletionRecord& record : records) {
+    delays.push_back(static_cast<double>(record.queue_delay_ns()));
+    slowdowns.push_back(record.slowdown());
+    runtimes.push_back(static_cast<double>(record.runtime_ns()));
+  }
+  metrics.queue_delay_ns = metrics::summarize(delays);
+  metrics.slowdown = metrics::summarize(slowdowns);
+  metrics.runtime_ns = metrics::summarize(runtimes);
+  metrics.makespan_ns = makespan_ns;
+  metrics.node_utilization = node_utilization;
+  double sum = 0.0;
+  for (double u : node_utilization) sum += u;
+  metrics.mean_utilization =
+      node_utilization.empty()
+          ? 0.0
+          : sum / static_cast<double>(node_utilization.size());
+  metrics.admission = admission;
+  metrics.cache = cache;
+  metrics.retries = retries;
+  metrics.dropped = dropped;
+  return metrics;
+}
+
+void print_service_report(std::ostream& out, const std::string& title,
+                          const ServiceMetrics& metrics) {
+  out << title << "\n";
+  TextTable table({"Metric", "Value"}, {Align::kLeft, Align::kRight});
+  table.add_row({"completed", format("%llu",
+                                     static_cast<unsigned long long>(
+                                         metrics.completed))});
+  table.add_row({"makespan",
+                 format("%.3f s",
+                        static_cast<double>(metrics.makespan_ns) / 1e9)});
+  table.add_row({"queue delay mean",
+                 format("%.3f ms", to_ms(metrics.queue_delay_ns.mean))});
+  table.add_row({"queue delay p50",
+                 format("%.3f ms", to_ms(metrics.queue_delay_ns.p50))});
+  table.add_row({"queue delay p99",
+                 format("%.3f ms", to_ms(metrics.queue_delay_ns.p99))});
+  table.add_row({"queue delay max",
+                 format("%.3f ms", to_ms(metrics.queue_delay_ns.max))});
+  table.add_row({"slowdown vs oracle mean",
+                 format("%.4fx", metrics.slowdown.mean)});
+  table.add_row({"slowdown vs oracle p99",
+                 format("%.4fx", metrics.slowdown.p99)});
+  table.add_row({"node utilization mean",
+                 format("%.1f %%", 100.0 * metrics.mean_utilization)});
+  table.add_row({"admitted", format("%llu", static_cast<unsigned long long>(
+                                                metrics.admission.admitted))});
+  table.add_row({"deferred", format("%llu", static_cast<unsigned long long>(
+                                                metrics.admission.deferred))});
+  table.add_row({"rejected", format("%llu", static_cast<unsigned long long>(
+                                                metrics.admission.rejected))});
+  table.add_row({"retries", format("%llu", static_cast<unsigned long long>(
+                                               metrics.retries))});
+  table.add_row({"dropped", format("%llu", static_cast<unsigned long long>(
+                                               metrics.dropped))});
+  table.add_row({"cache hit rate",
+                 format("%.1f %% (%llu/%llu)",
+                        100.0 * metrics.cache.hit_rate(),
+                        static_cast<unsigned long long>(metrics.cache.hits),
+                        static_cast<unsigned long long>(metrics.cache.hits +
+                                                        metrics.cache.misses))});
+  table.write(out);
+}
+
+std::vector<std::string> service_csv_header() {
+  return {"run",
+          "completed",
+          "makespan_s",
+          "queue_delay_mean_ms",
+          "queue_delay_p99_ms",
+          "slowdown_mean",
+          "slowdown_p99",
+          "utilization_mean",
+          "admitted",
+          "deferred",
+          "rejected",
+          "dropped",
+          "cache_hit_rate"};
+}
+
+void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
+                            const ServiceMetrics& metrics) {
+  csv.add_row(
+      {run_label,
+       format("%llu", static_cast<unsigned long long>(metrics.completed)),
+       format("%.6f", static_cast<double>(metrics.makespan_ns) / 1e9),
+       format("%.6f", to_ms(metrics.queue_delay_ns.mean)),
+       format("%.6f", to_ms(metrics.queue_delay_ns.p99)),
+       format("%.6f", metrics.slowdown.mean),
+       format("%.6f", metrics.slowdown.p99),
+       format("%.6f", metrics.mean_utilization),
+       format("%llu", static_cast<unsigned long long>(metrics.admission.admitted)),
+       format("%llu", static_cast<unsigned long long>(metrics.admission.deferred)),
+       format("%llu", static_cast<unsigned long long>(metrics.admission.rejected)),
+       format("%llu", static_cast<unsigned long long>(metrics.dropped)),
+       format("%.6f", metrics.cache.hit_rate())});
+}
+
+}  // namespace pmemflow::service

@@ -1,0 +1,86 @@
+// Service-level metrics: what an operator of the scheduling service
+// would put on a dashboard.
+//
+//   queueing delay — dispatch start minus arrival, per submission;
+//   slowdown       — chosen-config runtime / oracle-best runtime (1.0
+//                    means the placement chose the fastest Table I
+//                    configuration for that workflow class);
+//   utilization    — per-node busy time over the run's makespan;
+//   admission      — admitted/deferred/rejected counts from the queue;
+//   cache          — hit/miss/eviction counts from the profile cache.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/config.hpp"
+#include "metrics/summary.hpp"
+#include "service/profile_cache.hpp"
+#include "service/submission_queue.hpp"
+
+namespace pmemflow::service {
+
+/// One dispatched-and-finished submission.
+struct CompletionRecord {
+  std::uint64_t id = 0;
+  std::string label;
+  Priority priority = Priority::kNormal;
+  std::uint32_t node = 0;
+  core::DeploymentConfig config;
+  bool cache_hit = false;
+  SimTime arrival_ns = 0;
+  SimTime start_ns = 0;
+  SimTime finish_ns = 0;
+  /// Oracle-best runtime of this workflow class (from the cached sweep).
+  SimDuration best_runtime_ns = 0;
+
+  [[nodiscard]] SimDuration queue_delay_ns() const noexcept {
+    return start_ns - arrival_ns;
+  }
+  [[nodiscard]] SimDuration runtime_ns() const noexcept {
+    return finish_ns - start_ns;
+  }
+  [[nodiscard]] double slowdown() const noexcept {
+    return best_runtime_ns == 0
+               ? 1.0
+               : static_cast<double>(runtime_ns()) /
+                     static_cast<double>(best_runtime_ns);
+  }
+};
+
+/// Aggregated view of one service run.
+struct ServiceMetrics {
+  std::uint64_t completed = 0;
+  metrics::SummaryStats queue_delay_ns;
+  metrics::SummaryStats slowdown;
+  metrics::SummaryStats runtime_ns;
+  /// Finish time of the last workflow (simulated).
+  SimDuration makespan_ns = 0;
+  std::vector<double> node_utilization;
+  double mean_utilization = 0.0;
+  QueueStats admission;
+  CacheStats cache;
+  /// Deferred submissions automatically resubmitted by the service.
+  std::uint64_t retries = 0;
+  /// Submissions dropped after exhausting their retry budget.
+  std::uint64_t dropped = 0;
+};
+
+/// Condenses completion records + component stats into ServiceMetrics.
+[[nodiscard]] ServiceMetrics aggregate_metrics(
+    const std::vector<CompletionRecord>& records, SimDuration makespan_ns,
+    const std::vector<double>& node_utilization, const QueueStats& admission,
+    const CacheStats& cache, std::uint64_t retries, std::uint64_t dropped);
+
+/// Renders the operator dashboard as an aligned text table.
+void print_service_report(std::ostream& out, const std::string& title,
+                          const ServiceMetrics& metrics);
+
+/// CSV export: one row per policy/run for cross-run comparisons.
+[[nodiscard]] std::vector<std::string> service_csv_header();
+void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
+                            const ServiceMetrics& metrics);
+
+}  // namespace pmemflow::service

@@ -1,0 +1,61 @@
+#include "service/profile_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmemflow::service {
+
+ProfileCache::ProfileCache(std::size_t capacity, core::Executor executor,
+                           core::Recommender recommender)
+    : capacity_(capacity),
+      executor_(std::move(executor)),
+      characterizer_(executor_),
+      recommender_(recommender) {
+  PMEMFLOW_ASSERT(capacity >= 1);
+}
+
+Expected<CachedProfile> ProfileCache::characterize(
+    const workflow::WorkflowSpec& spec) const {
+  CachedProfile cached;
+  cached.fingerprint = workflow::class_fingerprint(spec);
+
+  auto profile = characterizer_.profile(spec);
+  if (!profile.has_value()) return Unexpected{profile.error()};
+  cached.profile = *profile;
+  cached.rule_based = recommender_.rule_based(*profile, spec);
+  cached.model_based = recommender_.model_based(*profile, spec);
+
+  auto sweep = executor_.sweep(spec);
+  if (!sweep.has_value()) return Unexpected{sweep.error()};
+  PMEMFLOW_ASSERT(sweep->results.size() == cached.runtime_ns.size());
+  for (std::size_t i = 0; i < cached.runtime_ns.size(); ++i) {
+    cached.runtime_ns[i] = sweep->results[i].run.total_ns;
+  }
+  cached.best_index = sweep->best_index();
+  return cached;
+}
+
+Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup(
+    const workflow::WorkflowSpec& spec) {
+  const std::uint64_t fingerprint = workflow::class_fingerprint(spec);
+  if (auto it = entries_.find(fingerprint); it != entries_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+    return it->second->second;
+  }
+
+  ++stats_.misses;
+  auto fresh = characterize(spec);
+  if (!fresh.has_value()) return Unexpected{fresh.error()};
+
+  if (entries_.size() >= capacity_) {
+    ++stats_.evictions;
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  auto entry = std::make_shared<const CachedProfile>(*std::move(fresh));
+  lru_.emplace_front(fingerprint, entry);
+  entries_.emplace(fingerprint, lru_.begin());
+  return entry;
+}
+
+}  // namespace pmemflow::service

@@ -1,0 +1,90 @@
+// Memoized workflow characterization + recommendation (LRU).
+//
+// Characterizing a workflow costs two standalone component runs plus —
+// for the oracle data the service's slowdown metric needs — a full
+// four-configuration sweep. Online, the same workflow *classes* recur
+// constantly (the paper's premise: I/O indexes are reusable per-class
+// profiles, §IV-C), so the service memoizes the whole characterization
+// bundle keyed by workflow::class_fingerprint. Repeat submissions of a
+// class skip the four-config solve entirely; the cache returns the
+// exact object computed the first time, so a hit is byte-identical to a
+// fresh characterization.
+//
+// Bounded capacity with least-recently-used eviction; hit/miss/eviction
+// counters feed the service report.
+#pragma once
+
+#include <array>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "core/autotuner.hpp"
+
+namespace pmemflow::service {
+
+/// Everything the service ever needs to know about one workflow class.
+struct CachedProfile {
+  /// Fingerprint the entry is keyed by (label-insensitive).
+  std::uint64_t fingerprint = 0;
+  core::WorkflowProfile profile;
+  core::Recommendation rule_based;
+  core::Recommendation model_based;
+  /// Simulated runtime under each Table I configuration (Table I
+  /// order), from the oracle sweep.
+  std::array<SimDuration, 4> runtime_ns{};
+  /// Index of the fastest configuration in runtime_ns.
+  std::size_t best_index = 0;
+
+  [[nodiscard]] SimDuration best_runtime_ns() const noexcept {
+    return runtime_ns[best_index];
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+class ProfileCache {
+ public:
+  explicit ProfileCache(std::size_t capacity,
+                        core::Executor executor = core::Executor(),
+                        core::Recommender recommender = core::Recommender());
+
+  /// Returns the class profile, characterizing (and caching) on miss.
+  /// The shared_ptr stays valid after eviction.
+  [[nodiscard]] Expected<std::shared_ptr<const CachedProfile>> lookup(
+      const workflow::WorkflowSpec& spec);
+
+  /// Fresh characterization that bypasses the cache entirely (used by
+  /// tests to prove hits are identical to recomputation).
+  [[nodiscard]] Expected<CachedProfile> characterize(
+      const workflow::WorkflowSpec& spec) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  using LruList =
+      std::list<std::pair<std::uint64_t, std::shared_ptr<const CachedProfile>>>;
+
+  std::size_t capacity_;
+  core::Executor executor_;
+  core::Characterizer characterizer_;
+  core::Recommender recommender_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace pmemflow::service

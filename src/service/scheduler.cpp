@@ -1,0 +1,197 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pmemflow::service {
+namespace {
+
+/// Floor for retry-after hints when the fleet is about to free anyway:
+/// a client cannot usefully spin faster than this.
+constexpr SimDuration kMinRetryNs = 1 * kMillisecond;
+
+/// Mutable state of one run(); groups what the event callbacks share.
+struct RunState {
+  const ServiceConfig& config;
+  ProfileCache& cache;
+  sim::EventQueue events;
+  Fleet fleet;
+  SubmissionQueue queue;
+  std::vector<CompletionRecord> completions;
+  std::uint64_t retries = 0;
+  std::uint64_t dropped = 0;
+  std::optional<Error> failure;
+
+  RunState(const ServiceConfig& cfg, ProfileCache& profile_cache)
+      : config(cfg),
+        cache(profile_cache),
+        fleet(cfg.nodes),
+        queue(cfg.queue_capacity, cfg.defer_watermark) {}
+
+  void dispatch(SimTime now);
+};
+
+void RunState::dispatch(SimTime now) {
+  while (!failure.has_value() && !queue.empty()) {
+    const auto node = fleet.pick_idle_node(config.policy, now);
+    if (!node.has_value()) return;
+
+    Submission submission = queue.pop();
+    const std::uint64_t hits_before = cache.stats().hits;
+    auto profile = cache.lookup(submission.spec);
+    if (!profile.has_value()) {
+      failure = profile.error();
+      return;
+    }
+    const bool cache_hit = cache.stats().hits > hits_before;
+
+    core::DeploymentConfig chosen = config.fixed_config;
+    if (config.policy == PlacementPolicy::kRecommenderAware) {
+      chosen = config.use_rule_based ? (*profile)->rule_based.config
+                                     : (*profile)->model_based.config;
+    }
+    const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
+
+    fleet.assign(*node, now, runtime);
+
+    CompletionRecord record;
+    record.id = submission.id;
+    record.label = submission.spec.label;
+    record.priority = submission.priority;
+    record.node = *node;
+    record.config = chosen;
+    record.cache_hit = cache_hit;
+    record.arrival_ns = submission.arrival_ns;
+    record.start_ns = now;
+    record.finish_ns = now + runtime;
+    record.best_runtime_ns = (*profile)->best_runtime_ns();
+    completions.push_back(record);
+
+    if (config.tracer != nullptr) {
+      const std::string track = format("node-%u", *node);
+      config.tracer->begin(track,
+                           format("%s [%s]", submission.spec.label.c_str(),
+                                  chosen.label().c_str()),
+                           now);
+      config.tracer->end(track, record.finish_ns);
+    }
+
+    const SimTime finish = record.finish_ns;
+    events.schedule(finish, [this, finish] { dispatch(finish); });
+  }
+}
+
+}  // namespace
+
+std::size_t config_index(const core::DeploymentConfig& config) {
+  const auto configs = core::all_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i] == config) return i;
+  }
+  PMEMFLOW_ASSERT_MSG(false, "config not in Table I");
+  return 0;
+}
+
+OnlineScheduler::OnlineScheduler(ServiceConfig config, core::Executor executor,
+                                 core::Recommender recommender)
+    : config_(config),
+      cache_(config.cache_capacity, std::move(executor), recommender) {}
+
+Expected<ServiceResult> OnlineScheduler::run(
+    std::span<const Submission> submissions) {
+  RunState state(config_, cache_);
+
+  std::vector<Submission> ordered(submissions.begin(), submissions.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Submission& a, const Submission& b) {
+                     if (a.arrival_ns != b.arrival_ns) {
+                       return a.arrival_ns < b.arrival_ns;
+                     }
+                     return a.id < b.id;
+                   });
+
+  // One arrival path for fresh submissions and deferred retries; the
+  // std::function indirection is what lets the retry event re-enter it.
+  std::function<void(Submission, std::uint32_t, SimTime)> arrive;
+  arrive = [&state, &arrive](Submission submission, std::uint32_t attempt,
+                             SimTime now) {
+    if (state.failure.has_value()) return;
+    const SimTime earliest_free = state.fleet.earliest_free_ns();
+    const SimDuration retry_after =
+        std::max(earliest_free > now ? earliest_free - now : SimDuration{0},
+                 kMinRetryNs);
+    const std::uint64_t id = submission.id;
+    Submission retry_copy = submission;  // used only on deferral
+    const AdmissionDecision decision =
+        state.queue.submit(std::move(submission), retry_after);
+    switch (decision.verdict) {
+      case AdmissionVerdict::kAdmitted:
+        break;
+      case AdmissionVerdict::kDeferred:
+        if (state.config.tracer != nullptr) {
+          state.config.tracer->instant(
+              "service",
+              format("defer #%llu", static_cast<unsigned long long>(id)), now);
+        }
+        if (attempt < state.config.max_retries) {
+          ++state.retries;
+          const SimTime retry_at = now + decision.retry_after_ns;
+          state.events.schedule(
+              retry_at, [&arrive, retry = std::move(retry_copy), attempt,
+                         retry_at]() mutable {
+                arrive(std::move(retry), attempt + 1, retry_at);
+              });
+        } else {
+          ++state.dropped;
+        }
+        break;
+      case AdmissionVerdict::kRejected:
+        if (state.config.tracer != nullptr) {
+          state.config.tracer->instant(
+              "service",
+              format("reject #%llu", static_cast<unsigned long long>(id)),
+              now);
+        }
+        break;
+    }
+    state.dispatch(now);
+  };
+
+  for (Submission& submission : ordered) {
+    const SimTime at = submission.arrival_ns;
+    state.events.schedule(
+        at, [&arrive, submission = std::move(submission), at]() mutable {
+          arrive(std::move(submission), 0, at);
+        });
+  }
+
+  while (!state.events.empty() && !state.failure.has_value()) {
+    auto [time, callback] = state.events.pop();
+    callback();
+  }
+  if (state.failure.has_value()) return Unexpected{*state.failure};
+
+  ServiceResult result;
+  result.completions = std::move(state.completions);
+
+  SimDuration makespan = 0;
+  for (const CompletionRecord& record : result.completions) {
+    makespan = std::max(makespan, record.finish_ns);
+  }
+  std::vector<double> utilization;
+  utilization.reserve(state.fleet.size());
+  for (std::uint32_t i = 0; i < state.fleet.size(); ++i) {
+    utilization.push_back(state.fleet.utilization(i, makespan));
+  }
+  result.metrics = aggregate_metrics(result.completions, makespan, utilization,
+                                     state.queue.stats(), cache_.stats(),
+                                     state.retries, state.dropped);
+  return result;
+}
+
+}  // namespace pmemflow::service

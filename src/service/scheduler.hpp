@@ -1,0 +1,98 @@
+// The online workflow-scheduling service (tentpole of the service
+// subsystem).
+//
+// OnlineScheduler replays a stream of Submissions against a simulated
+// fleet, entirely on the repo's deterministic DES clock (the same
+// sim::EventQueue the workflow engine uses): arrivals, deferred-retry
+// timers, and node-free events interleave in timestamp order with FIFO
+// tie-breaking, so a given (submission stream, config) pair always
+// produces the identical schedule.
+//
+// Per submission:
+//   1. admission — SubmissionQueue verdict; deferred submissions are
+//      auto-resubmitted after their retry-after (bounded retries),
+//      rejected ones are final (the retry-after hint is returned to the
+//      caller via admission stats and trace instants);
+//   2. characterization — ProfileCache lookup; repeat submissions of a
+//      workflow class hit and skip the four-configuration solve;
+//   3. placement — PlacementPolicy picks the node, and (for
+//      kRecommenderAware) the cached Table II / model-based
+//      recommendation picks the Table I configuration; fixed-config
+//      policies model a PMEM-unaware scheduler;
+//   4. dispatch — the node is occupied for the configuration's cached
+//      runtime; completion re-triggers dispatch.
+//
+// Characterization cost is not charged to the simulated clock, exactly
+// like core::BatchScheduler: profiles are reusable per-class artifacts
+// (paper §IV-C), and the cache is what makes that practical online.
+#pragma once
+
+#include <span>
+
+#include "core/batch.hpp"
+#include "service/fleet.hpp"
+#include "service/metrics.hpp"
+#include "service/profile_cache.hpp"
+#include "service/submission_queue.hpp"
+#include "trace/tracer.hpp"
+
+namespace pmemflow::service {
+
+struct ServiceConfig {
+  /// Fleet size (dual-socket Optane nodes).
+  std::uint32_t nodes = 4;
+  std::size_t queue_capacity = 64;
+  /// Queue-occupancy fraction above which kBatch work is deferred.
+  double defer_watermark = 0.75;
+  PlacementPolicy policy = PlacementPolicy::kRecommenderAware;
+  /// Configuration used by the PMEM-unaware policies (kFirstFit,
+  /// kLeastLoaded). P-LocR is the natural naive default: co-run the
+  /// components, keep reads local.
+  core::DeploymentConfig fixed_config{core::ExecutionMode::kParallel,
+                                      core::Placement::kLocalRead};
+  /// kRecommenderAware flavor: Table II rules (true) or the model-based
+  /// estimate (false, default — the paper's §VIII closing suggestion).
+  bool use_rule_based = false;
+  std::size_t cache_capacity = 1024;
+  /// Auto-resubmissions granted to a deferred submission before it is
+  /// dropped.
+  std::uint32_t max_retries = 3;
+  /// Optional span/instant sink: per-node workflow spans on "node-<i>"
+  /// tracks, admission instants on the "service" track. Must outlive
+  /// run().
+  trace::Tracer* tracer = nullptr;
+};
+
+struct ServiceResult {
+  /// Completed submissions in dispatch order.
+  std::vector<CompletionRecord> completions;
+  ServiceMetrics metrics;
+};
+
+class OnlineScheduler {
+ public:
+  explicit OnlineScheduler(ServiceConfig config,
+                           core::Executor executor = core::Executor(),
+                           core::Recommender recommender = core::Recommender());
+
+  /// Replays `submissions` (any order; sorted internally by arrival
+  /// time, id-tie-broken) to completion or first error. The profile
+  /// cache persists across run() calls, so back-to-back runs of similar
+  /// streams hit warm.
+  [[nodiscard]] Expected<ServiceResult> run(
+      std::span<const Submission> submissions);
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const ProfileCache& cache() const noexcept { return cache_; }
+
+ private:
+  ServiceConfig config_;
+  ProfileCache cache_;
+};
+
+/// Position of `config` in Table I order (core::all_configs()).
+[[nodiscard]] std::size_t config_index(const core::DeploymentConfig& config);
+
+}  // namespace pmemflow::service

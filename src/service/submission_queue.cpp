@@ -1,0 +1,80 @@
+#include "service/submission_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::service {
+
+const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kBatch: return "batch";
+    case Priority::kNormal: return "normal";
+    case Priority::kUrgent: return "urgent";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionVerdict verdict) noexcept {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmitted: return "admitted";
+    case AdmissionVerdict::kDeferred: return "deferred";
+    case AdmissionVerdict::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+SubmissionQueue::SubmissionQueue(std::size_t capacity, double defer_watermark)
+    : capacity_(capacity) {
+  PMEMFLOW_ASSERT(capacity >= 1);
+  PMEMFLOW_ASSERT(defer_watermark >= 0.0 && defer_watermark <= 1.0);
+  defer_threshold_ = std::min(
+      capacity_, static_cast<std::size_t>(std::ceil(
+                     defer_watermark * static_cast<double>(capacity_))));
+}
+
+AdmissionVerdict SubmissionQueue::classify(Priority priority) const noexcept {
+  if (queue_.size() >= capacity_) return AdmissionVerdict::kRejected;
+  if (priority == Priority::kBatch && queue_.size() >= defer_threshold_) {
+    return AdmissionVerdict::kDeferred;
+  }
+  return AdmissionVerdict::kAdmitted;
+}
+
+AdmissionDecision SubmissionQueue::submit(Submission submission,
+                                          SimDuration retry_after_ns) {
+  AdmissionDecision decision;
+  decision.verdict = classify(submission.priority);
+  switch (decision.verdict) {
+    case AdmissionVerdict::kAdmitted:
+      ++stats_.admitted;
+      queue_.insert(std::move(submission));
+      stats_.high_water = std::max(stats_.high_water, queue_.size());
+      break;
+    case AdmissionVerdict::kDeferred:
+      ++stats_.deferred;
+      decision.retry_after_ns = retry_after_ns;
+      break;
+    case AdmissionVerdict::kRejected:
+      ++stats_.rejected;
+      decision.retry_after_ns = retry_after_ns;
+      break;
+  }
+  return decision;
+}
+
+const Submission& SubmissionQueue::front() const {
+  PMEMFLOW_ASSERT(!queue_.empty());
+  return *queue_.begin();
+}
+
+Submission SubmissionQueue::pop() {
+  PMEMFLOW_ASSERT(!queue_.empty());
+  auto it = queue_.begin();
+  Submission submission = *it;
+  queue_.erase(it);
+  return submission;
+}
+
+}  // namespace pmemflow::service

@@ -1,0 +1,53 @@
+// Shared vocabulary of the online scheduling service.
+//
+// The service answers the paper's §X question ("how can these
+// recommendations be practically incorporated in scheduling systems?")
+// for the *online* case: WorkflowSpecs arrive over simulated time as
+// Submissions, pass admission control, wait in a bounded priority
+// queue, and are placed onto one node of a simulated PMEM fleet under a
+// Table I configuration chosen by the placement policy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "workflow/model.hpp"
+
+namespace pmemflow::service {
+
+/// Service classes, lowest to highest. Higher classes dispatch first;
+/// within a class, dispatch is FIFO by arrival. Under queue pressure
+/// (above the defer watermark) kBatch submissions are deferred before
+/// anything is rejected.
+enum class Priority : std::uint8_t { kBatch = 0, kNormal = 1, kUrgent = 2 };
+
+[[nodiscard]] const char* to_string(Priority priority) noexcept;
+
+/// One workflow submitted to the service.
+struct Submission {
+  /// Caller-assigned id; ties in (priority, arrival) dispatch order are
+  /// broken by id, so ids must be unique for a deterministic schedule.
+  std::uint64_t id = 0;
+  workflow::WorkflowSpec spec;
+  SimTime arrival_ns = 0;
+  Priority priority = Priority::kNormal;
+};
+
+/// What admission control decided for one submission attempt.
+enum class AdmissionVerdict : std::uint8_t {
+  kAdmitted,  ///< Enqueued; will eventually dispatch.
+  kDeferred,  ///< Queue above watermark; retry at `retry_after_ns`.
+  kRejected,  ///< Queue full; retry at `retry_after_ns` (advisory).
+};
+
+[[nodiscard]] const char* to_string(AdmissionVerdict verdict) noexcept;
+
+struct AdmissionDecision {
+  AdmissionVerdict verdict = AdmissionVerdict::kAdmitted;
+  /// For kDeferred/kRejected: how long after the attempt the client
+  /// should wait before resubmitting (earliest time the fleet state can
+  /// have changed). 0 for kAdmitted.
+  SimDuration retry_after_ns = 0;
+};
+
+}  // namespace pmemflow::service

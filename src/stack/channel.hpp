@@ -89,6 +89,9 @@ struct SoftwareCostModel {
   [[nodiscard]] double read_op_cost(Bytes op_size) const noexcept {
     return read_ns_per_op + read_ns_per_byte * static_cast<double>(op_size);
   }
+
+  friend bool operator==(const SoftwareCostModel&,
+                         const SoftwareCostModel&) = default;
 };
 
 /// Cumulative functional statistics for a channel.

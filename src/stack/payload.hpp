@@ -53,6 +53,10 @@ class Payload {
   [[nodiscard]] static std::vector<std::byte> generate_bytes(
       std::uint64_t seed, Bytes size);
 
+  /// Two payloads are equal when they describe the same bytes: same
+  /// flavor, size, and content (seed for synthetic, bytes for real).
+  friend bool operator==(const Payload&, const Payload&) = default;
+
  private:
   bool synthetic_ = false;
   Bytes size_ = 0;
@@ -65,6 +69,8 @@ class Payload {
 struct ObjectData {
   std::uint64_t index = 0;
   Payload payload;
+
+  friend bool operator==(const ObjectData&, const ObjectData&) = default;
 };
 
 }  // namespace pmemflow::stack

@@ -1,0 +1,150 @@
+#include "workflow/model.hpp"
+
+#include <array>
+#include <variant>
+
+#include "common/hash.hpp"
+
+namespace pmemflow::workflow {
+namespace {
+
+// Tags keep differently-shaped parts from aliasing in the digest.
+constexpr std::uint64_t kTagSyntheticRun = 1;
+constexpr std::uint64_t kTagObjectList = 2;
+constexpr std::uint64_t kTagNullModel = 3;
+
+void update_part(Hasher64& hasher, const stack::SnapshotPart& part) {
+  if (const auto* run = std::get_if<stack::SyntheticRun>(&part)) {
+    hasher.update_u64(kTagSyntheticRun);
+    hasher.update_u64(run->first_index);
+    hasher.update_u64(run->count);
+    hasher.update_u64(run->object_size);
+    hasher.update_u64(run->base_seed);
+    return;
+  }
+  const auto& objects = std::get<std::vector<stack::ObjectData>>(part);
+  hasher.update_u64(kTagObjectList);
+  hasher.update_u64(objects.size());
+  for (const auto& object : objects) {
+    hasher.update_u64(object.index);
+    hasher.update_bool(object.payload.is_synthetic());
+    hasher.update_u64(object.payload.size());
+    hasher.update_u64(object.payload.seed());
+    // For real payloads the checksum covers the content, so the digest
+    // reflects every byte without rehashing them here.
+    hasher.update_u64(object.payload.checksum());
+  }
+}
+
+/// Iterations worth sampling: models are deterministic functions of
+/// (rank, version), and every model in the tree is either
+/// version-invariant or derives per-version seeds uniformly, so the
+/// first, second, and last iterations pin down the behaviour.
+std::array<std::uint64_t, 3> sample_versions(std::uint32_t iterations) {
+  return {1, 2, iterations};
+}
+
+void update_simulation(Hasher64& hasher, const SimulationModel* model,
+                       std::uint32_t ranks, std::uint32_t iterations) {
+  if (model == nullptr) {
+    hasher.update_u64(kTagNullModel);
+    return;
+  }
+  hasher.update_string(model->name());
+  std::uint64_t previous = 0;
+  for (std::uint64_t version : sample_versions(iterations)) {
+    if (version < 1 || version > iterations || version == previous) continue;
+    previous = version;
+    for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+      update_part(hasher, model->part_for(rank, ranks, version));
+    }
+  }
+  for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+    hasher.update_double(model->compute_ns_per_iteration(rank, ranks));
+  }
+}
+
+void update_analytics(Hasher64& hasher, const AnalyticsModel* model,
+                      const SimulationModel* simulation, std::uint32_t ranks,
+                      std::uint32_t iterations) {
+  if (model == nullptr) {
+    hasher.update_u64(kTagNullModel);
+    return;
+  }
+  hasher.update_string(model->name());
+  // Probe the compute curve at the object sizes this workflow actually
+  // streams, plus fixed sizes spanning the sub-stripe .. bulk range.
+  std::array<Bytes, 6> probes{512, 2 * kKiB, 64 * kKiB, kMiB, 64 * kMiB,
+                              229 * kMB};
+  for (Bytes size : probes) {
+    hasher.update_double(model->compute_ns_per_object(size));
+  }
+  if (simulation != nullptr && ranks > 0 && iterations > 0) {
+    const auto part = simulation->part_for(0, ranks, 1);
+    hasher.update_double(model->compute_ns_per_object(part_op_size(part)));
+  }
+}
+
+std::uint64_t digest(const WorkflowSpec& spec, bool include_label) {
+  Hasher64 hasher;
+  if (include_label) hasher.update_string(spec.label);
+  hasher.update_u64(spec.ranks);
+  hasher.update_u64(spec.iterations);
+  hasher.update_u64(static_cast<std::uint64_t>(spec.stack));
+  hasher.update_u64(spec.channel_capacity);
+  hasher.update_bool(spec.verify_reads);
+  hasher.update_bool(spec.cost_override.has_value());
+  if (spec.cost_override.has_value()) {
+    hasher.update_double(spec.cost_override->write_ns_per_op);
+    hasher.update_double(spec.cost_override->read_ns_per_op);
+    hasher.update_double(spec.cost_override->write_ns_per_byte);
+    hasher.update_double(spec.cost_override->read_ns_per_byte);
+  }
+  update_simulation(hasher, spec.simulation.get(), spec.ranks,
+                    spec.iterations);
+  update_analytics(hasher, spec.analytics.get(), spec.simulation.get(),
+                   spec.ranks, spec.iterations);
+  return hasher.digest();
+}
+
+std::uint64_t simulation_digest(const WorkflowSpec& spec) {
+  Hasher64 hasher;
+  update_simulation(hasher, spec.simulation.get(), spec.ranks,
+                    spec.iterations);
+  return hasher.digest();
+}
+
+std::uint64_t analytics_digest(const WorkflowSpec& spec) {
+  Hasher64 hasher;
+  update_analytics(hasher, spec.analytics.get(), spec.simulation.get(),
+                   spec.ranks, spec.iterations);
+  return hasher.digest();
+}
+
+}  // namespace
+
+std::uint64_t class_fingerprint(const WorkflowSpec& spec) {
+  return digest(spec, /*include_label=*/false);
+}
+
+std::uint64_t hash_value(const WorkflowSpec& spec) {
+  return digest(spec, /*include_label=*/true);
+}
+
+bool operator==(const WorkflowSpec& a, const WorkflowSpec& b) {
+  if (a.label != b.label || a.ranks != b.ranks ||
+      a.iterations != b.iterations || a.stack != b.stack ||
+      a.cost_override != b.cost_override ||
+      a.channel_capacity != b.channel_capacity ||
+      a.verify_reads != b.verify_reads) {
+    return false;
+  }
+  if (a.simulation != b.simulation &&
+      simulation_digest(a) != simulation_digest(b)) {
+    return false;
+  }
+  return a.analytics == b.analytics ||
+         analytics_digest(a) == analytics_digest(b);
+}
+
+}  // namespace pmemflow::workflow

@@ -87,4 +87,26 @@ struct WorkflowSpec {
 
 [[nodiscard]] const char* to_string(WorkflowSpec::Stack stack) noexcept;
 
+/// Stable 64-bit digest of everything that determines a spec's
+/// *behaviour*: launch parameters, stack, cost override, capacity, and
+/// a behavioural sample of both component models (what each rank writes
+/// for the first, second, and last iteration, per-rank compute, and the
+/// analytics compute curve at the spec's own object sizes). The label
+/// is deliberately excluded: two submissions of the same workflow class
+/// under different job names fingerprint identically, which is what
+/// lets the service layer's recommendation cache hit across resubmits.
+///
+/// Deterministic across runs (FNV-1a over fixed byte encodings, no
+/// pointers, no addresses).
+[[nodiscard]] std::uint64_t class_fingerprint(const WorkflowSpec& spec);
+
+/// class_fingerprint plus the label — a full-identity hash usable with
+/// unordered containers alongside operator==.
+[[nodiscard]] std::uint64_t hash_value(const WorkflowSpec& spec);
+
+/// Structural/behavioural equality: identical launch parameters, label,
+/// and component models that are either the same object or sample to
+/// the same behaviour over this spec's (rank, iteration) domain.
+[[nodiscard]] bool operator==(const WorkflowSpec& a, const WorkflowSpec& b);
+
 }  // namespace pmemflow::workflow

@@ -1,0 +1,101 @@
+#include "service/submission_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow::service {
+namespace {
+
+Submission make_submission(std::uint64_t id, SimTime arrival,
+                           Priority priority = Priority::kNormal) {
+  Submission s;
+  s.id = id;
+  s.arrival_ns = arrival;
+  s.priority = priority;
+  return s;
+}
+
+TEST(SubmissionQueue, FifoWithinOnePriority) {
+  SubmissionQueue queue(8);
+  queue.submit(make_submission(1, 100), 0);
+  queue.submit(make_submission(2, 50), 0);
+  queue.submit(make_submission(3, 200), 0);
+  EXPECT_EQ(queue.pop().id, 2u);
+  EXPECT_EQ(queue.pop().id, 1u);
+  EXPECT_EQ(queue.pop().id, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SubmissionQueue, HigherPriorityJumpsTheLine) {
+  SubmissionQueue queue(8);
+  queue.submit(make_submission(1, 10, Priority::kBatch), 0);
+  queue.submit(make_submission(2, 20, Priority::kNormal), 0);
+  queue.submit(make_submission(3, 30, Priority::kUrgent), 0);
+  EXPECT_EQ(queue.pop().id, 3u);
+  EXPECT_EQ(queue.pop().id, 2u);
+  EXPECT_EQ(queue.pop().id, 1u);
+}
+
+TEST(SubmissionQueue, SimultaneousArrivalsBreakTiesById) {
+  SubmissionQueue queue(8);
+  queue.submit(make_submission(7, 100), 0);
+  queue.submit(make_submission(3, 100), 0);
+  queue.submit(make_submission(5, 100), 0);
+  EXPECT_EQ(queue.pop().id, 3u);
+  EXPECT_EQ(queue.pop().id, 5u);
+  EXPECT_EQ(queue.pop().id, 7u);
+}
+
+TEST(SubmissionQueue, RejectsWhenFull) {
+  SubmissionQueue queue(2);
+  EXPECT_EQ(queue.submit(make_submission(1, 0), 5).verdict,
+            AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(queue.submit(make_submission(2, 0), 5).verdict,
+            AdmissionVerdict::kAdmitted);
+  const auto decision = queue.submit(make_submission(3, 0), 5);
+  EXPECT_EQ(decision.verdict, AdmissionVerdict::kRejected);
+  EXPECT_EQ(decision.retry_after_ns, 5u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.stats().admitted, 2u);
+  EXPECT_EQ(queue.stats().rejected, 1u);
+}
+
+TEST(SubmissionQueue, DefersBatchAboveWatermark) {
+  SubmissionQueue queue(4, /*defer_watermark=*/0.5);
+  queue.submit(make_submission(1, 0), 0);
+  queue.submit(make_submission(2, 0), 0);
+  // Occupancy 2/4 == watermark: batch deferred, normal/urgent admitted.
+  const auto deferred =
+      queue.submit(make_submission(3, 0, Priority::kBatch), 9);
+  EXPECT_EQ(deferred.verdict, AdmissionVerdict::kDeferred);
+  EXPECT_EQ(deferred.retry_after_ns, 9u);
+  EXPECT_EQ(queue.submit(make_submission(4, 0, Priority::kNormal), 0).verdict,
+            AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(queue.submit(make_submission(5, 0, Priority::kUrgent), 0).verdict,
+            AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(queue.stats().deferred, 1u);
+  EXPECT_EQ(queue.size(), 4u);
+}
+
+TEST(SubmissionQueue, WatermarkOneNeverDefers) {
+  SubmissionQueue queue(2, /*defer_watermark=*/1.0);
+  EXPECT_EQ(queue.submit(make_submission(1, 0, Priority::kBatch), 0).verdict,
+            AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(queue.submit(make_submission(2, 0, Priority::kBatch), 0).verdict,
+            AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(queue.submit(make_submission(3, 0, Priority::kBatch), 0).verdict,
+            AdmissionVerdict::kRejected);
+}
+
+TEST(SubmissionQueue, TracksHighWater) {
+  SubmissionQueue queue(8);
+  queue.submit(make_submission(1, 0), 0);
+  queue.submit(make_submission(2, 0), 0);
+  queue.submit(make_submission(3, 0), 0);
+  (void)queue.pop();
+  (void)queue.pop();
+  queue.submit(make_submission(4, 0), 0);
+  EXPECT_EQ(queue.stats().high_water, 3u);
+}
+
+}  // namespace
+}  // namespace pmemflow::service

@@ -1,0 +1,111 @@
+#include "workflow/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/suite.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pmemflow::workflow {
+namespace {
+
+WorkflowSpec synthetic_spec(Bytes object_size, double sim_compute_ns,
+                            std::uint32_t ranks) {
+  workloads::SyntheticSimulation::Params sim;
+  sim.object_size = object_size;
+  sim.objects_per_rank = 8;
+  sim.compute_ns = sim_compute_ns;
+  workloads::SyntheticAnalytics::Params analytics;
+  analytics.compute_ns_per_object = 1000.0;
+  return workloads::make_synthetic_workflow(sim, analytics, ranks,
+                                            /*iterations=*/3);
+}
+
+TEST(SpecDigest, IndependentlyBuiltIdenticalSpecsAgree) {
+  // Two specs built through separate model objects: pointers differ,
+  // behaviour is identical.
+  const auto a = synthetic_spec(2 * kMiB, 5e6, 8);
+  const auto b = synthetic_spec(2 * kMiB, 5e6, 8);
+  ASSERT_NE(a.simulation.get(), b.simulation.get());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(hash_value(a), hash_value(b));
+  EXPECT_EQ(class_fingerprint(a), class_fingerprint(b));
+}
+
+TEST(SpecDigest, RepeatedEvaluationIsStable) {
+  const auto spec = workloads::make_workflow(workloads::Family::kMicro2KB, 8);
+  const auto first = hash_value(spec);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(hash_value(spec), first);
+  }
+  // A copy of the spec (sharing the model objects) digests identically.
+  const WorkflowSpec copy = spec;
+  EXPECT_EQ(hash_value(copy), first);
+  EXPECT_TRUE(copy == spec);
+}
+
+TEST(SpecDigest, LabelAffectsIdentityButNotClassFingerprint) {
+  auto a = synthetic_spec(64 * kKiB, 1e6, 8);
+  auto b = a;
+  b.label = "renamed-job";
+  ASSERT_NE(a.label, b.label);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(hash_value(a), hash_value(b));
+  EXPECT_EQ(class_fingerprint(a), class_fingerprint(b));
+}
+
+TEST(SpecDigest, ParameterPerturbationsChangeTheFingerprint) {
+  const auto base = synthetic_spec(2 * kMiB, 5e6, 8);
+  const auto base_print = class_fingerprint(base);
+
+  EXPECT_NE(class_fingerprint(synthetic_spec(4 * kMiB, 5e6, 8)), base_print);
+  EXPECT_NE(class_fingerprint(synthetic_spec(2 * kMiB, 6e6, 8)), base_print);
+  EXPECT_NE(class_fingerprint(synthetic_spec(2 * kMiB, 5e6, 16)), base_print);
+
+  auto other_stack = base;
+  other_stack.stack = WorkflowSpec::Stack::kNova;
+  EXPECT_NE(class_fingerprint(other_stack), base_print);
+
+  auto capped = base;
+  capped.channel_capacity = 2;
+  EXPECT_NE(class_fingerprint(capped), base_print);
+
+  auto overridden = base;
+  overridden.cost_override = stack::SoftwareCostModel{10.0, 10.0, 0.1, 0.1};
+  EXPECT_NE(class_fingerprint(overridden), base_print);
+
+  auto unverified = base;
+  unverified.verify_reads = false;
+  EXPECT_NE(class_fingerprint(unverified), base_print);
+
+  auto fewer_iterations = base;
+  fewer_iterations.iterations = 2;
+  EXPECT_NE(class_fingerprint(fewer_iterations), base_print);
+}
+
+TEST(SpecDigest, SuiteWorkflowsAreAllDistinct) {
+  const auto suite = workloads::full_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(class_fingerprint(suite[i]), class_fingerprint(suite[j]))
+          << suite[i].label << " vs " << suite[j].label;
+      EXPECT_FALSE(suite[i] == suite[j]);
+    }
+  }
+}
+
+TEST(SpecDigest, EqualityIsBehaviouralNotNominal) {
+  // Same parameters, different model *names*: distinct classes (a name
+  // is part of the behaviour contract — it feeds characterization
+  // reports), so the digest must separate them.
+  workloads::SyntheticSimulation::Params sim;
+  sim.name = "alpha";
+  auto a = workloads::make_synthetic_workflow(
+      sim, workloads::SyntheticAnalytics::Params{}, 8, 2);
+  sim.name = "beta";
+  auto b = workloads::make_synthetic_workflow(
+      sim, workloads::SyntheticAnalytics::Params{}, 8, 2);
+  EXPECT_NE(class_fingerprint(a), class_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace pmemflow::workflow

@@ -1,0 +1,155 @@
+// pmemflowd — the online workflow-scheduling service, as a CLI.
+//
+// Drives service::OnlineScheduler with a synthetic Poisson submission
+// stream (tools/... are simulation drivers: arrivals, queueing, and
+// placement all happen on the deterministic simulated clock). Prints
+// the operator dashboard; optionally compares all placement policies on
+// the identical stream, exports CSV, and writes a Chrome trace of the
+// fleet timeline.
+//
+//   pmemflowd --submissions 20000 --nodes 8 --compare
+//   pmemflowd --policy recommender --trace fleet.json
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "service/arrivals.hpp"
+#include "service/scheduler.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+Expected<service::PlacementPolicy> parse_policy(const std::string& name) {
+  if (name == "first-fit") return service::PlacementPolicy::kFirstFit;
+  if (name == "least-loaded") return service::PlacementPolicy::kLeastLoaded;
+  if (name == "recommender" || name == "recommender-aware") {
+    return service::PlacementPolicy::kRecommenderAware;
+  }
+  return make_error("unknown policy '" + name +
+                    "' (first-fit | least-loaded | recommender)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "pmemflowd: online PMEM workflow scheduling service (simulated)");
+  flags.add_int("nodes", 4, "fleet size (dual-socket Optane nodes)");
+  flags.add_int("queue-capacity", 64, "submission queue capacity");
+  flags.add_string("policy", "recommender",
+                   "placement policy: first-fit | least-loaded | recommender");
+  flags.add_bool("rule-based", false,
+                 "recommender policy uses Table II rules instead of the "
+                 "model-based estimate");
+  flags.add_int("submissions", 2000, "number of submissions to generate");
+  flags.add_int("classes", 12, "distinct workflow classes in the pool");
+  flags.add_double("mean-gap-ms", 50.0,
+                   "mean Poisson inter-arrival gap (simulated ms)");
+  flags.add_int("seed", 42, "stream + pool seed");
+  flags.add_double("urgent-frac", 0.10, "fraction of kUrgent submissions");
+  flags.add_double("batch-frac", 0.30, "fraction of kBatch submissions");
+  flags.add_int("cache-capacity", 1024, "profile cache capacity (classes)");
+  flags.add_bool("compare", false,
+                 "run every placement policy on the identical stream");
+  flags.add_string("csv", "", "append per-policy metrics rows to this file");
+  flags.add_string("trace", "",
+                   "write a Chrome trace of the fleet timeline here "
+                   "(single-policy mode only)");
+  auto status = flags.parse(argc, argv);
+  if (!status.has_value()) {
+    std::cerr << status.error().message << "\n";
+    return status.error().message.find("usage:") != std::string::npos ? 0 : 2;
+  }
+
+  service::ArrivalParams arrivals;
+  arrivals.count = static_cast<std::uint64_t>(flags.get_int("submissions"));
+  arrivals.classes = static_cast<std::uint32_t>(flags.get_int("classes"));
+  arrivals.mean_interarrival_ns = flags.get_double("mean-gap-ms") * 1e6;
+  arrivals.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  arrivals.urgent_fraction = flags.get_double("urgent-frac");
+  arrivals.batch_fraction = flags.get_double("batch-frac");
+  const auto stream = service::make_submission_stream(arrivals);
+
+  service::ServiceConfig config;
+  config.nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
+  config.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue-capacity"));
+  if (config.nodes == 0 || config.queue_capacity == 0) {
+    std::cerr << "error: --nodes and --queue-capacity must be >= 1\n";
+    return 1;
+  }
+  config.use_rule_based = flags.get_bool("rule-based");
+  config.cache_capacity =
+      static_cast<std::size_t>(flags.get_int("cache-capacity"));
+
+  CsvWriter csv(service::service_csv_header());
+
+  if (flags.get_bool("compare")) {
+    TextTable table({"Policy", "Mean delay", "P99 delay", "Makespan",
+                     "Slowdown", "Util"},
+                    {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                     Align::kRight, Align::kRight});
+    for (const auto policy : {service::PlacementPolicy::kFirstFit,
+                              service::PlacementPolicy::kLeastLoaded,
+                              service::PlacementPolicy::kRecommenderAware}) {
+      config.policy = policy;
+      service::OnlineScheduler scheduler(config);
+      auto result = scheduler.run(stream);
+      if (!result.has_value()) {
+        std::cerr << "error: " << result.error().message << "\n";
+        return 1;
+      }
+      const auto& m = result->metrics;
+      table.add_row({to_string(policy),
+                     format("%.2f ms", m.queue_delay_ns.mean / 1e6),
+                     format("%.2f ms", m.queue_delay_ns.p99 / 1e6),
+                     format("%.3f s", static_cast<double>(m.makespan_ns) / 1e9),
+                     format("%.3fx", m.slowdown.mean),
+                     format("%.1f %%", 100.0 * m.mean_utilization)});
+      append_service_csv_row(csv, to_string(policy), m);
+    }
+    std::cout << format(
+        "=== %llu submissions, %u classes, %u nodes ===\n\n",
+        static_cast<unsigned long long>(arrivals.count), arrivals.classes,
+        config.nodes);
+    table.write(std::cout);
+  } else {
+    auto policy = parse_policy(flags.get_string("policy"));
+    if (!policy.has_value()) {
+      std::cerr << "error: " << policy.error().message << "\n";
+      return 1;
+    }
+    config.policy = *policy;
+    trace::Tracer tracer;
+    const std::string trace_path = flags.get_string("trace");
+    if (!trace_path.empty()) config.tracer = &tracer;
+
+    service::OnlineScheduler scheduler(config);
+    auto result = scheduler.run(stream);
+    if (!result.has_value()) {
+      std::cerr << "error: " << result.error().message << "\n";
+      return 1;
+    }
+    print_service_report(
+        std::cout,
+        format("=== pmemflowd: %s, %llu submissions, %u nodes ===",
+               to_string(config.policy),
+               static_cast<unsigned long long>(arrivals.count), config.nodes),
+        result->metrics);
+    append_service_csv_row(csv, to_string(config.policy), result->metrics);
+
+    if (!trace_path.empty() && !tracer.write_chrome_trace_file(trace_path)) {
+      std::cerr << "error: could not write " << trace_path << "\n";
+      return 1;
+    }
+  }
+
+  const std::string csv_path = flags.get_string("csv");
+  if (!csv_path.empty() && !csv.write_file(csv_path)) {
+    std::cerr << "error: could not write " << csv_path << "\n";
+    return 1;
+  }
+  return 0;
+}
