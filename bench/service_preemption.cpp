@@ -1,0 +1,212 @@
+// Checkpoint-preemption bench (service-subsystem acceptance gate).
+//
+// Drives a mixed urgent/batch Poisson stream through the online
+// scheduler twice under identical least-loaded placement — once
+// run-to-completion (the no-preemption baseline) and once with
+// checkpoint-restore preemption — and gates on three properties:
+//
+//   1. urgent P99 queueing delay improves under preemption (the whole
+//      point: urgent work no longer waits behind whole batch runtimes);
+//   2. total makespan regresses by less than the modeled checkpoint +
+//      restore overhead actually charged (preemption moves work around
+//      and pays the snapshot I/O, it must not lose work);
+//   3. two runs of the preemption-enabled stream produce byte-identical
+//      completion records (the DES determinism contract survives
+//      cancellable finish events and drain timers).
+//
+//   service_preemption [--submissions N] [--nodes N] [--smoke] [--csv f]
+//
+// --smoke shrinks the stream for CI tier-1.
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "metrics/summary.hpp"
+#include "service/arrivals.hpp"
+#include "service/scheduler.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+/// Queueing-delay summary of one priority class.
+metrics::SummaryStats delay_of(
+    const std::vector<service::CompletionRecord>& records,
+    service::Priority priority) {
+  std::vector<double> delays;
+  for (const auto& record : records) {
+    if (record.priority == priority) {
+      delays.push_back(static_cast<double>(record.queue_delay_ns()));
+    }
+  }
+  return metrics::summarize(delays);
+}
+
+bool identical_records(const service::CompletionRecord& a,
+                       const service::CompletionRecord& b) {
+  return a.id == b.id && a.label == b.label && a.priority == b.priority &&
+         a.node == b.node && a.config == b.config &&
+         a.cache_hit == b.cache_hit && a.arrival_ns == b.arrival_ns &&
+         a.start_ns == b.start_ns && a.finish_ns == b.finish_ns &&
+         a.best_runtime_ns == b.best_runtime_ns &&
+         a.config_runtime_ns == b.config_runtime_ns &&
+         a.preemptions == b.preemptions && a.migrations == b.migrations &&
+         a.checkpoint_ns == b.checkpoint_ns && a.restore_ns == b.restore_ns &&
+         a.work_executed_ns == b.work_executed_ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t submissions = 20000;
+  std::uint32_t nodes = 4;
+  bool smoke = false;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--submissions") == 0 && i + 1 < argc) {
+      submissions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) submissions = std::min<std::uint64_t>(submissions, 2000);
+
+  service::ArrivalParams arrivals;
+  arrivals.count = submissions;
+  arrivals.classes = 16;
+  // Saturating mix: batch workflows hold nodes for whole runtimes, so
+  // without preemption an urgent arrival routinely waits behind one.
+  arrivals.mean_interarrival_ns = 120.0e6;
+  arrivals.urgent_fraction = 0.15;
+  arrivals.batch_fraction = 0.45;
+  const auto stream = service::make_submission_stream(arrivals);
+
+  std::cout << format(
+      "=== Preemption: %llu submissions, %u classes, %u nodes ===\n\n",
+      static_cast<unsigned long long>(arrivals.count), arrivals.classes,
+      nodes);
+
+  service::ServiceConfig config;
+  config.nodes = nodes;
+  config.queue_capacity = static_cast<std::size_t>(submissions);
+  config.defer_watermark = 1.0;  // identical completion sets
+  config.policy = service::PlacementPolicy::kLeastLoaded;
+
+  struct Outcome {
+    const char* label;
+    service::ServiceMetrics metrics;
+    metrics::SummaryStats urgent_delay;
+    std::vector<service::CompletionRecord> completions;
+  };
+  std::vector<Outcome> outcomes;
+
+  CsvWriter csv(service::service_csv_header());
+  for (const auto preemption : {service::PreemptionPolicy::kNone,
+                                service::PreemptionPolicy::kCheckpointRestore}) {
+    config.preemption = preemption;
+    service::OnlineScheduler scheduler(config);
+    auto result = scheduler.run(stream);
+    if (!result.has_value()) {
+      std::cerr << "error: " << result.error().message << "\n";
+      return 1;
+    }
+    Outcome outcome;
+    outcome.label = to_string(preemption);
+    outcome.urgent_delay = delay_of(result->completions,
+                                    service::Priority::kUrgent);
+    outcome.metrics = result->metrics;
+    outcome.completions = std::move(result->completions);
+    append_service_csv_row(csv, outcome.label, outcome.metrics);
+    outcomes.push_back(std::move(outcome));
+  }
+  const auto& baseline = outcomes[0];
+  const auto& preempt = outcomes[1];
+
+  TextTable table({"Mode", "Urgent p99 delay", "Urgent mean delay", "Makespan",
+                   "Preempts", "Migrations", "Ckpt+restore", "Victim p99"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& outcome : outcomes) {
+    const auto& m = outcome.metrics;
+    table.add_row(
+        {outcome.label, format("%.2f ms", outcome.urgent_delay.p99 / 1e6),
+         format("%.2f ms", outcome.urgent_delay.mean / 1e6),
+         format("%.3f s", static_cast<double>(m.makespan_ns) / 1e9),
+         format("%llu", static_cast<unsigned long long>(m.preemptions)),
+         format("%llu", static_cast<unsigned long long>(m.migrations)),
+         format("%.1f ms",
+                static_cast<double>(m.checkpoint_overhead_ns +
+                                    m.restore_overhead_ns) /
+                    1e6),
+         format("%.3fx", m.victim_slowdown.p99)});
+  }
+  table.write(std::cout);
+
+  // Gate 1: urgent p99 queueing delay must improve.
+  const bool urgent_improves =
+      preempt.urgent_delay.p99 < baseline.urgent_delay.p99;
+  std::cout << format("\nurgent p99 delay  %.2f ms -> %.2f ms  %s\n",
+                      baseline.urgent_delay.p99 / 1e6,
+                      preempt.urgent_delay.p99 / 1e6,
+                      urgent_improves ? "WIN" : "LOSS");
+
+  // Gate 2: makespan may regress, but only within the checkpoint +
+  // restore overhead actually charged — preemption must not lose work.
+  const SimDuration overhead_bound = preempt.metrics.checkpoint_overhead_ns +
+                                     preempt.metrics.restore_overhead_ns;
+  const bool makespan_bounded =
+      preempt.metrics.makespan_ns <=
+      baseline.metrics.makespan_ns + overhead_bound;
+  std::cout << format(
+      "makespan          %.3f s -> %.3f s (overhead bound %.1f ms)  %s\n",
+      static_cast<double>(baseline.metrics.makespan_ns) / 1e9,
+      static_cast<double>(preempt.metrics.makespan_ns) / 1e9,
+      static_cast<double>(overhead_bound) / 1e6,
+      makespan_bounded ? "OK" : "EXCEEDED");
+
+  // Gate 3: determinism — the preemption run replayed must be
+  // byte-identical, record by record.
+  config.preemption = service::PreemptionPolicy::kCheckpointRestore;
+  service::OnlineScheduler replay(config);
+  auto second = replay.run(stream);
+  if (!second.has_value()) {
+    std::cerr << "error: " << second.error().message << "\n";
+    return 1;
+  }
+  bool deterministic = second->completions.size() == preempt.completions.size();
+  for (std::size_t i = 0; deterministic && i < second->completions.size();
+       ++i) {
+    deterministic = identical_records(second->completions[i],
+                                      preempt.completions[i]);
+  }
+  std::cout << format("determinism       %llu records replayed  %s\n",
+                      static_cast<unsigned long long>(
+                          preempt.completions.size()),
+                      deterministic ? "IDENTICAL" : "DIVERGED");
+
+  const bool preempted_at_all = preempt.metrics.preemptions > 0;
+  if (!preempted_at_all) {
+    std::cout << "\nresult: stream never triggered preemption (gate "
+                 "vacuous)\n";
+    return 1;
+  }
+  const bool pass = urgent_improves && makespan_bounded && deterministic;
+  std::cout << "\nresult: "
+            << (pass ? "preemption improves urgent latency within the "
+                       "checkpoint overhead bound"
+                     : "preemption gate FAILED")
+            << "\n";
+
+  if (!csv_path.empty() && !csv.write_file(csv_path)) {
+    std::cerr << "error: could not write " << csv_path << "\n";
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

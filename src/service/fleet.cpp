@@ -1,6 +1,7 @@
 #include "service/fleet.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
 
@@ -15,6 +16,27 @@ const char* to_string(PlacementPolicy policy) noexcept {
   return "?";
 }
 
+const char* to_string(PreemptionPolicy policy) noexcept {
+  switch (policy) {
+    case PreemptionPolicy::kNone: return "none";
+    case PreemptionPolicy::kCheckpointRestore: return "checkpoint-restore";
+  }
+  return "?";
+}
+
+Bytes RunningTask::snapshot_bytes(SimDuration remaining) const noexcept {
+  if (record.config_runtime_ns == 0 || snapshot_bytes_per_iteration == 0) {
+    return 0;
+  }
+  const double remaining_fraction =
+      static_cast<double>(remaining) /
+      static_cast<double>(record.config_runtime_ns);
+  auto in_flight = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(iterations) * remaining_fraction));
+  in_flight = std::clamp<std::uint64_t>(in_flight, 1, iterations);
+  return snapshot_bytes_per_iteration * in_flight;
+}
+
 Fleet::Fleet(std::uint32_t node_count) : nodes_(node_count) {
   PMEMFLOW_ASSERT(node_count >= 1);
 }
@@ -24,9 +46,14 @@ const NodeState& Fleet::node(std::uint32_t index) const {
   return nodes_[index];
 }
 
+const RunningTask* Fleet::running(std::uint32_t index) const {
+  PMEMFLOW_ASSERT(index < nodes_.size());
+  return nodes_[index].running.has_value() ? &*nodes_[index].running : nullptr;
+}
+
 bool Fleet::any_idle(SimTime now) const noexcept {
   return std::any_of(nodes_.begin(), nodes_.end(), [now](const NodeState& n) {
-    return n.free_at_ns <= now;
+    return n.free_at_ns <= now && !n.running.has_value();
   });
 }
 
@@ -42,7 +69,10 @@ std::optional<std::uint32_t> Fleet::pick_idle_node(PlacementPolicy policy,
                                                    SimTime now) const {
   std::optional<std::uint32_t> best;
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].free_at_ns > now) continue;
+    // A node is dispatchable only once its finish event has actually
+    // fired (running cleared): an arrival landing at exactly free_at_ns
+    // must wait for the same-timestamp completion callback.
+    if (nodes_[i].free_at_ns > now || nodes_[i].running.has_value()) continue;
     if (policy == PlacementPolicy::kFirstFit) return i;
     // Least-loaded (also the placement half of kRecommenderAware):
     // least accumulated busy time, index as the deterministic tiebreak.
@@ -53,14 +83,69 @@ std::optional<std::uint32_t> Fleet::pick_idle_node(PlacementPolicy policy,
   return best;
 }
 
-void Fleet::assign(std::uint32_t index, SimTime start_ns,
-                   SimDuration runtime_ns) {
+void Fleet::start(std::uint32_t index, SimTime start_ns, SimDuration busy_ns,
+                  RunningTask task) {
   PMEMFLOW_ASSERT(index < nodes_.size());
   NodeState& n = nodes_[index];
   PMEMFLOW_ASSERT(n.free_at_ns <= start_ns);
-  n.free_at_ns = start_ns + runtime_ns;
-  n.busy_ns += runtime_ns;
+  PMEMFLOW_ASSERT(!n.running.has_value());
+  n.free_at_ns = start_ns + busy_ns;
+  n.busy_ns += busy_ns;
+  n.running.emplace(std::move(task));
+}
+
+RunningTask Fleet::complete(std::uint32_t index) {
+  PMEMFLOW_ASSERT(index < nodes_.size());
+  NodeState& n = nodes_[index];
+  PMEMFLOW_ASSERT(n.running.has_value());
   ++n.completed;
+  RunningTask task = std::move(*n.running);
+  n.running.reset();
+  return task;
+}
+
+SimDuration Fleet::remaining_work_at(std::uint32_t index, SimTime now) const {
+  PMEMFLOW_ASSERT(index < nodes_.size());
+  const NodeState& n = nodes_[index];
+  PMEMFLOW_ASSERT(n.running.has_value());
+  const RunningTask& task = *n.running;
+  // The current segment was charged as segment_overhead + remaining up
+  // front; executed time beyond the overhead window is real work done.
+  const SimTime segment_start =
+      n.free_at_ns - (task.segment_overhead_ns + task.remaining_ns);
+  PMEMFLOW_ASSERT(now >= segment_start);
+  const SimDuration executed = now - segment_start;
+  const SimDuration work_done =
+      executed > task.segment_overhead_ns ? executed - task.segment_overhead_ns
+                                          : 0;
+  PMEMFLOW_ASSERT(work_done <= task.remaining_ns);
+  return task.remaining_ns - work_done;
+}
+
+RunningTask Fleet::preempt(std::uint32_t index, SimTime now,
+                           SimDuration checkpoint_ns) {
+  PMEMFLOW_ASSERT(index < nodes_.size());
+  const SimDuration remaining = remaining_work_at(index, now);
+  NodeState& n = nodes_[index];
+  PMEMFLOW_ASSERT(n.free_at_ns > now);
+
+  RunningTask task = std::move(*n.running);
+  n.running.reset();
+  task.record.work_executed_ns += task.remaining_ns - remaining;
+  task.remaining_ns = remaining;
+
+  // Un-charge the busy time the node will no longer spend, then charge
+  // the checkpoint drain: the node is occupied until the snapshot has
+  // been written out at PMEM write bandwidth.
+  n.busy_ns -= n.free_at_ns - now;
+  n.busy_ns += checkpoint_ns;
+  n.checkpoint_busy_ns += checkpoint_ns;
+  n.free_at_ns = now + checkpoint_ns;
+  ++n.preemptions;
+
+  ++task.record.preemptions;
+  task.record.checkpoint_ns += checkpoint_ns;
+  return task;
 }
 
 double Fleet::utilization(std::uint32_t index, SimDuration horizon_ns) const {

@@ -12,6 +12,12 @@
 //                        time, fixed configuration;
 //   kRecommenderAware  — least-loaded placement + per-workflow Table II
 //                        configuration from the recommendation cache.
+//
+// Under PreemptionPolicy::kCheckpointRestore nodes are additionally
+// *preemptible*: the fleet tracks the task each node is running, and
+// the scheduler may checkpoint a lower-priority task off its node
+// (preempt()), re-queue it, and later resume it — on any node — with
+// its remaining runtime intact.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,8 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "service/metrics.hpp"
+#include "sim/event_queue.hpp"
 
 namespace pmemflow::service {
 
@@ -30,14 +38,55 @@ enum class PlacementPolicy : std::uint8_t {
 
 [[nodiscard]] const char* to_string(PlacementPolicy policy) noexcept;
 
+/// Everything the scheduler must retain about a dispatched workflow to
+/// be able to complete it — or checkpoint it off the node and resume
+/// it elsewhere.
+struct RunningTask {
+  /// The original submission, kept so a preempted victim can re-enter
+  /// the queue with its original (priority, arrival, id) dispatch key.
+  Submission submission;
+  /// Partially-filled completion record; finish_ns is provisional until
+  /// the finish event actually fires.
+  CompletionRecord record;
+  /// Work still owed when the current segment started (== the full
+  /// config runtime for a fresh dispatch).
+  SimDuration remaining_ns = 0;
+  /// Restore + migration overhead charged at the head of the current
+  /// segment (0 for a fresh dispatch). Progress during the overhead
+  /// window is not workflow work, so a preemption landing inside it
+  /// wastes the restore but loses no work.
+  SimDuration segment_overhead_ns = 0;
+  /// Snapshot volume basis: bytes the workflow materializes in the
+  /// channel per iteration (all ranks) and the iteration count, from
+  /// the cached profile.
+  Bytes snapshot_bytes_per_iteration = 0;
+  std::uint32_t iterations = 1;
+  /// Cancellable finish event of the current segment.
+  sim::EventId finish_event;
+
+  /// In-flight channel state to drain at a preemption point where
+  /// `remaining` work is still owed: per-iteration snapshot volume ×
+  /// in-flight step count ceil(iterations * remaining/full), >= 1 — a
+  /// workflow near completion has little live state left to drain.
+  [[nodiscard]] Bytes snapshot_bytes(SimDuration remaining) const noexcept;
+};
+
 /// Load-tracking state of one node.
 struct NodeState {
-  /// Simulated time at which the node finishes its current workflow
-  /// (<= now means idle).
+  /// Simulated time at which the node finishes its current workflow or
+  /// checkpoint drain (<= now means idle).
   SimTime free_at_ns = 0;
-  /// Total simulated time the node has spent running workflows.
+  /// Total simulated time the node has spent running workflows (incl.
+  /// checkpoint drains and restore streams).
   SimDuration busy_ns = 0;
   std::uint64_t completed = 0;
+  /// Workflows checkpointed off this node.
+  std::uint64_t preemptions = 0;
+  /// Busy time spent draining checkpoints (subset of busy_ns).
+  SimDuration checkpoint_busy_ns = 0;
+  /// Task currently on the node; empty while idle *and* while draining
+  /// a checkpoint (the victim has already left for the queue).
+  std::optional<RunningTask> running;
 };
 
 class Fleet {
@@ -49,21 +98,47 @@ class Fleet {
   }
   [[nodiscard]] const NodeState& node(std::uint32_t index) const;
 
+  /// Task currently running on `index`, or nullptr when the node is
+  /// idle or draining a checkpoint.
+  [[nodiscard]] const RunningTask* running(std::uint32_t index) const;
+
   [[nodiscard]] bool any_idle(SimTime now) const noexcept;
 
   /// Earliest time any node frees (== some free_at_ns; for an idle
-  /// fleet this is in the past). Used for retry-after hints.
+  /// fleet this is in the past). Used for retry-after hints and the
+  /// preemption decision rule.
   [[nodiscard]] SimTime earliest_free_ns() const noexcept;
 
   /// Picks a node among those idle at `now` according to `policy`
   /// (kRecommenderAware places like kLeastLoaded). Returns nullopt when
-  /// no node is idle.
+  /// no node is idle. A node whose finish event has reached its
+  /// timestamp but not yet fired (running task still attached) does not
+  /// count as idle.
   [[nodiscard]] std::optional<std::uint32_t> pick_idle_node(
       PlacementPolicy policy, SimTime now) const;
 
-  /// Occupies `index` with a workflow of length `runtime_ns` starting
-  /// at `start_ns`. The node must be idle at start_ns.
-  void assign(std::uint32_t index, SimTime start_ns, SimDuration runtime_ns);
+  /// Occupies `index` with `task` for `busy_ns` of simulated time
+  /// starting at `start_ns` (segment overhead + remaining work). The
+  /// node must be idle at start_ns.
+  void start(std::uint32_t index, SimTime start_ns, SimDuration busy_ns,
+             RunningTask task);
+
+  /// Finishes the task on `index`; the node frees and the task (with
+  /// its completion record) is handed back.
+  [[nodiscard]] RunningTask complete(std::uint32_t index);
+
+  /// Work the task on `index` would still owe if preempted at `now`
+  /// (segment overhead does not count as work). Node must be running.
+  [[nodiscard]] SimDuration remaining_work_at(std::uint32_t index,
+                                              SimTime now) const;
+
+  /// Checkpoints the task off `index` at time `now`: un-charges the
+  /// work the task will no longer do here, charges `checkpoint_ns` of
+  /// snapshot drain (the node stays busy until now + checkpoint_ns),
+  /// and returns the task with remaining_ns updated to the work still
+  /// owed. The caller re-queues it and cancels its finish event.
+  [[nodiscard]] RunningTask preempt(std::uint32_t index, SimTime now,
+                                    SimDuration checkpoint_ns);
 
   /// busy_ns / horizon of one node (horizon > 0).
   [[nodiscard]] double utilization(std::uint32_t index,

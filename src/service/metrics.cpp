@@ -16,9 +16,13 @@ ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
                                  const QueueStats& admission,
                                  const CacheStats& cache,
                                  std::uint64_t retries, std::uint64_t dropped) {
+  // A zero-completion run (everything rejected or dropped) must report
+  // clean zeros: metrics::summarize returns an all-zero SummaryStats
+  // for empty input, and every ratio below guards its denominator, so
+  // neither the report nor the CSV can emit NaN.
   ServiceMetrics metrics;
   metrics.completed = records.size();
-  std::vector<double> delays, slowdowns, runtimes;
+  std::vector<double> delays, slowdowns, runtimes, victim_slowdowns;
   delays.reserve(records.size());
   slowdowns.reserve(records.size());
   runtimes.reserve(records.size());
@@ -26,10 +30,18 @@ ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
     delays.push_back(static_cast<double>(record.queue_delay_ns()));
     slowdowns.push_back(record.slowdown());
     runtimes.push_back(static_cast<double>(record.runtime_ns()));
+    metrics.preemptions += record.preemptions;
+    metrics.migrations += record.migrations;
+    metrics.checkpoint_overhead_ns += record.checkpoint_ns;
+    metrics.restore_overhead_ns += record.restore_ns;
+    if (record.preemptions > 0) {
+      victim_slowdowns.push_back(record.victim_slowdown());
+    }
   }
   metrics.queue_delay_ns = metrics::summarize(delays);
   metrics.slowdown = metrics::summarize(slowdowns);
   metrics.runtime_ns = metrics::summarize(runtimes);
+  metrics.victim_slowdown = metrics::summarize(victim_slowdowns);
   metrics.makespan_ns = makespan_ns;
   metrics.node_utilization = node_utilization;
   double sum = 0.0;
@@ -79,6 +91,22 @@ void print_service_report(std::ostream& out, const std::string& title,
                                                metrics.retries))});
   table.add_row({"dropped", format("%llu", static_cast<unsigned long long>(
                                                metrics.dropped))});
+  table.add_row({"queue high water",
+                 format("%llu", static_cast<unsigned long long>(
+                                    metrics.admission.high_water))});
+  table.add_row({"preemptions", format("%llu", static_cast<unsigned long long>(
+                                                   metrics.preemptions))});
+  table.add_row({"migrations", format("%llu", static_cast<unsigned long long>(
+                                                  metrics.migrations))});
+  table.add_row(
+      {"checkpoint overhead",
+       format("%.3f ms", to_ms(static_cast<double>(
+                             metrics.checkpoint_overhead_ns)))});
+  table.add_row({"restore overhead",
+                 format("%.3f ms", to_ms(static_cast<double>(
+                                       metrics.restore_overhead_ns)))});
+  table.add_row({"victim slowdown p99",
+                 format("%.4fx", metrics.victim_slowdown.p99)});
   table.add_row({"cache hit rate",
                  format("%.1f %% (%llu/%llu)",
                         100.0 * metrics.cache.hit_rate(),
@@ -100,7 +128,14 @@ std::vector<std::string> service_csv_header() {
           "admitted",
           "deferred",
           "rejected",
+          "retries",
           "dropped",
+          "high_water",
+          "preemptions",
+          "migrations",
+          "checkpoint_overhead_ms",
+          "restore_overhead_ms",
+          "victim_slowdown_p99",
           "cache_hit_rate"};
 }
 
@@ -118,7 +153,15 @@ void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
        format("%llu", static_cast<unsigned long long>(metrics.admission.admitted)),
        format("%llu", static_cast<unsigned long long>(metrics.admission.deferred)),
        format("%llu", static_cast<unsigned long long>(metrics.admission.rejected)),
+       format("%llu", static_cast<unsigned long long>(metrics.retries)),
        format("%llu", static_cast<unsigned long long>(metrics.dropped)),
+       format("%llu",
+              static_cast<unsigned long long>(metrics.admission.high_water)),
+       format("%llu", static_cast<unsigned long long>(metrics.preemptions)),
+       format("%llu", static_cast<unsigned long long>(metrics.migrations)),
+       format("%.6f", to_ms(static_cast<double>(metrics.checkpoint_overhead_ns))),
+       format("%.6f", to_ms(static_cast<double>(metrics.restore_overhead_ns))),
+       format("%.6f", metrics.victim_slowdown.p99),
        format("%.6f", metrics.cache.hit_rate())});
 }
 

@@ -31,10 +31,26 @@ struct CompletionRecord {
   core::DeploymentConfig config;
   bool cache_hit = false;
   SimTime arrival_ns = 0;
+  /// First dispatch start (a preempted victim keeps its original start).
   SimTime start_ns = 0;
   SimTime finish_ns = 0;
   /// Oracle-best runtime of this workflow class (from the cached sweep).
   SimDuration best_runtime_ns = 0;
+  /// Uninterrupted runtime under `config` (== finish - start when the
+  /// workflow was never preempted).
+  SimDuration config_runtime_ns = 0;
+  /// Times this workflow was checkpointed off its node.
+  std::uint32_t preemptions = 0;
+  /// Resumes that landed on a different node than the checkpoint.
+  std::uint32_t migrations = 0;
+  /// Total checkpoint drain time charged (snapshot / PMEM write bw).
+  SimDuration checkpoint_ns = 0;
+  /// Total restore time charged (snapshot read + any migration leg).
+  SimDuration restore_ns = 0;
+  /// Pure work time executed across all segments; the remaining-time
+  /// accounting invariant is work_executed_ns == config_runtime_ns at
+  /// completion, preempted or not.
+  SimDuration work_executed_ns = 0;
 
   [[nodiscard]] SimDuration queue_delay_ns() const noexcept {
     return start_ns - arrival_ns;
@@ -47,6 +63,15 @@ struct CompletionRecord {
                ? 1.0
                : static_cast<double>(runtime_ns()) /
                      static_cast<double>(best_runtime_ns);
+  }
+  /// How much longer the workflow took end-to-end than its
+  /// uninterrupted runtime (checkpoint/restore overhead + time parked
+  /// in the queue while preempted). 1.0 when never preempted.
+  [[nodiscard]] double victim_slowdown() const noexcept {
+    return config_runtime_ns == 0
+               ? 1.0
+               : static_cast<double>(runtime_ns()) /
+                     static_cast<double>(config_runtime_ns);
   }
 };
 
@@ -62,10 +87,22 @@ struct ServiceMetrics {
   double mean_utilization = 0.0;
   QueueStats admission;
   CacheStats cache;
-  /// Deferred submissions automatically resubmitted by the service.
+  /// Deferred/rejected submissions automatically resubmitted by the
+  /// service.
   std::uint64_t retries = 0;
   /// Submissions dropped after exhausting their retry budget.
   std::uint64_t dropped = 0;
+  /// Checkpoint preemptions performed across the run.
+  std::uint64_t preemptions = 0;
+  /// Resumes that migrated the snapshot to a different node.
+  std::uint64_t migrations = 0;
+  /// Total simulated time spent draining checkpoints.
+  SimDuration checkpoint_overhead_ns = 0;
+  /// Total simulated time spent restoring (incl. migration transfers).
+  SimDuration restore_overhead_ns = 0;
+  /// End-to-end stretch of preempted victims vs their uninterrupted
+  /// runtime (empty when nothing was preempted).
+  metrics::SummaryStats victim_slowdown;
 };
 
 /// Condenses completion records + component stats into ServiceMetrics.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/strings.hpp"
 #include "sim/event_queue.hpp"
 
@@ -15,6 +17,17 @@ namespace {
 /// a client cannot usefully spin faster than this.
 constexpr SimDuration kMinRetryNs = 1 * kMillisecond;
 
+/// Checkpointed state of a preempted victim waiting in the queue.
+struct ResumeState {
+  /// Volume drained at preemption; what a restore (and any migration
+  /// leg) must stream back.
+  Bytes snapshot_bytes = 0;
+  /// Node holding the snapshot; resuming elsewhere pays the
+  /// interconnect transfer.
+  std::uint32_t checkpoint_node = 0;
+  RunningTask task;
+};
+
 /// Mutable state of one run(); groups what the event callbacks share.
 struct RunState {
   const ServiceConfig& config;
@@ -23,6 +36,11 @@ struct RunState {
   Fleet fleet;
   SubmissionQueue queue;
   std::vector<CompletionRecord> completions;
+  /// Checkpoints awaiting resume, keyed by submission id.
+  std::unordered_map<std::uint64_t, ResumeState> checkpoints;
+  /// Nodes currently draining a checkpoint on behalf of a waiting
+  /// urgent submission; bounds preemptions to one per waiting urgent.
+  std::uint64_t urgent_reservations = 0;
   std::uint64_t retries = 0;
   std::uint64_t dropped = 0;
   std::optional<Error> failure;
@@ -34,56 +52,206 @@ struct RunState {
         queue(cfg.queue_capacity, cfg.defer_watermark) {}
 
   void dispatch(SimTime now);
+  void maybe_preempt(SimTime now);
+  void start_fresh(std::uint32_t node, Submission submission, SimTime now);
+  void resume_checkpointed(std::uint32_t node, Submission submission,
+                           ResumeState state, SimTime now);
+  void launch(std::uint32_t node, SimDuration busy_ns, RunningTask task,
+              SimTime now);
+  void on_finish(std::uint32_t node, SimTime finish);
 };
 
 void RunState::dispatch(SimTime now) {
   while (!failure.has_value() && !queue.empty()) {
     const auto node = fleet.pick_idle_node(config.policy, now);
-    if (!node.has_value()) return;
-
-    Submission submission = queue.pop();
-    const std::uint64_t hits_before = cache.stats().hits;
-    auto profile = cache.lookup(submission.spec);
-    if (!profile.has_value()) {
-      failure = profile.error();
+    if (!node.has_value()) {
+      maybe_preempt(now);
       return;
     }
-    const bool cache_hit = cache.stats().hits > hits_before;
 
-    core::DeploymentConfig chosen = config.fixed_config;
-    if (config.policy == PlacementPolicy::kRecommenderAware) {
-      chosen = config.use_rule_based ? (*profile)->rule_based.config
-                                     : (*profile)->model_based.config;
+    Submission submission = queue.pop();
+    auto checkpointed = checkpoints.find(submission.id);
+    if (checkpointed != checkpoints.end()) {
+      ResumeState state = std::move(checkpointed->second);
+      checkpoints.erase(checkpointed);
+      resume_checkpointed(*node, std::move(submission), std::move(state), now);
+    } else {
+      start_fresh(*node, std::move(submission), now);
     }
-    const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
-
-    fleet.assign(*node, now, runtime);
-
-    CompletionRecord record;
-    record.id = submission.id;
-    record.label = submission.spec.label;
-    record.priority = submission.priority;
-    record.node = *node;
-    record.config = chosen;
-    record.cache_hit = cache_hit;
-    record.arrival_ns = submission.arrival_ns;
-    record.start_ns = now;
-    record.finish_ns = now + runtime;
-    record.best_runtime_ns = (*profile)->best_runtime_ns();
-    completions.push_back(record);
-
-    if (config.tracer != nullptr) {
-      const std::string track = format("node-%u", *node);
-      config.tracer->begin(track,
-                           format("%s [%s]", submission.spec.label.c_str(),
-                                  chosen.label().c_str()),
-                           now);
-      config.tracer->end(track, record.finish_ns);
-    }
-
-    const SimTime finish = record.finish_ns;
-    events.schedule(finish, [this, finish] { dispatch(finish); });
   }
+}
+
+void RunState::start_fresh(std::uint32_t node, Submission submission,
+                           SimTime now) {
+  const std::uint64_t hits_before = cache.stats().hits;
+  auto profile = cache.lookup(submission.spec);
+  if (!profile.has_value()) {
+    failure = profile.error();
+    return;
+  }
+  const bool cache_hit = cache.stats().hits > hits_before;
+
+  core::DeploymentConfig chosen = config.fixed_config;
+  if (config.policy == PlacementPolicy::kRecommenderAware) {
+    chosen = config.use_rule_based ? (*profile)->rule_based.config
+                                   : (*profile)->model_based.config;
+  }
+  const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
+
+  RunningTask task;
+  task.record.id = submission.id;
+  task.record.label = submission.spec.label;
+  task.record.priority = submission.priority;
+  task.record.node = node;
+  task.record.config = chosen;
+  task.record.cache_hit = cache_hit;
+  task.record.arrival_ns = submission.arrival_ns;
+  task.record.start_ns = now;
+  task.record.best_runtime_ns = (*profile)->best_runtime_ns();
+  task.record.config_runtime_ns = runtime;
+  task.remaining_ns = runtime;
+  task.segment_overhead_ns = 0;
+  // Snapshot basis: the channel materializes every rank's part each
+  // iteration; the profile's bytes_per_iteration is one rank's share.
+  task.snapshot_bytes_per_iteration =
+      (*profile)->profile.simulation.bytes_per_iteration *
+      submission.spec.ranks;
+  task.iterations = std::max<std::uint32_t>(1, submission.spec.iterations);
+  task.submission = std::move(submission);
+
+  if (config.tracer != nullptr) {
+    config.tracer->begin(format("node-%u", node),
+                         format("%s [%s]", task.record.label.c_str(),
+                                chosen.label().c_str()),
+                         now);
+  }
+  launch(node, runtime, std::move(task), now);
+}
+
+void RunState::resume_checkpointed(std::uint32_t node, Submission submission,
+                                   ResumeState state, SimTime now) {
+  RunningTask task = std::move(state.task);
+  const SimDuration restore =
+      transfer_time(state.snapshot_bytes, config.checkpoint.restore_read_bw);
+  SimDuration migration = 0;
+  if (node != state.checkpoint_node) {
+    migration =
+        transfer_time(state.snapshot_bytes, config.checkpoint.migration_bw);
+    ++task.record.migrations;
+  }
+  const SimDuration overhead = restore + migration;
+  task.record.restore_ns += overhead;
+  task.record.node = node;
+  task.segment_overhead_ns = overhead;
+  task.submission = std::move(submission);
+
+  if (config.tracer != nullptr) {
+    config.tracer->begin(
+        format("node-%u", node),
+        format("%s [resume%s]", task.record.label.c_str(),
+               migration > 0 ? ", migrated" : ""),
+        now);
+  }
+  launch(node, overhead + task.remaining_ns, std::move(task), now);
+}
+
+void RunState::launch(std::uint32_t node, SimDuration busy_ns,
+                      RunningTask task, SimTime now) {
+  const SimTime finish = now + busy_ns;
+  task.record.finish_ns = finish;  // provisional until the event fires
+  task.finish_event =
+      events.schedule(finish, [this, node, finish] { on_finish(node, finish); });
+  fleet.start(node, now, busy_ns, std::move(task));
+}
+
+void RunState::on_finish(std::uint32_t node, SimTime finish) {
+  RunningTask task = fleet.complete(node);
+  task.record.finish_ns = finish;
+  // The final segment ran to completion: all remaining work executed.
+  task.record.work_executed_ns += task.remaining_ns;
+  task.remaining_ns = 0;
+  if (config.tracer != nullptr) {
+    config.tracer->end(format("node-%u", node), finish);
+  }
+  completions.push_back(std::move(task.record));
+  dispatch(finish);
+}
+
+void RunState::maybe_preempt(SimTime now) {
+  if (config.preemption != PreemptionPolicy::kCheckpointRestore) return;
+  if (queue.empty()) return;
+  if (queue.front().priority != Priority::kUrgent) return;
+  // One preemption (== one node already draining) per waiting urgent:
+  // a second urgent behind the same head must not trigger a second
+  // checkpoint for work the first drain will already absorb.
+  if (queue.count_at_least(Priority::kUrgent) <= urgent_reservations) return;
+
+  // maybe_preempt is only reached when no node is idle, so every node
+  // frees strictly in the future.
+  const SimTime earliest_free = fleet.earliest_free_ns();
+  const SimDuration wait_without = earliest_free - now;
+
+  // Decision rule: preempting makes the urgent wait only for the
+  // checkpoint drain, so it saves (wait_without - checkpoint). Displace
+  // only when that saving exceeds the full checkpoint + restore cost
+  // the fleet pays for it; among profitable victims take the cheapest,
+  // lowest index as the deterministic tiebreak.
+  struct Candidate {
+    std::uint32_t node;
+    Bytes snapshot_bytes;
+    SimDuration checkpoint_ns;
+    SimDuration cost_ns;
+  };
+  std::optional<Candidate> victim;
+  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+    const RunningTask* task = fleet.running(i);
+    if (task == nullptr) continue;  // idle or already draining
+    if (task->record.priority >= Priority::kUrgent) continue;
+    const SimDuration remaining = fleet.remaining_work_at(i, now);
+    const Bytes snapshot = task->snapshot_bytes(remaining);
+    const SimDuration checkpoint =
+        transfer_time(snapshot, config.checkpoint.checkpoint_write_bw);
+    if (checkpoint >= wait_without) continue;  // saves no wait at all
+    const SimDuration restore =
+        transfer_time(snapshot, config.checkpoint.restore_read_bw);
+    const SimDuration cost = checkpoint + restore;
+    if (wait_without - checkpoint <= cost) continue;
+    if (!victim.has_value() || cost < victim->cost_ns) {
+      victim = Candidate{i, snapshot, checkpoint, cost};
+    }
+  }
+  if (!victim.has_value()) return;
+
+  RunningTask task = fleet.preempt(victim->node, now, victim->checkpoint_ns);
+  const bool cancelled = events.cancel(task.finish_event);
+  PMEMFLOW_ASSERT_MSG(cancelled, "victim finish event already fired");
+
+  if (config.tracer != nullptr) {
+    const std::string track = format("node-%u", victim->node);
+    config.tracer->end(track, now);  // victim's segment ends here
+    config.tracer->begin(track,
+                         format("ckpt %s", task.record.label.c_str()), now);
+    config.tracer->end(track, now + victim->checkpoint_ns);
+    config.tracer->instant(
+        "service",
+        format("preempt #%llu",
+               static_cast<unsigned long long>(task.submission.id)),
+        now);
+  }
+
+  Submission requeue = std::move(task.submission);
+  checkpoints.emplace(
+      requeue.id,
+      ResumeState{victim->snapshot_bytes, victim->node, std::move(task)});
+  queue.reinstate(std::move(requeue));
+
+  ++urgent_reservations;
+  const SimTime drain_done = now + victim->checkpoint_ns;
+  events.schedule(drain_done, [this, drain_done] {
+    PMEMFLOW_ASSERT(urgent_reservations > 0);
+    --urgent_reservations;
+    dispatch(drain_done);
+  });
 }
 
 }  // namespace
@@ -115,8 +283,9 @@ Expected<ServiceResult> OnlineScheduler::run(
                      return a.id < b.id;
                    });
 
-  // One arrival path for fresh submissions and deferred retries; the
-  // std::function indirection is what lets the retry event re-enter it.
+  // One arrival path for fresh submissions and deferred/rejected
+  // retries; the std::function indirection is what lets the retry event
+  // re-enter it.
   std::function<void(Submission, std::uint32_t, SimTime)> arrive;
   arrive = [&state, &arrive](Submission submission, std::uint32_t attempt,
                              SimTime now) {
@@ -126,38 +295,33 @@ Expected<ServiceResult> OnlineScheduler::run(
         std::max(earliest_free > now ? earliest_free - now : SimDuration{0},
                  kMinRetryNs);
     const std::uint64_t id = submission.id;
-    Submission retry_copy = submission;  // used only on deferral
+    Submission retry_copy = submission;  // used only on deferral/rejection
     const AdmissionDecision decision =
         state.queue.submit(std::move(submission), retry_after);
-    switch (decision.verdict) {
-      case AdmissionVerdict::kAdmitted:
-        break;
-      case AdmissionVerdict::kDeferred:
-        if (state.config.tracer != nullptr) {
-          state.config.tracer->instant(
-              "service",
-              format("defer #%llu", static_cast<unsigned long long>(id)), now);
-        }
-        if (attempt < state.config.max_retries) {
-          ++state.retries;
-          const SimTime retry_at = now + decision.retry_after_ns;
-          state.events.schedule(
-              retry_at, [&arrive, retry = std::move(retry_copy), attempt,
-                         retry_at]() mutable {
-                arrive(std::move(retry), attempt + 1, retry_at);
-              });
-        } else {
-          ++state.dropped;
-        }
-        break;
-      case AdmissionVerdict::kRejected:
-        if (state.config.tracer != nullptr) {
-          state.config.tracer->instant(
-              "service",
-              format("reject #%llu", static_cast<unsigned long long>(id)),
-              now);
-        }
-        break;
+    if (decision.verdict != AdmissionVerdict::kAdmitted) {
+      if (state.config.tracer != nullptr) {
+        state.config.tracer->instant(
+            "service",
+            format("%s #%llu", to_string(decision.verdict),
+                   static_cast<unsigned long long>(id)),
+            now);
+      }
+      // Deferred and rejected submissions share one retry budget:
+      // retry_after_ns is exactly the advisory resubmit hint a real
+      // client would honor, so the service honors it itself. Work that
+      // exhausts the budget is accounted as dropped — the invariant is
+      // completed + dropped == submissions.
+      if (attempt < state.config.max_retries) {
+        ++state.retries;
+        const SimTime retry_at = now + decision.retry_after_ns;
+        state.events.schedule(
+            retry_at, [&arrive, retry = std::move(retry_copy), attempt,
+                       retry_at]() mutable {
+              arrive(std::move(retry), attempt + 1, retry_at);
+            });
+      } else {
+        ++state.dropped;
+      }
     }
     state.dispatch(now);
   };
@@ -175,6 +339,8 @@ Expected<ServiceResult> OnlineScheduler::run(
     callback();
   }
   if (state.failure.has_value()) return Unexpected{*state.failure};
+  PMEMFLOW_ASSERT_MSG(state.checkpoints.empty(),
+                      "checkpointed victim never resumed");
 
   ServiceResult result;
   result.completions = std::move(state.completions);

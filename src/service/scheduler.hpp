@@ -9,10 +9,10 @@
 // produces the identical schedule.
 //
 // Per submission:
-//   1. admission — SubmissionQueue verdict; deferred submissions are
-//      auto-resubmitted after their retry-after (bounded retries),
-//      rejected ones are final (the retry-after hint is returned to the
-//      caller via admission stats and trace instants);
+//   1. admission — SubmissionQueue verdict; deferred and rejected
+//      submissions are auto-resubmitted after their retry-after
+//      (bounded by max_retries, then counted dropped), so every
+//      submission ends up either completed or dropped;
 //   2. characterization — ProfileCache lookup; repeat submissions of a
 //      workflow class hit and skip the four-configuration solve;
 //   3. placement — PlacementPolicy picks the node, and (for
@@ -21,6 +21,17 @@
 //      policies model a PMEM-unaware scheduler;
 //   4. dispatch — the node is occupied for the configuration's cached
 //      runtime; completion re-triggers dispatch.
+//
+// Under PreemptionPolicy::kCheckpointRestore an urgent arrival that
+// finds no idle node may displace running lower-priority work: the
+// victim is checkpointed (its in-flight channel state drained to PMEM
+// at the device's write bandwidth, occupying the node for the drain),
+// re-queued with its remaining runtime, and later restored — on any
+// node; a cross-node resume adds an interconnect transfer leg. The
+// decision rule is cost-based: displace only when the urgent wait
+// saved exceeds the checkpoint + restore cost (docs/SERVICE.md).
+// Everything, including checkpoint drains and cancelled finish events,
+// stays on the deterministic event queue.
 //
 // Characterization cost is not charged to the simulated clock, exactly
 // like core::BatchScheduler: profiles are reusable per-class artifacts
@@ -54,9 +65,14 @@ struct ServiceConfig {
   /// estimate (false, default — the paper's §VIII closing suggestion).
   bool use_rule_based = false;
   std::size_t cache_capacity = 1024;
-  /// Auto-resubmissions granted to a deferred submission before it is
-  /// dropped.
+  /// Auto-resubmissions granted to a deferred or rejected submission
+  /// before it is dropped.
   std::uint32_t max_retries = 3;
+  /// Whether urgent arrivals may checkpoint running batch/normal work
+  /// off a node.
+  PreemptionPolicy preemption = PreemptionPolicy::kNone;
+  /// Checkpoint/restore/migration cost model (calibrated device rates).
+  CheckpointParams checkpoint;
   /// Optional span/instant sink: per-node workflow spans on "node-<i>"
   /// tracks, admission instants on the "service" track. Must outlive
   /// run().
@@ -64,7 +80,7 @@ struct ServiceConfig {
 };
 
 struct ServiceResult {
-  /// Completed submissions in dispatch order.
+  /// Completed submissions in completion (finish-time) order.
   std::vector<CompletionRecord> completions;
   ServiceMetrics metrics;
 };

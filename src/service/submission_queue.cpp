@@ -71,10 +71,31 @@ const Submission& SubmissionQueue::front() const {
 
 Submission SubmissionQueue::pop() {
   PMEMFLOW_ASSERT(!queue_.empty());
-  auto it = queue_.begin();
-  Submission submission = *it;
-  queue_.erase(it);
-  return submission;
+  // extract() detaches the node so the Submission (spec strings, model
+  // pointers) is *moved* out instead of deep-copied — pop() is the hot
+  // path of the 100k-submission benches.
+  auto node = queue_.extract(queue_.begin());
+  return std::move(node.value());
+}
+
+void SubmissionQueue::reinstate(Submission submission) {
+  // Preempted victims re-enter unconditionally: they already passed
+  // admission once and their state (checkpoint) must not be lost, so
+  // capacity and the defer watermark do not apply. Admission stats are
+  // untouched — a victim is not a new submission.
+  queue_.insert(std::move(submission));
+  stats_.high_water = std::max(stats_.high_water, queue_.size());
+}
+
+std::size_t SubmissionQueue::count_at_least(Priority priority) const noexcept {
+  // The multiset is ordered priority-descending, so qualifying entries
+  // form a prefix.
+  std::size_t count = 0;
+  for (const Submission& submission : queue_) {
+    if (submission.priority < priority) break;
+    ++count;
+  }
+  return count;
 }
 
 }  // namespace pmemflow::service

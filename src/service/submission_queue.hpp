@@ -52,8 +52,16 @@ class SubmissionQueue {
   /// Highest-dispatch-priority submission; queue must not be empty.
   [[nodiscard]] const Submission& front() const;
 
-  /// Removes and returns the front submission.
+  /// Removes and returns the front submission (moved, not copied).
   Submission pop();
+
+  /// Re-enqueues a preempted victim, bypassing admission control (no
+  /// capacity check, no stats). Victims already passed admission once;
+  /// dropping them would lose checkpointed work.
+  void reinstate(Submission submission);
+
+  /// Number of queued submissions with priority >= `priority`.
+  [[nodiscard]] std::size_t count_at_least(Priority priority) const noexcept;
 
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }

@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "interconnect/upi.hpp"
+#include "pmemsim/params.hpp"
 #include "workflow/model.hpp"
 
 namespace pmemflow::service {
@@ -48,6 +50,31 @@ struct AdmissionDecision {
   /// should wait before resubmitting (earliest time the fleet state can
   /// have changed). 0 for kAdmitted.
   SimDuration retry_after_ns = 0;
+};
+
+/// Whether an urgent arrival may displace running lower-priority work.
+enum class PreemptionPolicy : std::uint8_t {
+  kNone,               ///< Run-to-completion (PR 1 behaviour).
+  kCheckpointRestore,  ///< Checkpoint the victim to PMEM, re-queue it,
+                       ///< restore later (possibly on another node).
+};
+
+[[nodiscard]] const char* to_string(PreemptionPolicy policy) noexcept;
+
+/// Cost model of checkpoint-based preemption, anchored in the same
+/// calibrated device constants as the simulator: a checkpoint drains
+/// the victim's in-flight channel state to node-local PMEM at the
+/// device's interleaved write peak; a restore streams it back at the
+/// read peak; migrating the snapshot to a different node crosses the
+/// socket interconnect at its remote-write credit ceiling (the
+/// sustained rate a cross-link PMEM write stream can achieve).
+struct CheckpointParams {
+  /// Snapshot drain rate (bytes/ns): local PMEM interleaved write peak.
+  Rate checkpoint_write_bw = pmemsim::OptaneParams{}.write_peak;
+  /// Snapshot restore rate: local PMEM interleaved read peak.
+  Rate restore_read_bw = pmemsim::OptaneParams{}.read_peak;
+  /// Extra transfer leg when the victim resumes on a different node.
+  Rate migration_bw = interconnect::UpiParams{}.remote_write_ceiling;
 };
 
 }  // namespace pmemflow::service

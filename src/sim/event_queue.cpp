@@ -18,17 +18,14 @@ bool EventQueue::cancel(EventId id) {
   return live_.erase(id.value) != 0;
 }
 
-void EventQueue::drop_dead_entries() {
+void EventQueue::drop_dead_entries() const {
   while (!heap_.empty() && !live_.contains(heap_.top().id)) {
     heap_.pop();
   }
 }
 
 SimTime EventQueue::next_time() const {
-  // drop_dead_entries is non-const; replicate the scan without mutating.
-  // Callers always pop right after, so the cost is acceptable.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_dead_entries();
+  drop_dead_entries();
   PMEMFLOW_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
   return heap_.top().when;
 }

@@ -62,9 +62,13 @@ class EventQueue {
     }
   };
 
-  void drop_dead_entries();
+  void drop_dead_entries() const;
 
-  std::priority_queue<Entry> heap_;
+  // The heap is mutable so that next_time() can shed cancelled entries
+  // without pretending to be non-const: dropping dead entries never
+  // changes the observable queue state (live events and their order),
+  // only the lazy-deletion backlog.
+  mutable std::priority_queue<Entry> heap_;
   std::unordered_map<std::uint64_t, Callback> live_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_sequence_ = 0;

@@ -90,6 +90,29 @@ TEST(EventQueue, CancelledHeadIsSkipped) {
   cb();
 }
 
+TEST(EventQueue, CancelThenNextTimeThroughConstRef) {
+  // Regression: next_time() used to const_cast itself to shed cancelled
+  // heap entries. The lazy-deletion scan is now genuinely const (the
+  // heap is mutable); calling through a const reference must skip every
+  // cancelled prefix entry and report the earliest *live* event.
+  EventQueue queue;
+  const EventId first = queue.schedule(1, [] {});
+  const EventId second = queue.schedule(2, [] {});
+  queue.schedule(3, [] {});
+  EXPECT_TRUE(queue.cancel(first));
+  EXPECT_TRUE(queue.cancel(second));
+
+  const EventQueue& view = queue;
+  EXPECT_EQ(view.next_time(), 3u);
+  EXPECT_EQ(view.size(), 1u);
+  // The answer is stable on repeated const calls and agrees with pop().
+  EXPECT_EQ(view.next_time(), 3u);
+  auto [when, cb] = queue.pop();
+  EXPECT_EQ(when, 3u);
+  cb();
+  EXPECT_TRUE(queue.empty());
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue queue;
   std::vector<SimTime> fire_times;

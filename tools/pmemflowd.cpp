@@ -9,6 +9,7 @@
 //
 //   pmemflowd --submissions 20000 --nodes 8 --compare
 //   pmemflowd --policy recommender --trace fleet.json
+//   pmemflowd --preemption --urgent-frac 0.2   # urgent work displaces batch
 #include <iostream>
 
 #include "common/flags.hpp"
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
   flags.add_bool("rule-based", false,
                  "recommender policy uses Table II rules instead of the "
                  "model-based estimate");
+  flags.add_bool("preemption", false,
+                 "urgent arrivals may checkpoint running batch/normal work "
+                 "off a node (checkpoint-restore preemption)");
   flags.add_int("submissions", 2000, "number of submissions to generate");
   flags.add_int("classes", 12, "distinct workflow classes in the pool");
   flags.add_double("mean-gap-ms", 50.0,
@@ -81,6 +85,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.use_rule_based = flags.get_bool("rule-based");
+  config.preemption = flags.get_bool("preemption")
+                          ? service::PreemptionPolicy::kCheckpointRestore
+                          : service::PreemptionPolicy::kNone;
   config.cache_capacity =
       static_cast<std::size_t>(flags.get_int("cache-capacity"));
 
