@@ -1,0 +1,247 @@
+// Co-location bench (service-subsystem acceptance gate).
+//
+// Builds two synthetic workflow classes straddling the paper's §IV-C
+// I/O-index axis — one write-heavy (bulk simulation output, read-only
+// analytics) and one read-heavy (compute-only simulation, heavy
+// analytics reads) — and drives an alternating stream through a small
+// fleet. Gates:
+//
+//   1. on the mixed stream, kColocationAware packs (colocations > 0)
+//      and beats kLeastLoaded's one-workflow-per-node makespan: two
+//      nodes running four compatible tenants finish sooner even after
+//      paying the measured interference slowdown;
+//   2. on a write-heavy-only stream the policy never packs — two
+//      same-direction tenants would fight over device write bandwidth,
+//      so every placement waits for an empty node instead;
+//   3. two runs of the mixed colocation stream produce byte-identical
+//      completion records (the DES determinism contract survives
+//      re-schedulable finish events and interference re-timing).
+//
+//   service_colocation [--submissions N] [--nodes N] [--smoke] [--csv f]
+//
+// --smoke shrinks the stream for CI tier-1.
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "service/arrivals.hpp"
+#include "service/scheduler.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+/// Write-heavy class: bulk per-iteration simulation output, analytics
+/// that barely computes — the simulation (writer) I/O index dominates.
+workflow::WorkflowSpec write_heavy_class() {
+  workloads::SyntheticSimulation::Params sim;
+  sim.object_size = 8 * kMiB;
+  sim.objects_per_rank = 6;
+  sim.compute_ns = 0.0;
+  sim.name = "wh-sim";
+  workloads::SyntheticAnalytics::Params analytics;
+  analytics.compute_ns_per_object = 1.0e6;
+  analytics.name = "wh-ana";
+  auto spec = workloads::make_synthetic_workflow(sim, analytics, /*ranks=*/8,
+                                                 /*iterations=*/2);
+  spec.label = "write-heavy";
+  return spec;
+}
+
+/// Read-heavy class: the simulation mostly computes, the analytics
+/// streams every object back with no compute — the analytics (reader)
+/// I/O index dominates.
+workflow::WorkflowSpec read_heavy_class() {
+  workloads::SyntheticSimulation::Params sim;
+  sim.object_size = 8 * kMiB;
+  sim.objects_per_rank = 6;
+  sim.compute_ns = 2.5e7;
+  sim.name = "rh-sim";
+  workloads::SyntheticAnalytics::Params analytics;
+  analytics.compute_ns_per_object = 0.0;
+  analytics.name = "rh-ana";
+  auto spec = workloads::make_synthetic_workflow(sim, analytics, /*ranks=*/8,
+                                                 /*iterations=*/2);
+  spec.label = "read-heavy";
+  return spec;
+}
+
+/// Fixed-gap stream over the given classes, round-robin, all kNormal.
+std::vector<service::Submission> make_stream(
+    const std::vector<workflow::WorkflowSpec>& classes,
+    std::uint64_t count, SimDuration gap_ns) {
+  std::vector<service::Submission> stream;
+  stream.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    service::Submission submission;
+    submission.id = i;
+    submission.spec = classes[i % classes.size()];
+    submission.arrival_ns = static_cast<SimTime>(i) * gap_ns;
+    submission.priority = service::Priority::kNormal;
+    stream.push_back(std::move(submission));
+  }
+  return stream;
+}
+
+bool identical_records(const service::CompletionRecord& a,
+                       const service::CompletionRecord& b) {
+  return a.id == b.id && a.label == b.label && a.priority == b.priority &&
+         a.node == b.node && a.slot == b.slot && a.config == b.config &&
+         a.cache_hit == b.cache_hit && a.arrival_ns == b.arrival_ns &&
+         a.start_ns == b.start_ns && a.finish_ns == b.finish_ns &&
+         a.best_runtime_ns == b.best_runtime_ns &&
+         a.config_runtime_ns == b.config_runtime_ns &&
+         a.preemptions == b.preemptions && a.migrations == b.migrations &&
+         a.checkpoint_ns == b.checkpoint_ns && a.restore_ns == b.restore_ns &&
+         a.work_executed_ns == b.work_executed_ns &&
+         a.colocations == b.colocations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t submissions = 400;
+  std::uint32_t nodes = 2;
+  bool smoke = false;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--submissions") == 0 && i + 1 < argc) {
+      submissions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) submissions = std::min<std::uint64_t>(submissions, 80);
+
+  // Arrivals outpace the fleet's one-per-node capacity, so makespan is
+  // capacity-bound and the doubled tenancy is what gates it.
+  const SimDuration gap_ns = 10 * kMillisecond;
+  const auto mixed =
+      make_stream({write_heavy_class(), read_heavy_class()}, submissions,
+                  gap_ns);
+  const auto write_only =
+      make_stream({write_heavy_class()}, submissions, gap_ns);
+
+  std::cout << format(
+      "=== Co-location: %llu submissions (alternating WH/RH), %u nodes "
+      "===\n\n",
+      static_cast<unsigned long long>(submissions), nodes);
+
+  service::ServiceConfig config;
+  config.nodes = nodes;
+  config.queue_capacity = static_cast<std::size_t>(submissions);
+  config.defer_watermark = 1.0;  // identical completion sets across runs
+
+  struct Outcome {
+    std::string label;
+    service::ServiceMetrics metrics;
+    std::vector<service::CompletionRecord> completions;
+  };
+  auto run = [&config](const char* label,
+                       const std::vector<service::Submission>& stream,
+                       service::PlacementPolicy policy)
+      -> Expected<Outcome> {
+    config.policy = policy;
+    service::OnlineScheduler scheduler(config);
+    auto result = scheduler.run(stream);
+    if (!result.has_value()) return Unexpected{result.error()};
+    Outcome outcome;
+    outcome.label = label;
+    outcome.metrics = std::move(result->metrics);
+    outcome.completions = std::move(result->completions);
+    return outcome;
+  };
+
+  auto baseline = run("least-loaded (mixed)", mixed,
+                      service::PlacementPolicy::kLeastLoaded);
+  auto packed = run("colocation (mixed)", mixed,
+                    service::PlacementPolicy::kColocationAware);
+  auto write_heavy = run("colocation (write-heavy only)", write_only,
+                         service::PlacementPolicy::kColocationAware);
+  for (const auto* outcome :
+       {&baseline, &packed, &write_heavy}) {
+    if (!outcome->has_value()) {
+      std::cerr << "error: " << outcome->error().message << "\n";
+      return 1;
+    }
+  }
+
+  CsvWriter csv(service::service_csv_header());
+  TextTable table({"Run", "Makespan", "Mean delay", "Colocations",
+                   "Interference", "Util"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight});
+  for (const auto* outcome : {&baseline, &packed, &write_heavy}) {
+    const auto& m = (*outcome)->metrics;
+    table.add_row(
+        {(*outcome)->label,
+         format("%.3f s", static_cast<double>(m.makespan_ns) / 1e9),
+         format("%.2f ms", m.queue_delay_ns.mean / 1e6),
+         format("%llu", static_cast<unsigned long long>(m.colocations)),
+         format("%.1f ms",
+                static_cast<double>(m.interference_overhead_ns) / 1e6),
+         format("%.1f %%", 100.0 * m.mean_utilization)});
+    append_service_csv_row(csv, (*outcome)->label, m);
+  }
+  table.write(std::cout);
+
+  // Gate 1: the mixed stream must actually pack, and packing must beat
+  // one-workflow-per-node makespan despite the interference charge.
+  const bool packs = packed->metrics.colocations > 0;
+  const bool makespan_wins =
+      packed->metrics.makespan_ns < baseline->metrics.makespan_ns;
+  std::cout << format(
+      "\nmakespan          %.3f s -> %.3f s (%llu colocations)  %s\n",
+      static_cast<double>(baseline->metrics.makespan_ns) / 1e9,
+      static_cast<double>(packed->metrics.makespan_ns) / 1e9,
+      static_cast<unsigned long long>(packed->metrics.colocations),
+      packs && makespan_wins ? "WIN" : "LOSS");
+
+  // Gate 2: same-direction tenants never share a node.
+  const bool never_packs_writes = write_heavy->metrics.colocations == 0;
+  std::cout << format(
+      "write-heavy only  %llu colocations  %s\n",
+      static_cast<unsigned long long>(write_heavy->metrics.colocations),
+      never_packs_writes ? "OK (never packs)" : "PACKED (forbidden)");
+
+  // Gate 3: determinism — replay the mixed colocation run and compare
+  // record by record.
+  auto replay = run("colocation (replay)", mixed,
+                    service::PlacementPolicy::kColocationAware);
+  if (!replay.has_value()) {
+    std::cerr << "error: " << replay.error().message << "\n";
+    return 1;
+  }
+  bool deterministic =
+      replay->completions.size() == packed->completions.size();
+  for (std::size_t i = 0; deterministic && i < replay->completions.size();
+       ++i) {
+    deterministic =
+        identical_records(replay->completions[i], packed->completions[i]);
+  }
+  std::cout << format("determinism       %llu records replayed  %s\n",
+                      static_cast<unsigned long long>(
+                          packed->completions.size()),
+                      deterministic ? "IDENTICAL" : "DIVERGED");
+
+  const bool pass =
+      packs && makespan_wins && never_packs_writes && deterministic;
+  std::cout << "\nresult: "
+            << (pass ? "co-location packs compatible pairs and wins makespan"
+                     : "co-location gate FAILED")
+            << "\n";
+
+  if (!csv_path.empty() && !csv.write_file(csv_path)) {
+    std::cerr << "error: could not write " << csv_path << "\n";
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "common/flags.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/assert.hpp"
@@ -74,9 +76,14 @@ Status FlagParser::set_from_text(const std::string& name,
   }
   if (std::holds_alternative<std::int64_t>(value)) {
     char* end = nullptr;
+    errno = 0;  // strtoll only sets errno, never clears it
     const long long parsed = std::strtoll(text.c_str(), &end, 10);
     if (end == text.c_str() || *end != '\0') {
       return make_error(format("--%s expects an integer, got '%s'",
+                               name.c_str(), text.c_str()));
+    }
+    if (errno == ERANGE) {
+      return make_error(format("--%s value '%s' is out of range",
                                name.c_str(), text.c_str()));
     }
     value = static_cast<std::int64_t>(parsed);
@@ -84,9 +91,16 @@ Status FlagParser::set_from_text(const std::string& name,
   }
   if (std::holds_alternative<double>(value)) {
     char* end = nullptr;
+    errno = 0;
     const double parsed = std::strtod(text.c_str(), &end);
     if (end == text.c_str() || *end != '\0') {
       return make_error(format("--%s expects a number, got '%s'",
+                               name.c_str(), text.c_str()));
+    }
+    // Overflow saturates to ±HUGE_VAL with ERANGE set; reject it.
+    // Underflow (a denormal or zero result, same errno) is fine.
+    if (errno == ERANGE && std::abs(parsed) == HUGE_VAL) {
+      return make_error(format("--%s value '%s' is out of range",
                                name.c_str(), text.c_str()));
     }
     value = parsed;

@@ -12,6 +12,7 @@ const char* to_string(PlacementPolicy policy) noexcept {
     case PlacementPolicy::kFirstFit: return "first-fit";
     case PlacementPolicy::kLeastLoaded: return "least-loaded";
     case PlacementPolicy::kRecommenderAware: return "recommender-aware";
+    case PlacementPolicy::kColocationAware: return "colocation-aware";
   }
   return "?";
 }
@@ -22,6 +23,12 @@ const char* to_string(PreemptionPolicy policy) noexcept {
     case PreemptionPolicy::kCheckpointRestore: return "checkpoint-restore";
   }
   return "?";
+}
+
+SimDuration interference_scaled(SimDuration work, double factor) noexcept {
+  if (factor <= 1.0) return work;
+  return static_cast<SimDuration>(
+      std::ceil(static_cast<double>(work) * factor));
 }
 
 Bytes RunningTask::snapshot_bytes(SimDuration remaining) const noexcept {
@@ -37,8 +44,14 @@ Bytes RunningTask::snapshot_bytes(SimDuration remaining) const noexcept {
   return snapshot_bytes_per_iteration * in_flight;
 }
 
-Fleet::Fleet(std::uint32_t node_count) : nodes_(node_count) {
-  PMEMFLOW_ASSERT(node_count >= 1);
+Fleet::Fleet(std::uint32_t node_count, std::uint32_t tenants_per_node)
+    : nodes_(node_count), tenants_per_node_(tenants_per_node) {
+  PMEMFLOW_ASSERT_MSG(node_count >= 1, "fleet needs at least one node");
+  PMEMFLOW_ASSERT(tenants_per_node >= 1 &&
+                  tenants_per_node <= kMaxTenantsPerNode);
+  for (NodeState& n : nodes_) {
+    n.slots.resize(tenants_per_node);
+  }
 }
 
 const NodeState& Fleet::node(std::uint32_t index) const {
@@ -46,21 +59,44 @@ const NodeState& Fleet::node(std::uint32_t index) const {
   return nodes_[index];
 }
 
-const RunningTask* Fleet::running(std::uint32_t index) const {
-  PMEMFLOW_ASSERT(index < nodes_.size());
-  return nodes_[index].running.has_value() ? &*nodes_[index].running : nullptr;
+SlotState& Fleet::slot(SlotRef ref) {
+  PMEMFLOW_ASSERT(ref.node < nodes_.size());
+  PMEMFLOW_ASSERT(ref.slot < tenants_per_node_);
+  return nodes_[ref.node].slots[ref.slot];
+}
+
+const SlotState& Fleet::slot(SlotRef ref) const {
+  PMEMFLOW_ASSERT(ref.node < nodes_.size());
+  PMEMFLOW_ASSERT(ref.slot < tenants_per_node_);
+  return nodes_[ref.node].slots[ref.slot];
+}
+
+const RunningTask* Fleet::running(SlotRef ref) const {
+  const SlotState& s = slot(ref);
+  return s.running.has_value() ? &*s.running : nullptr;
+}
+
+RunningTask* Fleet::task_at(SlotRef ref) {
+  SlotState& s = slot(ref);
+  return s.running.has_value() ? &*s.running : nullptr;
 }
 
 bool Fleet::any_idle(SimTime now) const noexcept {
-  return std::any_of(nodes_.begin(), nodes_.end(), [now](const NodeState& n) {
-    return n.free_at_ns <= now && !n.running.has_value();
-  });
+  for (const NodeState& n : nodes_) {
+    for (const SlotState& s : n.slots) {
+      if (s.free_at_ns <= now && !s.running.has_value()) return true;
+    }
+  }
+  return false;
 }
 
 SimTime Fleet::earliest_free_ns() const noexcept {
-  SimTime earliest = nodes_.front().free_at_ns;
+  PMEMFLOW_ASSERT(!nodes_.empty());
+  SimTime earliest = nodes_.front().slots.front().free_at_ns;
   for (const NodeState& n : nodes_) {
-    earliest = std::min(earliest, n.free_at_ns);
+    for (const SlotState& s : n.slots) {
+      earliest = std::min(earliest, s.free_at_ns);
+    }
   }
   return earliest;
 }
@@ -69,13 +105,19 @@ std::optional<std::uint32_t> Fleet::pick_idle_node(PlacementPolicy policy,
                                                    SimTime now) const {
   std::optional<std::uint32_t> best;
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
-    // A node is dispatchable only once its finish event has actually
-    // fired (running cleared): an arrival landing at exactly free_at_ns
-    // must wait for the same-timestamp completion callback.
-    if (nodes_[i].free_at_ns > now || nodes_[i].running.has_value()) continue;
+    // A node is dispatchable only once every slot's finish event has
+    // actually fired (running cleared): an arrival landing at exactly
+    // free_at_ns must wait for the same-timestamp completion callback.
+    const bool idle = std::all_of(
+        nodes_[i].slots.begin(), nodes_[i].slots.end(),
+        [now](const SlotState& s) {
+          return s.free_at_ns <= now && !s.running.has_value();
+        });
+    if (!idle) continue;
     if (policy == PlacementPolicy::kFirstFit) return i;
-    // Least-loaded (also the placement half of kRecommenderAware):
-    // least accumulated busy time, index as the deterministic tiebreak.
+    // Least-loaded (also the placement half of kRecommenderAware and
+    // kColocationAware): least accumulated busy time, index as the
+    // deterministic tiebreak.
     if (!best.has_value() || nodes_[i].busy_ns < nodes_[*best].busy_ns) {
       best = i;
     }
@@ -83,64 +125,106 @@ std::optional<std::uint32_t> Fleet::pick_idle_node(PlacementPolicy policy,
   return best;
 }
 
-void Fleet::start(std::uint32_t index, SimTime start_ns, SimDuration busy_ns,
-                  RunningTask task) {
-  PMEMFLOW_ASSERT(index < nodes_.size());
-  NodeState& n = nodes_[index];
-  PMEMFLOW_ASSERT(n.free_at_ns <= start_ns);
-  PMEMFLOW_ASSERT(!n.running.has_value());
-  n.free_at_ns = start_ns + busy_ns;
-  n.busy_ns += busy_ns;
-  n.running.emplace(std::move(task));
+std::optional<std::uint32_t> Fleet::sole_tenant_slot(
+    std::uint32_t node) const {
+  PMEMFLOW_ASSERT(node < nodes_.size());
+  std::optional<std::uint32_t> tenant;
+  for (std::uint32_t s = 0; s < tenants_per_node_; ++s) {
+    if (!nodes_[node].slots[s].running.has_value()) continue;
+    if (tenant.has_value()) return std::nullopt;  // two tenants
+    tenant = s;
+  }
+  return tenant;
 }
 
-RunningTask Fleet::complete(std::uint32_t index) {
-  PMEMFLOW_ASSERT(index < nodes_.size());
-  NodeState& n = nodes_[index];
-  PMEMFLOW_ASSERT(n.running.has_value());
-  ++n.completed;
-  RunningTask task = std::move(*n.running);
-  n.running.reset();
+std::optional<std::uint32_t> Fleet::pack_slot(std::uint32_t node,
+                                              SimTime now) const {
+  PMEMFLOW_ASSERT(node < nodes_.size());
+  if (!sole_tenant_slot(node).has_value()) return std::nullopt;
+  std::optional<std::uint32_t> target;
+  for (std::uint32_t s = 0; s < tenants_per_node_; ++s) {
+    const SlotState& state = nodes_[node].slots[s];
+    if (state.running.has_value()) continue;
+    // A slot draining a checkpoint blocks packing: the drain occupies
+    // the mirrored sockets the joiner would need.
+    if (state.free_at_ns > now) return std::nullopt;
+    if (!target.has_value()) target = s;
+  }
+  return target;
+}
+
+void Fleet::start(SlotRef ref, SimTime start_ns, SimDuration busy_ns,
+                  RunningTask task) {
+  SlotState& s = slot(ref);
+  PMEMFLOW_ASSERT(s.free_at_ns <= start_ns);
+  PMEMFLOW_ASSERT(!s.running.has_value());
+  s.free_at_ns = start_ns + busy_ns;
+  nodes_[ref.node].busy_ns += busy_ns;
+  task.rate_since_ns = start_ns;
+  s.running.emplace(std::move(task));
+}
+
+RunningTask Fleet::complete(SlotRef ref) {
+  SlotState& s = slot(ref);
+  PMEMFLOW_ASSERT(s.running.has_value());
+  ++nodes_[ref.node].completed;
+  RunningTask task = std::move(*s.running);
+  s.running.reset();
   return task;
 }
 
-SimDuration Fleet::remaining_work_at(std::uint32_t index, SimTime now) const {
-  PMEMFLOW_ASSERT(index < nodes_.size());
-  const NodeState& n = nodes_[index];
-  PMEMFLOW_ASSERT(n.running.has_value());
-  const RunningTask& task = *n.running;
-  // The current segment was charged as segment_overhead + remaining up
-  // front; executed time beyond the overhead window is real work done.
-  const SimTime segment_start =
-      n.free_at_ns - (task.segment_overhead_ns + task.remaining_ns);
-  PMEMFLOW_ASSERT(now >= segment_start);
-  const SimDuration executed = now - segment_start;
-  const SimDuration work_done =
-      executed > task.segment_overhead_ns ? executed - task.segment_overhead_ns
-                                          : 0;
-  PMEMFLOW_ASSERT(work_done <= task.remaining_ns);
-  return task.remaining_ns - work_done;
+void Fleet::settle(RunningTask& task, SimTime now) {
+  PMEMFLOW_ASSERT(now >= task.rate_since_ns);
+  SimDuration elapsed = now - task.rate_since_ns;
+  const SimDuration overhead = std::min(elapsed, task.segment_overhead_ns);
+  task.segment_overhead_ns -= overhead;
+  elapsed -= overhead;
+  SimDuration work = elapsed;
+  if (task.interference > 1.0) {
+    work = static_cast<SimDuration>(static_cast<double>(elapsed) /
+                                    task.interference);
+  }
+  work = std::min(work, task.remaining_ns);
+  task.remaining_ns -= work;
+  task.record.work_executed_ns += work;
+  task.rate_since_ns = now;
 }
 
-RunningTask Fleet::preempt(std::uint32_t index, SimTime now,
+SimDuration Fleet::remaining_work_at(SlotRef ref, SimTime now) const {
+  const SlotState& s = slot(ref);
+  PMEMFLOW_ASSERT(s.running.has_value());
+  const RunningTask& task = *s.running;
+  PMEMFLOW_ASSERT(now >= task.rate_since_ns);
+  SimDuration elapsed = now - task.rate_since_ns;
+  elapsed -= std::min(elapsed, task.segment_overhead_ns);
+  SimDuration work = elapsed;
+  if (task.interference > 1.0) {
+    work = static_cast<SimDuration>(static_cast<double>(elapsed) /
+                                    task.interference);
+  }
+  work = std::min(work, task.remaining_ns);
+  return task.remaining_ns - work;
+}
+
+RunningTask Fleet::preempt(SlotRef ref, SimTime now,
                            SimDuration checkpoint_ns) {
-  PMEMFLOW_ASSERT(index < nodes_.size());
-  const SimDuration remaining = remaining_work_at(index, now);
-  NodeState& n = nodes_[index];
-  PMEMFLOW_ASSERT(n.free_at_ns > now);
+  SlotState& s = slot(ref);
+  PMEMFLOW_ASSERT(s.running.has_value());
+  PMEMFLOW_ASSERT(s.free_at_ns > now);
+  NodeState& n = nodes_[ref.node];
 
-  RunningTask task = std::move(*n.running);
-  n.running.reset();
-  task.record.work_executed_ns += task.remaining_ns - remaining;
-  task.remaining_ns = remaining;
+  RunningTask task = std::move(*s.running);
+  s.running.reset();
+  settle(task, now);
+  task.interference = 1.0;  // re-charged if it is ever packed again
 
-  // Un-charge the busy time the node will no longer spend, then charge
-  // the checkpoint drain: the node is occupied until the snapshot has
+  // Un-charge the busy time the slot will no longer spend, then charge
+  // the checkpoint drain: the slot is occupied until the snapshot has
   // been written out at PMEM write bandwidth.
-  n.busy_ns -= n.free_at_ns - now;
+  n.busy_ns -= s.free_at_ns - now;
   n.busy_ns += checkpoint_ns;
   n.checkpoint_busy_ns += checkpoint_ns;
-  n.free_at_ns = now + checkpoint_ns;
+  s.free_at_ns = now + checkpoint_ns;
   ++n.preemptions;
 
   ++task.record.preemptions;
@@ -148,11 +232,41 @@ RunningTask Fleet::preempt(std::uint32_t index, SimTime now,
   return task;
 }
 
+SimTime Fleet::retime(SlotRef ref, SimTime now, double factor) {
+  PMEMFLOW_ASSERT(factor >= 1.0);
+  SlotState& s = slot(ref);
+  PMEMFLOW_ASSERT(s.running.has_value());
+  PMEMFLOW_ASSERT(s.free_at_ns >= now);
+  NodeState& n = nodes_[ref.node];
+  RunningTask& task = *s.running;
+
+  settle(task, now);
+  task.interference = factor;
+  const SimDuration busy =
+      task.segment_overhead_ns + interference_scaled(task.remaining_ns, factor);
+  n.busy_ns -= s.free_at_ns - now;
+  n.busy_ns += busy;
+  s.free_at_ns = now + busy;
+  return s.free_at_ns;
+}
+
 double Fleet::utilization(std::uint32_t index, SimDuration horizon_ns) const {
   PMEMFLOW_ASSERT(index < nodes_.size());
   if (horizon_ns == 0) return 0.0;
-  return static_cast<double>(nodes_[index].busy_ns) /
-         static_cast<double>(horizon_ns);
+  const NodeState& n = nodes_[index];
+  // Busy time past the horizon (a checkpoint drain or re-timed segment
+  // still running when the measurement window closes) is not in-window
+  // work; without the clamp a drain scheduled near the end of a run
+  // reports utilization > 1.
+  SimDuration overhang = 0;
+  for (const SlotState& s : n.slots) {
+    if (s.free_at_ns > horizon_ns) overhang += s.free_at_ns - horizon_ns;
+  }
+  const SimDuration in_horizon =
+      n.busy_ns > overhang ? n.busy_ns - overhang : 0;
+  return static_cast<double>(in_horizon) /
+         (static_cast<double>(horizon_ns) *
+          static_cast<double>(tenants_per_node_));
 }
 
 double Fleet::mean_utilization(SimDuration horizon_ns) const {

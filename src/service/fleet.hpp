@@ -1,23 +1,39 @@
 // Simulated fleet of dual-socket Optane nodes + placement policies.
 //
 // Each node is one instance of the paper's testbed: a dual-socket
-// machine whose two sockets an in situ workflow fully occupies (writer
-// ranks on one, reader ranks on the other — core/config.hpp). A node
-// therefore runs workflows back-to-back, and the fleet-level question
-// is *which node* gets the next workflow and *under which Table I
-// configuration* it runs — the two decisions a PlacementPolicy couples:
+// machine. Under the one-tenant policies an in situ workflow fully
+// occupies both sockets (writer ranks on one, reader ranks on the
+// other — core/config.hpp) and a node runs workflows back-to-back; the
+// fleet-level question is *which node* gets the next workflow and
+// *under which Table I configuration* it runs — the two decisions a
+// PlacementPolicy couples:
 //
 //   kFirstFit          — lowest-index idle node, fixed configuration;
 //   kLeastLoaded       — idle node with the least accumulated busy
 //                        time, fixed configuration;
 //   kRecommenderAware  — least-loaded placement + per-workflow Table II
-//                        configuration from the recommendation cache.
+//                        configuration from the recommendation cache;
+//   kColocationAware   — least-loaded for empty nodes, and additionally
+//                        *packs* a second, compatible workflow onto a
+//                        node already running one (paper §II-A
+//                        multi-tenancy): writer/reader sockets are
+//                        mirrored between the two tenants and each pays
+//                        a measured interference slowdown
+//                        (service/colocation.hpp).
 //
-// Under PreemptionPolicy::kCheckpointRestore nodes are additionally
-// *preemptible*: the fleet tracks the task each node is running, and
-// the scheduler may checkpoint a lower-priority task off its node
-// (preempt()), re-queue it, and later resume it — on any node — with
-// its remaining runtime intact.
+// Node occupancy is therefore not a boolean: a node exposes
+// `tenants_per_node` slots (1 for the classic policies, 2 for
+// co-location), and every placement, preemption, and completion path
+// addresses a (node, slot) pair. A running task carries an
+// *interference factor*: while co-located it executes 1/factor units of
+// solo work per simulated nanosecond, and when a co-tenant arrives or
+// departs the scheduler settles the work done so far at the old rate
+// and re-times the finish at the new one (retime()).
+//
+// Under PreemptionPolicy::kCheckpointRestore slots are additionally
+// *preemptible*: the scheduler may checkpoint a lower-priority task off
+// its slot (preempt()), re-queue it, and later resume it — on any node
+// — with its remaining solo work intact.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +50,15 @@ enum class PlacementPolicy : std::uint8_t {
   kFirstFit,
   kLeastLoaded,
   kRecommenderAware,
+  kColocationAware,
 };
 
 [[nodiscard]] const char* to_string(PlacementPolicy policy) noexcept;
+
+/// Wall-clock time `work` of solo work takes under an interference
+/// factor (>= 1.0): ceil(work × factor), exact for factor 1.0.
+[[nodiscard]] SimDuration interference_scaled(SimDuration work,
+                                              double factor) noexcept;
 
 /// Everything the scheduler must retain about a dispatched workflow to
 /// be able to complete it — or checkpoint it off the node and resume
@@ -48,20 +70,28 @@ struct RunningTask {
   /// Partially-filled completion record; finish_ns is provisional until
   /// the finish event actually fires.
   CompletionRecord record;
-  /// Work still owed when the current segment started (== the full
-  /// config runtime for a fresh dispatch).
+  /// Solo work still owed when the current rate segment started (== the
+  /// full config runtime for a fresh dispatch). Settled lazily: updated
+  /// only when the rate changes (retime) or the task is preempted.
   SimDuration remaining_ns = 0;
   /// Restore + migration overhead charged at the head of the current
   /// segment (0 for a fresh dispatch). Progress during the overhead
   /// window is not workflow work, so a preemption landing inside it
   /// wastes the restore but loses no work.
   SimDuration segment_overhead_ns = 0;
+  /// Interference factor of the current rate segment: simulated wall
+  /// time per unit of solo work. 1.0 when running alone; the measured
+  /// pairwise slowdown while co-located.
+  double interference = 1.0;
+  /// When the current rate segment began (overhead is consumed first).
+  SimTime rate_since_ns = 0;
   /// Snapshot volume basis: bytes the workflow materializes in the
   /// channel per iteration (all ranks) and the iteration count, from
   /// the cached profile.
   Bytes snapshot_bytes_per_iteration = 0;
   std::uint32_t iterations = 1;
-  /// Cancellable finish event of the current segment.
+  /// Cancellable (and re-schedulable) finish event of the current
+  /// segment.
   sim::EventId finish_event;
 
   /// In-flight channel state to drain at a preemption point where
@@ -71,76 +101,124 @@ struct RunningTask {
   [[nodiscard]] Bytes snapshot_bytes(SimDuration remaining) const noexcept;
 };
 
+/// One tenant slot of a node.
+struct SlotState {
+  /// Simulated time at which the slot finishes its current workflow or
+  /// checkpoint drain (<= now means free).
+  SimTime free_at_ns = 0;
+  /// Task currently in the slot; empty while free *and* while draining
+  /// a checkpoint (the victim has already left for the queue).
+  std::optional<RunningTask> running;
+};
+
+/// Addresses one tenant slot of one node.
+struct SlotRef {
+  std::uint32_t node = 0;
+  std::uint32_t slot = 0;
+
+  friend bool operator==(const SlotRef&, const SlotRef&) = default;
+};
+
 /// Load-tracking state of one node.
 struct NodeState {
-  /// Simulated time at which the node finishes its current workflow or
-  /// checkpoint drain (<= now means idle).
-  SimTime free_at_ns = 0;
-  /// Total simulated time the node has spent running workflows (incl.
-  /// checkpoint drains and restore streams).
+  std::vector<SlotState> slots;
+  /// Total simulated slot-time spent running workflows (incl.
+  /// checkpoint drains, restore streams, and interference stretch),
+  /// summed across slots.
   SimDuration busy_ns = 0;
   std::uint64_t completed = 0;
   /// Workflows checkpointed off this node.
   std::uint64_t preemptions = 0;
   /// Busy time spent draining checkpoints (subset of busy_ns).
   SimDuration checkpoint_busy_ns = 0;
-  /// Task currently on the node; empty while idle *and* while draining
-  /// a checkpoint (the victim has already left for the queue).
-  std::optional<RunningTask> running;
 };
 
 class Fleet {
  public:
-  explicit Fleet(std::uint32_t node_count);
+  /// At most two tenants per node: the co-location deployment mirrors
+  /// writer/reader sockets between exactly two workflows.
+  static constexpr std::uint32_t kMaxTenantsPerNode = 2;
+
+  explicit Fleet(std::uint32_t node_count, std::uint32_t tenants_per_node = 1);
 
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(nodes_.size());
   }
+  [[nodiscard]] std::uint32_t tenants_per_node() const noexcept {
+    return tenants_per_node_;
+  }
   [[nodiscard]] const NodeState& node(std::uint32_t index) const;
 
-  /// Task currently running on `index`, or nullptr when the node is
-  /// idle or draining a checkpoint.
-  [[nodiscard]] const RunningTask* running(std::uint32_t index) const;
+  /// Task currently running in `ref`, or nullptr when the slot is free
+  /// or draining a checkpoint.
+  [[nodiscard]] const RunningTask* running(SlotRef ref) const;
+
+  /// Mutable access to the task in `ref` (the scheduler updates the
+  /// finish-event handle and record when re-timing); nullptr when none.
+  [[nodiscard]] RunningTask* task_at(SlotRef ref);
 
   [[nodiscard]] bool any_idle(SimTime now) const noexcept;
 
-  /// Earliest time any node frees (== some free_at_ns; for an idle
+  /// Earliest time any slot frees (== some free_at_ns; for an idle
   /// fleet this is in the past). Used for retry-after hints and the
   /// preemption decision rule.
   [[nodiscard]] SimTime earliest_free_ns() const noexcept;
 
-  /// Picks a node among those idle at `now` according to `policy`
-  /// (kRecommenderAware places like kLeastLoaded). Returns nullopt when
-  /// no node is idle. A node whose finish event has reached its
-  /// timestamp but not yet fired (running task still attached) does not
-  /// count as idle.
+  /// Picks a node among those *fully* idle at `now` (every slot free)
+  /// according to `policy` (kRecommenderAware and kColocationAware
+  /// place like kLeastLoaded). Returns nullopt when no node is idle. A
+  /// slot whose finish event has reached its timestamp but not yet
+  /// fired (running task still attached) does not count as free.
   [[nodiscard]] std::optional<std::uint32_t> pick_idle_node(
       PlacementPolicy policy, SimTime now) const;
 
-  /// Occupies `index` with `task` for `busy_ns` of simulated time
-  /// starting at `start_ns` (segment overhead + remaining work). The
-  /// node must be idle at start_ns.
-  void start(std::uint32_t index, SimTime start_ns, SimDuration busy_ns,
+  /// Slot index of the node's sole running task, when exactly one slot
+  /// is running; nullopt for an empty or fully-packed node.
+  [[nodiscard]] std::optional<std::uint32_t> sole_tenant_slot(
+      std::uint32_t node) const;
+
+  /// Free slot a second tenant could pack into at `now`: requires
+  /// exactly one running task on the node, no slot mid-drain, and a
+  /// slot free at `now` (lowest such index). nullopt otherwise.
+  [[nodiscard]] std::optional<std::uint32_t> pack_slot(std::uint32_t node,
+                                                       SimTime now) const;
+
+  /// Occupies `ref` with `task` for `busy_ns` of simulated time
+  /// starting at `start_ns` (segment overhead + interference-scaled
+  /// remaining work). The slot must be free at start_ns.
+  void start(SlotRef ref, SimTime start_ns, SimDuration busy_ns,
              RunningTask task);
 
-  /// Finishes the task on `index`; the node frees and the task (with
-  /// its completion record) is handed back.
-  [[nodiscard]] RunningTask complete(std::uint32_t index);
+  /// Finishes the task in `ref`; the slot frees and the task (with its
+  /// completion record) is handed back.
+  [[nodiscard]] RunningTask complete(SlotRef ref);
 
-  /// Work the task on `index` would still owe if preempted at `now`
-  /// (segment overhead does not count as work). Node must be running.
-  [[nodiscard]] SimDuration remaining_work_at(std::uint32_t index,
-                                              SimTime now) const;
+  /// Solo work the task in `ref` would still owe if preempted at `now`
+  /// (segment overhead does not count as work; wall time is deflated by
+  /// the current interference factor). Slot must be running.
+  [[nodiscard]] SimDuration remaining_work_at(SlotRef ref, SimTime now) const;
 
-  /// Checkpoints the task off `index` at time `now`: un-charges the
-  /// work the task will no longer do here, charges `checkpoint_ns` of
-  /// snapshot drain (the node stays busy until now + checkpoint_ns),
-  /// and returns the task with remaining_ns updated to the work still
-  /// owed. The caller re-queues it and cancels its finish event.
-  [[nodiscard]] RunningTask preempt(std::uint32_t index, SimTime now,
+  /// Checkpoints the task off `ref` at time `now`: settles the work
+  /// done so far, un-charges the slot time the task will no longer
+  /// spend here, charges `checkpoint_ns` of snapshot drain (the slot
+  /// stays busy until now + checkpoint_ns), and returns the task with
+  /// remaining_ns updated to the solo work still owed (interference
+  /// reset to 1.0). The caller re-queues it and cancels its finish
+  /// event.
+  [[nodiscard]] RunningTask preempt(SlotRef ref, SimTime now,
                                     SimDuration checkpoint_ns);
 
-  /// busy_ns / horizon of one node (horizon > 0).
+  /// Changes the running task's interference factor at `now`: settles
+  /// work done under the old factor, then re-times the slot so the
+  /// remaining work (plus any unconsumed segment overhead) completes at
+  /// the new rate. Returns the new finish time; the caller must
+  /// reschedule the task's finish event to it.
+  [[nodiscard]] SimTime retime(SlotRef ref, SimTime now, double factor);
+
+  /// In-horizon busy time over the node's slot capacity: busy_ns minus
+  /// the portion of any still-running slot (e.g. a checkpoint drain)
+  /// that extends past the horizon, divided by horizon × slots. Never
+  /// exceeds 1.0.
   [[nodiscard]] double utilization(std::uint32_t index,
                                    SimDuration horizon_ns) const;
 
@@ -148,7 +226,15 @@ class Fleet {
   [[nodiscard]] double mean_utilization(SimDuration horizon_ns) const;
 
  private:
+  [[nodiscard]] SlotState& slot(SlotRef ref);
+  [[nodiscard]] const SlotState& slot(SlotRef ref) const;
+  /// Advances the task's rate segment to `now`: consumes segment
+  /// overhead first, then converts the rest of the elapsed wall time to
+  /// solo work at the current interference factor.
+  static void settle(RunningTask& task, SimTime now);
+
   std::vector<NodeState> nodes_;
+  std::uint32_t tenants_per_node_;
 };
 
 }  // namespace pmemflow::service

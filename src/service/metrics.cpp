@@ -15,7 +15,9 @@ ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
                                  const std::vector<double>& node_utilization,
                                  const QueueStats& admission,
                                  const CacheStats& cache,
-                                 std::uint64_t retries, std::uint64_t dropped) {
+                                 std::uint64_t retries, std::uint64_t dropped,
+                                 std::uint64_t colocations,
+                                 SimDuration interference_overhead_ns) {
   // A zero-completion run (everything rejected or dropped) must report
   // clean zeros: metrics::summarize returns an all-zero SummaryStats
   // for empty input, and every ratio below guards its denominator, so
@@ -54,6 +56,8 @@ ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
   metrics.cache = cache;
   metrics.retries = retries;
   metrics.dropped = dropped;
+  metrics.colocations = colocations;
+  metrics.interference_overhead_ns = interference_overhead_ns;
   return metrics;
 }
 
@@ -107,6 +111,12 @@ void print_service_report(std::ostream& out, const std::string& title,
                                        metrics.restore_overhead_ns)))});
   table.add_row({"victim slowdown p99",
                  format("%.4fx", metrics.victim_slowdown.p99)});
+  table.add_row({"colocations", format("%llu", static_cast<unsigned long long>(
+                                                   metrics.colocations))});
+  table.add_row(
+      {"interference overhead",
+       format("%.3f ms", to_ms(static_cast<double>(
+                             metrics.interference_overhead_ns)))});
   table.add_row({"cache hit rate",
                  format("%.1f %% (%llu/%llu)",
                         100.0 * metrics.cache.hit_rate(),
@@ -136,6 +146,8 @@ std::vector<std::string> service_csv_header() {
           "checkpoint_overhead_ms",
           "restore_overhead_ms",
           "victim_slowdown_p99",
+          "colocations",
+          "interference_overhead_ms",
           "cache_hit_rate"};
 }
 
@@ -162,6 +174,9 @@ void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
        format("%.6f", to_ms(static_cast<double>(metrics.checkpoint_overhead_ns))),
        format("%.6f", to_ms(static_cast<double>(metrics.restore_overhead_ns))),
        format("%.6f", metrics.victim_slowdown.p99),
+       format("%llu", static_cast<unsigned long long>(metrics.colocations)),
+       format("%.6f",
+              to_ms(static_cast<double>(metrics.interference_overhead_ns))),
        format("%.6f", metrics.cache.hit_rate())});
 }
 

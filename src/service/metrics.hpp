@@ -28,6 +28,8 @@ struct CompletionRecord {
   std::string label;
   Priority priority = Priority::kNormal;
   std::uint32_t node = 0;
+  /// Tenant slot within the node (always 0 for one-tenant policies).
+  std::uint32_t slot = 0;
   core::DeploymentConfig config;
   bool cache_hit = false;
   SimTime arrival_ns = 0;
@@ -49,8 +51,11 @@ struct CompletionRecord {
   SimDuration restore_ns = 0;
   /// Pure work time executed across all segments; the remaining-time
   /// accounting invariant is work_executed_ns == config_runtime_ns at
-  /// completion, preempted or not.
+  /// completion, preempted, co-located, or not.
   SimDuration work_executed_ns = 0;
+  /// Times this workflow shared its node with a co-tenant (counted per
+  /// pairing event, whether it was the incumbent or the joiner).
+  std::uint32_t colocations = 0;
 
   [[nodiscard]] SimDuration queue_delay_ns() const noexcept {
     return start_ns - arrival_ns;
@@ -103,13 +108,20 @@ struct ServiceMetrics {
   /// End-to-end stretch of preempted victims vs their uninterrupted
   /// runtime (empty when nothing was preempted).
   metrics::SummaryStats victim_slowdown;
+  /// Pack placements under kColocationAware: dispatches that joined an
+  /// incumbent on a partially-occupied node.
+  std::uint64_t colocations = 0;
+  /// Net wall-clock added by interference charging across the run (the
+  /// price paid for the nodes saved by packing).
+  SimDuration interference_overhead_ns = 0;
 };
 
 /// Condenses completion records + component stats into ServiceMetrics.
 [[nodiscard]] ServiceMetrics aggregate_metrics(
     const std::vector<CompletionRecord>& records, SimDuration makespan_ns,
     const std::vector<double>& node_utilization, const QueueStats& admission,
-    const CacheStats& cache, std::uint64_t retries, std::uint64_t dropped);
+    const CacheStats& cache, std::uint64_t retries, std::uint64_t dropped,
+    std::uint64_t colocations = 0, SimDuration interference_overhead_ns = 0);
 
 /// Renders the operator dashboard as an aligned text table.
 void print_service_report(std::ostream& out, const std::string& title,

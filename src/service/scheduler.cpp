@@ -28,10 +28,32 @@ struct ResumeState {
   RunningTask task;
 };
 
+/// Where (and at what interference rate) the next dispatch lands.
+struct PlacementChoice {
+  SlotRef ref;
+  /// Interference factor charged to the dispatched task (1.0 solo).
+  double factor = 1.0;
+  /// True when joining an incumbent on a partially-occupied node.
+  bool packs = false;
+  /// New factor for the incumbent when packing.
+  double incumbent_factor = 1.0;
+  /// Candidate's profile, resolved during placement (colocation only —
+  /// the pack decision needs it before the submission is popped).
+  std::shared_ptr<const CachedProfile> profile;
+  bool cache_hit = false;
+};
+
+std::uint32_t tenants_for(const ServiceConfig& config) {
+  if (config.policy != PlacementPolicy::kColocationAware) return 1;
+  return std::clamp<std::uint32_t>(config.colocation.tenants_per_node, 1,
+                                   Fleet::kMaxTenantsPerNode);
+}
+
 /// Mutable state of one run(); groups what the event callbacks share.
 struct RunState {
   const ServiceConfig& config;
   ProfileCache& cache;
+  InterferenceTable& interference;
   sim::EventQueue events;
   Fleet fleet;
   SubmissionQueue queue;
@@ -43,138 +65,323 @@ struct RunState {
   std::uint64_t urgent_reservations = 0;
   std::uint64_t retries = 0;
   std::uint64_t dropped = 0;
+  /// Pack placements performed.
+  std::uint64_t colocations = 0;
+  /// Net wall-clock added (pack) and returned (relax/settle) by
+  /// interference charging; >= 0 over any completed pairing.
+  std::int64_t interference_delta_ns = 0;
   std::optional<Error> failure;
 
-  RunState(const ServiceConfig& cfg, ProfileCache& profile_cache)
+  RunState(const ServiceConfig& cfg, ProfileCache& profile_cache,
+           InterferenceTable& interference_table)
       : config(cfg),
         cache(profile_cache),
-        fleet(cfg.nodes),
+        interference(interference_table),
+        fleet(cfg.nodes, tenants_for(cfg)),
         queue(cfg.queue_capacity, cfg.defer_watermark) {}
 
+  [[nodiscard]] std::string track_name(SlotRef ref) const {
+    return fleet.tenants_per_node() > 1
+               ? format("node-%u.%u", ref.node, ref.slot)
+               : format("node-%u", ref.node);
+  }
+
   void dispatch(SimTime now);
+  std::optional<PlacementChoice> choose_placement(const Submission& next,
+                                                  SimTime now);
+  void apply_interference(SlotRef ref, SimTime now, double factor);
+  bool victim_frees_usable_slot(SlotRef victim, SimTime now);
   void maybe_preempt(SimTime now);
-  void start_fresh(std::uint32_t node, Submission submission, SimTime now);
-  void resume_checkpointed(std::uint32_t node, Submission submission,
-                           ResumeState state, SimTime now);
-  void launch(std::uint32_t node, SimDuration busy_ns, RunningTask task,
-              SimTime now);
-  void on_finish(std::uint32_t node, SimTime finish);
+  void start_fresh(const PlacementChoice& choice, Submission submission,
+                   SimTime now);
+  void resume_checkpointed(const PlacementChoice& choice,
+                           Submission submission, ResumeState state,
+                           SimTime now);
+  void launch(SlotRef ref, SimDuration busy_ns, RunningTask task, SimTime now);
+  void on_finish(SlotRef ref);
 };
 
 void RunState::dispatch(SimTime now) {
   while (!failure.has_value() && !queue.empty()) {
-    const auto node = fleet.pick_idle_node(config.policy, now);
-    if (!node.has_value()) {
+    const auto choice = choose_placement(queue.front(), now);
+    if (failure.has_value()) return;
+    if (!choice.has_value()) {
       maybe_preempt(now);
       return;
     }
 
     Submission submission = queue.pop();
+    if (choice->packs) {
+      // Charge the incumbent its measured slowdown before the joiner
+      // starts: settle its solo-rate progress, stretch the rest.
+      const SlotRef inc{choice->ref.node,
+                        *fleet.sole_tenant_slot(choice->ref.node)};
+      ++fleet.task_at(inc)->record.colocations;
+      apply_interference(inc, now, choice->incumbent_factor);
+      ++colocations;
+    }
+
     auto checkpointed = checkpoints.find(submission.id);
     if (checkpointed != checkpoints.end()) {
       ResumeState state = std::move(checkpointed->second);
       checkpoints.erase(checkpointed);
-      resume_checkpointed(*node, std::move(submission), std::move(state), now);
+      resume_checkpointed(*choice, std::move(submission), std::move(state),
+                          now);
     } else {
-      start_fresh(*node, std::move(submission), now);
+      start_fresh(*choice, std::move(submission), now);
     }
   }
 }
 
-void RunState::start_fresh(std::uint32_t node, Submission submission,
-                           SimTime now) {
+std::optional<PlacementChoice> RunState::choose_placement(
+    const Submission& next, SimTime now) {
+  if (config.policy != PlacementPolicy::kColocationAware) {
+    const auto node = fleet.pick_idle_node(config.policy, now);
+    if (!node.has_value()) return std::nullopt;
+    PlacementChoice choice;
+    choice.ref = SlotRef{*node, 0};
+    return choice;
+  }
+
+  // Co-location-aware placement needs the candidate's class profile
+  // before the submission is popped: pair compatibility and the
+  // interference charge depend on it.
   const std::uint64_t hits_before = cache.stats().hits;
-  auto profile = cache.lookup(submission.spec);
+  auto profile = cache.lookup(next.spec);
   if (!profile.has_value()) {
     failure = profile.error();
-    return;
+    return std::nullopt;
   }
-  const bool cache_hit = cache.stats().hits > hits_before;
+  PlacementChoice choice;
+  choice.profile = *profile;
+  choice.cache_hit = cache.stats().hits > hits_before;
+
+  // Preference 1: an empty node (least-loaded) — solo running is always
+  // at least as fast as packing.
+  if (const auto node = fleet.pick_idle_node(config.policy, now)) {
+    choice.ref = SlotRef{*node, 0};
+    return choice;
+  }
+
+  // Preference 2: pack next to a compatible sole incumbent; among
+  // admissible nodes take the pair with the least combined slowdown,
+  // lowest node index as the deterministic tiebreak.
+  std::optional<PlacementChoice> best;
+  double best_cost = 0.0;
+  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+    const auto target = fleet.pack_slot(i, now);
+    if (!target.has_value()) continue;
+    const RunningTask* incumbent =
+        fleet.running(SlotRef{i, *fleet.sole_tenant_slot(i)});
+    auto incumbent_profile = cache.lookup(incumbent->submission.spec);
+    if (!incumbent_profile.has_value()) {
+      failure = incumbent_profile.error();
+      return std::nullopt;
+    }
+    if (!colocation_compatible(**incumbent_profile, *choice.profile,
+                               config.colocation)) {
+      continue;
+    }
+    auto pair = interference.lookup(**incumbent_profile,
+                                    incumbent->submission.spec,
+                                    *choice.profile, next.spec);
+    if (!pair.has_value()) {
+      failure = pair.error();
+      return std::nullopt;
+    }
+    if (!pair->feasible) continue;
+    const double cost = pair->slowdown_a + pair->slowdown_b;
+    if (!best.has_value() || cost < best_cost) {
+      best = choice;
+      best->ref = SlotRef{i, *target};
+      best->packs = true;
+      best->incumbent_factor = pair->slowdown_a;
+      best->factor = pair->slowdown_b;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void RunState::apply_interference(SlotRef ref, SimTime now, double factor) {
+  RunningTask* task = fleet.task_at(ref);
+  PMEMFLOW_ASSERT(task != nullptr);
+  if (task->interference == factor) return;
+  const SimTime old_finish = fleet.node(ref.node).slots[ref.slot].free_at_ns;
+  const SimTime new_finish = fleet.retime(ref, now, factor);
+  interference_delta_ns += static_cast<std::int64_t>(new_finish) -
+                           static_cast<std::int64_t>(old_finish);
+  task->record.finish_ns = new_finish;
+  task->finish_event = events.reschedule(task->finish_event, new_finish);
+  PMEMFLOW_ASSERT_MSG(task->finish_event.valid(),
+                      "re-timed a task whose finish event already fired");
+}
+
+void RunState::start_fresh(const PlacementChoice& choice,
+                           Submission submission, SimTime now) {
+  std::shared_ptr<const CachedProfile> profile = choice.profile;
+  bool cache_hit = choice.cache_hit;
+  if (profile == nullptr) {
+    const std::uint64_t hits_before = cache.stats().hits;
+    auto looked_up = cache.lookup(submission.spec);
+    if (!looked_up.has_value()) {
+      failure = looked_up.error();
+      return;
+    }
+    profile = *looked_up;
+    cache_hit = cache.stats().hits > hits_before;
+  }
 
   core::DeploymentConfig chosen = config.fixed_config;
   if (config.policy == PlacementPolicy::kRecommenderAware) {
-    chosen = config.use_rule_based ? (*profile)->rule_based.config
-                                   : (*profile)->model_based.config;
+    chosen = config.use_rule_based ? profile->rule_based.config
+                                   : profile->model_based.config;
+  } else if (config.policy == PlacementPolicy::kColocationAware) {
+    // Tenants always co-run their components under the faster parallel
+    // placement: serial mode would idle the mirrored sockets a
+    // co-tenant needs.
+    chosen = preferred_parallel_config(*profile);
   }
-  const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
+  const SimDuration runtime = profile->runtime_ns[config_index(chosen)];
 
   RunningTask task;
   task.record.id = submission.id;
   task.record.label = submission.spec.label;
   task.record.priority = submission.priority;
-  task.record.node = node;
+  task.record.node = choice.ref.node;
+  task.record.slot = choice.ref.slot;
   task.record.config = chosen;
   task.record.cache_hit = cache_hit;
   task.record.arrival_ns = submission.arrival_ns;
   task.record.start_ns = now;
-  task.record.best_runtime_ns = (*profile)->best_runtime_ns();
+  task.record.best_runtime_ns = profile->best_runtime_ns();
   task.record.config_runtime_ns = runtime;
   task.remaining_ns = runtime;
   task.segment_overhead_ns = 0;
+  task.interference = choice.factor;
+  if (choice.packs) ++task.record.colocations;
   // Snapshot basis: the channel materializes every rank's part each
   // iteration; the profile's bytes_per_iteration is one rank's share.
   task.snapshot_bytes_per_iteration =
-      (*profile)->profile.simulation.bytes_per_iteration *
-      submission.spec.ranks;
+      profile->profile.simulation.bytes_per_iteration * submission.spec.ranks;
   task.iterations = std::max<std::uint32_t>(1, submission.spec.iterations);
   task.submission = std::move(submission);
 
   if (config.tracer != nullptr) {
-    config.tracer->begin(format("node-%u", node),
+    config.tracer->begin(track_name(choice.ref),
                          format("%s [%s]", task.record.label.c_str(),
                                 chosen.label().c_str()),
                          now);
   }
-  launch(node, runtime, std::move(task), now);
+  const SimDuration busy = interference_scaled(runtime, choice.factor);
+  if (choice.packs) {
+    interference_delta_ns += static_cast<std::int64_t>(busy - runtime);
+  }
+  launch(choice.ref, busy, std::move(task), now);
 }
 
-void RunState::resume_checkpointed(std::uint32_t node, Submission submission,
-                                   ResumeState state, SimTime now) {
+void RunState::resume_checkpointed(const PlacementChoice& choice,
+                                   Submission submission, ResumeState state,
+                                   SimTime now) {
   RunningTask task = std::move(state.task);
   const SimDuration restore =
       transfer_time(state.snapshot_bytes, config.checkpoint.restore_read_bw);
   SimDuration migration = 0;
-  if (node != state.checkpoint_node) {
+  if (choice.ref.node != state.checkpoint_node) {
     migration =
         transfer_time(state.snapshot_bytes, config.checkpoint.migration_bw);
     ++task.record.migrations;
   }
   const SimDuration overhead = restore + migration;
   task.record.restore_ns += overhead;
-  task.record.node = node;
+  task.record.node = choice.ref.node;
+  task.record.slot = choice.ref.slot;
   task.segment_overhead_ns = overhead;
+  task.interference = choice.factor;
+  if (choice.packs) ++task.record.colocations;
   task.submission = std::move(submission);
 
   if (config.tracer != nullptr) {
     config.tracer->begin(
-        format("node-%u", node),
+        track_name(choice.ref),
         format("%s [resume%s]", task.record.label.c_str(),
                migration > 0 ? ", migrated" : ""),
         now);
   }
-  launch(node, overhead + task.remaining_ns, std::move(task), now);
+  const SimDuration work_wall =
+      interference_scaled(task.remaining_ns, choice.factor);
+  if (choice.packs) {
+    interference_delta_ns +=
+        static_cast<std::int64_t>(work_wall - task.remaining_ns);
+  }
+  launch(choice.ref, overhead + work_wall, std::move(task), now);
 }
 
-void RunState::launch(std::uint32_t node, SimDuration busy_ns,
-                      RunningTask task, SimTime now) {
+void RunState::launch(SlotRef ref, SimDuration busy_ns, RunningTask task,
+                      SimTime now) {
   const SimTime finish = now + busy_ns;
   task.record.finish_ns = finish;  // provisional until the event fires
-  task.finish_event =
-      events.schedule(finish, [this, node, finish] { on_finish(node, finish); });
-  fleet.start(node, now, busy_ns, std::move(task));
+  // The callback reads the finish time from the slot, not a captured
+  // value: a re-timed finish event must see the re-timed clock.
+  task.finish_event = events.schedule(finish, [this, ref] { on_finish(ref); });
+  fleet.start(ref, now, busy_ns, std::move(task));
 }
 
-void RunState::on_finish(std::uint32_t node, SimTime finish) {
-  RunningTask task = fleet.complete(node);
+void RunState::on_finish(SlotRef ref) {
+  const SimTime finish = fleet.node(ref.node).slots[ref.slot].free_at_ns;
+  RunningTask task = fleet.complete(ref);
   task.record.finish_ns = finish;
   // The final segment ran to completion: all remaining work executed.
   task.record.work_executed_ns += task.remaining_ns;
   task.remaining_ns = 0;
   if (config.tracer != nullptr) {
-    config.tracer->end(format("node-%u", node), finish);
+    config.tracer->end(track_name(ref), finish);
+  }
+  // A departing tenant releases its co-tenant back to solo speed.
+  if (config.policy == PlacementPolicy::kColocationAware) {
+    if (const auto other = fleet.sole_tenant_slot(ref.node)) {
+      apply_interference(SlotRef{ref.node, *other}, finish, 1.0);
+    }
   }
   completions.push_back(std::move(task.record));
   dispatch(finish);
+}
+
+bool RunState::victim_frees_usable_slot(SlotRef victim, SimTime now) {
+  // Preempting only helps the urgent head if the victim's slot is
+  // actually usable afterwards: the node must end up empty (modulo the
+  // drain) or keep a co-tenant the urgent is allowed to pack with.
+  for (std::uint32_t s = 0; s < fleet.tenants_per_node(); ++s) {
+    if (s == victim.slot) continue;
+    const SlotState& other = fleet.node(victim.node).slots[s];
+    if (other.running.has_value()) {
+      auto urgent_profile = cache.lookup(queue.front().spec);
+      if (!urgent_profile.has_value()) {
+        failure = urgent_profile.error();
+        return false;
+      }
+      auto co_profile = cache.lookup(other.running->submission.spec);
+      if (!co_profile.has_value()) {
+        failure = co_profile.error();
+        return false;
+      }
+      if (!colocation_compatible(**co_profile, **urgent_profile,
+                                 config.colocation)) {
+        return false;
+      }
+      auto pair = interference.lookup(
+          **co_profile, other.running->submission.spec, **urgent_profile,
+          queue.front().spec);
+      if (!pair.has_value()) {
+        failure = pair.error();
+        return false;
+      }
+      if (!pair->feasible) return false;
+    } else if (other.free_at_ns > now) {
+      return false;  // another drain holds the mirrored sockets
+    }
+  }
+  return true;
 }
 
 void RunState::maybe_preempt(SimTime now) {
@@ -186,48 +393,76 @@ void RunState::maybe_preempt(SimTime now) {
   // checkpoint for work the first drain will already absorb.
   if (queue.count_at_least(Priority::kUrgent) <= urgent_reservations) return;
 
-  // maybe_preempt is only reached when no node is idle, so every node
-  // frees strictly in the future.
+  // With one tenant per node, maybe_preempt is only reached when every
+  // slot is busy. Under co-location a slot can be free yet unusable
+  // (incompatible incumbent); preemption cannot help there — the urgent
+  // waits for a departure instead.
   const SimTime earliest_free = fleet.earliest_free_ns();
+  if (earliest_free <= now) return;
   const SimDuration wait_without = earliest_free - now;
 
   // Decision rule: preempting makes the urgent wait only for the
   // checkpoint drain, so it saves (wait_without - checkpoint). Displace
   // only when that saving exceeds the full checkpoint + restore cost
   // the fleet pays for it; among profitable victims take the cheapest,
-  // lowest index as the deterministic tiebreak.
+  // lowest (node, slot) as the deterministic tiebreak.
   struct Candidate {
-    std::uint32_t node;
+    SlotRef ref;
     Bytes snapshot_bytes;
     SimDuration checkpoint_ns;
     SimDuration cost_ns;
   };
   std::optional<Candidate> victim;
   for (std::uint32_t i = 0; i < fleet.size(); ++i) {
-    const RunningTask* task = fleet.running(i);
-    if (task == nullptr) continue;  // idle or already draining
-    if (task->record.priority >= Priority::kUrgent) continue;
-    const SimDuration remaining = fleet.remaining_work_at(i, now);
-    const Bytes snapshot = task->snapshot_bytes(remaining);
-    const SimDuration checkpoint =
-        transfer_time(snapshot, config.checkpoint.checkpoint_write_bw);
-    if (checkpoint >= wait_without) continue;  // saves no wait at all
-    const SimDuration restore =
-        transfer_time(snapshot, config.checkpoint.restore_read_bw);
-    const SimDuration cost = checkpoint + restore;
-    if (wait_without - checkpoint <= cost) continue;
-    if (!victim.has_value() || cost < victim->cost_ns) {
-      victim = Candidate{i, snapshot, checkpoint, cost};
+    for (std::uint32_t s = 0; s < fleet.tenants_per_node(); ++s) {
+      const SlotRef ref{i, s};
+      const RunningTask* task = fleet.running(ref);
+      if (task == nullptr) continue;  // free or already draining
+      if (task->record.priority >= Priority::kUrgent) continue;
+      if (config.policy == PlacementPolicy::kColocationAware &&
+          !victim_frees_usable_slot(ref, now)) {
+        if (failure.has_value()) return;
+        continue;
+      }
+      const SimDuration remaining = fleet.remaining_work_at(ref, now);
+      const Bytes snapshot = task->snapshot_bytes(remaining);
+      const SimDuration checkpoint =
+          transfer_time(snapshot, config.checkpoint.checkpoint_write_bw);
+      if (checkpoint >= wait_without) continue;  // saves no wait at all
+      const SimDuration restore =
+          transfer_time(snapshot, config.checkpoint.restore_read_bw);
+      const SimDuration cost = checkpoint + restore;
+      if (wait_without - checkpoint <= cost) continue;
+      if (!victim.has_value() || cost < victim->cost_ns) {
+        victim = Candidate{ref, snapshot, checkpoint, cost};
+      }
     }
   }
   if (!victim.has_value()) return;
 
-  RunningTask task = fleet.preempt(victim->node, now, victim->checkpoint_ns);
+  // A co-located victim's pack charge covered stretch for all of its
+  // remaining work; the part it will now re-run solo elsewhere never
+  // materializes, so refund it.
+  if (const RunningTask* task = fleet.running(victim->ref);
+      task->interference > 1.0) {
+    const SimDuration remaining = fleet.remaining_work_at(victim->ref, now);
+    interference_delta_ns -= static_cast<std::int64_t>(
+        interference_scaled(remaining, task->interference) - remaining);
+  }
+
+  RunningTask task = fleet.preempt(victim->ref, now, victim->checkpoint_ns);
   const bool cancelled = events.cancel(task.finish_event);
   PMEMFLOW_ASSERT_MSG(cancelled, "victim finish event already fired");
 
+  // The departing victim releases its co-tenant back to solo speed.
+  if (config.policy == PlacementPolicy::kColocationAware) {
+    if (const auto other = fleet.sole_tenant_slot(victim->ref.node)) {
+      apply_interference(SlotRef{victim->ref.node, *other}, now, 1.0);
+    }
+  }
+
   if (config.tracer != nullptr) {
-    const std::string track = format("node-%u", victim->node);
+    const std::string track = track_name(victim->ref);
     config.tracer->end(track, now);  // victim's segment ends here
     config.tracer->begin(track,
                          format("ckpt %s", task.record.label.c_str()), now);
@@ -242,7 +477,7 @@ void RunState::maybe_preempt(SimTime now) {
   Submission requeue = std::move(task.submission);
   checkpoints.emplace(
       requeue.id,
-      ResumeState{victim->snapshot_bytes, victim->node, std::move(task)});
+      ResumeState{victim->snapshot_bytes, victim->ref.node, std::move(task)});
   queue.reinstate(std::move(requeue));
 
   ++urgent_reservations;
@@ -268,11 +503,15 @@ std::size_t config_index(const core::DeploymentConfig& config) {
 OnlineScheduler::OnlineScheduler(ServiceConfig config, core::Executor executor,
                                  core::Recommender recommender)
     : config_(config),
+      interference_(executor.runner()),
       cache_(config.cache_capacity, std::move(executor), recommender) {}
 
 Expected<ServiceResult> OnlineScheduler::run(
     std::span<const Submission> submissions) {
-  RunState state(config_, cache_);
+  if (config_.nodes == 0) {
+    return make_error("service config needs at least one fleet node");
+  }
+  RunState state(config_, cache_, interference_);
 
   std::vector<Submission> ordered(submissions.begin(), submissions.end());
   std::stable_sort(ordered.begin(), ordered.end(),
@@ -354,9 +593,11 @@ Expected<ServiceResult> OnlineScheduler::run(
   for (std::uint32_t i = 0; i < state.fleet.size(); ++i) {
     utilization.push_back(state.fleet.utilization(i, makespan));
   }
-  result.metrics = aggregate_metrics(result.completions, makespan, utilization,
-                                     state.queue.stats(), cache_.stats(),
-                                     state.retries, state.dropped);
+  result.metrics = aggregate_metrics(
+      result.completions, makespan, utilization, state.queue.stats(),
+      cache_.stats(), state.retries, state.dropped, state.colocations,
+      static_cast<SimDuration>(
+          std::max<std::int64_t>(0, state.interference_delta_ns)));
   return result;
 }
 

@@ -41,6 +41,7 @@
 #include <span>
 
 #include "core/batch.hpp"
+#include "service/colocation.hpp"
 #include "service/fleet.hpp"
 #include "service/metrics.hpp"
 #include "service/profile_cache.hpp"
@@ -64,6 +65,9 @@ struct ServiceConfig {
   /// kRecommenderAware flavor: Table II rules (true) or the model-based
   /// estimate (false, default — the paper's §VIII closing suggestion).
   bool use_rule_based = false;
+  /// kColocationAware knobs: tenant slots per node and the I/O-index
+  /// margin that decides write-heavy/read-heavy pair compatibility.
+  ColocationParams colocation;
   std::size_t cache_capacity = 1024;
   /// Auto-resubmissions granted to a deferred or rejected submission
   /// before it is dropped.
@@ -102,9 +106,16 @@ class OnlineScheduler {
     return config_;
   }
   [[nodiscard]] const ProfileCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const InterferenceTable& interference() const noexcept {
+    return interference_;
+  }
 
  private:
   ServiceConfig config_;
+  /// Declared before cache_: initialized from the executor's runner
+  /// before the executor moves into the cache. Memoized pairwise
+  /// slowdowns persist across run() calls, like the profile cache.
+  InterferenceTable interference_;
   ProfileCache cache_;
 };
 

@@ -18,6 +18,14 @@ bool EventQueue::cancel(EventId id) {
   return live_.erase(id.value) != 0;
 }
 
+EventId EventQueue::reschedule(EventId id, SimTime when) {
+  auto it = live_.find(id.value);
+  if (it == live_.end()) return EventId{};
+  Callback callback = std::move(it->second);
+  live_.erase(it);  // the old heap entry goes dead (lazy deletion)
+  return schedule(when, std::move(callback));
+}
+
 void EventQueue::drop_dead_entries() const {
   while (!heap_.empty() && !live_.contains(heap_.top().id)) {
     heap_.pop();

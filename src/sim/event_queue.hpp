@@ -35,6 +35,13 @@ class EventQueue {
   /// already fired or was already cancelled.
   bool cancel(EventId id);
 
+  /// Moves a live event to a new absolute time, returning its new id
+  /// (the old id is dead). The event is ordered as if freshly scheduled
+  /// at `when`: among equal timestamps it fires after events already
+  /// queued there, keeping FIFO determinism. Returns an invalid id when
+  /// the event already fired or was cancelled.
+  EventId reschedule(EventId id, SimTime when);
+
   /// True when no live events remain.
   [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
 

@@ -108,5 +108,52 @@ TEST(Flags, NegativeNumbersParse) {
   EXPECT_DOUBLE_EQ(parser.get_double("bias"), -2.5);
 }
 
+TEST(Flags, IntegerOverflowIsRejected) {
+  // Regression: strtoll saturates to LLONG_MAX/MIN with errno == ERANGE
+  // but a valid end pointer, so the overflow used to be accepted
+  // silently as a clamped value.
+  auto parser = make_parser();
+  auto status = parse(parser, {"--ranks", "99999999999999999999"});
+  ASSERT_FALSE(status.has_value());
+  EXPECT_NE(status.error().message.find("out of range"), std::string::npos)
+      << status.error().message;
+
+  auto negative = make_parser();
+  auto negative_status = parse(negative, {"--ranks=-99999999999999999999"});
+  ASSERT_FALSE(negative_status.has_value());
+  EXPECT_NE(negative_status.error().message.find("out of range"),
+            std::string::npos);
+}
+
+TEST(Flags, IntegerLimitsStillParse) {
+  auto parser = make_parser();
+  ASSERT_TRUE(
+      parse(parser, {"--ranks", "9223372036854775807"}).has_value());
+  EXPECT_EQ(parser.get_int("ranks"), 9223372036854775807LL);
+  auto low = make_parser();
+  ASSERT_TRUE(parse(low, {"--ranks", "-9223372036854775808"}).has_value());
+  EXPECT_EQ(low.get_int("ranks"), -9223372036854775807LL - 1);
+}
+
+TEST(Flags, DoubleOverflowIsRejected) {
+  // Same regression for strtod: overflow saturates to ±HUGE_VAL.
+  auto parser = make_parser();
+  auto status = parse(parser, {"--scale", "1e999"});
+  ASSERT_FALSE(status.has_value());
+  EXPECT_NE(status.error().message.find("out of range"), std::string::npos);
+
+  auto negative = make_parser();
+  ASSERT_FALSE(parse(negative, {"--scale=-1e999"}).has_value());
+}
+
+TEST(Flags, DoubleUnderflowIsAccepted) {
+  // Underflow also sets ERANGE but yields a usable (tiny or zero)
+  // value; rejecting it would break legitimately small inputs.
+  auto parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--scale", "1e-999"}).has_value());
+  EXPECT_GE(parser.get_double("scale"), 0.0);
+  EXPECT_LT(parser.get_double("scale"), 1e-300);
+}
+
 }  // namespace
 }  // namespace pmemflow

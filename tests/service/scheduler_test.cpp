@@ -159,7 +159,8 @@ TEST(OnlineScheduler, AccountingInvariantAcrossPolicies) {
 
   for (const auto policy :
        {PlacementPolicy::kFirstFit, PlacementPolicy::kLeastLoaded,
-        PlacementPolicy::kRecommenderAware}) {
+        PlacementPolicy::kRecommenderAware,
+        PlacementPolicy::kColocationAware}) {
     for (const auto preemption :
          {PreemptionPolicy::kNone, PreemptionPolicy::kCheckpointRestore}) {
       ServiceConfig config;
@@ -180,6 +181,22 @@ TEST(OnlineScheduler, AccountingInvariantAcrossPolicies) {
       EXPECT_GT(m.dropped, 0u) << "stream not saturating — test is vacuous";
     }
   }
+}
+
+TEST(OnlineScheduler, EmptyFleetIsAnErrorNotACrash) {
+  // Regression: a zero-node config used to walk straight into the
+  // fleet's node_count assertion; the service must surface a clean
+  // Expected error instead.
+  auto params = small_stream_params();
+  params.count = 5;
+  const auto stream = make_submission_stream(params);
+
+  ServiceConfig config;
+  config.nodes = 0;
+  auto result = OnlineScheduler(config).run(stream);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("at least one"), std::string::npos)
+      << result.error().message;
 }
 
 TEST(OnlineScheduler, FixedPolicyUsesTheFixedConfig) {

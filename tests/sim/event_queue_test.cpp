@@ -130,6 +130,73 @@ TEST(EventQueue, ManyEventsStressOrdering) {
   }
 }
 
+TEST(EventQueue, RescheduleMovesEventToNewTime) {
+  EventQueue queue;
+  std::vector<int> fired;
+  const EventId id = queue.schedule(10, [&] { fired.push_back(1); });
+  queue.schedule(20, [&] { fired.push_back(2); });
+
+  const EventId moved = queue.reschedule(id, 30);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::vector<SimTime> times;
+  while (!queue.empty()) {
+    auto [when, cb] = queue.pop();
+    times.push_back(when);
+    cb();
+  }
+  // Fires exactly once, at the new time, after the untouched event.
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+  EXPECT_EQ(times, (std::vector<SimTime>{20, 30}));
+}
+
+TEST(EventQueue, RescheduleCanMoveEarlier) {
+  EventQueue queue;
+  std::vector<int> fired;
+  const EventId id = queue.schedule(30, [&] { fired.push_back(1); });
+  queue.schedule(20, [&] { fired.push_back(2); });
+  ASSERT_TRUE(queue.reschedule(id, 5).valid());
+  while (!queue.empty()) queue.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RescheduleOrdersAsFreshlyScheduled) {
+  // Moving an event onto an occupied timestamp puts it behind events
+  // already queued there — the FIFO determinism contract.
+  EventQueue queue;
+  std::vector<int> fired;
+  const EventId id = queue.schedule(5, [&] { fired.push_back(1); });
+  queue.schedule(10, [&] { fired.push_back(2); });
+  ASSERT_TRUE(queue.reschedule(id, 10).valid());
+  while (!queue.empty()) queue.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RescheduleInvalidatesTheOldId) {
+  EventQueue queue;
+  const EventId id = queue.schedule(10, [] {});
+  const EventId moved = queue.reschedule(id, 20);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_FALSE(queue.cancel(id));    // old handle is dead
+  EXPECT_TRUE(queue.cancel(moved));  // new handle controls the event
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RescheduleDeadEventReturnsInvalid) {
+  EventQueue queue;
+  const EventId cancelled = queue.schedule(10, [] {});
+  ASSERT_TRUE(queue.cancel(cancelled));
+  EXPECT_FALSE(queue.reschedule(cancelled, 20).valid());
+
+  int fires = 0;
+  const EventId fired = queue.schedule(5, [&] { ++fires; });
+  queue.pop().second();
+  EXPECT_FALSE(queue.reschedule(fired, 20).valid());
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(queue.empty());
+}
+
 TEST(EventQueueDeathTest, PopOnEmptyAborts) {
   EventQueue queue;
   EXPECT_DEATH((void)queue.pop(), "empty");

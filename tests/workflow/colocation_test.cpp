@@ -108,6 +108,53 @@ TEST(Colocation, RejectsOverCommittedCores) {
   EXPECT_NE(result.error().message.find("free cores"), std::string::npos);
 }
 
+TEST(Colocation, RejectedBatchLeavesNoSideEffects) {
+  // Each tenant fits alone (16 <= 28 cores) but the joint demand on
+  // socket 0 exceeds it; the validation must fail before any allocation
+  // sticks. A feasible run on the same Runner afterwards matches a
+  // fresh Runner exactly.
+  Runner runner;
+  const auto spec_a = io_heavy_spec(16, 1);
+  const auto spec_b = io_heavy_spec(16, 2);
+  ASSERT_TRUE(runner.run(spec_a, deploy(false, 0)).has_value());
+  const Deployment over_committed[] = {{spec_a, deploy(false, 0)},
+                                       {spec_b, deploy(false, 0)}};
+  ASSERT_FALSE(runner.run_colocated(over_committed).has_value());
+
+  const auto spec_c = io_heavy_spec(8, 3);
+  const auto spec_d = io_heavy_spec(8, 4);
+  const Deployment feasible[] = {{spec_c, deploy(false, 0)},
+                                 {spec_d, deploy(false, 1)}};
+  auto after = runner.run_colocated(feasible);
+  auto fresh = Runner().run_colocated(feasible);
+  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(after->workflows[0].total_ns, fresh->workflows[0].total_ns);
+  EXPECT_EQ(after->workflows[1].total_ns, fresh->workflows[1].total_ns);
+  EXPECT_EQ(after->makespan_ns, fresh->makespan_ns);
+}
+
+TEST(Colocation, ResultsPreserveInputOrder) {
+  // ColocatedResult::workflows[i] must correspond to deployments[i]:
+  // swapping the deployment order describes the identical physical
+  // scenario, so the per-tenant results must swap with it.
+  Runner runner;
+  const auto small = io_heavy_spec(4, 1);
+  const auto big = io_heavy_spec(12, 2);
+  const Deployment forward[] = {{small, deploy(false, 0)},
+                                {big, deploy(false, 1)}};
+  const Deployment reversed[] = {{big, deploy(false, 1)},
+                                 {small, deploy(false, 0)}};
+  auto fwd = runner.run_colocated(forward);
+  auto rev = runner.run_colocated(reversed);
+  ASSERT_TRUE(fwd.has_value());
+  ASSERT_TRUE(rev.has_value());
+  ASSERT_NE(fwd->workflows[0].total_ns, fwd->workflows[1].total_ns);
+  EXPECT_EQ(fwd->workflows[0].total_ns, rev->workflows[1].total_ns);
+  EXPECT_EQ(fwd->workflows[1].total_ns, rev->workflows[0].total_ns);
+  EXPECT_EQ(fwd->makespan_ns, rev->makespan_ns);
+}
+
 TEST(Colocation, RejectsEmptyBatch) {
   Runner runner;
   auto result = runner.run_colocated({});

@@ -28,8 +28,11 @@ Expected<service::PlacementPolicy> parse_policy(const std::string& name) {
   if (name == "recommender" || name == "recommender-aware") {
     return service::PlacementPolicy::kRecommenderAware;
   }
+  if (name == "colocation" || name == "colocation-aware") {
+    return service::PlacementPolicy::kColocationAware;
+  }
   return make_error("unknown policy '" + name +
-                    "' (first-fit | least-loaded | recommender)");
+                    "' (first-fit | least-loaded | recommender | colocation)");
 }
 
 }  // namespace
@@ -40,7 +43,8 @@ int main(int argc, char** argv) {
   flags.add_int("nodes", 4, "fleet size (dual-socket Optane nodes)");
   flags.add_int("queue-capacity", 64, "submission queue capacity");
   flags.add_string("policy", "recommender",
-                   "placement policy: first-fit | least-loaded | recommender");
+                   "placement policy: first-fit | least-loaded | recommender "
+                   "| colocation");
   flags.add_bool("rule-based", false,
                  "recommender policy uses Table II rules instead of the "
                  "model-based estimate");
@@ -100,7 +104,8 @@ int main(int argc, char** argv) {
                      Align::kRight, Align::kRight});
     for (const auto policy : {service::PlacementPolicy::kFirstFit,
                               service::PlacementPolicy::kLeastLoaded,
-                              service::PlacementPolicy::kRecommenderAware}) {
+                              service::PlacementPolicy::kRecommenderAware,
+                              service::PlacementPolicy::kColocationAware}) {
       config.policy = policy;
       service::OnlineScheduler scheduler(config);
       auto result = scheduler.run(stream);
