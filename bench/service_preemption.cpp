@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   arrivals.mean_interarrival_ns = 120.0e6;
   arrivals.urgent_fraction = 0.15;
   arrivals.batch_fraction = 0.45;
-  const auto stream = service::make_submission_stream(arrivals);
+  const auto stream = *service::make_submission_stream(arrivals);
 
   std::cout << format(
       "=== Preemption: %llu submissions, %u classes, %u nodes ===\n\n",

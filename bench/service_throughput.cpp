@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   // is just below (queues stay bounded) — the regime where config
   // choice matters most at fleet level.
   arrivals.mean_interarrival_ns = 150.0e6;
-  const auto stream = service::make_submission_stream(arrivals);
+  const auto stream = *service::make_submission_stream(arrivals);
 
   std::cout << format(
       "=== Online service: %llu submissions, %u classes, %u nodes ===\n\n",

@@ -1,0 +1,256 @@
+// Trace-subsystem acceptance gate (service-subsystem extension).
+//
+// Enforces the three contracts the trace subsystem is built on:
+//
+//   1. Exact round trip — recording a submission stream and replaying
+//      the recorded trace reproduces the stream bit-for-bit (ids,
+//      arrivals, priorities, labels, class fingerprints), and the
+//      serialization is canonical (serialize∘parse∘serialize is
+//      byte-identical).
+//   2. Deterministic replay — loading the same trace file twice and
+//      running the online scheduler on each replay produces identical
+//      completion counts, makespans, and delay distributions.
+//   3. Statistical twin — fitting a recorded trace and generating a
+//      synthetic stream from the fitted params reproduces the arrival
+//      rate and class-mix entropy within 5% and the priority mix
+//      within 5 points.
+//
+//   service_trace [--smoke] [--csv out.csv]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "service/arrivals.hpp"
+#include "service/scheduler.hpp"
+#include "traces/fit.hpp"
+#include "traces/replay.hpp"
+#include "traces/schema.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+struct Gate {
+  const char* name;
+  bool pass;
+  std::string detail;
+};
+
+bool within_rel(double actual, double expected, double tolerance) {
+  return std::abs(actual - expected) <= tolerance * std::abs(expected);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    }
+  }
+
+  service::ArrivalParams arrivals;
+  arrivals.count = smoke ? 2000 : 20000;
+  arrivals.classes = 8;
+  arrivals.mean_interarrival_ns = 40.0e6;
+  const auto stream = *service::make_submission_stream(arrivals);
+  const auto pool =
+      service::make_class_pool(arrivals.classes, arrivals.seed);
+
+  std::cout << format(
+      "=== Trace gate: %zu submissions, %u classes%s ===\n\n",
+      stream.size(), arrivals.classes, smoke ? " (smoke)" : "");
+
+  std::vector<Gate> gates;
+
+  // Gate 1: exact round trip through the schema and the replayer.
+  {
+    const auto trace = traces::record_trace(stream, pool);
+    const auto text = traces::serialize_trace(trace);
+    auto parsed = traces::parse_trace(text);
+    bool pass = parsed.has_value();
+    std::string detail;
+    if (!pass) {
+      detail = parsed.error().message;
+    } else if (traces::serialize_trace(*parsed) != text) {
+      pass = false;
+      detail = "serialize∘parse∘serialize changed the bytes";
+    } else {
+      auto replayed = traces::TraceReplayer{pool}.replay(*parsed);
+      if (!replayed.has_value()) {
+        pass = false;
+        detail = replayed.error().message;
+      } else if (replayed->size() != stream.size()) {
+        pass = false;
+        detail = format("replayed %zu of %zu submissions",
+                        replayed->size(), stream.size());
+      } else {
+        for (std::size_t i = 0; pass && i < stream.size(); ++i) {
+          const auto& a = stream[i];
+          const auto& b = (*replayed)[i];
+          if (a.id != b.id || a.arrival_ns != b.arrival_ns ||
+              a.priority != b.priority || a.spec.label != b.spec.label ||
+              workflow::class_fingerprint(a.spec) !=
+                  workflow::class_fingerprint(b.spec)) {
+            pass = false;
+            detail = format("submission %zu differs after round trip", i);
+          }
+        }
+        if (pass) {
+          detail = format("%zu submissions, %zu trace bytes, canonical",
+                          stream.size(), text.size());
+        }
+      }
+    }
+    gates.push_back({"round-trip", pass, detail});
+  }
+
+  // Gate 2: byte-identical replay across file loads drives an
+  // identical schedule.
+  {
+    const std::string path = "service_trace_gate_tmp.csv";
+    bool pass = true;
+    std::string detail;
+    auto written =
+        traces::write_trace(traces::record_trace(stream, pool), path);
+    if (!written.has_value()) {
+      pass = false;
+      detail = written.error().message;
+    } else {
+      service::ServiceConfig config;
+      config.nodes = 4;
+      config.queue_capacity = stream.size();
+      config.defer_watermark = 1.0;
+      config.policy = service::PlacementPolicy::kRecommenderAware;
+
+      std::vector<service::ServiceMetrics> runs;
+      for (int round = 0; pass && round < 2; ++round) {
+        auto loaded = traces::load_trace(path);
+        if (!loaded.has_value()) {
+          pass = false;
+          detail = loaded.error().message;
+          break;
+        }
+        auto replayed = traces::TraceReplayer{pool}.replay(*loaded);
+        if (!replayed.has_value()) {
+          pass = false;
+          detail = replayed.error().message;
+          break;
+        }
+        service::OnlineScheduler scheduler(config);
+        auto result = scheduler.run(*replayed);
+        if (!result.has_value()) {
+          pass = false;
+          detail = result.error().message;
+          break;
+        }
+        runs.push_back(result->metrics);
+      }
+      if (pass) {
+        const auto& a = runs[0];
+        const auto& b = runs[1];
+        if (a.completed != b.completed || a.makespan_ns != b.makespan_ns ||
+            a.queue_delay_ns.mean != b.queue_delay_ns.mean ||
+            a.queue_delay_ns.p99 != b.queue_delay_ns.p99) {
+          pass = false;
+          detail = "two loads of the same file scheduled differently";
+        } else {
+          detail = format(
+              "%llu completions, makespan %.3f s, identical twice",
+              static_cast<unsigned long long>(a.completed),
+              static_cast<double>(a.makespan_ns) / 1e9);
+        }
+      }
+    }
+    std::remove(path.c_str());
+    gates.push_back({"deterministic-replay", pass, detail});
+  }
+
+  // Gate 3: fit → generate → fit converges within 5%.
+  double rate_error = 0.0, entropy_error = 0.0;
+  {
+    bool pass = true;
+    std::string detail;
+    auto fit1 = traces::fit_arrival_params(
+        traces::record_trace(stream, pool));
+    if (!fit1.has_value()) {
+      pass = false;
+      detail = fit1.error().message;
+    } else {
+      auto params = fit1->params;
+      params.seed = arrivals.seed + 1;  // an independent sample
+      auto twin = service::make_submission_stream(params);
+      if (!twin.has_value()) {
+        pass = false;
+        detail = twin.error().message;
+      } else {
+        const auto twin_pool =
+            service::make_class_pool(params.classes, params.seed);
+        auto fit2 = traces::fit_arrival_params(
+            traces::record_trace(*twin, twin_pool));
+        if (!fit2.has_value()) {
+          pass = false;
+          detail = fit2.error().message;
+        } else {
+          rate_error = std::abs(fit2->arrival_rate_per_s -
+                                fit1->arrival_rate_per_s) /
+                       fit1->arrival_rate_per_s;
+          entropy_error = std::abs(fit2->class_mix_entropy_bits -
+                                   fit1->class_mix_entropy_bits) /
+                          fit1->class_mix_entropy_bits;
+          const bool rate_ok =
+              within_rel(fit2->arrival_rate_per_s,
+                         fit1->arrival_rate_per_s, 0.05);
+          const bool mix_ok =
+              std::abs(fit2->params.urgent_fraction -
+                       fit1->params.urgent_fraction) <= 0.05 &&
+              std::abs(fit2->params.batch_fraction -
+                       fit1->params.batch_fraction) <= 0.05;
+          const bool entropy_ok = entropy_error <= 0.05;
+          const bool classes_ok =
+              fit2->params.classes == fit1->params.classes;
+          pass = rate_ok && mix_ok && entropy_ok && classes_ok;
+          detail = format(
+              "rate %.2f vs %.2f /s (%.1f%%), entropy %.3f vs %.3f bits "
+              "(%.1f%%), urgent %.3f vs %.3f, batch %.3f vs %.3f",
+              fit2->arrival_rate_per_s, fit1->arrival_rate_per_s,
+              100.0 * rate_error, fit2->class_mix_entropy_bits,
+              fit1->class_mix_entropy_bits, 100.0 * entropy_error,
+              fit2->params.urgent_fraction, fit1->params.urgent_fraction,
+              fit2->params.batch_fraction, fit1->params.batch_fraction);
+        }
+      }
+    }
+    gates.push_back({"fit-generate-fit", pass, detail});
+  }
+
+  bool all_pass = true;
+  for (const auto& gate : gates) {
+    std::cout << format("%-22s %s  %s\n", gate.name,
+                        gate.pass ? "PASS" : "FAIL", gate.detail.c_str());
+    all_pass = all_pass && gate.pass;
+  }
+  std::cout << "\nresult: "
+            << (all_pass ? "trace subsystem round-trips exactly"
+                         : "trace gate FAILED")
+            << "\n";
+
+  if (!csv_path.empty()) {
+    CsvWriter csv({"gate", "pass", "detail"});
+    for (const auto& gate : gates) {
+      csv.add_row({gate.name, gate.pass ? "1" : "0", gate.detail});
+    }
+    if (!csv.write_file(csv_path)) {
+      std::cerr << "error: could not write " << csv_path << "\n";
+      return 1;
+    }
+  }
+  return all_pass ? 0 : 1;
+}

@@ -1,8 +1,10 @@
 #include "common/csv.hpp"
 
 #include <fstream>
+#include <sstream>
 
 #include "common/assert.hpp"
+#include "common/strings.hpp"
 
 namespace pmemflow {
 
@@ -56,6 +58,191 @@ bool CsvWriter::write_file(const std::string& path) const {
   if (!out) return false;
   write(out);
   return static_cast<bool>(out);
+}
+
+std::optional<std::size_t> CsvDocument::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// One physical record pulled off the input, with the position where it
+/// started.
+struct RawRecord {
+  std::vector<std::string> fields;
+  std::size_t line = 0;
+};
+
+/// Incremental RFC-4180 scanner over the whole input. Tracks the
+/// 1-based line/column of the cursor so every failure can name its
+/// position exactly.
+class RecordScanner {
+ public:
+  RecordScanner(std::string_view text, std::size_t first_line)
+      : text_(text), line_(first_line) {}
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  /// Scans the next record (one logical CSV row; quoted fields may span
+  /// physical lines). Newline conventions: "\n" and "\r\n" both
+  /// terminate a record.
+  [[nodiscard]] Expected<RawRecord> next() {
+    RawRecord record;
+    record.line = line_;
+    std::string field;
+    bool in_quotes = false;
+    // Column where the currently open quoted field began (for the
+    // unterminated-quote message).
+    std::size_t quote_line = 0, quote_column = 0;
+
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+            field.push_back('"');
+            advance();
+            advance();
+            continue;
+          }
+          in_quotes = false;
+          advance();
+          // A closing quote must be followed by a separator, a line
+          // ending, or end of input.
+          if (pos_ < text_.size() && text_[pos_] != ',' &&
+              text_[pos_] != '\n' && text_[pos_] != '\r') {
+            return make_error(
+                format("line %zu, column %zu: unexpected character '%c' "
+                       "after closing quote",
+                       line_, column_, text_[pos_]));
+          }
+          continue;
+        }
+        field.push_back(c);
+        advance();
+        continue;
+      }
+      if (c == '"') {
+        if (!field.empty()) {
+          return make_error(
+              format("line %zu, column %zu: quote inside unquoted field",
+                     line_, column_));
+        }
+        quote_line = line_;
+        quote_column = column_;
+        in_quotes = true;
+        advance();
+        continue;
+      }
+      if (c == ',') {
+        record.fields.push_back(std::move(field));
+        field.clear();
+        advance();
+        continue;
+      }
+      if (c == '\r') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '\n') {
+          return make_error(format(
+              "line %zu, column %zu: bare carriage return (expected CRLF)",
+              line_, column_));
+        }
+        advance();  // consume '\r'; the '\n' branch finishes the record
+        continue;
+      }
+      if (c == '\n') {
+        advance();
+        record.fields.push_back(std::move(field));
+        return record;
+      }
+      field.push_back(c);
+      advance();
+    }
+    if (in_quotes) {
+      return make_error(
+          format("line %zu, column %zu: unterminated quoted field "
+                 "(still open at end of input)",
+                 quote_line, quote_column));
+    }
+    // Final record without a trailing newline.
+    record.fields.push_back(std::move(field));
+    return record;
+  }
+
+ private:
+  void advance() noexcept {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+bool is_blank_record(const RawRecord& record) {
+  return record.fields.size() == 1 && record.fields[0].empty();
+}
+
+}  // namespace
+
+Expected<CsvDocument> parse_csv(std::string_view text,
+                                std::size_t first_line) {
+  RecordScanner scanner(text, first_line);
+  std::vector<RawRecord> records;
+  while (!scanner.at_end()) {
+    auto record = scanner.next();
+    if (!record.has_value()) return Unexpected{record.error()};
+    records.push_back(std::move(*record));
+  }
+  // A trailing newline leaves no pending record; an extra blank final
+  // line (common when files are hand-edited) is tolerated and dropped.
+  while (!records.empty() && is_blank_record(records.back())) {
+    records.pop_back();
+  }
+  if (records.empty()) {
+    return make_error("empty input: expected a CSV header row");
+  }
+
+  CsvDocument document;
+  document.header = std::move(records.front().fields);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    auto& record = records[i];
+    if (is_blank_record(record) && document.header.size() != 1) {
+      return make_error(format("line %zu: blank line inside CSV body",
+                               record.line));
+    }
+    if (record.fields.size() != document.header.size()) {
+      return make_error(
+          format("line %zu: expected %zu fields (per header), got %zu",
+                 record.line, document.header.size(),
+                 record.fields.size()));
+    }
+    document.rows.push_back(std::move(record.fields));
+    document.row_lines.push_back(record.line);
+  }
+  return document;
+}
+
+Expected<CsvDocument> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error(path + ": cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return make_error(path + ": read failed");
+  auto document = parse_csv(buffer.str());
+  if (!document.has_value()) {
+    return make_error(path + ": " + document.error().message);
+  }
+  return document;
 }
 
 }  // namespace pmemflow

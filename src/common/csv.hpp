@@ -1,12 +1,22 @@
-// CSV emission for experiment results.
+// CSV emission and strict parsing.
 //
 // Every figure bench can dump its series as CSV (via --csv <path>) so the
-// paper's plots can be regenerated with any external plotting tool.
+// paper's plots can be regenerated with any external plotting tool; the
+// trace subsystem additionally *reads* CSV that may come from outside
+// the repo (recorded cluster workloads), so the parser side is strict
+// and reports positions: RFC-4180 quoting, CRLF and LF line endings, a
+// tolerated trailing blank line, and errors that name the 1-based line
+// (and column where meaningful) of the offending input.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/expected.hpp"
 
 namespace pmemflow {
 
@@ -33,5 +43,34 @@ class CsvWriter {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// A fully parsed CSV table: one header row plus data rows, every row
+/// already checked to have the header's arity.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  /// 1-based input line on which each data row *started* (quoted fields
+  /// may span lines), aligned with `rows`. Lets loaders report semantic
+  /// errors at the right position.
+  std::vector<std::size_t> row_lines;
+
+  /// Index of the named header column, or nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> column(
+      std::string_view name) const;
+};
+
+/// Parses RFC-4180-style CSV text. Accepts LF and CRLF line endings and
+/// at most a trailing blank line; fields may be quoted (embedded commas,
+/// newlines, and doubled quotes). Fails with "line L[, column C]: ..."
+/// messages on an unterminated quote, stray characters after a closing
+/// quote, a row whose field count differs from the header's, a blank
+/// interior line, or an empty input. `first_line` is the 1-based input
+/// line `text` starts on — callers that strip a preamble (e.g. the
+/// trace loader's version banner) pass it so positions stay absolute.
+[[nodiscard]] Expected<CsvDocument> parse_csv(std::string_view text,
+                                              std::size_t first_line = 1);
+
+/// Reads and parses the named file; errors are prefixed with the path.
+[[nodiscard]] Expected<CsvDocument> read_csv_file(const std::string& path);
 
 }  // namespace pmemflow

@@ -62,9 +62,42 @@ std::vector<workflow::WorkflowSpec> make_class_pool(std::uint32_t classes,
   return pool;
 }
 
-std::vector<Submission> make_submission_stream(const ArrivalParams& params) {
-  PMEMFLOW_ASSERT(params.mean_interarrival_ns > 0.0);
-  PMEMFLOW_ASSERT(params.urgent_fraction + params.batch_fraction <= 1.0);
+Status validate_arrival_params(const ArrivalParams& params) {
+  if (params.count == 0) {
+    return make_error("arrival params: count must be >= 1");
+  }
+  if (params.classes == 0) {
+    return make_error("arrival params: classes must be >= 1");
+  }
+  if (!(params.mean_interarrival_ns > 0.0) ||
+      !std::isfinite(params.mean_interarrival_ns)) {
+    return make_error(
+        format("arrival params: mean_interarrival_ns must be positive and "
+               "finite, got %g",
+               params.mean_interarrival_ns));
+  }
+  if (params.urgent_fraction < 0.0 || params.urgent_fraction > 1.0 ||
+      params.batch_fraction < 0.0 || params.batch_fraction > 1.0) {
+    return make_error(
+        format("arrival params: priority fractions must be in [0, 1], got "
+               "urgent=%g batch=%g",
+               params.urgent_fraction, params.batch_fraction));
+  }
+  if (params.urgent_fraction + params.batch_fraction > 1.0) {
+    return make_error(
+        format("arrival params: urgent_fraction + batch_fraction must not "
+               "exceed 1, got %g + %g = %g",
+               params.urgent_fraction, params.batch_fraction,
+               params.urgent_fraction + params.batch_fraction));
+  }
+  return ok_status();
+}
+
+Expected<std::vector<Submission>> make_submission_stream(
+    const ArrivalParams& params) {
+  if (auto status = validate_arrival_params(params); !status.has_value()) {
+    return Unexpected{status.error()};
+  }
   const auto pool = make_class_pool(params.classes, params.seed);
 
   std::vector<Submission> stream;

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/expected.hpp"
 #include "service/types.hpp"
 
 namespace pmemflow::service {
@@ -31,9 +32,16 @@ struct ArrivalParams {
 [[nodiscard]] std::vector<workflow::WorkflowSpec> make_class_pool(
     std::uint32_t classes, std::uint64_t seed);
 
+/// Checks that `params` describe a well-formed stream: positive count,
+/// at least one class, a positive finite mean inter-arrival gap, and
+/// priority fractions that are each in [0, 1] and sum to at most 1.
+[[nodiscard]] Status validate_arrival_params(const ArrivalParams& params);
+
 /// A full submission stream: ids 0..count-1, nondecreasing arrival
-/// times, class and priority drawn per submission.
-[[nodiscard]] std::vector<Submission> make_submission_stream(
+/// times, class and priority drawn per submission. Fails (with the
+/// `validate_arrival_params` diagnosis) instead of silently producing a
+/// degenerate stream — trace fits and CLI flags feed this directly.
+[[nodiscard]] Expected<std::vector<Submission>> make_submission_stream(
     const ArrivalParams& params);
 
 }  // namespace pmemflow::service

@@ -1,0 +1,108 @@
+#include "traces/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow::traces {
+namespace {
+
+// Tags keep the three class-reference shapes from aliasing when a trace
+// mixes them (a fingerprint is used verbatim as its own key).
+constexpr std::uint64_t kTagInline = 0x696e6c696e65ULL;  // "inline"
+constexpr std::uint64_t kTagClassId = 0x636c617373ULL;   // "class"
+
+std::uint64_t class_key(const TraceRecord& record) {
+  if (record.class_fingerprint.has_value()) {
+    return *record.class_fingerprint;
+  }
+  Hasher64 hasher;
+  if (record.inline_class.has_value()) {
+    const auto& inline_class = *record.inline_class;
+    hasher.update_u64(kTagInline);
+    hasher.update_u64(inline_class.object_size);
+    hasher.update_u64(inline_class.objects_per_rank);
+    hasher.update_double(inline_class.sim_compute_ns);
+    hasher.update_double(inline_class.analytics_compute_ns);
+    hasher.update_u64(inline_class.ranks);
+    hasher.update_u64(inline_class.iterations);
+    hasher.update_u64(inline_class.sim_seed);
+    hasher.update_string(inline_class.sim_name);
+    hasher.update_string(inline_class.ana_name);
+  } else {
+    hasher.update_u64(kTagClassId);
+    hasher.update_u64(record.class_id.value_or(0));
+  }
+  return hasher.digest();
+}
+
+}  // namespace
+
+Expected<TraceFit> fit_arrival_params(const Trace& trace,
+                                      std::uint64_t generator_seed) {
+  const auto n = trace.records.size();
+  if (n < 2) {
+    return make_error(format(
+        "cannot fit arrival params: need at least 2 records, got %zu", n));
+  }
+
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(n);
+  std::unordered_map<std::uint64_t, std::uint64_t> class_counts;
+  TraceFit fit;
+  for (const auto& record : trace.records) {
+    arrivals.push_back(record.arrival_ns);
+    ++class_counts[class_key(record)];
+    switch (record.priority) {
+      case service::Priority::kUrgent: ++fit.urgent; break;
+      case service::Priority::kNormal: ++fit.normal; break;
+      case service::Priority::kBatch: ++fit.batch; break;
+    }
+    if (record.deadline_ns.has_value()) ++fit.with_deadline;
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  fit.records = n;
+  fit.span_ns = arrivals.back() - arrivals.front();
+  if (fit.span_ns == 0) {
+    return make_error(
+        "cannot fit arrival params: all arrivals are simultaneous (no "
+        "rate information)");
+  }
+
+  // MLE for an exponential inter-arrival distribution: the sample mean
+  // of the n-1 gaps, which telescopes to span / (n - 1).
+  const double gaps = static_cast<double>(n - 1);
+  const double mean_gap = static_cast<double>(fit.span_ns) / gaps;
+  fit.arrival_rate_per_s = 1e9 / mean_gap;
+
+  double sum_sq_dev = 0.0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const double gap = static_cast<double>(arrivals[i] - arrivals[i - 1]);
+    sum_sq_dev += (gap - mean_gap) * (gap - mean_gap);
+  }
+  fit.burstiness_cv =
+      n >= 3 ? std::sqrt(sum_sq_dev / gaps) / mean_gap : 0.0;
+
+  const double total = static_cast<double>(n);
+  for (const auto& [key, count] : class_counts) {
+    const double p = static_cast<double>(count) / total;
+    fit.class_mix_entropy_bits -= p * std::log2(p);
+  }
+  fit.class_mix_entropy_max_bits =
+      std::log2(static_cast<double>(class_counts.size()));
+
+  fit.params.count = n;
+  fit.params.classes = static_cast<std::uint32_t>(
+      std::min<std::size_t>(class_counts.size(), 0xffffffffu));
+  fit.params.mean_interarrival_ns = mean_gap;
+  fit.params.seed = generator_seed;
+  fit.params.urgent_fraction = static_cast<double>(fit.urgent) / total;
+  fit.params.batch_fraction = static_cast<double>(fit.batch) / total;
+  return fit;
+}
+
+}  // namespace pmemflow::traces

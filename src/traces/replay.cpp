@@ -1,0 +1,270 @@
+#include "traces/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pmemflow::traces {
+namespace {
+
+/// Largest double that still casts safely into SimTime.
+constexpr double kMaxSimTime = 18446744073709549568.0;  // 2^64 - 2048
+
+Unexpected record_error(std::size_t index, const TraceRecord& record,
+                        std::string detail) {
+  return make_error(format("trace record %zu (id %llu): %s", index,
+                           static_cast<unsigned long long>(record.id),
+                           detail.c_str()));
+}
+
+}  // namespace
+
+workflow::WorkflowSpec materialize_inline_class(
+    const InlineClass& inline_class) {
+  workloads::SyntheticSimulation::Params sim;
+  sim.object_size = inline_class.object_size;
+  sim.objects_per_rank = inline_class.objects_per_rank;
+  sim.compute_ns = inline_class.sim_compute_ns;
+  sim.seed = inline_class.sim_seed;
+  sim.name = inline_class.sim_name;
+
+  workloads::SyntheticAnalytics::Params analytics;
+  analytics.compute_ns_per_object = inline_class.analytics_compute_ns;
+  analytics.name = inline_class.ana_name;
+
+  return workloads::make_synthetic_workflow(sim, analytics,
+                                            inline_class.ranks,
+                                            inline_class.iterations);
+}
+
+std::optional<InlineClass> inline_class_of(
+    const workflow::WorkflowSpec& spec) {
+  // Inline columns can only express the synthetic generator's default
+  // shape; anything else must bind by pool or fingerprint.
+  if (spec.stack != workflow::WorkflowSpec::Stack::kNvStream ||
+      spec.cost_override.has_value() || spec.channel_capacity != 0 ||
+      !spec.verify_reads || spec.ranks == 0 || spec.iterations == 0) {
+    return std::nullopt;
+  }
+  const auto* simulation =
+      dynamic_cast<const workloads::SyntheticSimulation*>(
+          spec.simulation.get());
+  const auto* analytics =
+      dynamic_cast<const workloads::SyntheticAnalytics*>(
+          spec.analytics.get());
+  if (simulation == nullptr || analytics == nullptr) return std::nullopt;
+  const auto& sim_params = simulation->params();
+  if (sim_params.real_payloads || sim_params.object_size == 0 ||
+      sim_params.objects_per_rank == 0) {
+    return std::nullopt;
+  }
+  InlineClass inline_class;
+  inline_class.object_size = sim_params.object_size;
+  inline_class.objects_per_rank = sim_params.objects_per_rank;
+  inline_class.sim_compute_ns = sim_params.compute_ns;
+  inline_class.analytics_compute_ns =
+      analytics->params().compute_ns_per_object;
+  inline_class.ranks = spec.ranks;
+  inline_class.iterations = spec.iterations;
+  inline_class.sim_seed = sim_params.seed;
+  inline_class.sim_name = sim_params.name;
+  inline_class.ana_name = analytics->params().name;
+  return inline_class;
+}
+
+TraceReplayer::TraceReplayer(std::vector<workflow::WorkflowSpec> pool,
+                             ReplayOptions options)
+    : pool_(std::move(pool)), options_(options) {
+  fingerprints_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    fingerprints_.emplace_back(workflow::class_fingerprint(pool_[i]), i);
+  }
+  // First pool occurrence wins on (pathological) duplicate fingerprints,
+  // matching stable_sort + unique semantics.
+  std::stable_sort(fingerprints_.begin(), fingerprints_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  fingerprints_.erase(
+      std::unique(fingerprints_.begin(), fingerprints_.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first;
+                  }),
+      fingerprints_.end());
+}
+
+Expected<std::vector<service::Submission>> TraceReplayer::replay(
+    const Trace& trace) const {
+  if (!(options_.time_scale > 0.0) || !std::isfinite(options_.time_scale)) {
+    return make_error(format(
+        "replay options: time_scale must be positive and finite, got %g",
+        options_.time_scale));
+  }
+
+  // Memoized inline materializations, keyed by recorded fingerprint
+  // (verified on first use) — a 100k-row trace of a dozen classes pays
+  // for a dozen digests, not 100k.
+  std::unordered_map<std::uint64_t, workflow::WorkflowSpec> inline_cache;
+  std::unordered_set<std::uint64_t> seen_ids;
+  seen_ids.reserve(trace.records.size());
+
+  auto pool_index_of = [this](std::uint64_t fingerprint)
+      -> std::optional<std::size_t> {
+    const auto it = std::lower_bound(
+        fingerprints_.begin(), fingerprints_.end(), fingerprint,
+        [](const auto& entry, std::uint64_t value) {
+          return entry.first < value;
+        });
+    if (it == fingerprints_.end() || it->first != fingerprint) {
+      return std::nullopt;
+    }
+    return it->second;
+  };
+
+  std::vector<service::Submission> stream;
+  stream.reserve(trace.records.size());
+  for (std::size_t index = 0; index < trace.records.size(); ++index) {
+    const auto& record = trace.records[index];
+    if (!seen_ids.insert(record.id).second) {
+      return record_error(index, record,
+                          "duplicate id (ids must be unique for a "
+                          "deterministic schedule)");
+    }
+
+    workflow::WorkflowSpec spec;
+    if (record.class_id.has_value()) {
+      if (*record.class_id >= pool_.size()) {
+        return record_error(
+            index, record,
+            format("class_id %u out of range (pool has %zu classes)",
+                   *record.class_id, pool_.size()));
+      }
+      spec = pool_[*record.class_id];
+      if (record.class_fingerprint.has_value()) {
+        const auto actual = workflow::class_fingerprint(spec);
+        if (actual != *record.class_fingerprint) {
+          return record_error(
+              index, record,
+              format("class_id %u fingerprints as %016llx but the trace "
+                     "says %016llx — wrong pool (classes/seed mismatch)?",
+                     *record.class_id,
+                     static_cast<unsigned long long>(actual),
+                     static_cast<unsigned long long>(
+                         *record.class_fingerprint)));
+        }
+      }
+    } else if (record.class_fingerprint.has_value() &&
+               pool_index_of(*record.class_fingerprint).has_value()) {
+      spec = pool_[*pool_index_of(*record.class_fingerprint)];
+    } else if (record.inline_class.has_value()) {
+      if (record.class_fingerprint.has_value()) {
+        auto cached = inline_cache.find(*record.class_fingerprint);
+        if (cached == inline_cache.end()) {
+          auto materialized = materialize_inline_class(*record.inline_class);
+          const auto actual = workflow::class_fingerprint(materialized);
+          if (actual != *record.class_fingerprint) {
+            return record_error(
+                index, record,
+                format("inline class fingerprints as %016llx but the "
+                       "trace says %016llx",
+                       static_cast<unsigned long long>(actual),
+                       static_cast<unsigned long long>(
+                           *record.class_fingerprint)));
+          }
+          cached = inline_cache
+                       .emplace(*record.class_fingerprint,
+                                std::move(materialized))
+                       .first;
+        }
+        spec = cached->second;
+      } else {
+        spec = materialize_inline_class(*record.inline_class);
+      }
+    } else {
+      return record_error(
+          index, record,
+          format("class_fingerprint %016llx is not in the replay pool and "
+                 "the row has no inline class",
+                 static_cast<unsigned long long>(
+                     record.class_fingerprint.value_or(0))));
+    }
+    if (!record.label.empty()) spec.label = record.label;
+
+    const double scaled =
+        static_cast<double>(record.arrival_ns) * options_.time_scale;
+    if (scaled > kMaxSimTime) {
+      return record_error(
+          index, record,
+          format("scaled arrival %g ns overflows the simulated clock",
+                 scaled));
+    }
+    const auto arrival = static_cast<SimTime>(scaled);
+    if (options_.max_arrival_ns != 0 && arrival > options_.max_arrival_ns) {
+      continue;
+    }
+
+    service::Submission submission;
+    submission.id = record.id;
+    submission.spec = std::move(spec);
+    submission.arrival_ns = arrival;
+    submission.priority = record.priority;
+    stream.push_back(std::move(submission));
+  }
+
+  std::sort(stream.begin(), stream.end(),
+            [](const service::Submission& a, const service::Submission& b) {
+              return a.arrival_ns != b.arrival_ns
+                         ? a.arrival_ns < b.arrival_ns
+                         : a.id < b.id;
+            });
+  if (options_.limit != 0 && stream.size() > options_.limit) {
+    stream.resize(options_.limit);
+  }
+  return stream;
+}
+
+Trace record_trace(std::span<const service::Submission> submissions,
+                   std::span<const workflow::WorkflowSpec> pool) {
+  std::unordered_map<std::uint64_t, std::uint32_t> pool_ids;
+  pool_ids.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool_ids.emplace(workflow::class_fingerprint(pool[i]),
+                     static_cast<std::uint32_t>(i));
+  }
+
+  // Inline columns are a pure function of the class, so compute them
+  // once per fingerprint.
+  std::unordered_map<std::uint64_t, std::optional<InlineClass>> inline_memo;
+
+  Trace trace;
+  trace.records.reserve(submissions.size());
+  for (const auto& submission : submissions) {
+    TraceRecord record;
+    record.id = submission.id;
+    record.arrival_ns = submission.arrival_ns;
+    record.priority = submission.priority;
+    record.label = submission.spec.label;
+
+    const auto fingerprint = workflow::class_fingerprint(submission.spec);
+    record.class_fingerprint = fingerprint;
+    if (const auto it = pool_ids.find(fingerprint); it != pool_ids.end()) {
+      record.class_id = it->second;
+    }
+    auto memo = inline_memo.find(fingerprint);
+    if (memo == inline_memo.end()) {
+      memo = inline_memo
+                 .emplace(fingerprint, inline_class_of(submission.spec))
+                 .first;
+    }
+    record.inline_class = memo->second;
+
+    trace.records.push_back(std::move(record));
+  }
+  return trace;
+}
+
+}  // namespace pmemflow::traces

@@ -1,0 +1,90 @@
+// Trace ↔ submission-stream conversion.
+//
+// TraceReplayer turns a loaded Trace into the std::vector<Submission>
+// contract service::OnlineScheduler already consumes: each row is bound
+// to a WorkflowSpec (by pool index, by class fingerprint, or from its
+// inline columns), arrival times pass through the time-scaling and
+// clamping knobs, and the result is emitted in (arrival, id) order so a
+// given (trace, pool, options) triple always replays identically.
+//
+// record_trace is the inverse: any submission stream — synthetic or
+// replayed — is written back to the schema, with every binding the
+// recorder can prove: the class fingerprint always, the pool index when
+// the class is in the pool, and the self-contained inline columns when
+// the spec is a default-shaped synthetic workflow (so the recorded
+// trace replays without the pool at all). Round-tripping is exact:
+// replay(record(stream)) reproduces the stream's arrivals, priorities,
+// labels, and class fingerprints bit-for-bit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "service/types.hpp"
+#include "traces/schema.hpp"
+
+namespace pmemflow::traces {
+
+struct ReplayOptions {
+  /// Multiplies every arrival time (and deadline): 0.5 compresses the
+  /// trace to double the arrival rate, 2.0 stretches it to halve it.
+  /// Must be positive and finite.
+  double time_scale = 1.0;
+  /// When nonzero, drop records whose *scaled* arrival exceeds this
+  /// horizon (replay a prefix of a long trace).
+  SimTime max_arrival_ns = 0;
+  /// When nonzero, keep at most this many records (applied after the
+  /// horizon clamp, in arrival order).
+  std::uint64_t limit = 0;
+};
+
+class TraceReplayer {
+ public:
+  /// `pool` provides the classes that class_id / class_fingerprint rows
+  /// bind against (it may be empty if every row carries inline
+  /// columns). The pool is copied; the replayer is self-contained.
+  explicit TraceReplayer(std::vector<workflow::WorkflowSpec> pool,
+                         ReplayOptions options = {});
+
+  /// Binds and replays the whole trace. Errors name the offending
+  /// record: an out-of-range class_id, a fingerprint absent from the
+  /// pool, a fingerprint that contradicts its binding (wrong pool), or
+  /// non-positive time scaling.
+  [[nodiscard]] Expected<std::vector<service::Submission>> replay(
+      const Trace& trace) const;
+
+  [[nodiscard]] const ReplayOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  std::vector<workflow::WorkflowSpec> pool_;
+  /// fingerprint → pool index, for class_fingerprint bindings and for
+  /// cross-checking class_id rows.
+  std::vector<std::pair<std::uint64_t, std::size_t>> fingerprints_;
+  ReplayOptions options_;
+};
+
+/// Records a submission stream as a Trace (see file comment). `pool` is
+/// consulted for class_id bindings; pass an empty span to record
+/// fingerprint/inline bindings only.
+[[nodiscard]] Trace record_trace(
+    std::span<const service::Submission> submissions,
+    std::span<const workflow::WorkflowSpec> pool);
+
+/// The WorkflowSpec an inline class row describes (shared by replay and
+/// the recorder's self-check). The label is the synthetic generator's
+/// default; replay installs the row's label column when non-empty.
+[[nodiscard]] workflow::WorkflowSpec materialize_inline_class(
+    const InlineClass& inline_class);
+
+/// If `spec` is expressible as inline columns (default-shaped synthetic
+/// models: NvStream stack, no cost override, unbounded channel,
+/// verified reads, synthetic payload run), returns them; otherwise
+/// nullopt. materialize_inline_class of the result fingerprints
+/// identically to `spec`.
+[[nodiscard]] std::optional<InlineClass> inline_class_of(
+    const workflow::WorkflowSpec& spec);
+
+}  // namespace pmemflow::traces

@@ -1,0 +1,351 @@
+#include "traces/schema.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow::traces {
+namespace {
+
+constexpr std::string_view kBannerPrefix = "# pmemflow-trace v";
+
+/// Column order of schema v1. Kept in one place so the header, the
+/// serializer, and the loader cannot drift apart.
+constexpr const char* kColumns[] = {
+    "id",          "arrival_ns",        "priority",
+    "deadline_ns", "label",             "class_id",
+    "class_fingerprint", "ranks",       "iterations",
+    "object_size_bytes", "objects_per_rank", "sim_compute_ns",
+    "analytics_compute_ns", "sim_seed", "sim_name",
+    "ana_name",
+};
+
+enum Column : std::size_t {
+  kId = 0,
+  kArrivalNs,
+  kPriority,
+  kDeadlineNs,
+  kLabel,
+  kClassId,
+  kClassFingerprint,
+  kRanks,
+  kIterations,
+  kObjectSizeBytes,
+  kObjectsPerRank,
+  kSimComputeNs,
+  kAnalyticsComputeNs,
+  kSimSeed,
+  kSimName,
+  kAnaName,
+  kColumnCount,
+};
+
+static_assert(std::size(kColumns) == kColumnCount);
+
+Expected<std::uint64_t> parse_u64(std::string_view text,
+                                  const char* column, std::size_t line) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(format("line %zu: %s: '%.*s' is not an unsigned "
+                             "integer",
+                             line, column, static_cast<int>(text.size()),
+                             text.data()));
+  }
+  return value;
+}
+
+Expected<std::uint32_t> parse_u32(std::string_view text,
+                                  const char* column, std::size_t line) {
+  auto wide = parse_u64(text, column, line);
+  if (!wide.has_value()) return Unexpected{wide.error()};
+  if (*wide > 0xffffffffULL) {
+    return make_error(
+        format("line %zu: %s: %llu does not fit in 32 bits", line, column,
+               static_cast<unsigned long long>(*wide)));
+  }
+  return static_cast<std::uint32_t>(*wide);
+}
+
+Expected<double> parse_f64(std::string_view text, const char* column,
+                           std::size_t line) {
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (buffer.empty() || end != buffer.c_str() + buffer.size() ||
+      errno == ERANGE) {
+    return make_error(format("line %zu: %s: '%s' is not a number", line,
+                             column, buffer.c_str()));
+  }
+  return value;
+}
+
+Expected<std::uint64_t> parse_hex64(std::string_view text,
+                                    const char* column, std::size_t line) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(format("line %zu: %s: '%.*s' is not a hex digest",
+                             line, column, static_cast<int>(text.size()),
+                             text.data()));
+  }
+  return value;
+}
+
+Expected<service::Priority> parse_priority(std::string_view text,
+                                           std::size_t line) {
+  if (text == "urgent") return service::Priority::kUrgent;
+  if (text == "normal") return service::Priority::kNormal;
+  if (text == "batch") return service::Priority::kBatch;
+  return make_error(
+      format("line %zu: priority: '%.*s' is not one of urgent | normal | "
+             "batch",
+             line, static_cast<int>(text.size()), text.data()));
+}
+
+/// Renders a double so that parsing the text recovers the exact bit
+/// pattern (shortest-exact is not needed; 17 significant digits always
+/// round-trip, and %g keeps integers compact).
+std::string render_f64(double value) { return format("%.17g", value); }
+
+Expected<TraceRecord> parse_record(const std::vector<std::string>& row,
+                                   std::size_t line) {
+  TraceRecord record;
+
+  auto id = parse_u64(row[kId], "id", line);
+  if (!id.has_value()) return Unexpected{id.error()};
+  record.id = *id;
+
+  auto arrival = parse_u64(row[kArrivalNs], "arrival_ns", line);
+  if (!arrival.has_value()) return Unexpected{arrival.error()};
+  record.arrival_ns = *arrival;
+
+  auto priority = parse_priority(row[kPriority], line);
+  if (!priority.has_value()) return Unexpected{priority.error()};
+  record.priority = *priority;
+
+  if (!row[kDeadlineNs].empty()) {
+    auto deadline = parse_u64(row[kDeadlineNs], "deadline_ns", line);
+    if (!deadline.has_value()) return Unexpected{deadline.error()};
+    if (*deadline == 0) {
+      return make_error(format(
+          "line %zu: deadline_ns: must be positive when present", line));
+    }
+    record.deadline_ns = *deadline;
+  }
+
+  record.label = row[kLabel];
+
+  if (!row[kClassId].empty()) {
+    auto class_id = parse_u32(row[kClassId], "class_id", line);
+    if (!class_id.has_value()) return Unexpected{class_id.error()};
+    record.class_id = *class_id;
+  }
+  if (!row[kClassFingerprint].empty()) {
+    auto fingerprint =
+        parse_hex64(row[kClassFingerprint], "class_fingerprint", line);
+    if (!fingerprint.has_value()) return Unexpected{fingerprint.error()};
+    record.class_fingerprint = *fingerprint;
+  }
+
+  // Inline columns are all-or-nothing: presence of any one requires all
+  // of them (an accidental half-filled row must not silently degrade to
+  // a fingerprint-only binding).
+  const bool any_inline =
+      !row[kRanks].empty() || !row[kIterations].empty() ||
+      !row[kObjectSizeBytes].empty() || !row[kObjectsPerRank].empty() ||
+      !row[kSimComputeNs].empty() || !row[kAnalyticsComputeNs].empty() ||
+      !row[kSimSeed].empty() || !row[kSimName].empty() ||
+      !row[kAnaName].empty();
+  if (any_inline) {
+    for (const auto column : {kRanks, kIterations, kObjectSizeBytes,
+                              kObjectsPerRank, kSimComputeNs,
+                              kAnalyticsComputeNs, kSimSeed, kSimName,
+                              kAnaName}) {
+      if (row[column].empty()) {
+        return make_error(
+            format("line %zu: inline class is missing column '%s' "
+                   "(inline columns are all-or-nothing)",
+                   line, kColumns[column]));
+      }
+    }
+    InlineClass inline_class;
+    auto ranks = parse_u32(row[kRanks], "ranks", line);
+    if (!ranks.has_value()) return Unexpected{ranks.error()};
+    inline_class.ranks = *ranks;
+    auto iterations = parse_u32(row[kIterations], "iterations", line);
+    if (!iterations.has_value()) return Unexpected{iterations.error()};
+    inline_class.iterations = *iterations;
+    auto object_size =
+        parse_u64(row[kObjectSizeBytes], "object_size_bytes", line);
+    if (!object_size.has_value()) return Unexpected{object_size.error()};
+    inline_class.object_size = *object_size;
+    auto objects =
+        parse_u64(row[kObjectsPerRank], "objects_per_rank", line);
+    if (!objects.has_value()) return Unexpected{objects.error()};
+    inline_class.objects_per_rank = *objects;
+    auto sim_compute = parse_f64(row[kSimComputeNs], "sim_compute_ns", line);
+    if (!sim_compute.has_value()) return Unexpected{sim_compute.error()};
+    inline_class.sim_compute_ns = *sim_compute;
+    auto ana_compute =
+        parse_f64(row[kAnalyticsComputeNs], "analytics_compute_ns", line);
+    if (!ana_compute.has_value()) return Unexpected{ana_compute.error()};
+    inline_class.analytics_compute_ns = *ana_compute;
+    auto sim_seed = parse_hex64(row[kSimSeed], "sim_seed", line);
+    if (!sim_seed.has_value()) return Unexpected{sim_seed.error()};
+    inline_class.sim_seed = *sim_seed;
+    if (inline_class.ranks == 0 || inline_class.iterations == 0 ||
+        inline_class.object_size == 0 ||
+        inline_class.objects_per_rank == 0) {
+      return make_error(
+          format("line %zu: inline class: ranks, iterations, "
+                 "object_size_bytes, and objects_per_rank must be positive",
+                 line));
+    }
+    inline_class.sim_name = row[kSimName];
+    inline_class.ana_name = row[kAnaName];
+    record.inline_class = std::move(inline_class);
+  }
+
+  if (!record.class_id.has_value() &&
+      !record.class_fingerprint.has_value() &&
+      !record.inline_class.has_value()) {
+    return make_error(
+        format("line %zu: row has no class reference (need class_id, "
+               "class_fingerprint, or the inline class columns)",
+               line));
+  }
+  return record;
+}
+
+}  // namespace
+
+std::vector<std::string> trace_csv_header() {
+  return {std::begin(kColumns), std::end(kColumns)};
+}
+
+Expected<Trace> parse_trace(std::string_view text) {
+  // Line 1 is the version banner; everything after the first newline is
+  // plain CSV, parsed with its line counter already offset so every
+  // position in an error message is absolute in the file.
+  const std::size_t banner_end = text.find('\n');
+  std::string_view banner = text.substr(0, banner_end);
+  if (!banner.empty() && banner.back() == '\r') {
+    banner.remove_suffix(1);
+  }
+  if (!starts_with(banner, kBannerPrefix)) {
+    return make_error(
+        format("line 1: missing version banner (expected \"%.*s<N>\")",
+               static_cast<int>(kBannerPrefix.size()),
+               kBannerPrefix.data()));
+  }
+  auto version = parse_u32(banner.substr(kBannerPrefix.size()), "version",
+                           /*line=*/1);
+  if (!version.has_value()) return Unexpected{version.error()};
+  if (*version != kTraceSchemaVersion) {
+    return make_error(format(
+        "line 1: unsupported trace schema version %u (this build reads v%u)",
+        *version, kTraceSchemaVersion));
+  }
+  if (banner_end == std::string_view::npos) {
+    return make_error("line 2: missing CSV header after version banner");
+  }
+
+  auto document = parse_csv(text.substr(banner_end + 1), /*first_line=*/2);
+  if (!document.has_value()) return Unexpected{document.error()};
+  const auto expected_header = trace_csv_header();
+  if (document->header != expected_header) {
+    return make_error(format(
+        "line 2: header mismatch: expected \"%s\", got \"%s\"",
+        join(expected_header, ",").c_str(),
+        join(document->header, ",").c_str()));
+  }
+
+  Trace trace;
+  trace.version = *version;
+  trace.records.reserve(document->rows.size());
+  for (std::size_t i = 0; i < document->rows.size(); ++i) {
+    auto record = parse_record(document->rows[i], document->row_lines[i]);
+    if (!record.has_value()) return Unexpected{record.error()};
+    trace.records.push_back(std::move(*record));
+  }
+  return trace;
+}
+
+Expected<Trace> load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error(path + ": cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return make_error(path + ": read failed");
+  auto trace = parse_trace(buffer.str());
+  if (!trace.has_value()) {
+    return make_error(path + ": " + trace.error().message);
+  }
+  return trace;
+}
+
+std::string serialize_trace(const Trace& trace) {
+  CsvWriter csv(trace_csv_header());
+  for (const auto& record : trace.records) {
+    std::vector<std::string> row(kColumnCount);
+    row[kId] = format("%llu", static_cast<unsigned long long>(record.id));
+    row[kArrivalNs] =
+        format("%llu", static_cast<unsigned long long>(record.arrival_ns));
+    row[kPriority] = to_string(record.priority);
+    if (record.deadline_ns.has_value()) {
+      row[kDeadlineNs] = format(
+          "%llu", static_cast<unsigned long long>(*record.deadline_ns));
+    }
+    row[kLabel] = record.label;
+    if (record.class_id.has_value()) {
+      row[kClassId] = format("%u", *record.class_id);
+    }
+    if (record.class_fingerprint.has_value()) {
+      row[kClassFingerprint] =
+          format("%016llx",
+                 static_cast<unsigned long long>(*record.class_fingerprint));
+    }
+    if (record.inline_class.has_value()) {
+      const auto& inline_class = *record.inline_class;
+      row[kRanks] = format("%u", inline_class.ranks);
+      row[kIterations] = format("%u", inline_class.iterations);
+      row[kObjectSizeBytes] = format(
+          "%llu", static_cast<unsigned long long>(inline_class.object_size));
+      row[kObjectsPerRank] =
+          format("%llu",
+                 static_cast<unsigned long long>(
+                     inline_class.objects_per_rank));
+      row[kSimComputeNs] = render_f64(inline_class.sim_compute_ns);
+      row[kAnalyticsComputeNs] =
+          render_f64(inline_class.analytics_compute_ns);
+      row[kSimSeed] = format(
+          "%016llx", static_cast<unsigned long long>(inline_class.sim_seed));
+      row[kSimName] = inline_class.sim_name;
+      row[kAnaName] = inline_class.ana_name;
+    }
+    csv.add_row(std::move(row));
+  }
+  std::ostringstream out;
+  out << kBannerPrefix << trace.version << '\n';
+  csv.write(out);
+  return out.str();
+}
+
+Status write_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return make_error(path + ": cannot open file for writing");
+  out << serialize_trace(trace);
+  if (!out) return make_error(path + ": write failed");
+  return ok_status();
+}
+
+}  // namespace pmemflow::traces

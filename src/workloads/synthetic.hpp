@@ -66,6 +66,8 @@ class SyntheticAnalytics final : public workflow::AnalyticsModel {
     return params_.compute_ns_per_object;
   }
 
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
  private:
   Params params_;
 };

@@ -50,5 +50,122 @@ TEST(CsvDeathTest, RowArityMismatchAborts) {
   EXPECT_DEATH(writer.add_row({"only-one"}), "arity");
 }
 
+TEST(CsvParse, PlainRows) {
+  auto doc = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"3", "4"}));
+  EXPECT_EQ(doc->row_lines, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(CsvParse, MissingFinalNewline) {
+  auto doc = parse_csv("a,b\n1,2");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, CrlfLineEndings) {
+  auto doc = parse_csv("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParse, BareCarriageReturnRejected) {
+  auto doc = parse_csv("a,b\n1\r2,3\n");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_NE(doc.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(doc.error().message.find("carriage return"), std::string::npos);
+}
+
+TEST(CsvParse, QuotedFieldWithCommas) {
+  auto doc = parse_csv("name,x\n\"serial, local write\",1\n");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->rows[0][0], "serial, local write");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  auto doc = parse_csv("name\n\"the \"\"best\"\" config\"\n");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->rows[0][0], "the \"best\" config");
+}
+
+TEST(CsvParse, QuotedNewlineSpansLinesAndKeepsRowPosition) {
+  auto doc = parse_csv("note,x\n\"line1\nline2\",7\nplain,8\n");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][0], "line1\nline2");
+  // The multi-line field consumes input line 3, so the next row starts
+  // on line 4.
+  EXPECT_EQ(doc->row_lines, (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(CsvParse, TrailingBlankLineTolerated) {
+  auto doc = parse_csv("a,b\n1,2\n\n");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->rows.size(), 1u);
+}
+
+TEST(CsvParse, InteriorBlankLineRejectedWithPosition) {
+  auto doc = parse_csv("a,b\n1,2\n\n3,4\n");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_NE(doc.error().message.find("line 3"), std::string::npos);
+  EXPECT_NE(doc.error().message.find("blank line"), std::string::npos);
+}
+
+TEST(CsvParse, ArityMismatchNamesLineAndCounts) {
+  auto doc = parse_csv("a,b,c\n1,2,3\n4,5\n");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_NE(doc.error().message.find("line 3"), std::string::npos);
+  EXPECT_NE(doc.error().message.find("expected 3 fields"),
+            std::string::npos);
+  EXPECT_NE(doc.error().message.find("got 2"), std::string::npos);
+}
+
+TEST(CsvParse, UnterminatedQuoteNamesOpeningPosition) {
+  auto doc = parse_csv("a,b\n1,\"oops\n");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_NE(doc.error().message.find("line 2, column 3"),
+            std::string::npos);
+  EXPECT_NE(doc.error().message.find("unterminated"), std::string::npos);
+}
+
+TEST(CsvParse, JunkAfterClosingQuoteRejected) {
+  auto doc = parse_csv("a\n\"x\"y\n");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_NE(doc.error().message.find("after closing quote"),
+            std::string::npos);
+}
+
+TEST(CsvParse, EmptyInputRejected) {
+  auto doc = parse_csv("");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_NE(doc.error().message.find("header"), std::string::npos);
+}
+
+TEST(CsvParse, ColumnLookup) {
+  auto doc = parse_csv("id,arrival_ns,priority\n0,10,urgent\n");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->column("arrival_ns"), std::optional<std::size_t>{1});
+  EXPECT_EQ(doc->column("nope"), std::nullopt);
+}
+
+TEST(CsvParse, WriterOutputRoundTrips) {
+  CsvWriter writer({"name", "note"});
+  writer.add_row({"serial, local write", "line1\nline2"});
+  writer.add_row({R"(the "best" config)", "plain"});
+  std::ostringstream out;
+  writer.write(out);
+  auto doc = parse_csv(out.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][0], "serial, local write");
+  EXPECT_EQ(doc->rows[0][1], "line1\nline2");
+  EXPECT_EQ(doc->rows[1][0], R"(the "best" config)");
+}
+
 }  // namespace
 }  // namespace pmemflow

@@ -218,7 +218,7 @@ TEST(Preemption, SameStreamTwiceIsByteIdentical) {
   params.seed = 42;
   params.urgent_fraction = 0.25;
   params.batch_fraction = 0.45;
-  const auto stream = make_submission_stream(params);
+  const auto stream = *make_submission_stream(params);
 
   auto config = preemption_config(/*nodes=*/2);
   config.queue_capacity = stream.size();
@@ -268,7 +268,7 @@ TEST(Preemption, NoPreemptionPolicyNeverPreempts) {
   params.mean_interarrival_ns = 10.0e6;
   params.seed = 42;
   params.urgent_fraction = 0.25;
-  const auto stream = make_submission_stream(params);
+  const auto stream = *make_submission_stream(params);
 
   auto config = preemption_config(/*nodes=*/2);
   config.queue_capacity = stream.size();

@@ -19,6 +19,10 @@ ArrivalParams small_stream_params() {
   return params;
 }
 
+std::vector<Submission> must_stream(const ArrivalParams& params) {
+  return *make_submission_stream(params);
+}
+
 bool identical_records(const CompletionRecord& a, const CompletionRecord& b) {
   return a.id == b.id && a.label == b.label && a.priority == b.priority &&
          a.node == b.node && a.config == b.config &&
@@ -28,7 +32,7 @@ bool identical_records(const CompletionRecord& a, const CompletionRecord& b) {
 }
 
 TEST(OnlineScheduler, SameSeedProducesIdenticalSchedule) {
-  const auto stream = make_submission_stream(small_stream_params());
+  const auto stream = must_stream(small_stream_params());
 
   ServiceConfig config;
   config.nodes = 3;
@@ -53,8 +57,8 @@ TEST(OnlineScheduler, SameSeedProducesIdenticalSchedule) {
 
 TEST(OnlineScheduler, RegeneratedStreamIsIdentical) {
   // The stream itself is a pure function of the seed.
-  const auto once = make_submission_stream(small_stream_params());
-  const auto again = make_submission_stream(small_stream_params());
+  const auto once = must_stream(small_stream_params());
+  const auto again = must_stream(small_stream_params());
   ASSERT_EQ(once.size(), again.size());
   for (std::size_t i = 0; i < once.size(); ++i) {
     EXPECT_EQ(once[i].id, again[i].id);
@@ -67,7 +71,7 @@ TEST(OnlineScheduler, RegeneratedStreamIsIdentical) {
 TEST(OnlineScheduler, SubmissionOrderDoesNotMatter) {
   // run() sorts by arrival time internally; feeding a reversed stream
   // must not change the schedule.
-  const auto stream = make_submission_stream(small_stream_params());
+  const auto stream = must_stream(small_stream_params());
   auto reversed = stream;
   std::reverse(reversed.begin(), reversed.end());
 
@@ -85,7 +89,7 @@ TEST(OnlineScheduler, SubmissionOrderDoesNotMatter) {
 }
 
 TEST(OnlineScheduler, AllAdmittedWorkCompletes) {
-  const auto stream = make_submission_stream(small_stream_params());
+  const auto stream = must_stream(small_stream_params());
   ServiceConfig config;
   config.nodes = 4;
   config.queue_capacity = stream.size();
@@ -117,7 +121,7 @@ TEST(OnlineScheduler, SaturationTriggersAdmissionControl) {
   params.count = 120;
   params.mean_interarrival_ns = 1.0e6;  // far faster than service rate
   params.batch_fraction = 0.5;
-  const auto stream = make_submission_stream(params);
+  const auto stream = must_stream(params);
 
   ServiceConfig config;
   config.nodes = 1;
@@ -155,7 +159,7 @@ TEST(OnlineScheduler, AccountingInvariantAcrossPolicies) {
   params.mean_interarrival_ns = 1.0e6;  // saturate the lone node
   params.batch_fraction = 0.5;
   params.urgent_fraction = 0.2;
-  const auto stream = make_submission_stream(params);
+  const auto stream = must_stream(params);
 
   for (const auto policy :
        {PlacementPolicy::kFirstFit, PlacementPolicy::kLeastLoaded,
@@ -189,7 +193,7 @@ TEST(OnlineScheduler, EmptyFleetIsAnErrorNotACrash) {
   // Expected error instead.
   auto params = small_stream_params();
   params.count = 5;
-  const auto stream = make_submission_stream(params);
+  const auto stream = must_stream(params);
 
   ServiceConfig config;
   config.nodes = 0;
@@ -202,7 +206,7 @@ TEST(OnlineScheduler, EmptyFleetIsAnErrorNotACrash) {
 TEST(OnlineScheduler, FixedPolicyUsesTheFixedConfig) {
   auto params = small_stream_params();
   params.count = 40;
-  const auto stream = make_submission_stream(params);
+  const auto stream = must_stream(params);
 
   ServiceConfig config;
   config.nodes = 2;
@@ -225,7 +229,7 @@ TEST(OnlineScheduler, RecommenderAwareNeverSlowerPerClass) {
   // aggregate ordering on a stream long enough to matter.
   auto params = small_stream_params();
   params.count = 300;
-  const auto stream = make_submission_stream(params);
+  const auto stream = must_stream(params);
 
   ServiceConfig config;
   config.nodes = 2;
@@ -245,7 +249,7 @@ TEST(OnlineScheduler, RecommenderAwareNeverSlowerPerClass) {
 TEST(OnlineScheduler, CachePersistsAcrossRuns) {
   auto params = small_stream_params();
   params.count = 50;
-  const auto stream = make_submission_stream(params);
+  const auto stream = must_stream(params);
 
   ServiceConfig config;
   config.nodes = 2;
@@ -266,7 +270,7 @@ TEST(OnlineScheduler, CachePersistsAcrossRuns) {
 TEST(OnlineScheduler, TracerSpansBalance) {
   auto params = small_stream_params();
   params.count = 30;
-  const auto stream = make_submission_stream(params);
+  const auto stream = must_stream(params);
 
   trace::Tracer tracer;
   ServiceConfig config;

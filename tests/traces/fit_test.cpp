@@ -1,0 +1,130 @@
+#include "traces/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "service/arrivals.hpp"
+#include "traces/replay.hpp"
+
+namespace pmemflow::traces {
+namespace {
+
+Trace evenly_spaced_trace(std::size_t count, SimDuration gap) {
+  Trace trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceRecord record;
+    record.id = i;
+    record.arrival_ns = static_cast<SimTime>(i) * gap;
+    record.class_id = static_cast<std::uint32_t>(i % 3);
+    record.priority = i % 4 == 0 ? service::Priority::kUrgent
+                                 : service::Priority::kNormal;
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+TEST(TraceFit, RecoversMeanGapAndRate) {
+  const auto trace = evenly_spaced_trace(101, 1000000);  // 1 ms apart
+  auto fit = fit_arrival_params(trace);
+  ASSERT_TRUE(fit.has_value()) << fit.error().message;
+  EXPECT_EQ(fit->records, 101u);
+  EXPECT_EQ(fit->span_ns, 100u * 1000000u);
+  EXPECT_DOUBLE_EQ(fit->params.mean_interarrival_ns, 1e6);
+  EXPECT_DOUBLE_EQ(fit->arrival_rate_per_s, 1000.0);
+  // A clockwork trace has zero gap dispersion.
+  EXPECT_DOUBLE_EQ(fit->burstiness_cv, 0.0);
+}
+
+TEST(TraceFit, CountsPrioritiesAndClasses) {
+  const auto trace = evenly_spaced_trace(100, 500);
+  auto fit = fit_arrival_params(trace);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->urgent, 25u);
+  EXPECT_EQ(fit->normal, 75u);
+  EXPECT_EQ(fit->batch, 0u);
+  EXPECT_EQ(fit->params.classes, 3u);
+  EXPECT_DOUBLE_EQ(fit->params.urgent_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(fit->params.batch_fraction, 0.0);
+  // 3 near-equal classes over 100 rows: entropy within a hair of max.
+  EXPECT_NEAR(fit->class_mix_entropy_bits, std::log2(3.0), 1e-3);
+  EXPECT_DOUBLE_EQ(fit->class_mix_entropy_max_bits, std::log2(3.0));
+}
+
+TEST(TraceFit, SingleClassHasZeroEntropy) {
+  Trace trace;
+  for (std::size_t i = 0; i < 10; ++i) {
+    TraceRecord record;
+    record.id = i;
+    record.arrival_ns = static_cast<SimTime>(i + 1) * 100;
+    record.class_fingerprint = 0xabcULL;
+    trace.records.push_back(record);
+  }
+  auto fit = fit_arrival_params(trace);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(fit->class_mix_entropy_bits, 0.0);
+  EXPECT_DOUBLE_EQ(fit->class_mix_entropy_max_bits, 0.0);
+  EXPECT_EQ(fit->params.classes, 1u);
+}
+
+TEST(TraceFit, TooFewRecordsRejected) {
+  Trace trace;
+  trace.records.push_back(TraceRecord{});
+  auto fit = fit_arrival_params(trace);
+  ASSERT_FALSE(fit.has_value());
+  EXPECT_NE(fit.error().message.find("at least 2 records"),
+            std::string::npos);
+}
+
+TEST(TraceFit, SimultaneousArrivalsRejected) {
+  Trace trace;
+  for (std::size_t i = 0; i < 5; ++i) {
+    TraceRecord record;
+    record.id = i;
+    record.arrival_ns = 42;
+    record.class_id = 0;
+    trace.records.push_back(record);
+  }
+  auto fit = fit_arrival_params(trace);
+  ASSERT_FALSE(fit.has_value());
+  EXPECT_NE(fit.error().message.find("simultaneous"), std::string::npos);
+}
+
+TEST(TraceFit, PoissonStreamFitsCloseToGeneratorParams) {
+  service::ArrivalParams params;
+  params.count = 4000;
+  params.classes = 8;
+  params.mean_interarrival_ns = 2.0e6;
+  params.urgent_fraction = 0.15;
+  params.batch_fraction = 0.25;
+  const auto stream = *service::make_submission_stream(params);
+  const auto pool = service::make_class_pool(params.classes, params.seed);
+
+  auto fit = fit_arrival_params(record_trace(stream, pool));
+  ASSERT_TRUE(fit.has_value()) << fit.error().message;
+
+  // MLE mean gap within 5% of the generator's parameter.
+  EXPECT_NEAR(fit->params.mean_interarrival_ns,
+              params.mean_interarrival_ns,
+              0.05 * params.mean_interarrival_ns);
+  // Priority mix within 5 points.
+  EXPECT_NEAR(fit->params.urgent_fraction, params.urgent_fraction, 0.05);
+  EXPECT_NEAR(fit->params.batch_fraction, params.batch_fraction, 0.05);
+  // Exponential gaps: coefficient of variation near 1.
+  EXPECT_NEAR(fit->burstiness_cv, 1.0, 0.1);
+  // Uniform class draw: entropy close to log2(classes).
+  EXPECT_EQ(fit->params.classes, 8u);
+  EXPECT_NEAR(fit->class_mix_entropy_bits, std::log2(8.0), 0.05);
+}
+
+TEST(TraceFit, FittedParamsRegenerateAValidStream) {
+  const auto trace = evenly_spaced_trace(200, 750000);
+  auto fit = fit_arrival_params(trace);
+  ASSERT_TRUE(fit.has_value());
+  auto regenerated = service::make_submission_stream(fit->params);
+  ASSERT_TRUE(regenerated.has_value()) << regenerated.error().message;
+  EXPECT_EQ(regenerated->size(), trace.records.size());
+}
+
+}  // namespace
+}  // namespace pmemflow::traces

@@ -1,0 +1,291 @@
+#include "traces/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "service/arrivals.hpp"
+#include "workflow/model.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pmemflow::traces {
+namespace {
+
+using service::Submission;
+using workflow::WorkflowSpec;
+
+std::vector<WorkflowSpec> small_pool(std::uint64_t seed = 0x1234) {
+  return service::make_class_pool(4, seed);
+}
+
+InlineClass sample_inline_class() {
+  InlineClass inline_class;
+  inline_class.object_size = 4 * kMiB;
+  inline_class.objects_per_rank = 8;
+  inline_class.sim_compute_ns = 1.5e6;
+  inline_class.analytics_compute_ns = 250.0;
+  inline_class.ranks = 8;
+  inline_class.iterations = 2;
+  inline_class.sim_seed = 77;
+  inline_class.sim_name = "inline-sim";
+  inline_class.ana_name = "inline-ana";
+  return inline_class;
+}
+
+TraceRecord class_id_record(std::uint64_t id, SimTime arrival,
+                            std::uint32_t class_id) {
+  TraceRecord record;
+  record.id = id;
+  record.arrival_ns = arrival;
+  record.class_id = class_id;
+  return record;
+}
+
+TEST(TraceReplay, BindsByClassId) {
+  const auto pool = small_pool();
+  Trace trace;
+  trace.records.push_back(class_id_record(0, 100, 2));
+  trace.records.push_back(class_id_record(1, 200, 0));
+
+  TraceReplayer replayer{pool};
+  auto stream = replayer.replay(trace);
+  ASSERT_TRUE(stream.has_value()) << stream.error().message;
+  ASSERT_EQ(stream->size(), 2u);
+  EXPECT_EQ((*stream)[0].spec.label, pool[2].label);
+  EXPECT_EQ((*stream)[1].spec.label, pool[0].label);
+  EXPECT_EQ((*stream)[0].arrival_ns, 100u);
+}
+
+TEST(TraceReplay, ClassIdOutOfRangeNamesRecord) {
+  Trace trace;
+  trace.records.push_back(class_id_record(9, 100, 7));
+  TraceReplayer replayer{small_pool()};
+  auto stream = replayer.replay(trace);
+  ASSERT_FALSE(stream.has_value());
+  EXPECT_NE(stream.error().message.find("record 0 (id 9)"),
+            std::string::npos);
+  EXPECT_NE(stream.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(TraceReplay, FingerprintCrossCheckCatchesWrongPool) {
+  const auto pool_a = small_pool(0x1234);
+  const auto pool_b = small_pool(0x9999);
+  Trace trace;
+  auto record = class_id_record(0, 100, 1);
+  record.class_fingerprint = workflow::class_fingerprint(pool_a[1]);
+  trace.records.push_back(record);
+
+  // Same pool: fingerprint verifies.
+  ASSERT_TRUE(TraceReplayer{pool_a}.replay(trace).has_value());
+
+  // Different seed: the binding is refused, not silently remapped.
+  auto stream = TraceReplayer{pool_b}.replay(trace);
+  ASSERT_FALSE(stream.has_value());
+  EXPECT_NE(stream.error().message.find("wrong pool"), std::string::npos);
+}
+
+TEST(TraceReplay, BindsByFingerprintAlone) {
+  const auto pool = small_pool();
+  Trace trace;
+  TraceRecord record;
+  record.id = 0;
+  record.arrival_ns = 50;
+  record.class_fingerprint = workflow::class_fingerprint(pool[3]);
+  trace.records.push_back(record);
+
+  auto stream = TraceReplayer{pool}.replay(trace);
+  ASSERT_TRUE(stream.has_value()) << stream.error().message;
+  EXPECT_EQ((*stream)[0].spec.label, pool[3].label);
+}
+
+TEST(TraceReplay, UnknownFingerprintWithoutInlineRejected) {
+  Trace trace;
+  TraceRecord record;
+  record.id = 0;
+  record.arrival_ns = 50;
+  record.class_fingerprint = 0xfeedfaceULL;
+  trace.records.push_back(record);
+
+  auto stream = TraceReplayer{small_pool()}.replay(trace);
+  ASSERT_FALSE(stream.has_value());
+  EXPECT_NE(stream.error().message.find("not in the replay pool"),
+            std::string::npos);
+}
+
+TEST(TraceReplay, InlineClassNeedsNoPool) {
+  Trace trace;
+  TraceRecord record;
+  record.id = 0;
+  record.arrival_ns = 10;
+  record.inline_class = sample_inline_class();
+  trace.records.push_back(record);
+
+  auto stream = TraceReplayer{{}}.replay(trace);
+  ASSERT_TRUE(stream.has_value()) << stream.error().message;
+  const auto& spec = (*stream)[0].spec;
+  EXPECT_EQ(spec.ranks, 8u);
+  EXPECT_EQ(spec.iterations, 2u);
+  EXPECT_EQ(workflow::class_fingerprint(spec),
+            workflow::class_fingerprint(
+                materialize_inline_class(sample_inline_class())));
+}
+
+TEST(TraceReplay, InlineFingerprintMismatchRejected) {
+  Trace trace;
+  TraceRecord record;
+  record.id = 0;
+  record.arrival_ns = 10;
+  record.inline_class = sample_inline_class();
+  record.class_fingerprint = 0x1;  // wrong on purpose
+  trace.records.push_back(record);
+
+  auto stream = TraceReplayer{{}}.replay(trace);
+  ASSERT_FALSE(stream.has_value());
+  EXPECT_NE(stream.error().message.find("inline class fingerprints as"),
+            std::string::npos);
+}
+
+TEST(TraceReplay, DuplicateIdsRejected) {
+  Trace trace;
+  trace.records.push_back(class_id_record(5, 100, 0));
+  trace.records.push_back(class_id_record(5, 200, 1));
+  auto stream = TraceReplayer{small_pool()}.replay(trace);
+  ASSERT_FALSE(stream.has_value());
+  EXPECT_NE(stream.error().message.find("duplicate id"), std::string::npos);
+}
+
+TEST(TraceReplay, LabelColumnOverridesSpecLabel) {
+  Trace trace;
+  auto record = class_id_record(0, 100, 0);
+  record.label = "prod-run-42";
+  trace.records.push_back(record);
+  auto stream = TraceReplayer{small_pool()}.replay(trace);
+  ASSERT_TRUE(stream.has_value());
+  EXPECT_EQ((*stream)[0].spec.label, "prod-run-42");
+}
+
+TEST(TraceReplay, TimeScaleStretchesArrivals) {
+  Trace trace;
+  trace.records.push_back(class_id_record(0, 1000, 0));
+  trace.records.push_back(class_id_record(1, 3000, 1));
+
+  ReplayOptions options;
+  options.time_scale = 2.5;
+  auto stream = TraceReplayer{small_pool(), options}.replay(trace);
+  ASSERT_TRUE(stream.has_value());
+  EXPECT_EQ((*stream)[0].arrival_ns, 2500u);
+  EXPECT_EQ((*stream)[1].arrival_ns, 7500u);
+}
+
+TEST(TraceReplay, NonPositiveTimeScaleRejected) {
+  ReplayOptions options;
+  options.time_scale = 0.0;
+  auto stream = TraceReplayer{small_pool(), options}.replay(Trace{});
+  ASSERT_FALSE(stream.has_value());
+  EXPECT_NE(stream.error().message.find("time_scale"), std::string::npos);
+}
+
+TEST(TraceReplay, HorizonDropsLateArrivals) {
+  Trace trace;
+  trace.records.push_back(class_id_record(0, 100, 0));
+  trace.records.push_back(class_id_record(1, 900, 1));
+  trace.records.push_back(class_id_record(2, 1500, 2));
+
+  ReplayOptions options;
+  options.max_arrival_ns = 1000;
+  auto stream = TraceReplayer{small_pool(), options}.replay(trace);
+  ASSERT_TRUE(stream.has_value());
+  ASSERT_EQ(stream->size(), 2u);
+  EXPECT_EQ(stream->back().id, 1u);
+}
+
+TEST(TraceReplay, LimitKeepsEarliestArrivals) {
+  Trace trace;
+  trace.records.push_back(class_id_record(0, 900, 0));
+  trace.records.push_back(class_id_record(1, 100, 1));
+  trace.records.push_back(class_id_record(2, 500, 2));
+
+  ReplayOptions options;
+  options.limit = 2;
+  auto stream = TraceReplayer{small_pool(), options}.replay(trace);
+  ASSERT_TRUE(stream.has_value());
+  ASSERT_EQ(stream->size(), 2u);
+  EXPECT_EQ((*stream)[0].id, 1u);
+  EXPECT_EQ((*stream)[1].id, 2u);
+}
+
+TEST(TraceReplay, OutputSortedByArrivalThenId) {
+  Trace trace;
+  trace.records.push_back(class_id_record(3, 500, 0));
+  trace.records.push_back(class_id_record(1, 500, 1));
+  trace.records.push_back(class_id_record(2, 100, 2));
+
+  auto stream = TraceReplayer{small_pool()}.replay(trace);
+  ASSERT_TRUE(stream.has_value());
+  ASSERT_EQ(stream->size(), 3u);
+  EXPECT_EQ((*stream)[0].id, 2u);
+  EXPECT_EQ((*stream)[1].id, 1u);
+  EXPECT_EQ((*stream)[2].id, 3u);
+}
+
+TEST(TraceReplay, RecordThenReplayRoundTripsExactly) {
+  service::ArrivalParams params;
+  params.count = 64;
+  params.classes = 4;
+  const auto stream = *service::make_submission_stream(params);
+  const auto pool = service::make_class_pool(params.classes, params.seed);
+
+  const auto trace = record_trace(stream, pool);
+  ASSERT_EQ(trace.records.size(), stream.size());
+
+  auto replayed = TraceReplayer{pool}.replay(trace);
+  ASSERT_TRUE(replayed.has_value()) << replayed.error().message;
+  ASSERT_EQ(replayed->size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ((*replayed)[i].id, stream[i].id);
+    EXPECT_EQ((*replayed)[i].arrival_ns, stream[i].arrival_ns);
+    EXPECT_EQ((*replayed)[i].priority, stream[i].priority);
+    EXPECT_EQ((*replayed)[i].spec.label, stream[i].spec.label);
+    EXPECT_EQ(workflow::class_fingerprint((*replayed)[i].spec),
+              workflow::class_fingerprint(stream[i].spec));
+  }
+}
+
+TEST(TraceReplay, RecordedSyntheticTraceIsSelfContained) {
+  service::ArrivalParams params;
+  params.count = 16;
+  params.classes = 3;
+  const auto stream = *service::make_submission_stream(params);
+
+  // Record without a pool: no class_id bindings, but the synthetic pool
+  // classes are all expressible inline.
+  const auto trace = record_trace(stream, {});
+  for (const auto& record : trace.records) {
+    EXPECT_FALSE(record.class_id.has_value());
+    ASSERT_TRUE(record.inline_class.has_value());
+    ASSERT_TRUE(record.class_fingerprint.has_value());
+  }
+
+  // Replay against an empty pool reproduces every class exactly.
+  auto replayed = TraceReplayer{{}}.replay(trace);
+  ASSERT_TRUE(replayed.has_value()) << replayed.error().message;
+  ASSERT_EQ(replayed->size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(workflow::class_fingerprint((*replayed)[i].spec),
+              workflow::class_fingerprint(stream[i].spec));
+  }
+}
+
+TEST(TraceReplay, InlineClassOfRejectsNonDefaultShapes) {
+  const auto pool = small_pool();
+  ASSERT_TRUE(inline_class_of(pool[0]).has_value());
+
+  auto overridden = pool[0];
+  overridden.channel_capacity = 4;
+  EXPECT_FALSE(inline_class_of(overridden).has_value());
+
+  auto nova = pool[0];
+  nova.stack = WorkflowSpec::Stack::kNova;
+  EXPECT_FALSE(inline_class_of(nova).has_value());
+}
+
+}  // namespace
+}  // namespace pmemflow::traces

@@ -1,0 +1,204 @@
+#include "traces/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace pmemflow::traces {
+namespace {
+
+const char* kHeader =
+    "id,arrival_ns,priority,deadline_ns,label,class_id,class_fingerprint,"
+    "ranks,iterations,object_size_bytes,objects_per_rank,sim_compute_ns,"
+    "analytics_compute_ns,sim_seed,sim_name,ana_name";
+
+std::string with_banner(const std::string& csv) {
+  return "# pmemflow-trace v1\n" + csv;
+}
+
+std::string minimal_trace_text() {
+  return with_banner(std::string(kHeader) +
+                     "\n"
+                     "0,1000,normal,,job-a,3,,,,,,,,,,\n"
+                     "1,2500,urgent,500000,job-b,5,,,,,,,,,,\n");
+}
+
+TEST(TraceSchema, ParsesMinimalClassIdTrace) {
+  auto trace = parse_trace(minimal_trace_text());
+  ASSERT_TRUE(trace.has_value()) << trace.error().message;
+  EXPECT_EQ(trace->version, 1u);
+  ASSERT_EQ(trace->records.size(), 2u);
+
+  const auto& first = trace->records[0];
+  EXPECT_EQ(first.id, 0u);
+  EXPECT_EQ(first.arrival_ns, 1000u);
+  EXPECT_EQ(first.priority, service::Priority::kNormal);
+  EXPECT_FALSE(first.deadline_ns.has_value());
+  EXPECT_EQ(first.label, "job-a");
+  EXPECT_EQ(first.class_id, std::optional<std::uint32_t>{3});
+  EXPECT_FALSE(first.class_fingerprint.has_value());
+  EXPECT_FALSE(first.inline_class.has_value());
+
+  const auto& second = trace->records[1];
+  EXPECT_EQ(second.priority, service::Priority::kUrgent);
+  EXPECT_EQ(second.deadline_ns, std::optional<SimDuration>{500000});
+}
+
+TEST(TraceSchema, ParsesFingerprintAndInlineBindings) {
+  auto trace = parse_trace(with_banner(
+      std::string(kHeader) +
+      "\n"
+      "0,10,batch,,,,00000000deadbeef,,,,,,,,,\n"
+      "1,20,normal,,,,,8,2,1048576,16,1e+08,2097.152,000000000000002a,"
+      "sim-a,ana-a\n"));
+  ASSERT_TRUE(trace.has_value()) << trace.error().message;
+  ASSERT_EQ(trace->records.size(), 2u);
+  EXPECT_EQ(trace->records[0].class_fingerprint,
+            std::optional<std::uint64_t>{0xdeadbeefULL});
+  const auto& inline_class = trace->records[1].inline_class;
+  ASSERT_TRUE(inline_class.has_value());
+  EXPECT_EQ(inline_class->ranks, 8u);
+  EXPECT_EQ(inline_class->iterations, 2u);
+  EXPECT_EQ(inline_class->object_size, 1048576u);
+  EXPECT_EQ(inline_class->objects_per_rank, 16u);
+  EXPECT_DOUBLE_EQ(inline_class->sim_compute_ns, 1e8);
+  EXPECT_DOUBLE_EQ(inline_class->analytics_compute_ns, 2097.152);
+  EXPECT_EQ(inline_class->sim_seed, 42u);
+  EXPECT_EQ(inline_class->sim_name, "sim-a");
+  EXPECT_EQ(inline_class->ana_name, "ana-a");
+}
+
+TEST(TraceSchema, MissingBannerRejected) {
+  auto trace = parse_trace(std::string(kHeader) + "\n");
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("version banner"),
+            std::string::npos);
+}
+
+TEST(TraceSchema, UnsupportedVersionRejected) {
+  auto trace = parse_trace("# pmemflow-trace v2\n" + std::string(kHeader) +
+                           "\n");
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("unsupported"), std::string::npos);
+}
+
+TEST(TraceSchema, HeaderMismatchRejected) {
+  auto trace = parse_trace(with_banner("id,arrival_ns\n0,10\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("header mismatch"),
+            std::string::npos);
+}
+
+TEST(TraceSchema, BadPriorityNamesItsLine) {
+  auto trace = parse_trace(with_banner(
+      std::string(kHeader) + "\n0,10,normal,,,1,,,,,,,,,,\n"
+                             "1,20,wild,,,1,,,,,,,,,,\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("line 4"), std::string::npos)
+      << trace.error().message;
+  EXPECT_NE(trace.error().message.find("priority"), std::string::npos);
+}
+
+TEST(TraceSchema, BadNumberNamesColumnAndLine) {
+  auto trace = parse_trace(with_banner(std::string(kHeader) +
+                                       "\n0,soon,normal,,,1,,,,,,,,,,\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("line 3"), std::string::npos);
+  EXPECT_NE(trace.error().message.find("arrival_ns"), std::string::npos);
+  EXPECT_NE(trace.error().message.find("'soon'"), std::string::npos);
+}
+
+TEST(TraceSchema, RowWithoutClassReferenceRejected) {
+  auto trace = parse_trace(with_banner(std::string(kHeader) +
+                                       "\n0,10,normal,,job,,,,,,,,,,,\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("no class reference"),
+            std::string::npos);
+}
+
+TEST(TraceSchema, HalfFilledInlineColumnsRejected) {
+  // ranks present but the rest of the inline block missing.
+  auto trace = parse_trace(with_banner(std::string(kHeader) +
+                                       "\n0,10,normal,,,,,8,,,,,,,,\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("all-or-nothing"),
+            std::string::npos);
+}
+
+TEST(TraceSchema, ZeroDeadlineRejected) {
+  auto trace = parse_trace(with_banner(std::string(kHeader) +
+                                       "\n0,10,normal,0,,1,,,,,,,,,,\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("deadline_ns"), std::string::npos);
+}
+
+TEST(TraceSchema, CrlfAndQuotedLabelAccepted) {
+  auto trace = parse_trace(with_banner(
+      std::string(kHeader) +
+      "\r\n0,10,normal,,\"fluid, 3d\",1,,,,,,,,,,\r\n"));
+  ASSERT_TRUE(trace.has_value()) << trace.error().message;
+  EXPECT_EQ(trace->records[0].label, "fluid, 3d");
+}
+
+TEST(TraceSchema, SerializeParseRoundTripIsExact) {
+  Trace trace;
+  TraceRecord pooled;
+  pooled.id = 7;
+  pooled.arrival_ns = 123456789;
+  pooled.priority = service::Priority::kBatch;
+  pooled.deadline_ns = 5 * kSecond;
+  pooled.label = "label, with comma and \"quotes\"";
+  pooled.class_id = 4;
+  pooled.class_fingerprint = 0xabcdef0123456789ULL;
+  trace.records.push_back(pooled);
+
+  TraceRecord inline_row;
+  inline_row.id = 8;
+  inline_row.arrival_ns = 223456789;
+  inline_row.priority = service::Priority::kUrgent;
+  InlineClass inline_class;
+  inline_class.object_size = 64 * kMiB;
+  inline_class.objects_per_rank = 3;
+  inline_class.sim_compute_ns = 0.1 + 0.2;  // not exactly representable
+  inline_class.analytics_compute_ns = 1.0 / 3.0;
+  inline_class.ranks = 24;
+  inline_class.iterations = 5;
+  inline_class.sim_seed = 0x70666c6f77ULL;
+  inline_class.sim_name = "gtc-like";
+  inline_class.ana_name = "matmult";
+  inline_row.inline_class = inline_class;
+  trace.records.push_back(inline_row);
+
+  const auto text = serialize_trace(trace);
+  auto parsed = parse_trace(text);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_TRUE(*parsed == trace);
+  // Canonical: a second serialize is byte-identical.
+  EXPECT_EQ(serialize_trace(*parsed), text);
+}
+
+TEST(TraceSchema, LoadWriteFileRoundTrip) {
+  Trace trace;
+  TraceRecord record;
+  record.id = 0;
+  record.arrival_ns = 10;
+  record.class_id = 0;
+  trace.records.push_back(record);
+
+  const std::string path = "trace_schema_test_tmp.csv";
+  ASSERT_TRUE(write_trace(trace, path).has_value());
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  EXPECT_TRUE(*loaded == trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSchema, LoadErrorsArePrefixedWithPath) {
+  auto missing = load_trace("definitely-not-here.csv");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_NE(missing.error().message.find("definitely-not-here.csv"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmemflow::traces

@@ -1,0 +1,244 @@
+// pmemflow-trace — workload-trace toolbox for the scheduling service.
+//
+//   pmemflow-trace summarize <trace.csv>   per-priority/class/deadline stats
+//   pmemflow-trace fit       <trace.csv>   fit ArrivalParams (MLE Poisson
+//                                          rate, priority mix, burstiness CV,
+//                                          class-mix entropy)
+//   pmemflow-trace generate  <out.csv>     write a synthetic trace from
+//                                          arrival flags, or a statistically
+//                                          matched twin of --from <trace.csv>
+//   pmemflow-trace validate  <trace.csv>   strict parse + canonical-form
+//                                          check + (unless --parse-only) a
+//                                          binding dry-run against the
+//                                          --classes/--seed pool
+//
+// Traces are the versioned CSV schema in src/traces/schema.hpp; see
+// docs/TRACES.md for the column reference and a walkthrough.
+#include <algorithm>
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "service/arrivals.hpp"
+#include "traces/fit.hpp"
+#include "traces/replay.hpp"
+#include "traces/schema.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+int fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+Expected<traces::Trace> load(const std::string& path) {
+  return traces::load_trace(path);
+}
+
+int run_summarize(const std::string& path) {
+  auto trace = load(path);
+  if (!trace.has_value()) return fail(trace.error().message);
+
+  std::uint64_t urgent = 0, normal = 0, batch = 0, with_deadline = 0;
+  std::uint64_t by_class_id = 0, by_fingerprint = 0, with_inline = 0;
+  SimTime first = 0, last = 0;
+  for (std::size_t i = 0; i < trace->records.size(); ++i) {
+    const auto& record = trace->records[i];
+    switch (record.priority) {
+      case service::Priority::kUrgent: ++urgent; break;
+      case service::Priority::kNormal: ++normal; break;
+      case service::Priority::kBatch: ++batch; break;
+    }
+    if (record.deadline_ns.has_value()) ++with_deadline;
+    if (record.class_id.has_value()) ++by_class_id;
+    if (record.class_fingerprint.has_value()) ++by_fingerprint;
+    if (record.inline_class.has_value()) ++with_inline;
+    first = i == 0 ? record.arrival_ns : std::min(first, record.arrival_ns);
+    last = std::max(last, record.arrival_ns);
+  }
+
+  std::cout << format("=== %s (schema v%u) ===\n\n", path.c_str(),
+                      trace->version);
+  TextTable table({"Field", "Value"}, {Align::kLeft, Align::kRight});
+  const auto count = trace->records.size();
+  table.add_row({"records", format("%zu", count)});
+  table.add_row({"span", format("%.3f s",
+                                static_cast<double>(last - first) / 1e9)});
+  table.add_row({"urgent", format("%llu",
+                                  static_cast<unsigned long long>(urgent))});
+  table.add_row({"normal", format("%llu",
+                                  static_cast<unsigned long long>(normal))});
+  table.add_row({"batch", format("%llu",
+                                 static_cast<unsigned long long>(batch))});
+  table.add_row(
+      {"with deadline",
+       format("%llu", static_cast<unsigned long long>(with_deadline))});
+  table.add_row(
+      {"bound by class_id",
+       format("%llu", static_cast<unsigned long long>(by_class_id))});
+  table.add_row(
+      {"with fingerprint",
+       format("%llu", static_cast<unsigned long long>(by_fingerprint))});
+  table.add_row(
+      {"self-contained (inline)",
+       format("%llu", static_cast<unsigned long long>(with_inline))});
+
+  if (auto fit = traces::fit_arrival_params(*trace); fit.has_value()) {
+    table.add_row({"arrival rate",
+                   format("%.2f /s", fit->arrival_rate_per_s)});
+    table.add_row({"distinct classes",
+                   format("%u", fit->params.classes)});
+  }
+  table.write(std::cout);
+  return 0;
+}
+
+int run_fit(const std::string& path) {
+  auto trace = load(path);
+  if (!trace.has_value()) return fail(trace.error().message);
+  auto fit = traces::fit_arrival_params(*trace);
+  if (!fit.has_value()) return fail(fit.error().message);
+
+  std::cout << format("=== fit of %s ===\n\n", path.c_str());
+  TextTable table({"Parameter", "Value"}, {Align::kLeft, Align::kRight});
+  table.add_row({"records", format("%llu", static_cast<unsigned long long>(
+                                               fit->records))});
+  table.add_row({"mean inter-arrival",
+                 format("%.3f ms", fit->params.mean_interarrival_ns / 1e6)});
+  table.add_row({"arrival rate", format("%.2f /s", fit->arrival_rate_per_s)});
+  table.add_row({"burstiness CV", format("%.3f", fit->burstiness_cv)});
+  table.add_row({"classes", format("%u", fit->params.classes)});
+  table.add_row({"class-mix entropy",
+                 format("%.3f / %.3f bits", fit->class_mix_entropy_bits,
+                        fit->class_mix_entropy_max_bits)});
+  table.add_row({"urgent fraction",
+                 format("%.3f", fit->params.urgent_fraction)});
+  table.add_row({"batch fraction",
+                 format("%.3f", fit->params.batch_fraction)});
+  table.add_row(
+      {"with deadline",
+       format("%llu", static_cast<unsigned long long>(fit->with_deadline))});
+  table.write(std::cout);
+
+  std::cout << format(
+      "\nequivalent generator flags:\n  --submissions %llu --classes %u "
+      "--mean-gap-ms %.6g --urgent-frac %.4g --batch-frac %.4g\n",
+      static_cast<unsigned long long>(fit->params.count),
+      fit->params.classes, fit->params.mean_interarrival_ns / 1e6,
+      fit->params.urgent_fraction, fit->params.batch_fraction);
+  return 0;
+}
+
+int run_generate(const std::string& path, const FlagParser& flags) {
+  service::ArrivalParams params;
+  params.count = static_cast<std::uint64_t>(flags.get_int("count"));
+  params.classes = static_cast<std::uint32_t>(flags.get_int("classes"));
+  params.mean_interarrival_ns = flags.get_double("mean-gap-ms") * 1e6;
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  params.urgent_fraction = flags.get_double("urgent-frac");
+  params.batch_fraction = flags.get_double("batch-frac");
+
+  const std::string from = flags.get_string("from");
+  if (!from.empty()) {
+    auto source = load(from);
+    if (!source.has_value()) return fail(source.error().message);
+    auto fit = traces::fit_arrival_params(*source, params.seed);
+    if (!fit.has_value()) return fail(fit.error().message);
+    params = fit->params;
+    params.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    std::cout << format(
+        "fitted %s: %llu records, %.2f /s, %u classes\n", from.c_str(),
+        static_cast<unsigned long long>(fit->records),
+        fit->arrival_rate_per_s, fit->params.classes);
+  }
+
+  auto stream = service::make_submission_stream(params);
+  if (!stream.has_value()) return fail(stream.error().message);
+  const auto pool = service::make_class_pool(params.classes, params.seed);
+  auto written =
+      traces::write_trace(traces::record_trace(*stream, pool), path);
+  if (!written.has_value()) return fail(written.error().message);
+  std::cout << format("wrote %zu records to %s\n", stream->size(),
+                      path.c_str());
+  return 0;
+}
+
+int run_validate(const std::string& path, const FlagParser& flags) {
+  auto trace = load(path);
+  if (!trace.has_value()) return fail(trace.error().message);
+  std::cout << format("%s: schema v%u, %zu records parse cleanly\n",
+                      path.c_str(), trace->version, trace->records.size());
+
+  const auto canonical = traces::serialize_trace(*trace);
+  auto reparsed = traces::parse_trace(canonical);
+  if (!reparsed.has_value() ||
+      traces::serialize_trace(*reparsed) != canonical) {
+    return fail(path + ": serialization is not canonical (round-trip "
+                       "changed the bytes) — schema bug, please report");
+  }
+
+  if (flags.get_bool("parse-only")) return 0;
+
+  traces::TraceReplayer replayer(service::make_class_pool(
+      static_cast<std::uint32_t>(flags.get_int("classes")),
+      static_cast<std::uint64_t>(flags.get_int("seed"))));
+  auto stream = replayer.replay(*trace);
+  if (!stream.has_value()) {
+    return fail(path + ": parses but does not bind: " +
+                stream.error().message);
+  }
+  std::cout << format(
+      "%s: all %zu records bind against the --classes %lld --seed %lld "
+      "pool\n",
+      path.c_str(), stream->size(),
+      static_cast<long long>(flags.get_int("classes")),
+      static_cast<long long>(flags.get_int("seed")));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "pmemflow-trace <summarize|fit|generate|validate> <file> [flags]: "
+      "workload-trace toolbox (see docs/TRACES.md)");
+  flags.add_int("count", 2000, "generate: number of submissions");
+  flags.add_int("classes", 12,
+                "generate/validate: workflow classes in the pool");
+  flags.add_double("mean-gap-ms", 50.0,
+                   "generate: mean Poisson inter-arrival gap (ms)");
+  flags.add_int("seed", 42, "generate/validate: stream + pool seed");
+  flags.add_double("urgent-frac", 0.10,
+                   "generate: fraction of kUrgent submissions");
+  flags.add_double("batch-frac", 0.30,
+                   "generate: fraction of kBatch submissions");
+  flags.add_string("from", "",
+                   "generate: fit this trace and generate its "
+                   "statistically matched synthetic twin");
+  flags.add_bool("parse-only", false,
+                 "validate: skip the pool binding dry-run");
+  auto status = flags.parse(argc, argv);
+  if (!status.has_value()) {
+    std::cerr << status.error().message << "\n";
+    return status.error().message.find("usage:") != std::string::npos ? 0 : 2;
+  }
+
+  const auto& positional = flags.positional();
+  if (positional.size() != 2) {
+    std::cerr << "usage: pmemflow-trace <summarize|fit|generate|validate> "
+                 "<file> [flags]\n";
+    return 2;
+  }
+  const auto& command = positional[0];
+  const auto& path = positional[1];
+  if (command == "summarize") return run_summarize(path);
+  if (command == "fit") return run_fit(path);
+  if (command == "generate") return run_generate(path, flags);
+  if (command == "validate") return run_validate(path, flags);
+  std::cerr << "error: unknown command '" << command
+            << "' (summarize | fit | generate | validate)\n";
+  return 2;
+}

@@ -1,15 +1,19 @@
 // pmemflowd — the online workflow-scheduling service, as a CLI.
 //
-// Drives service::OnlineScheduler with a synthetic Poisson submission
-// stream (tools/... are simulation drivers: arrivals, queueing, and
-// placement all happen on the deterministic simulated clock). Prints
-// the operator dashboard; optionally compares all placement policies on
-// the identical stream, exports CSV, and writes a Chrome trace of the
-// fleet timeline.
+// Drives service::OnlineScheduler with either a synthetic Poisson
+// submission stream or a recorded workload trace (tools/... are
+// simulation drivers: arrivals, queueing, and placement all happen on
+// the deterministic simulated clock). Prints the operator dashboard;
+// optionally compares all placement policies on the identical stream,
+// exports CSV, records the stream back out as a trace, and writes a
+// Chrome trace of the fleet timeline.
 //
 //   pmemflowd --submissions 20000 --nodes 8 --compare
-//   pmemflowd --policy recommender --trace fleet.json
+//   pmemflowd --policy recommender --chrome-trace fleet.json
 //   pmemflowd --preemption --urgent-frac 0.2   # urgent work displaces batch
+//   pmemflowd --trace prod.csv --compare       # replay a recorded trace
+//   pmemflowd --trace prod.csv --time-scale 0.5 --limit 5000
+//   pmemflowd --record-trace out.csv           # record this run's stream
 #include <iostream>
 
 #include "common/flags.hpp"
@@ -17,6 +21,8 @@
 #include "common/table.hpp"
 #include "service/arrivals.hpp"
 #include "service/scheduler.hpp"
+#include "traces/replay.hpp"
+#include "traces/schema.hpp"
 
 namespace {
 
@@ -63,6 +69,22 @@ int main(int argc, char** argv) {
                  "run every placement policy on the identical stream");
   flags.add_string("csv", "", "append per-policy metrics rows to this file");
   flags.add_string("trace", "",
+                   "replay this workload trace instead of generating a "
+                   "synthetic stream (class_id rows bind against the "
+                   "--classes/--seed pool)");
+  flags.add_double("time-scale", 1.0,
+                   "multiply replayed arrival times (with --trace): < 1 "
+                   "compresses, > 1 stretches");
+  flags.add_double("horizon-ms", 0.0,
+                   "drop replayed arrivals after this scaled time "
+                   "(with --trace; 0 = no horizon)");
+  flags.add_int("limit", 0,
+                "replay at most this many submissions (with --trace; "
+                "0 = all)");
+  flags.add_string("record-trace", "",
+                   "record the submission stream (synthetic or replayed) "
+                   "to this trace file");
+  flags.add_string("chrome-trace", "",
                    "write a Chrome trace of the fleet timeline here "
                    "(single-policy mode only)");
   auto status = flags.parse(argc, argv);
@@ -78,7 +100,52 @@ int main(int argc, char** argv) {
   arrivals.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   arrivals.urgent_fraction = flags.get_double("urgent-frac");
   arrivals.batch_fraction = flags.get_double("batch-frac");
-  const auto stream = service::make_submission_stream(arrivals);
+
+  std::vector<service::Submission> stream;
+  std::string stream_origin;
+  const std::string trace_path = flags.get_string("trace");
+  if (!trace_path.empty()) {
+    auto trace = traces::load_trace(trace_path);
+    if (!trace.has_value()) {
+      std::cerr << "error: " << trace.error().message << "\n";
+      return 1;
+    }
+    traces::ReplayOptions options;
+    options.time_scale = flags.get_double("time-scale");
+    options.max_arrival_ns =
+        static_cast<SimTime>(flags.get_double("horizon-ms") * 1e6);
+    options.limit = static_cast<std::uint64_t>(flags.get_int("limit"));
+    traces::TraceReplayer replayer(
+        service::make_class_pool(arrivals.classes, arrivals.seed), options);
+    auto replayed = replayer.replay(*trace);
+    if (!replayed.has_value()) {
+      std::cerr << "error: " << trace_path << ": "
+                << replayed.error().message << "\n";
+      return 1;
+    }
+    stream = std::move(*replayed);
+    stream_origin = format("trace %s", trace_path.c_str());
+  } else {
+    auto generated = service::make_submission_stream(arrivals);
+    if (!generated.has_value()) {
+      std::cerr << "error: " << generated.error().message << "\n";
+      return 1;
+    }
+    stream = std::move(*generated);
+    stream_origin = "synthetic stream";
+  }
+
+  const std::string record_path = flags.get_string("record-trace");
+  if (!record_path.empty()) {
+    const auto pool =
+        service::make_class_pool(arrivals.classes, arrivals.seed);
+    auto written =
+        traces::write_trace(traces::record_trace(stream, pool), record_path);
+    if (!written.has_value()) {
+      std::cerr << "error: " << written.error().message << "\n";
+      return 1;
+    }
+  }
 
   service::ServiceConfig config;
   config.nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
@@ -123,9 +190,8 @@ int main(int argc, char** argv) {
       append_service_csv_row(csv, to_string(policy), m);
     }
     std::cout << format(
-        "=== %llu submissions, %u classes, %u nodes ===\n\n",
-        static_cast<unsigned long long>(arrivals.count), arrivals.classes,
-        config.nodes);
+        "=== %zu submissions (%s), %u nodes ===\n\n", stream.size(),
+        stream_origin.c_str(), config.nodes);
     table.write(std::cout);
   } else {
     auto policy = parse_policy(flags.get_string("policy"));
@@ -135,8 +201,8 @@ int main(int argc, char** argv) {
     }
     config.policy = *policy;
     trace::Tracer tracer;
-    const std::string trace_path = flags.get_string("trace");
-    if (!trace_path.empty()) config.tracer = &tracer;
+    const std::string chrome_path = flags.get_string("chrome-trace");
+    if (!chrome_path.empty()) config.tracer = &tracer;
 
     service::OnlineScheduler scheduler(config);
     auto result = scheduler.run(stream);
@@ -146,14 +212,15 @@ int main(int argc, char** argv) {
     }
     print_service_report(
         std::cout,
-        format("=== pmemflowd: %s, %llu submissions, %u nodes ===",
-               to_string(config.policy),
-               static_cast<unsigned long long>(arrivals.count), config.nodes),
+        format("=== pmemflowd: %s, %zu submissions (%s), %u nodes ===",
+               to_string(config.policy), stream.size(),
+               stream_origin.c_str(), config.nodes),
         result->metrics);
     append_service_csv_row(csv, to_string(config.policy), result->metrics);
 
-    if (!trace_path.empty() && !tracer.write_chrome_trace_file(trace_path)) {
-      std::cerr << "error: could not write " << trace_path << "\n";
+    if (!chrome_path.empty() &&
+        !tracer.write_chrome_trace_file(chrome_path)) {
+      std::cerr << "error: could not write " << chrome_path << "\n";
       return 1;
     }
   }
