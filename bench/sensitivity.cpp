@@ -13,6 +13,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/executor.hpp"
+#include "devices/registry.hpp"
 #include "workloads/suite.hpp"
 
 namespace pmemflow {
@@ -24,9 +25,20 @@ struct KnobCase {
   double interconnect::UpiParams::* upi_member;
 };
 
-std::vector<std::string> suite_winners(const pmemsim::OptaneParams& optane,
-                                       const interconnect::UpiParams& upi) {
-  core::Executor executor{workflow::Runner({}, optane, upi)};
+/// Calibration baseline: the registry's gen1 preset, so this study
+/// perturbs exactly the constants every other consumer of the registry
+/// runs with.
+devices::DeviceSpec gen1_spec() {
+  auto preset = devices::DeviceRegistry::builtin().find("optane-gen1");
+  if (!preset.has_value()) {
+    std::cerr << "error: " << preset.error().message << "\n";
+    std::exit(1);
+  }
+  return preset->spec;
+}
+
+std::vector<std::string> suite_winners(const devices::DeviceSpec& device) {
+  core::Executor executor{workflow::Runner({}, devices::NodeDevices(device))};
   std::vector<std::string> winners;
   for (const auto& spec : workloads::full_suite()) {
     auto sweep = executor.sweep(spec);
@@ -75,7 +87,8 @@ int main(int argc, char** argv) {
        &interconnect::UpiParams::remote_read_latency_ns},
   };
 
-  const auto baseline = suite_winners({}, {});
+  const devices::DeviceSpec base_spec = gen1_spec();
+  const auto baseline = suite_winners(base_spec);
 
   TextTable table({"Knob", "-20% flips", "+20% flips"},
                   {Align::kLeft, Align::kRight, Align::kRight});
@@ -84,14 +97,13 @@ int main(int argc, char** argv) {
     std::string cells[2];
     int index = 0;
     for (const double factor : {0.8, 1.2}) {
-      pmemsim::OptaneParams optane;
-      interconnect::UpiParams upi;
+      devices::DeviceSpec perturbed = base_spec;
       if (knob.optane_member != nullptr) {
-        optane.*knob.optane_member *= factor;
+        perturbed.optane.*knob.optane_member *= factor;
       } else {
-        upi.*knob.upi_member *= factor;
+        perturbed.upi.*knob.upi_member *= factor;
       }
-      const auto winners = suite_winners(optane, upi);
+      const auto winners = suite_winners(perturbed);
       int flips = 0;
       for (std::size_t i = 0; i < winners.size(); ++i) {
         if (winners[i] != baseline[i]) ++flips;

@@ -2,108 +2,161 @@
 //
 // Optane gen1 (the paper's testbed) is discontinued; the lasting
 // question is whether PMEM-aware scheduling still matters on successor
-// memories. This bench re-runs the suite on three hypothetical devices
-// and reports how Table I winners shift:
+// memories. This bench re-runs the suite on every backend in the
+// builtin DeviceRegistry — the same presets pmemflowd's --backend flag
+// resolves — and reports how Table I winners shift:
 //
-//   gen2-like    — ~30-50% more bandwidth, writes scale further (the
+//   optane-gen2  — ~30-50% more bandwidth, writes scale further (the
 //                  published Optane 200-series deltas);
-//   cxl-like     — memory behind a CXL link: locality vanishes
-//                  (uniform access from both sockets, modeled as a fat
-//                  symmetric link), latency higher;
-//   dram-like    — byte-addressable storage with DRAM-class bandwidth
-//                  and no small-access pathologies.
+//   cxl-like     — memory behind a CXL link: the device reports uniform
+//                  locality (placement genuinely does not matter), but
+//                  every access pays link latency;
+//   dram-like    — byte-addressable storage with DRAM-class bandwidth,
+//                  symmetric access, and no small-access pathologies.
+//
+// --smoke runs the acceptance gate instead of the prose report: gen1
+// winners through the registry must match a default-constructed runner
+// (the registry reproduces the paper baseline), the locality-free
+// backends must produce *exact* S-LocW/S-LocR and P-LocW/P-LocR
+// runtime ties, and at least one workload's winner must shift off gen1.
+#include <array>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/executor.hpp"
+#include "devices/registry.hpp"
 #include "workloads/suite.hpp"
 
 namespace pmemflow {
 namespace {
 
-struct DevicePreset {
-  const char* name;
-  pmemsim::OptaneParams optane;
-  interconnect::UpiParams upi;
+struct SuiteSweep {
+  std::vector<std::string> winners;  // per workload, suite order
+  /// Per workload, Table I order runtimes.
+  std::vector<std::array<SimDuration, 4>> runtimes;
+  double worst_penalty = 1.0;
 };
 
-std::vector<DevicePreset> presets() {
-  std::vector<DevicePreset> out;
-  out.push_back({"optane-gen1", {}, {}});
-
-  DevicePreset gen2{"gen2-like", {}, {}};
-  gen2.optane.read_peak = gbps(51.0);
-  gen2.optane.write_peak = gbps(20.6);
-  gen2.optane.write_scaling_threads = 6.0;
-  gen2.optane.write_decline_start = 12.0;
-  gen2.upi.remote_write_ceiling = gbps(12.0);
-  out.push_back(gen2);
-
-  DevicePreset cxl{"cxl-like", {}, {}};
-  // Locality vanishes: the "remote" path is as wide as local access,
-  // with no write collapse — but every access pays link latency.
-  cxl.upi.link_bandwidth = gbps(39.4);
-  cxl.upi.remote_write_ceiling = gbps(13.9);
-  cxl.upi.write_contention_slope = 0.0;
-  cxl.upi.write_contention_floor = 1.0;
-  cxl.upi.read_contention_slope = 0.0;
-  cxl.upi.remote_read_latency_ns = 80.0;
-  cxl.upi.remote_write_latency_ns = 80.0;
-  out.push_back(cxl);
-
-  DevicePreset dram{"dram-like", {}, {}};
-  dram.optane.read_peak = gbps(100.0);
-  dram.optane.write_peak = gbps(80.0);
-  dram.optane.read_scaling_threads = 8.0;
-  dram.optane.write_scaling_threads = 8.0;
-  dram.optane.write_decline_per_thread = 0.0;
-  dram.optane.read_latency_ns = 90.0;
-  dram.optane.write_latency_ns = 90.0;
-  dram.optane.small_access_coeff = 0.0;
-  dram.optane.small_stall_quad = 0.0;
-  dram.optane.per_thread_small_read_cap = gbps(8.0);
-  dram.optane.per_thread_small_write_cap = gbps(8.0);
-  dram.optane.per_thread_read_cap = gbps(12.0);
-  dram.optane.per_thread_write_cap = gbps(12.0);
-  out.push_back(dram);
+Expected<SuiteSweep> sweep_suite(const core::Executor& executor) {
+  SuiteSweep out;
+  for (const auto& spec : workloads::full_suite()) {
+    auto sweep = executor.sweep(spec);
+    if (!sweep.has_value()) return Unexpected{sweep.error()};
+    out.winners.push_back(sweep->best().config.label());
+    std::array<SimDuration, 4> row{};
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      row[i] = sweep->results[i].run.total_ns;
+    }
+    out.runtimes.push_back(row);
+    out.worst_penalty = std::max(out.worst_penalty,
+                                 sweep->worst_case_penalty());
+  }
   return out;
 }
 
-}  // namespace
-}  // namespace pmemflow
+int run_smoke() {
+  const auto& registry = devices::DeviceRegistry::builtin();
+  const auto suite = workloads::full_suite();
+  int failures = 0;
+  auto check = [&failures](bool ok, const std::string& what) {
+    std::cout << (ok ? "PASS" : "FAIL") << "  " << what << "\n";
+    if (!ok) ++failures;
+  };
 
-int main(int argc, char** argv) {
-  using namespace pmemflow;
-  std::string csv_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      csv_path = argv[++i];
+  // Gate 1: the registry's gen1 preset reproduces the paper baseline (a
+  // default-constructed runner) winner-for-winner.
+  auto gen1_preset = registry.find("optane-gen1");
+  if (!gen1_preset.has_value()) {
+    std::cerr << "error: " << gen1_preset.error().message << "\n";
+    return 1;
+  }
+  auto gen1 = sweep_suite(core::Executor{workflow::Runner(
+      {}, devices::NodeDevices(gen1_preset->spec))});
+  auto baseline = sweep_suite(core::Executor{workflow::Runner()});
+  if (!gen1.has_value() || !baseline.has_value()) {
+    std::cerr << "error: "
+              << (gen1.has_value() ? baseline.error() : gen1.error()).message
+              << "\n";
+    return 1;
+  }
+  check(gen1->winners == baseline->winners &&
+            gen1->runtimes == baseline->runtimes,
+        "optane-gen1 via registry == default runner (winners + runtimes)");
+
+  // Gate 2: locality-free backends tie the placement dimension exactly
+  // — S-LocW == S-LocR and P-LocW == P-LocR per workload — because the
+  // device itself reports uniform locality.
+  for (const char* name : {"cxl-like", "dram-like"}) {
+    auto preset = registry.find(name);
+    if (!preset.has_value()) {
+      std::cerr << "error: " << preset.error().message << "\n";
+      return 1;
     }
+    auto swept = sweep_suite(core::Executor{workflow::Runner(
+        {}, devices::NodeDevices(preset->spec))});
+    if (!swept.has_value()) {
+      std::cerr << "error: " << swept.error().message << "\n";
+      return 1;
+    }
+    bool ties = true;
+    for (std::size_t w = 0; w < swept->runtimes.size(); ++w) {
+      // Table I order: S-LocW, S-LocR, P-LocW, P-LocR.
+      if (swept->runtimes[w][0] != swept->runtimes[w][1] ||
+          swept->runtimes[w][2] != swept->runtimes[w][3]) {
+        ties = false;
+        std::cout << format("      %s: %s placement runtimes differ\n",
+                            name, suite[w].label.c_str());
+      }
+    }
+    check(ties, format("%s: exact S-LocW==S-LocR and P-LocW==P-LocR ties",
+                       name));
+
+    // Gate 3: the winner actually shifts somewhere — PMEM-aware
+    // placement advice is device-specific, which is the point of the
+    // registry.
+    bool shifted = false;
+    for (std::size_t w = 0; w < swept->winners.size(); ++w) {
+      shifted = shifted || swept->winners[w] != gen1->winners[w];
+    }
+    check(shifted, format("%s: at least one Table I winner shifts off gen1",
+                          name));
   }
 
-  std::cout << "=== Extension: suite winners on hypothetical successor "
-               "devices ===\n\n";
+  std::cout << (failures == 0 ? "\nsmoke: all gates passed\n"
+                              : "\nsmoke: FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
 
-  const auto device_presets = presets();
-  TextTable table({"Workload", "gen1", "gen2-like", "cxl-like",
-                   "dram-like"},
-                  {Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft,
-                   Align::kLeft});
+int run_report(const std::string& csv_path) {
+  std::cout << "=== Extension: suite winners on registry device presets "
+               "===\n\n";
+
+  const auto& registry = devices::DeviceRegistry::builtin();
+  const auto& device_presets = registry.presets();
+
+  std::vector<std::string> headers{"Workload"};
+  std::vector<Align> aligns{Align::kLeft};
+  for (const auto& preset : device_presets) {
+    headers.push_back(preset.name);
+    aligns.push_back(Align::kLeft);
+  }
+  TextTable table(headers, aligns);
   CsvWriter csv({"workload", "device", "winner", "worst_penalty"});
 
   std::map<std::string, double> worst_penalty;
   std::map<std::string, std::set<std::string>> winners_per_device;
-  std::vector<std::vector<std::string>> rows;
   for (const auto& spec : workloads::full_suite()) {
     std::vector<std::string> row{spec.label};
     for (const auto& preset : device_presets) {
       core::Executor executor{
-          workflow::Runner({}, preset.optane, preset.upi)};
+          workflow::Runner({}, devices::NodeDevices(preset.spec))};
       auto sweep = executor.sweep(spec);
       if (!sweep.has_value()) {
         std::cerr << "error: " << sweep.error().message << "\n";
@@ -125,23 +178,39 @@ int main(int argc, char** argv) {
   for (const auto& preset : device_presets) {
     std::cout << format(
         "  %-12s distinct winners: %zu, worst mis-config penalty: "
-        "%.0f%%\n",
-        preset.name, winners_per_device[preset.name].size(),
-        (worst_penalty[preset.name] - 1.0) * 100.0);
+        "%.0f%%  (%s)\n",
+        preset.name.c_str(), winners_per_device[preset.name].size(),
+        (worst_penalty[preset.name] - 1.0) * 100.0, preset.summary.c_str());
   }
   std::cout << "\nReading: configuration choice stays consequential on a "
-               "gen2-like part.\nA CXL-like symmetric link collapses the "
-               "placement dimension (LocW vs\nLocR become ties) and "
-               "shrinks the worst-case penalty. DRAM-class\nbandwidth "
-               "removes placement sensitivity entirely but *raises* the\n"
-               "stakes of the mode decision: with I/O cheap, serializing "
-               "components\nforfeits all overlap, so a wrong "
-               "serial/parallel choice costs more\nthan it did on "
-               "Optane.\n";
+               "gen2-like part.\nA CXL-like device reports uniform locality, "
+               "so the placement\ndimension collapses (LocW vs LocR become "
+               "exact ties) and the\nworst-case penalty shrinks. DRAM-class "
+               "bandwidth removes placement\nsensitivity entirely but "
+               "*raises* the stakes of the mode decision:\nwith I/O cheap, "
+               "serializing components forfeits all overlap, so a\nwrong "
+               "serial/parallel choice costs more than it did on Optane.\n";
 
   if (!csv_path.empty() && !csv.write_file(csv_path)) {
     std::cerr << "error: could not write " << csv_path << "\n";
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+}  // namespace pmemflow
+
+int main(int argc, char** argv) {
+  using namespace pmemflow;
+  std::string csv_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  return smoke ? run_smoke() : run_report(csv_path);
 }

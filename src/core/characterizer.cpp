@@ -94,7 +94,7 @@ Expected<WorkflowProfile> Characterizer::profile(
 
   profile.features = derive_features(
       profile.simulation, profile.analytics, spec.ranks,
-      executor_.runner().optane().small_access_threshold);
+      executor_.runner().devices().primary().small_access_threshold());
   return profile;
 }
 

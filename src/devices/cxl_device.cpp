@@ -1,0 +1,16 @@
+#include "devices/cxl_device.hpp"
+
+#include <algorithm>
+
+namespace pmemflow::devices {
+
+pmemsim::OptaneParams cxl_curves(const CxlParams& params) {
+  pmemsim::OptaneParams curves = params.media;
+  curves.read_latency_ns += params.link_latency_ns;
+  curves.write_latency_ns += params.link_latency_ns;
+  curves.read_peak = std::min(curves.read_peak, params.link_bandwidth);
+  curves.write_peak = std::min(curves.write_peak, params.link_bandwidth);
+  return curves;
+}
+
+}  // namespace pmemflow::devices

@@ -1,0 +1,46 @@
+// CXL-like backend: media behind a fat symmetric link.
+//
+// Models a memory expander on a CXL-class interconnect: the placement
+// dimension vanishes (every socket sees the device at the same
+// distance, so locality is uniform), but every access pays the link
+// hop on top of media latency, and aggregate bandwidth is capped by
+// the link. The media behind the link defaults to Optane-class curves;
+// swap `CxlParams::media` to put different media behind the link.
+#pragma once
+
+#include "devices/flow_device.hpp"
+
+namespace pmemflow::devices {
+
+struct CxlParams {
+  /// Effective-bandwidth curves of the media behind the link.
+  pmemsim::OptaneParams media{};
+  /// Link hop added to every access, read and write (ns).
+  double link_latency_ns = 80.0;
+  /// Symmetric link bandwidth; caps both media peaks.
+  Rate link_bandwidth = gbps(39.4);
+};
+
+/// Curve parameters implementing CxlParams on the shared solver:
+/// media curves, latency-taxed by the hop and peak-capped by the link.
+[[nodiscard]] pmemsim::OptaneParams cxl_curves(const CxlParams& params);
+
+class CxlDevice final : public FlowDevice {
+ public:
+  CxlDevice(sim::Engine& engine, topo::SocketId socket, Bytes capacity,
+            CxlParams params = {})
+      : FlowDevice(engine, socket, capacity, cxl_curves(params), {}, "cxl") {}
+
+  [[nodiscard]] const char* kind_name() const noexcept override {
+    return "cxl";
+  }
+
+  /// Uniform access: the link makes every socket equidistant, so no
+  /// access is ever charged the remote path.
+  [[nodiscard]] sim::Locality locality_of(
+      topo::SocketId /*from_socket*/) const noexcept override {
+    return sim::Locality::kLocal;
+  }
+};
+
+}  // namespace pmemflow::devices

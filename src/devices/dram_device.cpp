@@ -1,0 +1,23 @@
+#include "devices/dram_device.hpp"
+
+namespace pmemflow::devices {
+
+pmemsim::OptaneParams dram_curves(const DramParams& params) {
+  pmemsim::OptaneParams curves;
+  curves.read_peak = params.read_peak;
+  curves.write_peak = params.write_peak;
+  curves.read_scaling_threads = params.read_scaling_threads;
+  curves.write_scaling_threads = params.write_scaling_threads;
+  curves.write_decline_per_thread = 0.0;
+  curves.read_latency_ns = params.latency_ns;
+  curves.write_latency_ns = params.latency_ns;
+  curves.small_access_coeff = 0.0;
+  curves.small_stall_quad = 0.0;
+  curves.per_thread_small_read_cap = params.per_thread_small_cap;
+  curves.per_thread_small_write_cap = params.per_thread_small_cap;
+  curves.per_thread_read_cap = params.per_thread_cap;
+  curves.per_thread_write_cap = params.per_thread_cap;
+  return curves;
+}
+
+}  // namespace pmemflow::devices

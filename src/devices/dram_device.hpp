@@ -1,0 +1,56 @@
+// DRAM-like backend: symmetric bandwidth, no small-access collapse.
+//
+// Models byte-addressable storage with DRAM-class bandwidth — the
+// "what if storage were as fast as memory" end of the device spectrum.
+// Reads and writes scale the same way, writes never decline with
+// concurrency, and sub-stripe accesses carry no collision or stall
+// pathology (only the calibrated single-thread random-access ceiling).
+// Access is socket-uniform: the pool behaves as node-interleaved
+// memory, so placement (LocW vs LocR) stops mattering by construction.
+#pragma once
+
+#include "devices/flow_device.hpp"
+
+namespace pmemflow::devices {
+
+/// The handful of knobs a DRAM-class pool needs; everything Optane-
+/// specific (write decline, XPBuffer thrash, small-access collapse) is
+/// zeroed when these are lowered onto the shared curve parameters.
+struct DramParams {
+  Rate read_peak = gbps(100.0);
+  Rate write_peak = gbps(80.0);
+  /// Both classes saturate at the same (memory-channel) concurrency.
+  double read_scaling_threads = 8.0;
+  double write_scaling_threads = 8.0;
+  /// Symmetric idle access latency (ns).
+  double latency_ns = 90.0;
+  /// Per-flow streaming ceiling (single-thread sequential rate).
+  Rate per_thread_cap = gbps(12.0);
+  /// Per-flow ceiling for sub-stripe-granularity accesses: small random
+  /// access is slower than streaming even on DRAM, but it does not
+  /// *collapse* with concurrency the way Optane's does.
+  Rate per_thread_small_cap = gbps(8.0);
+};
+
+/// Curve parameters implementing DramParams on the shared solver.
+[[nodiscard]] pmemsim::OptaneParams dram_curves(const DramParams& params);
+
+class DramDevice final : public FlowDevice {
+ public:
+  DramDevice(sim::Engine& engine, topo::SocketId socket, Bytes capacity,
+             DramParams params = {})
+      : FlowDevice(engine, socket, capacity, dram_curves(params), {},
+                   "dram") {}
+
+  [[nodiscard]] const char* kind_name() const noexcept override {
+    return "dram";
+  }
+
+  /// Socket-uniform: every access is charged at local rates.
+  [[nodiscard]] sim::Locality locality_of(
+      topo::SocketId /*from_socket*/) const noexcept override {
+    return sim::Locality::kLocal;
+  }
+};
+
+}  // namespace pmemflow::devices

@@ -1,0 +1,19 @@
+#include "devices/flow_device.hpp"
+
+#include "common/strings.hpp"
+
+namespace pmemflow::devices {
+
+FlowDevice::FlowDevice(sim::Engine& engine, topo::SocketId socket,
+                       Bytes capacity, pmemsim::OptaneParams curves,
+                       interconnect::UpiParams upi_params,
+                       const char* resource_prefix)
+    : engine_(engine),
+      socket_(socket),
+      allocator_(pmemsim::BandwidthModel(curves,
+                                         interconnect::UpiModel(upi_params))),
+      resource_(engine, allocator_,
+                format("%s-socket%u", resource_prefix, socket)),
+      space_(capacity) {}
+
+}  // namespace pmemflow::devices

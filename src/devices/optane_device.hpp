@@ -1,0 +1,35 @@
+// One socket's Optane interleave set: the paper's device, as a backend.
+//
+// Local access follows the OptaneParams effective-bandwidth curves;
+// access from the other socket crosses a UPI link (remote locality)
+// and pays the interconnect::UpiParams ceilings and collapse curves.
+// This is the asymmetric, locality-sensitive device every scheduling
+// recommendation in the reproduced paper is keyed on.
+#pragma once
+
+#include "devices/flow_device.hpp"
+
+namespace pmemflow::devices {
+
+class OptaneDevice final : public FlowDevice {
+ public:
+  /// Creates the device attached to `socket`, with the given capacity
+  /// and timing parameters.
+  OptaneDevice(sim::Engine& engine, topo::SocketId socket, Bytes capacity,
+               pmemsim::OptaneParams params = {},
+               interconnect::UpiParams upi_params = {})
+      : FlowDevice(engine, socket, capacity, params, upi_params, "pmem") {}
+
+  [[nodiscard]] const char* kind_name() const noexcept override {
+    return "optane";
+  }
+
+  /// Local/remote binary: only the attachment socket is local.
+  [[nodiscard]] sim::Locality locality_of(
+      topo::SocketId from_socket) const noexcept override {
+    return from_socket == socket() ? sim::Locality::kLocal
+                                   : sim::Locality::kRemote;
+  }
+};
+
+}  // namespace pmemflow::devices

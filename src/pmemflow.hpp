@@ -28,10 +28,14 @@
 #include "sim/task.hpp"
 
 // Platform + device models
+#include "devices/cxl_device.hpp"
+#include "devices/dram_device.hpp"
+#include "devices/memory_device.hpp"
+#include "devices/optane_device.hpp"
+#include "devices/registry.hpp"
 #include "interconnect/upi.hpp"
 #include "pmemsim/allocator.hpp"
 #include "pmemsim/bandwidth.hpp"
-#include "pmemsim/device.hpp"
 #include "pmemsim/params.hpp"
 #include "pmemsim/space.hpp"
 #include "topo/platform.hpp"

@@ -4,7 +4,7 @@
 // bytes, but pages are only allocated when first written, so simulating
 // a 3 TB interleave set does not require 3 TB of host RAM. Storage
 // stacks (novafs, nvstream) lay out their structures in this space;
-// device *timing* is handled separately by pmemsim::OptaneDevice.
+// device *timing* is handled separately by the devices layer
 //
 // The space also supports "unmaterialized" bulk extents: a stack can
 // reserve an extent and record only a content descriptor for it (used

@@ -1,6 +1,7 @@
 #include "service/colocation.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/assert.hpp"
 
@@ -75,8 +76,17 @@ InterferenceTable::InterferenceTable(workflow::Runner runner)
 Expected<PairInterference> InterferenceTable::lookup(
     const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
     const CachedProfile& b, const workflow::WorkflowSpec& spec_b) {
-  const std::pair<std::uint64_t, std::uint64_t> key =
-      std::minmax(a.fingerprint, b.fingerprint);
+  return lookup(a, spec_a, b, spec_b, runner_.devices());
+}
+
+Expected<PairInterference> InterferenceTable::lookup(
+    const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
+    const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
+    const devices::NodeDevices& backend) {
+  const std::uint64_t device_fp = backend.fingerprint();
+  const auto [min_fp, max_fp] = std::minmax(a.fingerprint, b.fingerprint);
+  const std::tuple<std::uint64_t, std::uint64_t, std::uint64_t> key{
+      min_fp, max_fp, device_fp};
   const bool a_first = a.fingerprint <= b.fingerprint;
 
   auto orient = [a_first](const PairInterference& canonical) {
@@ -97,20 +107,30 @@ Expected<PairInterference> InterferenceTable::lookup(
   const workflow::WorkflowSpec& spec_lo = a_first ? spec_a : spec_b;
   const workflow::WorkflowSpec& spec_hi = a_first ? spec_b : spec_a;
 
+  // Measure against the node's actual backend. Runner construction is
+  // configuration-only (cheap); the memo makes each (pair, backend)
+  // measurement a one-time cost.
+  std::optional<workflow::Runner> backend_runner;
+  const workflow::Runner* runner = &runner_;
+  if (device_fp != runner_.devices().fingerprint()) {
+    backend_runner.emplace(runner_.platform(), backend);
+    runner = &*backend_runner;
+  }
+
   PairInterference measured;
   // Mirrored sockets give each socket one tenant's writers plus the
   // other's readers (1:1 rank pairing), so the joint core demand per
   // socket is the rank sum.
-  if (spec_lo.ranks + spec_hi.ranks <= runner_.platform().cores_per_socket) {
+  if (spec_lo.ranks + spec_hi.ranks <= runner->platform().cores_per_socket) {
     const workflow::Deployment deployments[] = {
         {spec_lo, tenant_options(0, preferred_parallel_config(lo).placement)},
         {spec_hi, tenant_options(1, preferred_parallel_config(hi).placement)},
     };
-    auto together = runner_.run_colocated(deployments);
+    auto together = runner->run_colocated(deployments);
     if (!together.has_value()) return Unexpected{together.error()};
-    auto alone_lo = runner_.run(spec_lo, deployments[0].options);
+    auto alone_lo = runner->run(spec_lo, deployments[0].options);
     if (!alone_lo.has_value()) return Unexpected{alone_lo.error()};
-    auto alone_hi = runner_.run(spec_hi, deployments[1].options);
+    auto alone_hi = runner->run(spec_hi, deployments[1].options);
     if (!alone_hi.has_value()) return Unexpected{alone_hi.error()};
 
     auto slowdown = [](SimDuration together_ns, SimDuration alone_ns) {

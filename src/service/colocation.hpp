@@ -19,12 +19,15 @@
 //     guessed: one Runner::run_colocated simulation of the mirrored
 //     deployment (each tenant's channel on its preferred parallel
 //     placement) against two standalone runs, memoized per unordered
-//     class-fingerprint pair alongside the profile cache. The scheduler
-//     charges the measured factor to both tenants' finish events.
+//     class-fingerprint pair *per memory backend* alongside the profile
+//     cache (the same pair interferes very differently on Optane than
+//     on a symmetric dram-like device). The scheduler charges the
+//     measured factor to both tenants' finish events.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "core/config.hpp"
@@ -92,12 +95,21 @@ class InterferenceTable {
  public:
   explicit InterferenceTable(workflow::Runner runner = workflow::Runner());
 
-  /// Slowdown factors for running `a` and `b` together, oriented to the
-  /// call's argument order. Measures (and memoizes) on first sight of
-  /// the class pair; propagates simulation errors.
+  /// Slowdown factors for running `a` and `b` together on the table's
+  /// default backend (its Runner's devices), oriented to the call's
+  /// argument order. Measures (and memoizes) on first sight of the
+  /// class pair; propagates simulation errors.
   [[nodiscard]] Expected<PairInterference> lookup(
       const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
       const CachedProfile& b, const workflow::WorkflowSpec& spec_b);
+
+  /// Same, but measured on an explicit node backend: the memo key
+  /// includes the backend's device fingerprint, so the pair is
+  /// re-measured (once) per distinct backend in a heterogeneous fleet.
+  [[nodiscard]] Expected<PairInterference> lookup(
+      const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
+      const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
+      const devices::NodeDevices& backend);
 
   [[nodiscard]] const InterferenceStats& stats() const noexcept {
     return stats_;
@@ -106,9 +118,12 @@ class InterferenceTable {
 
  private:
   workflow::Runner runner_;
-  /// Keyed by (min fingerprint, max fingerprint); slowdowns stored in
-  /// that canonical order.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, PairInterference> pairs_;
+  /// Keyed by (min fingerprint, max fingerprint, device fingerprint of
+  /// the backend the pair was measured on); slowdowns stored in
+  /// canonical (min, max) order.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           PairInterference>
+      pairs_;
   InterferenceStats stats_;
 };
 

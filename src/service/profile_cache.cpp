@@ -1,6 +1,9 @@
 #include "service/profile_cache.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
+#include "common/hash.hpp"
 
 namespace pmemflow::service {
 
@@ -9,22 +12,34 @@ ProfileCache::ProfileCache(std::size_t capacity, core::Executor executor,
     : capacity_(capacity),
       executor_(std::move(executor)),
       characterizer_(executor_),
-      recommender_(recommender) {
+      recommender_(recommender),
+      default_device_fp_(executor_.runner().devices().fingerprint()) {
   PMEMFLOW_ASSERT(capacity >= 1);
 }
 
-Expected<CachedProfile> ProfileCache::characterize(
-    const workflow::WorkflowSpec& spec) const {
+std::uint64_t ProfileCache::key_of(std::uint64_t class_fp,
+                                   std::uint64_t device_fp) {
+  Hasher64 hasher;
+  hasher.update_u64(class_fp);
+  hasher.update_u64(device_fp);
+  return hasher.digest();
+}
+
+Expected<CachedProfile> ProfileCache::characterize_on(
+    const workflow::WorkflowSpec& spec, const core::Executor& executor,
+    std::uint64_t device_fp) const {
   CachedProfile cached;
   cached.fingerprint = workflow::class_fingerprint(spec);
+  cached.device_fingerprint = device_fp;
 
-  auto profile = characterizer_.profile(spec);
+  const core::Characterizer characterizer{executor};
+  auto profile = characterizer.profile(spec);
   if (!profile.has_value()) return Unexpected{profile.error()};
   cached.profile = *profile;
   cached.rule_based = recommender_.rule_based(*profile, spec);
   cached.model_based = recommender_.model_based(*profile, spec);
 
-  auto sweep = executor_.sweep(spec);
+  auto sweep = executor.sweep(spec);
   if (!sweep.has_value()) return Unexpected{sweep.error()};
   PMEMFLOW_ASSERT(sweep->results.size() == cached.runtime_ns.size());
   for (std::size_t i = 0; i < cached.runtime_ns.size(); ++i) {
@@ -34,17 +49,36 @@ Expected<CachedProfile> ProfileCache::characterize(
   return cached;
 }
 
-Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup(
-    const workflow::WorkflowSpec& spec) {
-  const std::uint64_t fingerprint = workflow::class_fingerprint(spec);
-  if (auto it = entries_.find(fingerprint); it != entries_.end()) {
+Expected<CachedProfile> ProfileCache::characterize(
+    const workflow::WorkflowSpec& spec) const {
+  return characterize_on(spec, executor_, default_device_fp_);
+}
+
+Expected<CachedProfile> ProfileCache::characterize(
+    const workflow::WorkflowSpec& spec,
+    const devices::NodeDevices& backend) const {
+  const std::uint64_t device_fp = backend.fingerprint();
+  if (device_fp == default_device_fp_) return characterize(spec);
+  const core::Executor executor{
+      workflow::Runner(executor_.runner().platform(), backend)};
+  return characterize_on(spec, executor, device_fp);
+}
+
+Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup_keyed(
+    const workflow::WorkflowSpec& spec, const devices::NodeDevices* backend) {
+  const std::uint64_t device_fp =
+      backend == nullptr ? default_device_fp_ : backend->fingerprint();
+  const std::uint64_t key =
+      key_of(workflow::class_fingerprint(spec), device_fp);
+  if (auto it = entries_.find(key); it != entries_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
     return it->second->second;
   }
 
   ++stats_.misses;
-  auto fresh = characterize(spec);
+  auto fresh =
+      backend == nullptr ? characterize(spec) : characterize(spec, *backend);
   if (!fresh.has_value()) return Unexpected{fresh.error()};
 
   if (entries_.size() >= capacity_) {
@@ -53,9 +87,19 @@ Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup(
     lru_.pop_back();
   }
   auto entry = std::make_shared<const CachedProfile>(*std::move(fresh));
-  lru_.emplace_front(fingerprint, entry);
-  entries_.emplace(fingerprint, lru_.begin());
+  lru_.emplace_front(key, entry);
+  entries_.emplace(key, lru_.begin());
   return entry;
+}
+
+Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup(
+    const workflow::WorkflowSpec& spec) {
+  return lookup_keyed(spec, nullptr);
+}
+
+Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup(
+    const workflow::WorkflowSpec& spec, const devices::NodeDevices& backend) {
+  return lookup_keyed(spec, &backend);
 }
 
 }  // namespace pmemflow::service

@@ -5,10 +5,14 @@
 // four-configuration sweep. Online, the same workflow *classes* recur
 // constantly (the paper's premise: I/O indexes are reusable per-class
 // profiles, §IV-C), so the service memoizes the whole characterization
-// bundle keyed by workflow::class_fingerprint. Repeat submissions of a
-// class skip the four-config solve entirely; the cache returns the
+// bundle keyed by (workflow::class_fingerprint, device fingerprint of
+// the memory backend the profile was measured on). Repeat submissions
+// of a class skip the four-config solve entirely; the cache returns the
 // exact object computed the first time, so a hit is byte-identical to a
-// fresh characterization.
+// fresh characterization. The device half of the key matters on
+// heterogeneous fleets: an Optane profile and a dram-like profile of
+// the same class disagree on runtimes *and* on the recommended
+// configuration, so serving one for the other would mis-place work.
 //
 // Bounded capacity with least-recently-used eviction; hit/miss/eviction
 // counters feed the service report.
@@ -20,13 +24,17 @@
 #include <unordered_map>
 
 #include "core/autotuner.hpp"
+#include "devices/registry.hpp"
 
 namespace pmemflow::service {
 
 /// Everything the service ever needs to know about one workflow class.
 struct CachedProfile {
-  /// Fingerprint the entry is keyed by (label-insensitive).
+  /// Workflow-class half of the cache key (label-insensitive).
   std::uint64_t fingerprint = 0;
+  /// Device half of the cache key: fingerprint of the NodeDevices the
+  /// profile was measured against.
+  std::uint64_t device_fingerprint = 0;
   core::WorkflowProfile profile;
   core::Recommendation rule_based;
   core::Recommendation model_based;
@@ -60,15 +68,35 @@ class ProfileCache {
                         core::Executor executor = core::Executor(),
                         core::Recommender recommender = core::Recommender());
 
-  /// Returns the class profile, characterizing (and caching) on miss.
-  /// The shared_ptr stays valid after eviction.
+  /// Returns the class profile on the cache's default backend (the one
+  /// its Executor was built with), characterizing (and caching) on
+  /// miss. The shared_ptr stays valid after eviction.
   [[nodiscard]] Expected<std::shared_ptr<const CachedProfile>> lookup(
       const workflow::WorkflowSpec& spec);
 
-  /// Fresh characterization that bypasses the cache entirely (used by
-  /// tests to prove hits are identical to recomputation).
+  /// Returns the class profile *as measured on `backend`*: same class,
+  /// different backend is a distinct cache entry. When `backend`
+  /// matches the default backend this is exactly lookup(spec).
+  [[nodiscard]] Expected<std::shared_ptr<const CachedProfile>> lookup(
+      const workflow::WorkflowSpec& spec,
+      const devices::NodeDevices& backend);
+
+  /// Fresh characterization on the default backend that bypasses the
+  /// cache entirely (used by tests to prove hits are identical to
+  /// recomputation).
   [[nodiscard]] Expected<CachedProfile> characterize(
       const workflow::WorkflowSpec& spec) const;
+
+  /// Fresh characterization on an explicit backend.
+  [[nodiscard]] Expected<CachedProfile> characterize(
+      const workflow::WorkflowSpec& spec,
+      const devices::NodeDevices& backend) const;
+
+  /// Device fingerprint of the default backend (what plain lookup()
+  /// keys its entries under).
+  [[nodiscard]] std::uint64_t default_device_fingerprint() const noexcept {
+    return default_device_fp_;
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -78,10 +106,20 @@ class ProfileCache {
   using LruList =
       std::list<std::pair<std::uint64_t, std::shared_ptr<const CachedProfile>>>;
 
+  /// Combined (class, device) cache key.
+  [[nodiscard]] static std::uint64_t key_of(std::uint64_t class_fp,
+                                            std::uint64_t device_fp);
+  [[nodiscard]] Expected<std::shared_ptr<const CachedProfile>> lookup_keyed(
+      const workflow::WorkflowSpec& spec, const devices::NodeDevices* backend);
+  [[nodiscard]] Expected<CachedProfile> characterize_on(
+      const workflow::WorkflowSpec& spec, const core::Executor& executor,
+      std::uint64_t device_fp) const;
+
   std::size_t capacity_;
   core::Executor executor_;
   core::Characterizer characterizer_;
   core::Recommender recommender_;
+  std::uint64_t default_device_fp_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> entries_;
   CacheStats stats_;

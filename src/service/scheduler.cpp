@@ -86,7 +86,31 @@ struct RunState {
                : format("node-%u", ref.node);
   }
 
+  /// True when the fleet mixes memory backends (node_specs provided).
+  [[nodiscard]] bool heterogeneous() const noexcept {
+    return !config.node_specs.empty();
+  }
+
+  /// Profile lookup against the backend of `node` (the cache's default
+  /// backend on a homogeneous fleet).
+  [[nodiscard]] Expected<std::shared_ptr<const CachedProfile>> lookup_profile(
+      const workflow::WorkflowSpec& spec, std::uint32_t node) {
+    if (!heterogeneous()) return cache.lookup(spec);
+    return cache.lookup(spec, config.node_specs[node].devices);
+  }
+
+  /// Interference lookup measured on the backend of `node`.
+  [[nodiscard]] Expected<PairInterference> lookup_interference(
+      const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
+      const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
+      std::uint32_t node) {
+    if (!heterogeneous()) return interference.lookup(a, spec_a, b, spec_b);
+    return interference.lookup(a, spec_a, b, spec_b,
+                               config.node_specs[node].devices);
+  }
+
   void dispatch(SimTime now);
+  std::optional<std::uint32_t> pick_node(const Submission& next, SimTime now);
   std::optional<PlacementChoice> choose_placement(const Submission& next,
                                                   SimTime now);
   void apply_interference(SlotRef ref, SimTime now, double factor);
@@ -133,11 +157,50 @@ void RunState::dispatch(SimTime now) {
   }
 }
 
+std::optional<std::uint32_t> RunState::pick_node(const Submission& next,
+                                                 SimTime now) {
+  if (!heterogeneous() || config.policy != PlacementPolicy::kRecommenderAware) {
+    return fleet.pick_idle_node(config.policy, now);
+  }
+  // Backend-aware routing: among fully-idle nodes, place the class on
+  // the backend where its recommended configuration runs fastest —
+  // e.g. a read-heavy class whose remote reads are the bottleneck on
+  // Optane routes to a locality-free backend. Lowest node index breaks
+  // runtime ties deterministically.
+  std::optional<std::uint32_t> best;
+  SimDuration best_runtime = 0;
+  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+    const NodeState& node = fleet.node(i);
+    bool idle = true;
+    for (const SlotState& slot : node.slots) {
+      if (slot.running.has_value() || slot.free_at_ns > now) {
+        idle = false;
+        break;
+      }
+    }
+    if (!idle) continue;
+    auto profile = lookup_profile(next.spec, i);
+    if (!profile.has_value()) {
+      failure = profile.error();
+      return std::nullopt;
+    }
+    const core::DeploymentConfig chosen = config.use_rule_based
+                                              ? (*profile)->rule_based.config
+                                              : (*profile)->model_based.config;
+    const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
+    if (!best.has_value() || runtime < best_runtime) {
+      best = i;
+      best_runtime = runtime;
+    }
+  }
+  return best;
+}
+
 std::optional<PlacementChoice> RunState::choose_placement(
     const Submission& next, SimTime now) {
   if (config.policy != PlacementPolicy::kColocationAware) {
-    const auto node = fleet.pick_idle_node(config.policy, now);
-    if (!node.has_value()) return std::nullopt;
+    const auto node = pick_node(next, now);
+    if (failure.has_value() || !node.has_value()) return std::nullopt;
     PlacementChoice choice;
     choice.ref = SlotRef{*node, 0};
     return choice;
@@ -145,21 +208,35 @@ std::optional<PlacementChoice> RunState::choose_placement(
 
   // Co-location-aware placement needs the candidate's class profile
   // before the submission is popped: pair compatibility and the
-  // interference charge depend on it.
-  const std::uint64_t hits_before = cache.stats().hits;
-  auto profile = cache.lookup(next.spec);
-  if (!profile.has_value()) {
-    failure = profile.error();
-    return std::nullopt;
-  }
+  // interference charge depend on it. On a homogeneous fleet the
+  // profile is node-independent and resolved once up front; on a
+  // heterogeneous fleet it is resolved per candidate node below.
   PlacementChoice choice;
-  choice.profile = *profile;
-  choice.cache_hit = cache.stats().hits > hits_before;
+  if (!heterogeneous()) {
+    const std::uint64_t hits_before = cache.stats().hits;
+    auto profile = cache.lookup(next.spec);
+    if (!profile.has_value()) {
+      failure = profile.error();
+      return std::nullopt;
+    }
+    choice.profile = *profile;
+    choice.cache_hit = cache.stats().hits > hits_before;
+  }
 
   // Preference 1: an empty node (least-loaded) — solo running is always
   // at least as fast as packing.
   if (const auto node = fleet.pick_idle_node(config.policy, now)) {
     choice.ref = SlotRef{*node, 0};
+    if (heterogeneous()) {
+      const std::uint64_t hits_before = cache.stats().hits;
+      auto profile = lookup_profile(next.spec, *node);
+      if (!profile.has_value()) {
+        failure = profile.error();
+        return std::nullopt;
+      }
+      choice.profile = *profile;
+      choice.cache_hit = cache.stats().hits > hits_before;
+    }
     return choice;
   }
 
@@ -171,9 +248,20 @@ std::optional<PlacementChoice> RunState::choose_placement(
   for (std::uint32_t i = 0; i < fleet.size(); ++i) {
     const auto target = fleet.pack_slot(i, now);
     if (!target.has_value()) continue;
+    if (heterogeneous()) {
+      // The candidate's profile on *this* node's backend.
+      const std::uint64_t hits_before = cache.stats().hits;
+      auto profile = lookup_profile(next.spec, i);
+      if (!profile.has_value()) {
+        failure = profile.error();
+        return std::nullopt;
+      }
+      choice.profile = *profile;
+      choice.cache_hit = cache.stats().hits > hits_before;
+    }
     const RunningTask* incumbent =
         fleet.running(SlotRef{i, *fleet.sole_tenant_slot(i)});
-    auto incumbent_profile = cache.lookup(incumbent->submission.spec);
+    auto incumbent_profile = lookup_profile(incumbent->submission.spec, i);
     if (!incumbent_profile.has_value()) {
       failure = incumbent_profile.error();
       return std::nullopt;
@@ -182,9 +270,9 @@ std::optional<PlacementChoice> RunState::choose_placement(
                                config.colocation)) {
       continue;
     }
-    auto pair = interference.lookup(**incumbent_profile,
+    auto pair = lookup_interference(**incumbent_profile,
                                     incumbent->submission.spec,
-                                    *choice.profile, next.spec);
+                                    *choice.profile, next.spec, i);
     if (!pair.has_value()) {
       failure = pair.error();
       return std::nullopt;
@@ -223,7 +311,7 @@ void RunState::start_fresh(const PlacementChoice& choice,
   bool cache_hit = choice.cache_hit;
   if (profile == nullptr) {
     const std::uint64_t hits_before = cache.stats().hits;
-    auto looked_up = cache.lookup(submission.spec);
+    auto looked_up = lookup_profile(submission.spec, choice.ref.node);
     if (!looked_up.has_value()) {
       failure = looked_up.error();
       return;
@@ -283,6 +371,10 @@ void RunState::start_fresh(const PlacementChoice& choice,
 void RunState::resume_checkpointed(const PlacementChoice& choice,
                                    Submission submission, ResumeState state,
                                    SimTime now) {
+  // On a heterogeneous fleet the remaining solo work carries over
+  // unscaled even when the resume lands on a different backend: a
+  // checkpoint preserves progress, not a re-profile, and the restore /
+  // migration legs use the fleet-wide CheckpointParams rates.
   RunningTask task = std::move(state.task);
   const SimDuration restore =
       transfer_time(state.snapshot_bytes, config.checkpoint.restore_read_bw);
@@ -355,12 +447,13 @@ bool RunState::victim_frees_usable_slot(SlotRef victim, SimTime now) {
     if (s == victim.slot) continue;
     const SlotState& other = fleet.node(victim.node).slots[s];
     if (other.running.has_value()) {
-      auto urgent_profile = cache.lookup(queue.front().spec);
+      auto urgent_profile = lookup_profile(queue.front().spec, victim.node);
       if (!urgent_profile.has_value()) {
         failure = urgent_profile.error();
         return false;
       }
-      auto co_profile = cache.lookup(other.running->submission.spec);
+      auto co_profile =
+          lookup_profile(other.running->submission.spec, victim.node);
       if (!co_profile.has_value()) {
         failure = co_profile.error();
         return false;
@@ -369,9 +462,9 @@ bool RunState::victim_frees_usable_slot(SlotRef victim, SimTime now) {
                                  config.colocation)) {
         return false;
       }
-      auto pair = interference.lookup(
+      auto pair = lookup_interference(
           **co_profile, other.running->submission.spec, **urgent_profile,
-          queue.front().spec);
+          queue.front().spec, victim.node);
       if (!pair.has_value()) {
         failure = pair.error();
         return false;
@@ -510,6 +603,13 @@ Expected<ServiceResult> OnlineScheduler::run(
     std::span<const Submission> submissions) {
   if (config_.nodes == 0) {
     return make_error("service config needs at least one fleet node");
+  }
+  if (!config_.node_specs.empty() &&
+      config_.node_specs.size() != config_.nodes) {
+    return make_error(
+        format("node_specs has %zu entries for a %u-node fleet "
+               "(must be empty or exactly one per node)",
+               config_.node_specs.size(), config_.nodes));
   }
   RunState state(config_, cache_, interference_);
 

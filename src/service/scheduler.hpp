@@ -39,6 +39,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/batch.hpp"
 #include "service/colocation.hpp"
@@ -46,13 +47,23 @@
 #include "service/metrics.hpp"
 #include "service/profile_cache.hpp"
 #include "service/submission_queue.hpp"
+#include "service/types.hpp"
 #include "trace/tracer.hpp"
 
 namespace pmemflow::service {
 
 struct ServiceConfig {
-  /// Fleet size (dual-socket Optane nodes).
+  /// Fleet size (dual-socket nodes).
   std::uint32_t nodes = 4;
+  /// Per-node memory backends for a heterogeneous fleet. Empty (the
+  /// default) means every node runs the backend of the scheduler's
+  /// Executor; non-empty must have exactly `nodes` entries. With
+  /// distinct backends present, every profile-cache and interference
+  /// lookup is keyed by the node's device fingerprint, and the
+  /// kRecommenderAware policy additionally *routes*: among idle nodes
+  /// it places a class on the backend where its recommended
+  /// configuration runs fastest.
+  std::vector<NodeSpec> node_specs;
   std::size_t queue_capacity = 64;
   /// Queue-occupancy fraction above which kBatch work is deferred.
   double defer_watermark = 0.75;

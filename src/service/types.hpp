@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
+#include "devices/registry.hpp"
 #include "interconnect/upi.hpp"
 #include "pmemsim/params.hpp"
 #include "workflow/model.hpp"
@@ -61,6 +63,18 @@ enum class PreemptionPolicy : std::uint8_t {
 
 [[nodiscard]] const char* to_string(PreemptionPolicy policy) noexcept;
 
+/// Memory hardware of one fleet node. A fleet may be heterogeneous:
+/// ServiceConfig::node_specs gives one NodeSpec per node, and every
+/// profile/interference lookup is then keyed by the node's device
+/// fingerprint in addition to the workflow class — a profile measured
+/// on optane-gen1 is never served for a dram-like node.
+struct NodeSpec {
+  /// Registry preset name the node was configured with (reporting only;
+  /// `devices` is the resolved source of truth).
+  std::string backend_name = "optane-gen1";
+  devices::NodeDevices devices;
+};
+
 /// Cost model of checkpoint-based preemption, anchored in the same
 /// calibrated device constants as the simulator: a checkpoint drains
 /// the victim's in-flight channel state to node-local PMEM at the
@@ -68,6 +82,11 @@ enum class PreemptionPolicy : std::uint8_t {
 /// read peak; migrating the snapshot to a different node crosses the
 /// socket interconnect at its remote-write credit ceiling (the
 /// sustained rate a cross-link PMEM write stream can achieve).
+///
+/// The rates are fleet-wide even on a heterogeneous fleet (they default
+/// to the Optane constants): checkpoint traffic is a scheduler-owned
+/// stream, and keeping its cost independent of which backend the victim
+/// occupies keeps the preemption decision rule comparable across nodes.
 struct CheckpointParams {
   /// Snapshot drain rate (bytes/ns): local PMEM interleaved write peak.
   Rate checkpoint_write_bw = pmemsim::OptaneParams{}.write_peak;

@@ -14,7 +14,7 @@
 //
 // Channel methods both (a) move real bytes through the simulated PMEM
 // space and (b) charge simulated device/software time via the owning
-// OptaneDevice. `from_socket` determines access locality.
+// MemoryDevice, whose locality model classifies `from_socket`.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +22,7 @@
 #include <variant>
 #include <vector>
 
-#include "pmemsim/device.hpp"
+#include "devices/memory_device.hpp"
 #include "sim/task.hpp"
 #include "stack/payload.hpp"
 #include "topo/platform.hpp"
@@ -111,7 +111,7 @@ class StreamChannel {
 
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual const SoftwareCostModel& cost_model() const = 0;
-  [[nodiscard]] virtual pmemsim::OptaneDevice& device() = 0;
+  [[nodiscard]] virtual devices::MemoryDevice& device() = 0;
   [[nodiscard]] virtual const ChannelStats& stats() const = 0;
 
   /// Writes one rank's part of snapshot `version`. Charges simulated

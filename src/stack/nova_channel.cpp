@@ -23,7 +23,7 @@ struct IndexEntry {
 
 }  // namespace
 
-NovaChannel::NovaChannel(pmemsim::OptaneDevice& device, std::string name,
+NovaChannel::NovaChannel(devices::MemoryDevice& device, std::string name,
                          std::uint32_t num_ranks, SoftwareCostModel costs)
     : device_(device),
       name_(std::move(name)),

@@ -19,7 +19,7 @@ namespace pmemflow::stack {
 
 class NovaChannel final : public StreamChannel {
  public:
-  NovaChannel(pmemsim::OptaneDevice& device, std::string name,
+  NovaChannel(devices::MemoryDevice& device, std::string name,
               std::uint32_t num_ranks,
               SoftwareCostModel costs = nova_cost_model());
 
@@ -27,7 +27,7 @@ class NovaChannel final : public StreamChannel {
   [[nodiscard]] const SoftwareCostModel& cost_model() const override {
     return costs_;
   }
-  [[nodiscard]] pmemsim::OptaneDevice& device() override { return device_; }
+  [[nodiscard]] devices::MemoryDevice& device() override { return device_; }
   [[nodiscard]] const ChannelStats& stats() const override { return stats_; }
 
   sim::Task write_part(topo::SocketId from, std::uint64_t version,
@@ -57,7 +57,7 @@ class NovaChannel final : public StreamChannel {
   [[nodiscard]] std::string dat_path(std::uint64_t version,
                                      std::uint32_t rank) const;
 
-  pmemsim::OptaneDevice& device_;
+  devices::MemoryDevice& device_;
   std::string name_;
   std::uint32_t num_ranks_;
   SoftwareCostModel costs_;

@@ -17,7 +17,7 @@ constexpr std::size_t kDirentRecordSize = 40 + 200 + 8;  // header+name+crc
 
 }  // namespace
 
-NovaFs::NovaFs(pmemsim::OptaneDevice& device) : device_(device) {
+NovaFs::NovaFs(devices::MemoryDevice& device) : device_(device) {
   auto reserved = device_.space().reserve(kSuperblockSize);
   PMEMFLOW_ASSERT_MSG(reserved.has_value(),
                       "device too small for filesystem superblock");

@@ -32,7 +32,7 @@
 #include <vector>
 
 #include "common/expected.hpp"
-#include "pmemsim/device.hpp"
+#include "devices/memory_device.hpp"
 
 namespace pmemflow::stack {
 
@@ -58,7 +58,7 @@ class NovaFs {
   };
 
   /// Formats a fresh filesystem on the device's space.
-  explicit NovaFs(pmemsim::OptaneDevice& device);
+  explicit NovaFs(devices::MemoryDevice& device);
 
   /// Creates an empty file. Fails if the name exists.
   Expected<InodeId> create(std::string_view path);
@@ -167,7 +167,7 @@ class NovaFs {
   Inode& inode_ref(InodeId inode);
   const Inode* find_inode(InodeId inode) const;
 
-  pmemsim::OptaneDevice& device_;
+  devices::MemoryDevice& device_;
   pmemsim::PmemOffset superblock_offset_ = 0;
   pmemsim::PmemOffset dir_head_ = 0;
   pmemsim::PmemOffset dir_tail_ = 0;

@@ -17,7 +17,7 @@ std::uint64_t header_crc(const ByteWriter& writer) {
 
 }  // namespace
 
-NvStreamChannel::NvStreamChannel(pmemsim::OptaneDevice& device,
+NvStreamChannel::NvStreamChannel(devices::MemoryDevice& device,
                                  std::string name, std::uint32_t num_ranks,
                                  SoftwareCostModel costs)
     : device_(device),

@@ -36,7 +36,7 @@ class NvStreamChannel final : public StreamChannel {
  public:
   /// Creates (formats) a channel on `device` for `num_ranks` writer
   /// ranks. The superblock is written immediately.
-  NvStreamChannel(pmemsim::OptaneDevice& device, std::string name,
+  NvStreamChannel(devices::MemoryDevice& device, std::string name,
                   std::uint32_t num_ranks,
                   SoftwareCostModel costs = nvstream_cost_model());
 
@@ -45,7 +45,7 @@ class NvStreamChannel final : public StreamChannel {
   [[nodiscard]] const SoftwareCostModel& cost_model() const override {
     return costs_;
   }
-  [[nodiscard]] pmemsim::OptaneDevice& device() override { return device_; }
+  [[nodiscard]] devices::MemoryDevice& device() override { return device_; }
   [[nodiscard]] const ChannelStats& stats() const override { return stats_; }
 
   sim::Task write_part(topo::SocketId from, std::uint64_t version,
@@ -111,7 +111,7 @@ class NvStreamChannel final : public StreamChannel {
   /// Appends a record to `rank`'s chain; returns its offset.
   Expected<pmemsim::PmemOffset> append_record(Record record);
 
-  pmemsim::OptaneDevice& device_;
+  devices::MemoryDevice& device_;
   std::string name_;
   std::uint32_t num_ranks_;
   SoftwareCostModel costs_;

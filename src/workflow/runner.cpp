@@ -235,9 +235,29 @@ Status validate_deployment(const topo::PlatformSpec& platform,
 
 }  // namespace
 
+Runner::Runner(topo::PlatformSpec platform, devices::NodeDevices devices)
+    : platform_(std::move(platform)), devices_(std::move(devices)) {
+  const auto& backends = platform_.socket_backends;
+  if (backends.empty()) return;
+  const auto& registry = devices::DeviceRegistry::builtin();
+  for (std::size_t socket = 0; socket < backends.size(); ++socket) {
+    auto preset = registry.find(backends[socket]);
+    if (!preset.has_value()) {
+      backend_error_ = preset.error().message;
+      return;
+    }
+    if (socket == 0) {
+      devices_ = devices::NodeDevices(preset->spec);
+    } else {
+      devices_.set_socket(static_cast<topo::SocketId>(socket),
+                          preset->spec);
+    }
+  }
+}
+
 Runner::Runner(topo::PlatformSpec platform, pmemsim::OptaneParams optane,
                interconnect::UpiParams upi)
-    : platform_(platform), optane_(optane), upi_(upi) {}
+    : Runner(std::move(platform), devices::NodeDevices(optane, upi)) {}
 
 Expected<RunResult> Runner::run(const WorkflowSpec& spec,
                                 const RunOptions& options) const {
@@ -251,6 +271,9 @@ Expected<ColocatedResult> Runner::run_colocated(
     std::span<const Deployment> deployments) const {
   if (deployments.empty()) {
     return make_error("no deployments given");
+  }
+  if (!backend_error_.empty()) {
+    return make_error(backend_error_);
   }
   topo::Platform platform(platform_);
   for (const Deployment& deployment : deployments) {
@@ -271,15 +294,15 @@ Expected<ColocatedResult> Runner::run_colocated(
 
   sim::Engine engine;
 
-  // One device per socket that hosts at least one channel.
-  std::map<topo::SocketId, std::unique_ptr<pmemsim::OptaneDevice>> devices;
+  // One device per socket that hosts at least one channel, each built
+  // from that socket's backend spec.
+  std::map<topo::SocketId, std::unique_ptr<devices::MemoryDevice>> devices;
   for (const Deployment& deployment : deployments) {
     const topo::SocketId socket = deployment.options.channel_socket;
     if (!devices.contains(socket)) {
-      devices.emplace(socket, std::make_unique<pmemsim::OptaneDevice>(
-                                  engine, socket,
-                                  platform_.pmem_per_socket(), optane_,
-                                  upi_));
+      devices.emplace(socket,
+                      devices_.for_socket(socket).instantiate(
+                          engine, socket, platform_.pmem_per_socket()));
     }
   }
 
@@ -293,7 +316,7 @@ Expected<ColocatedResult> Runner::run_colocated(
     instance->track_prefix =
         deployments.size() > 1 ? format("w%zu/", i) : std::string();
 
-    pmemsim::OptaneDevice& device =
+    devices::MemoryDevice& device =
         *devices.at(deployment.options.channel_socket);
     switch (spec.stack) {
       case WorkflowSpec::Stack::kNvStream:

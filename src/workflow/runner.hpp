@@ -1,6 +1,6 @@
 // Workflow execution engine.
 //
-// Builds a simulated platform (engine + per-socket Optane devices +
+// Builds a simulated platform (engine + per-socket memory devices +
 // streaming channels), spawns one coroutine process per writer and
 // reader rank, and runs workflows to completion under the requested
 // execution mode and placement. This is the mechanism underneath the
@@ -25,11 +25,11 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/expected.hpp"
-#include "interconnect/upi.hpp"
-#include "pmemsim/params.hpp"
+#include "devices/registry.hpp"
 #include "topo/platform.hpp"
 #include "trace/tracer.hpp"
 #include "workflow/model.hpp"
@@ -94,9 +94,16 @@ struct ColocatedResult {
 /// Runner can execute many workflows/configurations sequentially.
 class Runner {
  public:
+  /// Primary form: per-socket memory backends come from `devices`,
+  /// further overridden by any `platform.socket_backends` preset names
+  /// (resolved against the builtin DeviceRegistry; an unknown name is
+  /// reported by the next run, not asserted here).
   explicit Runner(topo::PlatformSpec platform = {},
-                  pmemsim::OptaneParams optane = {},
-                  interconnect::UpiParams upi = {});
+                  devices::NodeDevices devices = {});
+
+  /// Legacy form: Optane on every socket with these timing parameters.
+  Runner(topo::PlatformSpec platform, pmemsim::OptaneParams optane,
+         interconnect::UpiParams upi = {});
 
   /// Simulates one workflow deployment. Fails (no side effects) on
   /// invalid deployments: same-socket components, rank counts exceeding
@@ -115,17 +122,17 @@ class Runner {
   [[nodiscard]] const topo::PlatformSpec& platform() const noexcept {
     return platform_;
   }
-  [[nodiscard]] const pmemsim::OptaneParams& optane() const noexcept {
-    return optane_;
-  }
-  [[nodiscard]] const interconnect::UpiParams& upi() const noexcept {
-    return upi_;
+  /// The node's per-socket memory backends.
+  [[nodiscard]] const devices::NodeDevices& devices() const noexcept {
+    return devices_;
   }
 
  private:
   topo::PlatformSpec platform_;
-  pmemsim::OptaneParams optane_;
-  interconnect::UpiParams upi_;
+  devices::NodeDevices devices_;
+  /// Non-empty when `platform.socket_backends` failed to resolve; every
+  /// run reports it as a recoverable error.
+  std::string backend_error_;
 };
 
 }  // namespace pmemflow::workflow

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "devices/cxl_device.hpp"
+#include "devices/dram_device.hpp"
+#include "devices/optane_device.hpp"
+#include "sim/task.hpp"
+
+namespace pmemflow::devices {
+namespace {
+
+sim::FlowSpec write_spec(Bytes total, Bytes op) {
+  sim::FlowSpec spec;
+  spec.kind = sim::IoKind::kWrite;
+  spec.total_bytes = total;
+  spec.op_size = op;
+  return spec;
+}
+
+sim::FlowSpec read_spec(Bytes total, Bytes op) {
+  sim::FlowSpec spec;
+  spec.kind = sim::IoKind::kRead;
+  spec.total_bytes = total;
+  spec.op_size = op;
+  return spec;
+}
+
+/// Runs one flow against `device` from `from_socket` and returns the
+/// simulated finish time.
+template <typename DeviceT>
+SimTime time_one(DeviceT& device, sim::Engine& engine,
+                 topo::SocketId from_socket, sim::FlowSpec spec) {
+  SimTime finished = 0;
+  auto worker = [&]() -> sim::Task {
+    co_await device.io(from_socket, spec);
+    finished = engine.now();
+  };
+  engine.spawn(worker());
+  engine.run_to_completion();
+  return finished;
+}
+
+TEST(OptaneDevice, LocalityFollowsSocket) {
+  sim::Engine engine;
+  OptaneDevice device(engine, /*socket=*/0, 1 * kGiB);
+  EXPECT_EQ(device.locality_of(0), sim::Locality::kLocal);
+  EXPECT_EQ(device.locality_of(1), sim::Locality::kRemote);
+  EXPECT_EQ(device.socket(), 0u);
+  EXPECT_STREQ(device.kind_name(), "optane");
+}
+
+TEST(OptaneDevice, SingleWriterTimingMatchesModel) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 1 * kGiB);
+  const SimTime finished =
+      time_one(device, engine, 0, write_spec(64 * kMB, 64 * kMB));
+
+  // One local writer: device rate = min(write curve at n=1, per-thread
+  // write cap) = min(13.9/4, 3.5) = 3.475 GB/s; latency negligible.
+  const double expected_ns = 64e6 / 3.475;
+  EXPECT_NEAR(static_cast<double>(finished), expected_ns, expected_ns * 0.01);
+}
+
+TEST(OptaneDevice, RemoteWriterSlowerThanLocal) {
+  auto run_one = [](topo::SocketId from) -> SimTime {
+    sim::Engine engine;
+    OptaneDevice device(engine, 0, 1 * kGiB);
+    SimTime finished = 0;
+    auto writer = [&]() -> sim::Task {
+      // 8 concurrent remote writers to get past the contention knee.
+      co_await device.io(from, write_spec(64 * kMB, 64 * kMB));
+      finished = engine.now();
+    };
+    for (int i = 0; i < 8; ++i) engine.spawn(writer());
+    engine.run_to_completion();
+    return finished;
+  };
+  EXPECT_GT(run_one(1), run_one(0));
+}
+
+TEST(OptaneDevice, SpaceIsUsable) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 1 * kGiB);
+  const auto offset = device.space().reserve(4096);
+  ASSERT_TRUE(offset.has_value());
+  std::vector<std::byte> payload(256, std::byte{0xab});
+  device.space().write(*offset, payload);
+  std::vector<std::byte> out(256);
+  device.space().read(*offset, out);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(OptaneDevice, StatsAccumulate) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 1 * kGiB);
+  auto writer = [&]() -> sim::Task {
+    co_await device.io(0, write_spec(10 * kMB, 10 * kMB));
+  };
+  engine.spawn(writer());
+  engine.spawn(writer());
+  engine.run_to_completion();
+  EXPECT_EQ(device.stats().flows_completed, 2u);
+  EXPECT_NEAR(device.stats().bytes_written, 20e6, 1e4);
+}
+
+TEST(OptaneDevice, ConcurrentMixOnOneDeviceRunsToCompletion) {
+  sim::Engine engine;
+  OptaneDevice device(engine, 0, 4 * kGiB);
+  int done = 0;
+  auto worker = [&](sim::IoKind kind, topo::SocketId from) -> sim::Task {
+    sim::FlowSpec spec;
+    spec.kind = kind;
+    spec.total_bytes = 32 * kMB;
+    spec.op_size = 2 * kKB;
+    spec.sw_ns_per_op = 700.0;
+    co_await device.io(from, spec);
+    ++done;
+  };
+  for (int i = 0; i < 12; ++i) {
+    engine.spawn(worker(sim::IoKind::kWrite, 0));
+    engine.spawn(worker(sim::IoKind::kRead, 1));
+  }
+  engine.run_to_completion();
+  EXPECT_EQ(done, 24);
+}
+
+TEST(DramDevice, LocalityIsUniform) {
+  sim::Engine engine;
+  DramDevice device(engine, /*socket=*/0, 1 * kGiB);
+  EXPECT_EQ(device.locality_of(0), sim::Locality::kLocal);
+  EXPECT_EQ(device.locality_of(1), sim::Locality::kLocal);
+  EXPECT_STREQ(device.kind_name(), "dram");
+}
+
+TEST(DramDevice, TimingIdenticalFromEitherSocket) {
+  auto run_one = [](topo::SocketId from) -> SimTime {
+    sim::Engine engine;
+    DramDevice device(engine, 0, 1 * kGiB);
+    return time_one(device, engine, from, write_spec(64 * kMB, 4 * kKiB));
+  };
+  EXPECT_EQ(run_one(0), run_one(1));
+}
+
+TEST(DramDevice, BulkWritesFasterThanOptane) {
+  sim::Engine optane_engine;
+  OptaneDevice optane(optane_engine, 0, 1 * kGiB);
+  const SimTime on_optane =
+      time_one(optane, optane_engine, 0, write_spec(64 * kMB, 64 * kMB));
+
+  sim::Engine dram_engine;
+  DramDevice dram(dram_engine, 0, 1 * kGiB);
+  const SimTime on_dram =
+      time_one(dram, dram_engine, 0, write_spec(64 * kMB, 64 * kMB));
+  EXPECT_LT(on_dram, on_optane);
+}
+
+TEST(DramDevice, NoSmallAccessCollapse) {
+  // Many concurrent sub-stripe writers push Optane past its
+  // small-access knee (~18 flows), so doubling the flow count from 12
+  // to 24 more than doubles the finish time. DRAM has no such regime:
+  // once the device is saturated, doubling the work just doubles the
+  // time.
+  auto run_flows = [](auto make_device, int flows) -> SimTime {
+    sim::Engine engine;
+    auto device = make_device(engine);
+    SimTime finished = 0;
+    auto writer = [&]() -> sim::Task {
+      co_await device.io(0, write_spec(4 * kMB, 2 * kKB));
+      finished = engine.now();
+    };
+    for (int i = 0; i < flows; ++i) engine.spawn(writer());
+    engine.run_to_completion();
+    return finished;
+  };
+  auto optane = [](sim::Engine& engine) {
+    return OptaneDevice(engine, 0, 1 * kGiB);
+  };
+  auto dram = [](sim::Engine& engine) {
+    return DramDevice(engine, 0, 1 * kGiB);
+  };
+  const double optane_ratio =
+      static_cast<double>(run_flows(optane, 24)) /
+      static_cast<double>(run_flows(optane, 12));
+  const double dram_ratio = static_cast<double>(run_flows(dram, 24)) /
+                            static_cast<double>(run_flows(dram, 12));
+  // Saturated DRAM scales near-linearly with offered work (the small
+  // residual above 2.0 is per-op latency); Optane collapses.
+  EXPECT_NEAR(dram_ratio, 2.0, 0.25);
+  EXPECT_GT(optane_ratio, dram_ratio * 1.1);
+}
+
+TEST(CxlDevice, LocalityIsUniform) {
+  sim::Engine engine;
+  CxlDevice device(engine, /*socket=*/1, 1 * kGiB);
+  EXPECT_EQ(device.locality_of(0), sim::Locality::kLocal);
+  EXPECT_EQ(device.locality_of(1), sim::Locality::kLocal);
+  EXPECT_STREQ(device.kind_name(), "cxl");
+}
+
+TEST(CxlDevice, TimingIdenticalFromEitherSocket) {
+  auto run_one = [](topo::SocketId from) -> SimTime {
+    sim::Engine engine;
+    CxlDevice device(engine, 0, 1 * kGiB);
+    return time_one(device, engine, from, read_spec(64 * kMB, 4 * kKiB));
+  };
+  EXPECT_EQ(run_one(0), run_one(1));
+}
+
+TEST(CxlDevice, LinkLatencyTaxesSmallOps) {
+  // Same media curves as Optane, but every access pays the link
+  // latency: small-op streams must run strictly slower than on a local
+  // Optane device.
+  sim::Engine optane_engine;
+  OptaneDevice optane(optane_engine, 0, 1 * kGiB);
+  const SimTime on_optane =
+      time_one(optane, optane_engine, 0, read_spec(4 * kMB, 4 * kKiB));
+
+  sim::Engine cxl_engine;
+  CxlDevice cxl(cxl_engine, 0, 1 * kGiB);
+  const SimTime on_cxl =
+      time_one(cxl, cxl_engine, 0, read_spec(4 * kMB, 4 * kKiB));
+  EXPECT_GT(on_cxl, on_optane);
+}
+
+}  // namespace
+}  // namespace pmemflow::devices

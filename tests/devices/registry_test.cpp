@@ -1,0 +1,124 @@
+#include "devices/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace pmemflow::devices {
+namespace {
+
+TEST(Registry, BuiltinNamesAreStable) {
+  std::set<std::string> names;
+  for (const auto& preset : DeviceRegistry::builtin().presets()) {
+    names.insert(preset.name);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"optane-gen1", "optane-gen2",
+                                          "cxl-like", "dram-like"}));
+}
+
+TEST(Registry, UnknownPresetIsRecoverableError) {
+  const auto missing = DeviceRegistry::builtin().find("optane-gen3");
+  ASSERT_FALSE(missing.has_value());
+  // The error must be self-diagnosing: it names the known presets.
+  EXPECT_NE(missing.error().message.find("optane-gen1"), std::string::npos)
+      << missing.error().message;
+}
+
+TEST(Registry, ParseBackendUnknownNameIsError) {
+  EXPECT_FALSE(parse_backend("nvm-9000").has_value());
+  EXPECT_FALSE(parse_backend("optane-gen1/nvm-9000").has_value());
+  EXPECT_FALSE(parse_backend("").has_value());
+}
+
+TEST(Registry, PresetParamsRoundTripThroughSerialization) {
+  for (const auto& preset : DeviceRegistry::builtin().presets()) {
+    const std::string text = serialize_device_spec(preset.spec);
+    const auto parsed = parse_device_spec(text);
+    ASSERT_TRUE(parsed.has_value()) << preset.name << ": "
+                                    << parsed.error().message;
+    EXPECT_EQ(serialize_device_spec(*parsed), text) << preset.name;
+    EXPECT_EQ(parsed->fingerprint(), preset.spec.fingerprint())
+        << preset.name;
+    EXPECT_EQ(parsed->kind, preset.spec.kind) << preset.name;
+  }
+}
+
+TEST(Registry, ParseRejectsUnknownKey) {
+  EXPECT_FALSE(parse_device_spec("kind=optane optane.bogus=1").has_value());
+}
+
+TEST(Registry, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_device_spec("").has_value());
+  EXPECT_FALSE(parse_device_spec("optane.read_peak=39.4").has_value());
+  EXPECT_FALSE(parse_device_spec("kind=floppy").has_value());
+  EXPECT_FALSE(
+      parse_device_spec("kind=optane optane.read_peak=fast").has_value());
+}
+
+TEST(Registry, FingerprintsDistinguishPresets) {
+  std::set<std::uint64_t> fingerprints;
+  for (const auto& preset : DeviceRegistry::builtin().presets()) {
+    fingerprints.insert(preset.spec.fingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(),
+            DeviceRegistry::builtin().presets().size());
+}
+
+TEST(Registry, FingerprintTracksParameterChanges) {
+  DeviceSpec spec;
+  const std::uint64_t base = spec.fingerprint();
+  spec.optane.read_peak *= 1.3;
+  EXPECT_NE(spec.fingerprint(), base);
+}
+
+TEST(Registry, DeviceKindRoundTrip) {
+  for (const DeviceKind kind :
+       {DeviceKind::kOptane, DeviceKind::kDram, DeviceKind::kCxl}) {
+    const auto parsed = parse_device_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_device_kind("floppy").has_value());
+}
+
+TEST(Registry, UniformLocalityFollowsKind) {
+  DeviceSpec spec;
+  EXPECT_FALSE(spec.uniform_locality());
+  spec.kind = DeviceKind::kDram;
+  EXPECT_TRUE(spec.uniform_locality());
+  spec.kind = DeviceKind::kCxl;
+  EXPECT_TRUE(spec.uniform_locality());
+}
+
+TEST(Registry, PerSocketBackendParse) {
+  const auto mixed = parse_backend("optane-gen1/cxl-like");
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_FALSE(mixed->uniform());
+  EXPECT_EQ(mixed->for_socket(0).kind, DeviceKind::kOptane);
+  EXPECT_EQ(mixed->for_socket(1).kind, DeviceKind::kCxl);
+
+  const auto uniform = parse_backend("optane-gen1");
+  ASSERT_TRUE(uniform.has_value());
+  EXPECT_TRUE(uniform->uniform());
+  EXPECT_NE(mixed->fingerprint(), uniform->fingerprint());
+}
+
+TEST(Registry, InstantiateMatchesKind) {
+  sim::Engine engine;
+  for (const auto& preset : DeviceRegistry::builtin().presets()) {
+    const auto device = preset.spec.instantiate(engine, 0, 1 * kGiB);
+    ASSERT_NE(device, nullptr) << preset.name;
+    EXPECT_STREQ(device->kind_name(), to_string(preset.spec.kind))
+        << preset.name;
+    // The device's own locality model must agree with the spec's
+    // classification — benches and policies read the spec, flows hit
+    // the device.
+    EXPECT_EQ(device->locality_of(1) == sim::Locality::kLocal,
+              preset.spec.uniform_locality())
+        << preset.name;
+  }
+}
+
+}  // namespace
+}  // namespace pmemflow::devices

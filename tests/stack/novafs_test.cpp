@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "devices/optane_device.hpp"
 #include "stack/payload.hpp"
 
 namespace pmemflow::stack {
@@ -10,7 +11,7 @@ namespace {
 class NovaFsTest : public ::testing::Test {
  protected:
   sim::Engine engine_;
-  pmemsim::OptaneDevice device_{engine_, 0, 4ULL * kGiB};
+  devices::OptaneDevice device_{engine_, 0, 4ULL * kGiB};
   NovaFs fs_{device_};
 
   std::vector<std::byte> data(std::uint64_t seed, std::size_t size) {

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "core/executor.hpp"
+#include "devices/registry.hpp"
 #include "workloads/analytics.hpp"
 #include "workloads/gtc.hpp"
 #include "workloads/microbench.hpp"
@@ -345,15 +346,40 @@ int main(int argc, char** argv) {
   using namespace pmemflow;
   int search_budget = 0;
   std::uint64_t seed = 20260706;
+  std::string backend_name;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--search") == 0 && i + 1 < argc) {
       search_budget = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend_name = argv[++i];
     }
   }
 
   Knobs knobs;
+  if (!backend_name.empty()) {
+    // Seed the search from a registry preset instead of the library
+    // defaults. Only optane-kind presets expose the full knob surface
+    // (DRAM/CXL presets have no small-access or thrash regimes to
+    // tune), so anything else is an error, not a silent approximation.
+    const auto preset = devices::DeviceRegistry::builtin().find(backend_name);
+    if (!preset.has_value()) {
+      std::fprintf(stderr, "--backend: %s\n",
+                   preset.error().message.c_str());
+      return 2;
+    }
+    if (preset->spec.kind != devices::DeviceKind::kOptane) {
+      std::fprintf(stderr,
+                   "--backend %s: calibration tunes the Optane timing model; "
+                   "pick an optane-kind preset\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    knobs.optane = preset->spec.optane;
+    knobs.upi = preset->spec.upi;
+    std::printf("seeding knobs from preset %s\n", backend_name.c_str());
+  }
   if (search_budget > 0) {
     search(knobs, search_budget, seed);
   }

@@ -20,6 +20,7 @@
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "devices/registry.hpp"
 #include "service/arrivals.hpp"
 #include "traces/fit.hpp"
 #include "traces/replay.hpp"
@@ -133,6 +134,22 @@ int run_fit(const std::string& path) {
 }
 
 int run_generate(const std::string& path, const FlagParser& flags) {
+  // Traces are backend-agnostic (class mix + arrival process), but
+  // operators generate them with a target fleet in mind: resolve the
+  // preset now so a typo fails here, and echo the fingerprint the
+  // service will key its caches by.
+  const std::string backend_name = flags.get_string("backend");
+  if (!backend_name.empty()) {
+    const auto backend = devices::parse_backend(backend_name);
+    if (!backend.has_value()) {
+      return fail("--backend: " + backend.error().message);
+    }
+    std::cout << format(
+        "target backend %s (device fingerprint %016llx)\n",
+        backend_name.c_str(),
+        static_cast<unsigned long long>(backend->fingerprint()));
+  }
+
   service::ArrivalParams params;
   params.count = static_cast<std::uint64_t>(flags.get_int("count"));
   params.classes = static_cast<std::uint32_t>(flags.get_int("classes"));
@@ -215,6 +232,10 @@ int main(int argc, char** argv) {
                    "generate: fraction of kUrgent submissions");
   flags.add_double("batch-frac", 0.30,
                    "generate: fraction of kBatch submissions");
+  flags.add_string("backend", "",
+                   "generate: resolve this memory-backend preset and echo "
+                   "its device fingerprint (traces themselves are "
+                   "backend-agnostic)");
   flags.add_string("from", "",
                    "generate: fit this trace and generate its "
                    "statistically matched synthetic twin");

@@ -14,11 +14,14 @@
 //   pmemflowd --trace prod.csv --compare       # replay a recorded trace
 //   pmemflowd --trace prod.csv --time-scale 0.5 --limit 5000
 //   pmemflowd --record-trace out.csv           # record this run's stream
+//   pmemflowd --backend dram-like --compare    # fleet on another backend
+//   pmemflowd --node-backends optane-gen1,cxl-like   # heterogeneous fleet
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "devices/registry.hpp"
 #include "service/arrivals.hpp"
 #include "service/scheduler.hpp"
 #include "traces/replay.hpp"
@@ -65,6 +68,13 @@ int main(int argc, char** argv) {
   flags.add_double("urgent-frac", 0.10, "fraction of kUrgent submissions");
   flags.add_double("batch-frac", 0.30, "fraction of kBatch submissions");
   flags.add_int("cache-capacity", 1024, "profile cache capacity (classes)");
+  flags.add_string("backend", "optane-gen1",
+                   "memory backend preset for every node (see docs/DEVICES.md;"
+                   " 'a/b' selects per-socket backends)");
+  flags.add_string("node-backends", "",
+                   "comma-separated backend presets assigned round-robin "
+                   "across nodes (heterogeneous fleet; overrides --backend "
+                   "for placement-sensitive lookups)");
   flags.add_bool("compare", false,
                  "run every placement policy on the identical stream");
   flags.add_string("csv", "", "append per-policy metrics rows to this file");
@@ -162,6 +172,36 @@ int main(int argc, char** argv) {
   config.cache_capacity =
       static_cast<std::size_t>(flags.get_int("cache-capacity"));
 
+  // Fleet memory backend(s). --backend sets the uniform fleet backend
+  // (the scheduler executor's Runner); --node-backends builds a
+  // heterogeneous fleet by assigning presets round-robin across nodes.
+  const std::string backend_name = flags.get_string("backend");
+  auto backend = devices::parse_backend(backend_name);
+  if (!backend.has_value()) {
+    std::cerr << "error: --backend: " << backend.error().message << "\n";
+    return 1;
+  }
+  core::Executor executor{
+      workflow::Runner(topo::PlatformSpec{}, *backend)};
+  std::string fleet_desc = backend_name;
+  const std::string node_backends = flags.get_string("node-backends");
+  if (!node_backends.empty()) {
+    const auto names = split(node_backends, ',');
+    std::vector<service::NodeSpec> specs;
+    for (std::uint32_t i = 0; i < config.nodes; ++i) {
+      const std::string& name = names[i % names.size()];
+      auto node_backend = devices::parse_backend(name);
+      if (!node_backend.has_value()) {
+        std::cerr << "error: --node-backends: "
+                  << node_backend.error().message << "\n";
+        return 1;
+      }
+      specs.push_back(service::NodeSpec{name, *node_backend});
+    }
+    config.node_specs = std::move(specs);
+    fleet_desc = join(names, "+") + " (round-robin)";
+  }
+
   CsvWriter csv(service::service_csv_header());
 
   if (flags.get_bool("compare")) {
@@ -174,7 +214,7 @@ int main(int argc, char** argv) {
                               service::PlacementPolicy::kRecommenderAware,
                               service::PlacementPolicy::kColocationAware}) {
       config.policy = policy;
-      service::OnlineScheduler scheduler(config);
+      service::OnlineScheduler scheduler(config, executor);
       auto result = scheduler.run(stream);
       if (!result.has_value()) {
         std::cerr << "error: " << result.error().message << "\n";
@@ -190,8 +230,9 @@ int main(int argc, char** argv) {
       append_service_csv_row(csv, to_string(policy), m);
     }
     std::cout << format(
-        "=== %zu submissions (%s), %u nodes ===\n\n", stream.size(),
-        stream_origin.c_str(), config.nodes);
+        "=== %zu submissions (%s), %u nodes, backend %s ===\n\n",
+        stream.size(), stream_origin.c_str(), config.nodes,
+        fleet_desc.c_str());
     table.write(std::cout);
   } else {
     auto policy = parse_policy(flags.get_string("policy"));
@@ -204,7 +245,7 @@ int main(int argc, char** argv) {
     const std::string chrome_path = flags.get_string("chrome-trace");
     if (!chrome_path.empty()) config.tracer = &tracer;
 
-    service::OnlineScheduler scheduler(config);
+    service::OnlineScheduler scheduler(config, executor);
     auto result = scheduler.run(stream);
     if (!result.has_value()) {
       std::cerr << "error: " << result.error().message << "\n";
@@ -212,9 +253,10 @@ int main(int argc, char** argv) {
     }
     print_service_report(
         std::cout,
-        format("=== pmemflowd: %s, %zu submissions (%s), %u nodes ===",
+        format("=== pmemflowd: %s, %zu submissions (%s), %u nodes, "
+               "backend %s ===",
                to_string(config.policy), stream.size(),
-               stream_origin.c_str(), config.nodes),
+               stream_origin.c_str(), config.nodes, fleet_desc.c_str()),
         result->metrics);
     append_service_csv_row(csv, to_string(config.policy), result->metrics);
 
