@@ -1,0 +1,147 @@
+#include "bench_json.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace pmemflow::bench {
+namespace {
+
+void skip_whitespace(const std::string& text, std::size_t& at) {
+  while (at < text.size() &&
+         (text[at] == ' ' || text[at] == '\t' || text[at] == '\n' ||
+          text[at] == '\r')) {
+    ++at;
+  }
+}
+
+/// Parses a quoted JSON string starting at `at` (which must point to
+/// the opening quote); returns false on malformed input.
+bool parse_string(const std::string& text, std::size_t& at,
+                  std::string& out) {
+  if (at >= text.size() || text[at] != '"') return false;
+  ++at;
+  out.clear();
+  while (at < text.size() && text[at] != '"') {
+    if (text[at] == '\\' && at + 1 < text.size()) ++at;  // keep escapes raw
+    out.push_back(text[at]);
+    ++at;
+  }
+  if (at >= text.size()) return false;
+  ++at;  // closing quote
+  return true;
+}
+
+/// Captures one balanced JSON value (object, array, string, or
+/// scalar) verbatim; returns false on malformed input.
+bool capture_value(const std::string& text, std::size_t& at,
+                   std::string& out) {
+  skip_whitespace(text, at);
+  const std::size_t start = at;
+  int depth = 0;
+  bool in_string = false;
+  while (at < text.size()) {
+    const char c = text[at];
+    if (in_string) {
+      if (c == '\\') ++at;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) break;  // closing brace of the enclosing object
+      --depth;
+      if (depth == 0 && (text[start] == '{' || text[start] == '[')) {
+        ++at;
+        break;
+      }
+    } else if ((c == ',') && depth == 0) {
+      break;  // scalar value ended
+    }
+    ++at;
+  }
+  if (depth != 0 || in_string) return false;
+  out = text.substr(start, at - start);
+  // Trim trailing whitespace captured before the delimiter.
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\n' ||
+                          out.back() == '\r' || out.back() == '\t')) {
+    out.pop_back();
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in.is_open()) return;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t at = 0;
+  skip_whitespace(text, at);
+  if (at >= text.size() || text[at] != '{') return;
+  ++at;
+  while (true) {
+    skip_whitespace(text, at);
+    if (at < text.size() && text[at] == ',') {
+      ++at;
+      skip_whitespace(text, at);
+    }
+    if (at >= text.size() || text[at] == '}') break;
+    std::string name, value;
+    if (!parse_string(text, at, name)) {
+      sections_.clear();  // malformed: start over empty
+      return;
+    }
+    skip_whitespace(text, at);
+    if (at >= text.size() || text[at] != ':') {
+      sections_.clear();
+      return;
+    }
+    ++at;
+    if (!capture_value(text, at, value)) {
+      sections_.clear();
+      return;
+    }
+    sections_.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+void BenchJson::set_section(
+    const std::string& section,
+    const std::vector<std::pair<std::string, double>>& values) {
+  std::string rendered = "{";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) rendered += ", ";
+    rendered += format("\"%s\": %.10g", values[i].first.c_str(),
+                       values[i].second);
+  }
+  rendered += "}";
+  for (auto& [name, value] : sections_) {
+    if (name == section) {
+      value = std::move(rendered);
+      return;
+    }
+  }
+  sections_.emplace_back(section, std::move(rendered));
+}
+
+bool BenchJson::write() const {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << "{\n";
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    out << "  \"" << sections_[i].first << "\": " << sections_[i].second;
+    if (i + 1 < sections_.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+  return out.good();
+}
+
+}  // namespace pmemflow::bench

@@ -1,0 +1,40 @@
+// Read-modify-write helper for the benchmark summary JSON that CI
+// uploads as an artifact (BENCH_service.json at the repo root).
+//
+// Each service bench owns one top-level section and leaves whatever
+// the other benches wrote untouched, so running the benches in any
+// order (or re-running one) converges on the same file. The parser
+// only needs to understand the subset this helper itself emits: an
+// object of named object sections with numeric leaf values.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmemflow::bench {
+
+class BenchJson {
+ public:
+  /// Loads `path` if it exists (a missing or unparsable file starts
+  /// empty — the bench then recreates it).
+  explicit BenchJson(std::string path);
+
+  /// Replaces (or appends) `section` with the given key → value pairs,
+  /// preserving insertion order.
+  void set_section(const std::string& section,
+                   const std::vector<std::pair<std::string, double>>& values);
+
+  /// Rewrites the file with every section, kept or replaced. Returns
+  /// false on I/O failure.
+  [[nodiscard]] bool write() const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  /// Section name → raw JSON value text, in file order.
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+}  // namespace pmemflow::bench

@@ -1,0 +1,266 @@
+// PMEM-capacity bench (capacity-subsystem acceptance gate).
+//
+// Drives one Poisson stream of long-lived multi-version workflows
+// through the online scheduler four times on a small-DIMM fleet:
+//
+//   baseline   least-loaded, capacity model off entirely;
+//   unbounded  least-loaded, every capacity knob set (retention,
+//              staging) but pmem_per_socket = 0 — the model must stay
+//              fully dormant;
+//   blind      least-loaded with bounded per-socket pools and version
+//              GC off: every channel leases its full version volume
+//              and leaves it all cold at finish, so dispatches keep
+//              tripping over residue — the eviction-storm regime;
+//   aware      capacity-aware placement with retain-2 GC and the DRAM
+//              staging tier: small retained-window leases, spill to
+//              the other socket before evicting, evict before
+//              deferring.
+//
+// Gates:
+//   1. unbounded is byte-identical to baseline, record by record, and
+//      reports zero capacity metrics — bounded pools are strictly
+//      opt-in;
+//   2. blind storms: it performs evictions (cold residue collides with
+//      new leases);
+//   3. aware meets the SLO the blind run collapses under: better P99
+//      queueing delay AND makespan AND fewer evictions.
+//
+// Appends an aggregate section to BENCH_service.json (shared with
+// service_throughput) for the CI artifact.
+//
+//   service_capacity [--submissions N] [--nodes N] [--capacity-gb G]
+//                    [--smoke] [--csv f] [--json f]
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "service/arrivals.hpp"
+#include "service/scheduler.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+bool identical_records(const service::CompletionRecord& a,
+                       const service::CompletionRecord& b) {
+  return a.id == b.id && a.label == b.label && a.priority == b.priority &&
+         a.node == b.node && a.config == b.config &&
+         a.cache_hit == b.cache_hit && a.arrival_ns == b.arrival_ns &&
+         a.start_ns == b.start_ns && a.finish_ns == b.finish_ns &&
+         a.best_runtime_ns == b.best_runtime_ns &&
+         a.config_runtime_ns == b.config_runtime_ns &&
+         a.preemptions == b.preemptions && a.migrations == b.migrations &&
+         a.checkpoint_ns == b.checkpoint_ns && a.restore_ns == b.restore_ns &&
+         a.work_executed_ns == b.work_executed_ns;
+}
+
+struct Outcome {
+  const char* label = "";
+  service::ServiceMetrics metrics;
+  std::vector<service::CompletionRecord> completions;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t submissions = 2000;
+  std::uint32_t nodes = 4;
+  double capacity_gb = 64.0;
+  bool smoke = false;
+  std::string csv_path;
+  std::string json_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--submissions") == 0 && i + 1 < argc) {
+      submissions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--capacity-gb") == 0 && i + 1 < argc) {
+      capacity_gb = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) submissions = std::min<std::uint64_t>(submissions, 400);
+
+  service::ArrivalParams arrivals;
+  arrivals.count = submissions;
+  arrivals.classes = 12;
+  // Long-lived channels with real volume: the gap keeps the aware run
+  // stable while the blind run's eviction drains push it underwater.
+  arrivals.mean_interarrival_ns = 2.0e9;
+  auto stream = *service::make_submission_stream(arrivals);
+  // The pool's classes run 2 iterations — too few committed versions
+  // for retention to matter. Stretch every submission to 6 so a
+  // capacity-blind lease (all versions) is 3x the retain-2 window.
+  for (service::Submission& submission : stream) {
+    submission.spec.iterations = 6;
+  }
+
+  const auto capacity_bytes =
+      static_cast<Bytes>(capacity_gb * 1e9);
+
+  std::cout << format(
+      "=== Capacity: %llu submissions, %u classes, %u nodes, "
+      "%.0f GB/socket ===\n\n",
+      static_cast<unsigned long long>(arrivals.count), arrivals.classes,
+      nodes, capacity_gb);
+
+  service::ServiceConfig config;
+  config.nodes = nodes;
+  config.queue_capacity = static_cast<std::size_t>(submissions);
+  config.defer_watermark = 1.0;  // identical completion sets
+  config.policy = service::PlacementPolicy::kLeastLoaded;
+
+  // The capacity knobs every bounded arm shares; pmem_per_socket is
+  // what switches the model on.
+  capacity::ResidencyParams bounded;
+  bounded.pmem_per_socket = capacity_bytes;
+  bounded.retention.retain_versions = 2;
+  bounded.retention.gc = true;
+  bounded.staging.stage_bytes = 2 * kGiB;
+
+  std::vector<Outcome> outcomes;
+  CsvWriter csv(service::service_csv_header());
+  auto run_arm = [&](const char* label) -> bool {
+    service::OnlineScheduler scheduler(config);
+    auto result = scheduler.run(stream);
+    if (!result.has_value()) {
+      std::cerr << "error: " << label << ": " << result.error().message
+                << "\n";
+      return false;
+    }
+    Outcome outcome;
+    outcome.label = label;
+    outcome.metrics = result->metrics;
+    outcome.completions = std::move(result->completions);
+    append_service_csv_row(csv, label, outcome.metrics);
+    outcomes.push_back(std::move(outcome));
+    return true;
+  };
+
+  // Arm 1: capacity model off entirely.
+  config.capacity = capacity::ResidencyParams{};
+  if (!run_arm("baseline")) return 1;
+
+  // Arm 2: every knob set, pools unbounded — must stay dormant.
+  config.capacity = bounded;
+  config.capacity.pmem_per_socket = 0;
+  if (!run_arm("unbounded")) return 1;
+
+  // Arm 3: bounded pools, GC off — the capacity-blind regime.
+  config.capacity = bounded;
+  config.capacity.retention.retain_versions = 0;
+  config.capacity.retention.gc = false;
+  config.capacity.staging.stage_bytes = 0;
+  if (!run_arm("blind")) return 1;
+
+  // Arm 4: capacity-aware placement with GC and staging.
+  config.policy = service::PlacementPolicy::kCapacityAware;
+  config.capacity = bounded;
+  if (!run_arm("aware")) return 1;
+
+  const Outcome& baseline = outcomes[0];
+  const Outcome& unbounded = outcomes[1];
+  const Outcome& blind = outcomes[2];
+  const Outcome& aware = outcomes[3];
+
+  TextTable table({"Arm", "P99 delay", "Makespan", "Evictions", "GC bytes",
+                   "Stage hits", "High water"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight});
+  for (const Outcome& outcome : outcomes) {
+    const auto& m = outcome.metrics;
+    table.add_row(
+        {outcome.label, format("%.2f ms", m.queue_delay_ns.p99 / 1e6),
+         format("%.3f s", static_cast<double>(m.makespan_ns) / 1e9),
+         format("%llu", static_cast<unsigned long long>(m.evictions)),
+         format("%.2f GB", static_cast<double>(m.gc_bytes) / 1e9),
+         format("%llu", static_cast<unsigned long long>(m.stage_hits)),
+         format("%.2f GB",
+                static_cast<double>(m.residency_high_water) / 1e9)});
+  }
+  table.write(std::cout);
+
+  // Gate 1: unbounded pools keep the model dormant — byte-identical
+  // schedule and all-zero capacity metrics.
+  bool identical =
+      unbounded.completions.size() == baseline.completions.size();
+  for (std::size_t i = 0; identical && i < unbounded.completions.size();
+       ++i) {
+    identical =
+        identical_records(unbounded.completions[i], baseline.completions[i]);
+  }
+  const auto& um = unbounded.metrics;
+  const bool dormant = um.evictions == 0 && um.gc_bytes == 0 &&
+                       um.stage_hits == 0 && um.residency_high_water == 0;
+  std::cout << format(
+      "\nunbounded vs baseline  %llu records  %s, capacity metrics %s\n",
+      static_cast<unsigned long long>(baseline.completions.size()),
+      identical ? "IDENTICAL" : "DIVERGED", dormant ? "zero" : "NONZERO");
+
+  // Gate 2: the capacity-blind run trips over cold residue.
+  const bool storms = blind.metrics.evictions > 0;
+  std::cout << format("blind evictions        %llu  %s\n",
+                      static_cast<unsigned long long>(blind.metrics.evictions),
+                      storms ? "STORM" : "none (gate vacuous)");
+
+  // Gate 3: capacity-aware placement + GC meets the SLO blind
+  // collapses under.
+  const bool slo =
+      aware.metrics.queue_delay_ns.p99 < blind.metrics.queue_delay_ns.p99 &&
+      aware.metrics.makespan_ns < blind.metrics.makespan_ns &&
+      aware.metrics.evictions < blind.metrics.evictions;
+  std::cout << format(
+      "aware vs blind         p99 %.2fx  makespan %.2fx  evictions "
+      "%llu vs %llu  %s\n",
+      blind.metrics.queue_delay_ns.p99 /
+          std::max(aware.metrics.queue_delay_ns.p99, 1.0),
+      static_cast<double>(blind.metrics.makespan_ns) /
+          static_cast<double>(std::max<SimDuration>(aware.metrics.makespan_ns,
+                                                    1)),
+      static_cast<unsigned long long>(aware.metrics.evictions),
+      static_cast<unsigned long long>(blind.metrics.evictions),
+      slo ? "WIN" : "LOSS");
+
+  const bool pass = identical && dormant && storms && slo;
+  std::cout << "\nresult: "
+            << (pass ? "capacity-aware + GC meets the SLO small DIMMs break "
+                       "for capacity-blind placement"
+                     : "capacity gate FAILED")
+            << "\n";
+
+  bench::BenchJson json(json_path);
+  json.set_section(
+      "service_capacity",
+      {{"submissions", static_cast<double>(submissions)},
+       {"nodes", static_cast<double>(nodes)},
+       {"capacity_gb", capacity_gb},
+       {"blind_p99_delay_ms", blind.metrics.queue_delay_ns.p99 / 1e6},
+       {"aware_p99_delay_ms", aware.metrics.queue_delay_ns.p99 / 1e6},
+       {"blind_makespan_s",
+        static_cast<double>(blind.metrics.makespan_ns) / 1e9},
+       {"aware_makespan_s",
+        static_cast<double>(aware.metrics.makespan_ns) / 1e9},
+       {"blind_evictions", static_cast<double>(blind.metrics.evictions)},
+       {"aware_evictions", static_cast<double>(aware.metrics.evictions)},
+       {"aware_gc_gb", static_cast<double>(aware.metrics.gc_bytes) / 1e9},
+       {"aware_stage_hits", static_cast<double>(aware.metrics.stage_hits)},
+       {"pass", pass ? 1.0 : 0.0}});
+  if (!json.write()) {
+    std::cerr << "error: could not write " << json_path << "\n";
+    return 1;
+  }
+  if (!csv_path.empty() && !csv.write_file(csv_path)) {
+    std::cerr << "error: could not write " << csv_path << "\n";
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

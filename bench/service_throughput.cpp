@@ -15,10 +15,18 @@
 // rule degenerates to "the node that just freed"; only the
 // configuration choice still has leverage.
 //
-//   service_throughput [--submissions N] [--nodes N] [--csv out.csv]
+//   service_throughput [--submissions N] [--nodes N] [--smoke]
+//                      [--csv out.csv] [--json f]
+//
+// --smoke shrinks the stream for CI tier-1. The run also appends a
+// "service_throughput" section (wall-clock events/sec and the
+// recommender-aware p99 delay) to BENCH_service.json for the CI
+// artifact.
+#include <chrono>
 #include <cstring>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -30,16 +38,23 @@ int main(int argc, char** argv) {
 
   std::uint64_t submissions = 100000;
   std::uint32_t nodes = 8;
+  bool smoke = false;
   std::string csv_path;
+  std::string json_path = "BENCH_service.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--submissions") == 0 && i + 1 < argc) {
       submissions = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       nodes = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     }
   }
+  if (smoke) submissions = std::min<std::uint64_t>(submissions, 5000);
 
   service::ArrivalParams arrivals;
   arrivals.count = submissions;
@@ -78,17 +93,28 @@ int main(int argc, char** argv) {
                    Align::kRight, Align::kRight, Align::kRight, Align::kRight});
   CsvWriter csv(service::service_csv_header());
 
+  // Wall-clock accounting for the throughput section of
+  // BENCH_service.json: completions + retries across every policy
+  // run, over the time spent inside run().
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+
   for (const auto policy : {service::PlacementPolicy::kFirstFit,
                             service::PlacementPolicy::kLeastLoaded,
                             service::PlacementPolicy::kRecommenderAware}) {
     config.policy = policy;
     service::OnlineScheduler scheduler(config);
+    const auto wall_start = std::chrono::steady_clock::now();
     auto result = scheduler.run(stream);
+    wall_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
     if (!result.has_value()) {
       std::cerr << "error: " << result.error().message << "\n";
       return 1;
     }
     const auto& m = result->metrics;
+    events_processed += m.completed + m.retries;
     outcomes.push_back({policy, m});
     table.add_row(
         {to_string(policy),
@@ -125,6 +151,29 @@ int main(int argc, char** argv) {
                      : "recommender-aware does NOT dominate (unexpected)")
             << "\n";
 
+  const auto& recommender = outcomes.back().metrics;
+  bench::BenchJson json(json_path);
+  json.set_section(
+      "service_throughput",
+      {{"submissions", static_cast<double>(submissions)},
+       {"nodes", static_cast<double>(nodes)},
+       {"policy_runs", static_cast<double>(outcomes.size())},
+       {"wall_seconds", wall_seconds},
+       {"events_per_sec",
+        wall_seconds > 0.0 ? static_cast<double>(events_processed) /
+                                 wall_seconds
+                           : 0.0},
+       {"submissions_per_sec",
+        wall_seconds > 0.0
+            ? static_cast<double>(submissions * outcomes.size()) /
+                  wall_seconds
+            : 0.0},
+       {"p99_delay_ms", recommender.queue_delay_ns.p99 / 1e6},
+       {"pass", wins ? 1.0 : 0.0}});
+  if (!json.write()) {
+    std::cerr << "error: could not write " << json_path << "\n";
+    return 1;
+  }
   if (!csv_path.empty() && !csv.write_file(csv_path)) {
     std::cerr << "error: could not write " << csv_path << "\n";
     return 1;

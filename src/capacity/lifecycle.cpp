@@ -1,0 +1,60 @@
+#include "capacity/lifecycle.hpp"
+
+#include <algorithm>
+
+namespace pmemflow::capacity {
+
+std::uint32_t retained_versions(const RetentionParams& retention,
+                                std::uint32_t iterations) noexcept {
+  const std::uint32_t window = std::max<std::uint32_t>(
+      1, retention.enabled() ? retention.retain_versions : 1);
+  return std::min(window, std::max<std::uint32_t>(1, iterations));
+}
+
+Bytes retained_bytes(Bytes snapshot_bytes_per_iteration,
+                     std::uint32_t iterations,
+                     const RetentionParams& retention) noexcept {
+  return snapshot_bytes_per_iteration * retained_versions(retention, iterations);
+}
+
+Bytes gc_reclaimable_bytes(Bytes snapshot_bytes_per_iteration,
+                           std::uint32_t iterations,
+                           const RetentionParams& retention) noexcept {
+  if (!retention.enabled() || !retention.gc) return 0;
+  const std::uint32_t live = retained_versions(retention, iterations);
+  if (iterations <= live) return 0;
+  return snapshot_bytes_per_iteration * (iterations - live);
+}
+
+SimDuration gc_drain_ns(Bytes bytes, const RetentionParams& retention) noexcept {
+  return transfer_time(bytes, retention.gc_write_bw);
+}
+
+Bytes metadata_peak_bytes(const NovaGrowthParams& growth,
+                          std::uint64_t ops_per_iteration,
+                          std::uint32_t iterations) noexcept {
+  const std::uint64_t total_ops = ops_per_iteration * iterations;
+  const std::uint64_t window =
+      growth.checkpoint_interval_ops == 0
+          ? total_ops
+          : std::min(total_ops, growth.checkpoint_interval_ops);
+  const double per_op =
+      std::max(0.0, growth.log_bytes_per_op) +
+      std::max(0.0, growth.journal_bytes_per_op);
+  return static_cast<Bytes>(per_op * static_cast<double>(window));
+}
+
+ChannelLease estimate_lease(Bytes snapshot_bytes_per_iteration,
+                            std::uint64_t ops_per_iteration,
+                            std::uint32_t iterations,
+                            const RetentionParams& retention,
+                            const NovaGrowthParams& growth) noexcept {
+  ChannelLease lease;
+  lease.snapshot_bytes =
+      retained_bytes(snapshot_bytes_per_iteration, iterations, retention);
+  lease.metadata_bytes =
+      metadata_peak_bytes(growth, ops_per_iteration, iterations);
+  return lease;
+}
+
+}  // namespace pmemflow::capacity

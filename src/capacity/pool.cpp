@@ -1,0 +1,27 @@
+#include "capacity/pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow::capacity {
+
+Status CapacityPool::acquire(Bytes bytes) {
+  if (bounded() && bytes > capacity_ - used_) {
+    return make_error(format(
+        "capacity pool cannot fit a %s lease: %s of %s free",
+        format_bytes(bytes).c_str(), format_bytes(capacity_ - used_).c_str(),
+        format_bytes(capacity_).c_str()));
+  }
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  return ok_status();
+}
+
+void CapacityPool::release(Bytes bytes) {
+  PMEMFLOW_ASSERT_MSG(bytes <= used_, "capacity pool over-release");
+  used_ -= bytes;
+}
+
+}  // namespace pmemflow::capacity

@@ -1,0 +1,53 @@
+// Per-socket PMEM capacity pool.
+//
+// The paper's scheduler treats Optane purely as a bandwidth/latency
+// resource; every workflow in it also *occupies* App-Direct capacity
+// (nvstream retains version snapshots, novafs grows logs and
+// journals). A CapacityPool is the accounting side of that occupancy:
+// channel placements acquire byte leases charged against the socket's
+// interleave-set capacity, GC and eviction release them. Capacity 0
+// means unbounded — the pre-capacity-model behaviour — and every
+// acquire trivially succeeds, so schedules stay byte-identical to a
+// build without the model.
+#pragma once
+
+#include "common/expected.hpp"
+#include "common/units.hpp"
+
+namespace pmemflow::capacity {
+
+class CapacityPool {
+ public:
+  /// 0 = unbounded (accounting only, never rejects).
+  explicit CapacityPool(Bytes capacity = 0) : capacity_(capacity) {}
+
+  [[nodiscard]] bool bounded() const noexcept { return capacity_ != 0; }
+  [[nodiscard]] Bytes capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Bytes used() const noexcept { return used_; }
+  /// Peak concurrent occupancy seen so far.
+  [[nodiscard]] Bytes high_water() const noexcept { return high_water_; }
+
+  /// Bytes still acquirable; saturates at max for an unbounded pool.
+  [[nodiscard]] Bytes free() const noexcept {
+    if (!bounded()) return ~Bytes{0};
+    return capacity_ - used_;
+  }
+
+  [[nodiscard]] bool fits(Bytes bytes) const noexcept {
+    return !bounded() || bytes <= capacity_ - used_;
+  }
+
+  /// Charges a lease to the pool; fails (no side effects) when a
+  /// bounded pool cannot fit it.
+  Status acquire(Bytes bytes);
+
+  /// Returns (part of) a lease. Asserts on over-release.
+  void release(Bytes bytes);
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes high_water_ = 0;
+};
+
+}  // namespace pmemflow::capacity

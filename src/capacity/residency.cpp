@@ -1,0 +1,115 @@
+#include "capacity/residency.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::capacity {
+
+ResidencyTracker::ResidencyTracker(std::vector<std::vector<Bytes>> capacities) {
+  sockets_per_node_.reserve(capacities.size());
+  for (const auto& node : capacities) {
+    sockets_per_node_.push_back(node.size());
+    for (const Bytes capacity : node) {
+      pools_.emplace_back(capacity);
+      cold_.emplace_back();
+    }
+  }
+}
+
+std::size_t ResidencyTracker::index(std::size_t node,
+                                    std::size_t socket) const {
+  PMEMFLOW_ASSERT_MSG(node < sockets_per_node_.size(),
+                      "residency tracker: node out of range");
+  PMEMFLOW_ASSERT_MSG(socket < sockets_per_node_[node],
+                      "residency tracker: socket out of range");
+  std::size_t base = 0;
+  for (std::size_t n = 0; n < node; ++n) base += sockets_per_node_[n];
+  return base + socket;
+}
+
+const CapacityPool& ResidencyTracker::pool(std::size_t node,
+                                           std::size_t socket) const {
+  return pools_[index(node, socket)];
+}
+
+bool ResidencyTracker::fits(std::size_t node, std::size_t socket,
+                            Bytes bytes) const {
+  return pools_[index(node, socket)].fits(bytes);
+}
+
+bool ResidencyTracker::fits_after_eviction(std::size_t node,
+                                           std::size_t socket,
+                                           Bytes bytes) const {
+  const std::size_t i = index(node, socket);
+  const CapacityPool& pool = pools_[i];
+  if (!pool.bounded()) return true;
+  const Bytes reclaimable = evictable_bytes(node, socket);
+  const Bytes used_after =
+      pool.used() > reclaimable ? pool.used() - reclaimable : 0;
+  return bytes <= pool.capacity() - used_after;
+}
+
+Bytes ResidencyTracker::evictable_bytes(std::size_t node,
+                                        std::size_t socket) const {
+  Bytes total = 0;
+  for (const ColdResident& resident : cold_[index(node, socket)]) {
+    total += resident.bytes;
+  }
+  return total;
+}
+
+Status ResidencyTracker::acquire(std::size_t node, std::size_t socket,
+                                 Bytes bytes) {
+  return pools_[index(node, socket)].acquire(bytes);
+}
+
+void ResidencyTracker::release(std::size_t node, std::size_t socket,
+                               Bytes bytes) {
+  pools_[index(node, socket)].release(bytes);
+}
+
+void ResidencyTracker::add_cold(std::size_t node, std::size_t socket,
+                                std::uint64_t id, Bytes bytes,
+                                SimTime finished_ns) {
+  if (bytes == 0) return;
+  cold_[index(node, socket)].push_back({finished_ns, id, bytes});
+}
+
+Bytes ResidencyTracker::evict_cold(std::size_t node, std::size_t socket,
+                                   Bytes needed) {
+  const std::size_t i = index(node, socket);
+  Bytes evicted = 0;
+  while (!cold_[i].empty() && !pools_[i].fits(needed)) {
+    const ColdResident resident = cold_[i].front();
+    cold_[i].pop_front();
+    pools_[i].release(resident.bytes);
+    evicted += resident.bytes;
+    stats_.evictions += 1;
+    stats_.evicted_bytes += resident.bytes;
+  }
+  return evicted;
+}
+
+Bytes ResidencyTracker::collect_cold(std::size_t node, std::size_t socket,
+                                     std::uint64_t id) {
+  auto& queue = cold_[index(node, socket)];
+  const auto it =
+      std::find_if(queue.begin(), queue.end(),
+                   [id](const ColdResident& r) { return r.id == id; });
+  if (it == queue.end()) return 0;
+  const Bytes bytes = it->bytes;
+  pools_[index(node, socket)].release(bytes);
+  queue.erase(it);
+  return bytes;
+}
+
+Bytes ResidencyTracker::residency_high_water() const noexcept {
+  Bytes high = 0;
+  for (const CapacityPool& pool : pools_) {
+    high = std::max(high, pool.high_water());
+  }
+  return high;
+}
+
+}  // namespace pmemflow::capacity

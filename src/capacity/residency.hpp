@@ -1,0 +1,105 @@
+// Fleet-wide PMEM residency: per-(node, socket) pools plus cold
+// version eviction.
+//
+// The service layer charges every running channel's lease to the pool
+// of the socket it writes on. When a channel finishes, its retained
+// versions stay resident ("cold") until GC or eviction reclaims them —
+// that residue is what a capacity-blind scheduler trips over. The
+// tracker keeps cold residents in finish order so eviction is
+// oldest-first, and counts evictions / reclaimed bytes for the
+// service metrics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "capacity/lifecycle.hpp"
+#include "capacity/pool.hpp"
+#include "capacity/staging.hpp"
+#include "common/expected.hpp"
+#include "common/units.hpp"
+
+namespace pmemflow::capacity {
+
+/// Knobs for the service-layer capacity model. `pmem_per_socket == 0`
+/// disables the model entirely: no pools, no leases, no eviction, and
+/// schedules stay byte-identical to a capacity-unaware build.
+struct ResidencyParams {
+  /// Default per-socket PMEM capacity charged against (a node's device
+  /// spec can override it via DeviceSpec::capacity). 0 = disabled.
+  Bytes pmem_per_socket = 0;
+  RetentionParams retention;
+  NovaGrowthParams nova;
+  StagingParams staging;
+
+  [[nodiscard]] bool enabled() const noexcept { return pmem_per_socket != 0; }
+};
+
+/// Per-(node, socket) capacity pools with cold-resident eviction.
+class ResidencyTracker {
+ public:
+  struct Stats {
+    std::uint64_t evictions = 0;
+    Bytes evicted_bytes = 0;
+    /// Bytes reclaimed by version GC (noted by the scheduler).
+    Bytes gc_bytes = 0;
+  };
+
+  ResidencyTracker() = default;
+  /// `capacities[node][socket]` sizes each pool; 0 = unbounded.
+  explicit ResidencyTracker(std::vector<std::vector<Bytes>> capacities);
+
+  [[nodiscard]] bool empty() const noexcept { return pools_.empty(); }
+  [[nodiscard]] std::size_t nodes() const noexcept { return pools_.size(); }
+
+  [[nodiscard]] const CapacityPool& pool(std::size_t node,
+                                         std::size_t socket) const;
+
+  [[nodiscard]] bool fits(std::size_t node, std::size_t socket,
+                          Bytes bytes) const;
+  /// True if `bytes` fits after evicting every cold resident.
+  [[nodiscard]] bool fits_after_eviction(std::size_t node, std::size_t socket,
+                                         Bytes bytes) const;
+  [[nodiscard]] Bytes evictable_bytes(std::size_t node,
+                                      std::size_t socket) const;
+
+  Status acquire(std::size_t node, std::size_t socket, Bytes bytes);
+  void release(std::size_t node, std::size_t socket, Bytes bytes);
+
+  /// Registers a finished channel's retained residue as cold (already
+  /// charged to the pool; eviction will release it).
+  void add_cold(std::size_t node, std::size_t socket, std::uint64_t id,
+                Bytes bytes, SimTime finished_ns);
+
+  /// Evicts cold residents oldest-first until `needed` bytes are free
+  /// (or none remain). Returns the bytes actually evicted.
+  Bytes evict_cold(std::size_t node, std::size_t socket, Bytes needed);
+
+  /// Drops one cold resident by id without counting an eviction (GC
+  /// reclaimed it in the background). Returns its bytes, 0 if absent.
+  Bytes collect_cold(std::size_t node, std::size_t socket, std::uint64_t id);
+
+  void note_gc(Bytes bytes) { stats_.gc_bytes += bytes; }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Max high-water occupancy across every pool.
+  [[nodiscard]] Bytes residency_high_water() const noexcept;
+
+ private:
+  struct ColdResident {
+    SimTime finished_ns = 0;
+    std::uint64_t id = 0;
+    Bytes bytes = 0;
+  };
+
+  [[nodiscard]] std::size_t index(std::size_t node, std::size_t socket) const;
+
+  std::vector<CapacityPool> pools_;
+  std::vector<std::deque<ColdResident>> cold_;
+  std::vector<std::size_t> sockets_per_node_;
+  Stats stats_;
+};
+
+}  // namespace pmemflow::capacity

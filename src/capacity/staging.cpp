@@ -1,0 +1,34 @@
+#include "capacity/staging.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmemflow::capacity {
+
+AbsorbResult StagingTier::absorb(Bytes part) {
+  AbsorbResult result;
+  if (!enabled() || part == 0) {
+    result.absorb_ns = transfer_time(part, params_.drain_write_bw);
+    return result;
+  }
+  stats_.writes += 1;
+  const Bytes staged = std::min(part, free());
+  const Bytes throttled = part - staged;
+  used_ += staged;
+  result.staged_bytes = staged;
+  result.hit = throttled == 0;
+  result.absorb_ns = transfer_time(staged, params_.dram_write_bw) +
+                     transfer_time(throttled, params_.drain_write_bw);
+  stats_.hits += result.hit ? 1 : 0;
+  stats_.bytes_staged += staged;
+  stats_.bytes_throttled += throttled;
+  return result;
+}
+
+void StagingTier::drained(Bytes bytes) {
+  PMEMFLOW_ASSERT_MSG(bytes <= used_, "staging tier drained more than staged");
+  used_ -= bytes;
+}
+
+}  // namespace pmemflow::capacity

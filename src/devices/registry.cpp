@@ -83,6 +83,10 @@ void map_dram_params(FieldMap& map, DramParams& p) {
 /// blocks neither serialize nor perturb the fingerprint.
 FieldMap fields_of(DeviceSpec& spec) {
   FieldMap map;
+  // Common to every kind: the capacity of the backing space (0 =
+  // platform-sized). First u64 so it serializes ahead of the
+  // kind-specific integer fields.
+  map.u64s.emplace_back("capacity", &spec.capacity);
   switch (spec.kind) {
     case DeviceKind::kOptane:
       map_optane_params(map, "optane.", spec.optane);
@@ -138,15 +142,15 @@ Bytes DeviceSpec::small_access_threshold() const noexcept {
 }
 
 std::unique_ptr<MemoryDevice> DeviceSpec::instantiate(
-    sim::Engine& engine, topo::SocketId socket, Bytes capacity) const {
+    sim::Engine& engine, topo::SocketId socket, Bytes space_bytes) const {
   switch (kind) {
     case DeviceKind::kOptane:
-      return std::make_unique<OptaneDevice>(engine, socket, capacity, optane,
-                                            upi);
+      return std::make_unique<OptaneDevice>(engine, socket, space_bytes,
+                                            optane, upi);
     case DeviceKind::kDram:
-      return std::make_unique<DramDevice>(engine, socket, capacity, dram);
+      return std::make_unique<DramDevice>(engine, socket, space_bytes, dram);
     case DeviceKind::kCxl:
-      return std::make_unique<CxlDevice>(engine, socket, capacity, cxl);
+      return std::make_unique<CxlDevice>(engine, socket, space_bytes, cxl);
   }
   PMEMFLOW_ASSERT_MSG(false, "unreachable: bad DeviceKind");
   return nullptr;

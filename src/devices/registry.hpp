@@ -39,6 +39,17 @@ struct DeviceSpec {
   interconnect::UpiParams upi{};
   DramParams dram{};
   CxlParams cxl{};
+  /// Capacity of the backing space in bytes. 0 (the default) means
+  /// "sized by the platform": instantiating callers fall back to the
+  /// platform's per-socket PMEM capacity. Serialized (and therefore
+  /// fingerprinted) for every kind, so two otherwise identical
+  /// backends with different DIMM populations never share a cache key.
+  Bytes capacity = 0;
+
+  /// `capacity`, or `fallback` when the spec leaves it platform-sized.
+  [[nodiscard]] Bytes capacity_or(Bytes fallback) const noexcept {
+    return capacity != 0 ? capacity : fallback;
+  }
 
   /// Stable digest of kind + active parameters: two specs fingerprint
   /// equal iff they time identically. Keys the profile/interference
@@ -55,9 +66,10 @@ struct DeviceSpec {
     return kind != DeviceKind::kOptane;
   }
 
-  /// Builds the described device attached to `socket`.
+  /// Builds the described device attached to `socket` with a backing
+  /// space of `space_bytes` (the caller resolves `capacity_or`).
   [[nodiscard]] std::unique_ptr<MemoryDevice> instantiate(
-      sim::Engine& engine, topo::SocketId socket, Bytes capacity) const;
+      sim::Engine& engine, topo::SocketId socket, Bytes space_bytes) const;
 };
 
 /// Canonical `kind=... key=value ...` form; fixed field order, doubles

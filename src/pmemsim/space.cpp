@@ -16,16 +16,68 @@ Expected<PmemOffset> PmemSpace::reserve(Bytes size) {
   if (size == 0) {
     return make_error("cannot reserve a zero-byte extent");
   }
+  // Prefer a released extent (lowest offset first): reclaimed snapshot
+  // space is really available again and does not grow the high-water
+  // mark.
+  for (auto it = free_extents_.begin(); it != free_extents_.end(); ++it) {
+    if (it->second < size) continue;
+    const PmemOffset offset = it->first;
+    const Bytes leftover = it->second - size;
+    free_extents_.erase(it);
+    if (leftover > 0) free_extents_.emplace(offset + size, leftover);
+    free_bytes_ -= size;
+    return offset;
+  }
   if (next_free_ + size > capacity_) {
     return make_error(format(
         "PMEM space exhausted: %s requested, %s of %s free",
         format_bytes(size).c_str(),
-        format_bytes(capacity_ - next_free_).c_str(),
+        format_bytes(capacity_ - reserved()).c_str(),
         format_bytes(capacity_).c_str()));
   }
   const PmemOffset offset = next_free_;
   next_free_ += size;
   return offset;
+}
+
+void PmemSpace::release(PmemOffset offset, Bytes size) {
+  if (size == 0) return;
+  PMEMFLOW_ASSERT_MSG(offset + size <= next_free_,
+                      "release outside reserved space");
+  // The pages are gone either way; only fully covered ones are dropped,
+  // so neighbours sharing a boundary page keep their bytes.
+  punch_hole(offset, size);
+
+  const auto [it, inserted] = free_extents_.emplace(offset, size);
+  PMEMFLOW_ASSERT_MSG(inserted, "double release of a PMEM extent");
+  auto merged = it;
+  if (const auto next = std::next(merged); next != free_extents_.end()) {
+    PMEMFLOW_ASSERT_MSG(merged->first + merged->second <= next->first,
+                        "release overlaps a free extent");
+    if (merged->first + merged->second == next->first) {
+      merged->second += next->second;
+      free_extents_.erase(next);
+    }
+  }
+  if (merged != free_extents_.begin()) {
+    const auto prev = std::prev(merged);
+    PMEMFLOW_ASSERT_MSG(prev->first + prev->second <= merged->first,
+                        "release overlaps a free extent");
+    if (prev->first + prev->second == merged->first) {
+      prev->second += merged->second;
+      free_extents_.erase(merged);
+      merged = prev;
+    }
+  }
+  free_bytes_ += size;
+  // Releasing the allocation tail lowers the high-water mark: the
+  // (coalesced) extent ending at next_free_ leaves the free list and
+  // becomes never-allocated space again.
+  if (merged->first + merged->second == next_free_) {
+    next_free_ = merged->first;
+    free_bytes_ -= merged->second;
+    free_extents_.erase(merged);
+  }
 }
 
 PmemSpace::Page& PmemSpace::materialize(std::uint64_t page_index) {
@@ -104,6 +156,8 @@ std::size_t PmemSpace::punch_hole(PmemOffset offset, Bytes size) {
 
 void PmemSpace::reset() {
   pages_.clear();
+  free_extents_.clear();
+  free_bytes_ = 0;
   next_free_ = 0;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -36,16 +37,33 @@ class PmemSpace {
 
   [[nodiscard]] Bytes capacity() const noexcept { return capacity_; }
 
-  /// Bytes handed out by reserve() so far.
-  [[nodiscard]] Bytes reserved() const noexcept { return next_free_; }
+  /// Bytes currently reserved (handed out by reserve() and not yet
+  /// released).
+  [[nodiscard]] Bytes reserved() const noexcept {
+    return next_free_ - free_bytes_;
+  }
+
+  /// Highest offset ever handed out: the allocation high-water mark.
+  /// Tail releases lower it; interior releases feed the free list
+  /// instead, so high_water() only reflects true footprint growth.
+  [[nodiscard]] Bytes high_water() const noexcept { return next_free_; }
 
   /// Bytes of actually materialized pages.
   [[nodiscard]] Bytes materialized() const noexcept {
     return static_cast<Bytes>(pages_.size()) * kPageSize;
   }
 
-  /// Bump-allocates an extent. Fails when capacity is exhausted.
+  /// Allocates an extent: reuses a released extent when one fits
+  /// (lowest offset first), bump-allocates otherwise. Fails when
+  /// capacity is exhausted.
   Expected<PmemOffset> reserve(Bytes size);
+
+  /// Returns a reserved extent to the allocator: punches its fully
+  /// covered pages and adds it (coalesced with free neighbours) to the
+  /// free list for reuse. Releasing the allocation tail lowers the
+  /// high-water mark instead. This is what makes GC actually reclaim
+  /// bytes — without it reserve() could only ever grow.
+  void release(PmemOffset offset, Bytes size);
 
   /// Copies `data` into the space at `offset` (materializing pages).
   /// The extent must lie within reserved space.
@@ -70,6 +88,10 @@ class PmemSpace {
 
   Bytes capacity_;
   Bytes next_free_ = 0;
+  /// Released extents below next_free_, keyed by offset, never
+  /// adjacent (release coalesces). Sum of sizes == free_bytes_.
+  std::map<PmemOffset, Bytes> free_extents_;
+  Bytes free_bytes_ = 0;
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
 };
 

@@ -13,6 +13,7 @@ const char* to_string(PlacementPolicy policy) noexcept {
     case PlacementPolicy::kLeastLoaded: return "least-loaded";
     case PlacementPolicy::kRecommenderAware: return "recommender-aware";
     case PlacementPolicy::kColocationAware: return "colocation-aware";
+    case PlacementPolicy::kCapacityAware: return "capacity-aware";
   }
   return "?";
 }
@@ -267,6 +268,21 @@ double Fleet::utilization(std::uint32_t index, SimDuration horizon_ns) const {
   return static_cast<double>(in_horizon) /
          (static_cast<double>(horizon_ns) *
           static_cast<double>(tenants_per_node_));
+}
+
+void Fleet::init_residency(std::vector<std::vector<Bytes>> capacities) {
+  PMEMFLOW_ASSERT_MSG(capacities.size() == nodes_.size(),
+                      "residency capacities must cover every node");
+  residency_ = capacity::ResidencyTracker(std::move(capacities));
+}
+
+bool Fleet::any_task_active(SimTime now) const noexcept {
+  for (const NodeState& n : nodes_) {
+    for (const SlotState& s : n.slots) {
+      if (s.running.has_value() || s.free_at_ns > now) return true;
+    }
+  }
+  return false;
 }
 
 double Fleet::mean_utilization(SimDuration horizon_ns) const {

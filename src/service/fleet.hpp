@@ -40,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "capacity/residency.hpp"
 #include "common/units.hpp"
 #include "service/metrics.hpp"
 #include "sim/event_queue.hpp"
@@ -51,6 +52,13 @@ enum class PlacementPolicy : std::uint8_t {
   kLeastLoaded,
   kRecommenderAware,
   kColocationAware,
+  /// Least-loaded placement that additionally respects per-socket PMEM
+  /// capacity pools: a node must fit the workflow's byte lease on the
+  /// channel socket — spilling to the node's other socket, or evicting
+  /// cold finished-channel versions, before deferring admission.
+  /// Requires ServiceConfig::capacity to be enabled; behaves exactly
+  /// like kLeastLoaded otherwise.
+  kCapacityAware,
 };
 
 [[nodiscard]] const char* to_string(PlacementPolicy policy) noexcept;
@@ -90,6 +98,17 @@ struct RunningTask {
   /// the cached profile.
   Bytes snapshot_bytes_per_iteration = 0;
   std::uint32_t iterations = 1;
+  /// Capacity lease currently charged to (node, lease_socket)'s pool
+  /// (0 when the capacity model is disabled or the pool clamped the
+  /// lease to nothing). Released on finish/preempt; re-acquired on
+  /// resume.
+  Bytes lease_bytes = 0;
+  std::uint32_t lease_socket = 0;
+  /// Portion of the lease that stays resident (cold) after the
+  /// workflow finishes: the retained versions GC never reclaimed.
+  Bytes cold_bytes = 0;
+  /// Snapshot bytes version GC reclaims over the run (metrics basis).
+  Bytes gc_bytes = 0;
   /// Cancellable (and re-schedulable) finish event of the current
   /// segment.
   sim::EventId finish_event;
@@ -225,6 +244,22 @@ class Fleet {
   /// Mean utilization across nodes.
   [[nodiscard]] double mean_utilization(SimDuration horizon_ns) const;
 
+  /// Installs per-(node, socket) capacity pools
+  /// (`capacities[node][socket]`; 0 = unbounded). Without this call the
+  /// tracker is empty and the capacity model is off.
+  void init_residency(std::vector<std::vector<Bytes>> capacities);
+
+  [[nodiscard]] capacity::ResidencyTracker& residency() noexcept {
+    return residency_;
+  }
+  [[nodiscard]] const capacity::ResidencyTracker& residency() const noexcept {
+    return residency_;
+  }
+
+  /// True when any slot of any node holds a running task or is still
+  /// busy (draining) at `now` — i.e. some capacity will free later.
+  [[nodiscard]] bool any_task_active(SimTime now) const noexcept;
+
  private:
   [[nodiscard]] SlotState& slot(SlotRef ref);
   [[nodiscard]] const SlotState& slot(SlotRef ref) const;
@@ -235,6 +270,8 @@ class Fleet {
 
   std::vector<NodeState> nodes_;
   std::uint32_t tenants_per_node_;
+  /// Per-socket PMEM occupancy; empty unless init_residency() ran.
+  capacity::ResidencyTracker residency_;
 };
 
 }  // namespace pmemflow::service

@@ -17,7 +17,10 @@ ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
                                  const CacheStats& cache,
                                  std::uint64_t retries, std::uint64_t dropped,
                                  std::uint64_t colocations,
-                                 SimDuration interference_overhead_ns) {
+                                 SimDuration interference_overhead_ns,
+                                 std::uint64_t evictions, Bytes gc_bytes,
+                                 std::uint64_t stage_hits,
+                                 Bytes residency_high_water) {
   // A zero-completion run (everything rejected or dropped) must report
   // clean zeros: metrics::summarize returns an all-zero SummaryStats
   // for empty input, and every ratio below guards its denominator, so
@@ -58,6 +61,10 @@ ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
   metrics.dropped = dropped;
   metrics.colocations = colocations;
   metrics.interference_overhead_ns = interference_overhead_ns;
+  metrics.evictions = evictions;
+  metrics.gc_bytes = gc_bytes;
+  metrics.stage_hits = stage_hits;
+  metrics.residency_high_water = residency_high_water;
   return metrics;
 }
 
@@ -123,6 +130,17 @@ void print_service_report(std::ostream& out, const std::string& title,
                         static_cast<unsigned long long>(metrics.cache.hits),
                         static_cast<unsigned long long>(metrics.cache.hits +
                                                         metrics.cache.misses))});
+  table.add_row({"evictions", format("%llu", static_cast<unsigned long long>(
+                                                 metrics.evictions))});
+  table.add_row({"gc bytes",
+                 format("%.3f GB",
+                        static_cast<double>(metrics.gc_bytes) / 1e9)});
+  table.add_row({"stage hits", format("%llu", static_cast<unsigned long long>(
+                                                  metrics.stage_hits))});
+  table.add_row({"residency high water",
+                 format("%.3f GB",
+                        static_cast<double>(metrics.residency_high_water) /
+                            1e9)});
   table.write(out);
 }
 
@@ -148,7 +166,11 @@ std::vector<std::string> service_csv_header() {
           "victim_slowdown_p99",
           "colocations",
           "interference_overhead_ms",
-          "cache_hit_rate"};
+          "cache_hit_rate",
+          "evictions",
+          "gc_bytes",
+          "stage_hits",
+          "residency_high_water"};
 }
 
 void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
@@ -177,7 +199,12 @@ void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
        format("%llu", static_cast<unsigned long long>(metrics.colocations)),
        format("%.6f",
               to_ms(static_cast<double>(metrics.interference_overhead_ns))),
-       format("%.6f", metrics.cache.hit_rate())});
+       format("%.6f", metrics.cache.hit_rate()),
+       format("%llu", static_cast<unsigned long long>(metrics.evictions)),
+       format("%llu", static_cast<unsigned long long>(metrics.gc_bytes)),
+       format("%llu", static_cast<unsigned long long>(metrics.stage_hits)),
+       format("%llu",
+              static_cast<unsigned long long>(metrics.residency_high_water))});
 }
 
 }  // namespace pmemflow::service

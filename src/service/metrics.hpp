@@ -114,6 +114,16 @@ struct ServiceMetrics {
   /// Net wall-clock added by interference charging across the run (the
   /// price paid for the nodes saved by packing).
   SimDuration interference_overhead_ns = 0;
+  /// Cold finished-channel versions evicted to make room for a lease
+  /// (0 when the capacity model is off).
+  std::uint64_t evictions = 0;
+  /// Snapshot bytes version GC reclaimed across the run.
+  Bytes gc_bytes = 0;
+  /// Iterations whose snapshot writes were fully absorbed by the DRAM
+  /// staging tier.
+  std::uint64_t stage_hits = 0;
+  /// Peak concurrent occupancy of any per-socket capacity pool.
+  Bytes residency_high_water = 0;
 };
 
 /// Condenses completion records + component stats into ServiceMetrics.
@@ -121,7 +131,9 @@ struct ServiceMetrics {
     const std::vector<CompletionRecord>& records, SimDuration makespan_ns,
     const std::vector<double>& node_utilization, const QueueStats& admission,
     const CacheStats& cache, std::uint64_t retries, std::uint64_t dropped,
-    std::uint64_t colocations = 0, SimDuration interference_overhead_ns = 0);
+    std::uint64_t colocations = 0, SimDuration interference_overhead_ns = 0,
+    std::uint64_t evictions = 0, Bytes gc_bytes = 0,
+    std::uint64_t stage_hits = 0, Bytes residency_high_water = 0);
 
 /// Renders the operator dashboard as an aligned text table.
 void print_service_report(std::ostream& out, const std::string& title,

@@ -37,16 +37,39 @@ struct PlacementChoice {
   bool packs = false;
   /// New factor for the incumbent when packing.
   double incumbent_factor = 1.0;
-  /// Candidate's profile, resolved during placement (colocation only —
-  /// the pack decision needs it before the submission is popped).
+  /// Candidate's profile, resolved during placement (colocation and
+  /// capacity-aware — the pack/fit decision needs it before the
+  /// submission is popped).
   std::shared_ptr<const CachedProfile> profile;
   bool cache_hit = false;
+  /// Capacity-aware spill: run under the placement-flipped fixed
+  /// config so the channel lands on the node's other socket.
+  bool flip_placement = false;
+  /// Lease already sized during capacity-aware node ranking (0 = size
+  /// it at dispatch).
+  Bytes lease_bytes = 0;
 };
 
 std::uint32_t tenants_for(const ServiceConfig& config) {
   if (config.policy != PlacementPolicy::kColocationAware) return 1;
   return std::clamp<std::uint32_t>(config.colocation.tenants_per_node, 1,
                                    Fleet::kMaxTenantsPerNode);
+}
+
+/// Dual-socket nodes throughout (the paper's testbed shape).
+constexpr std::uint32_t kSocketsPerNode = 2;
+
+/// Socket the streaming channel lands on under `config`: writer ranks
+/// live on socket 0 and reader ranks on socket 1, so local-write pins
+/// the channel to 0 and local-read to 1.
+std::uint32_t channel_socket_of(const core::DeploymentConfig& config) {
+  return config.placement == core::Placement::kLocalWrite ? 0u : 1u;
+}
+
+core::Placement flipped(core::Placement placement) {
+  return placement == core::Placement::kLocalWrite
+             ? core::Placement::kLocalRead
+             : core::Placement::kLocalWrite;
 }
 
 /// Mutable state of one run(); groups what the event callbacks share.
@@ -67,6 +90,8 @@ struct RunState {
   std::uint64_t dropped = 0;
   /// Pack placements performed.
   std::uint64_t colocations = 0;
+  /// Iterations whose snapshot writes fit the DRAM staging tier.
+  std::uint64_t stage_hits = 0;
   /// Net wall-clock added (pack) and returned (relax/settle) by
   /// interference charging; >= 0 over any completed pairing.
   std::int64_t interference_delta_ns = 0;
@@ -78,7 +103,29 @@ struct RunState {
         cache(profile_cache),
         interference(interference_table),
         fleet(cfg.nodes, tenants_for(cfg)),
-        queue(cfg.queue_capacity, cfg.defer_watermark) {}
+        queue(cfg.queue_capacity, cfg.defer_watermark) {
+    if (cfg.capacity.enabled()) {
+      // Per-(node, socket) pool sizes: the fleet-wide default,
+      // overridden by any node whose DeviceSpec carries its own
+      // capacity (heterogeneous DIMM populations).
+      std::vector<std::vector<Bytes>> capacities(
+          cfg.nodes,
+          std::vector<Bytes>(kSocketsPerNode, cfg.capacity.pmem_per_socket));
+      for (std::size_t n = 0; n < cfg.node_specs.size(); ++n) {
+        for (std::uint32_t s = 0; s < kSocketsPerNode; ++s) {
+          capacities[n][s] =
+              cfg.node_specs[n]
+                  .devices.for_socket(static_cast<topo::SocketId>(s))
+                  .capacity_or(cfg.capacity.pmem_per_socket);
+        }
+      }
+      fleet.init_residency(std::move(capacities));
+    }
+  }
+
+  [[nodiscard]] bool capacity_on() const noexcept {
+    return config.capacity.enabled();
+  }
 
   [[nodiscard]] std::string track_name(SlotRef ref) const {
     return fleet.tenants_per_node() > 1
@@ -113,6 +160,12 @@ struct RunState {
   std::optional<std::uint32_t> pick_node(const Submission& next, SimTime now);
   std::optional<PlacementChoice> choose_placement(const Submission& next,
                                                   SimTime now);
+  std::optional<PlacementChoice> choose_capacity_placement(
+      const Submission& next, SimTime now);
+  [[nodiscard]] Bytes lease_for(const CachedProfile& profile,
+                                const workflow::WorkflowSpec& spec) const;
+  SimDuration charge_lease(RunningTask& task, std::uint32_t node,
+                           std::uint32_t socket, Bytes lease);
   void apply_interference(SlotRef ref, SimTime now, double factor);
   bool victim_frees_usable_slot(SlotRef victim, SimTime now);
   void maybe_preempt(SimTime now);
@@ -196,9 +249,137 @@ std::optional<std::uint32_t> RunState::pick_node(const Submission& next,
   return best;
 }
 
+Bytes RunState::lease_for(const CachedProfile& profile,
+                          const workflow::WorkflowSpec& spec) const {
+  // Snapshot and op basis are fleet-wide per iteration: the profile's
+  // per-rank numbers times the rank count (same basis as
+  // snapshot_bytes_per_iteration below).
+  const Bytes snapshot =
+      profile.profile.simulation.bytes_per_iteration * spec.ranks;
+  const std::uint64_t ops =
+      profile.profile.simulation.objects_per_iteration * spec.ranks;
+  const auto iterations = std::max<std::uint32_t>(1, spec.iterations);
+  const capacity::RetentionParams& retention = config.capacity.retention;
+  // Without GC every committed version stays resident until the channel
+  // finishes, so the lease must cover the full version volume — the
+  // capacity-blind regime. With GC only the retained window is live.
+  const Bytes snapshot_live =
+      retention.gc ? capacity::retained_bytes(snapshot, iterations, retention)
+                   : snapshot * iterations;
+  return snapshot_live +
+         capacity::metadata_peak_bytes(config.capacity.nova, ops, iterations);
+}
+
+SimDuration RunState::charge_lease(RunningTask& task, std::uint32_t node,
+                                   std::uint32_t socket, Bytes lease) {
+  capacity::ResidencyTracker& residency = fleet.residency();
+  SimDuration overhead = 0;
+  if (!residency.fits(node, socket, lease)) {
+    // Make room by evicting cold finished-channel residue oldest-first;
+    // the reclaim is a device rewrite charged as dispatch overhead.
+    const Bytes evicted = residency.evict_cold(node, socket, lease);
+    overhead += capacity::gc_drain_ns(evicted, config.capacity.retention);
+  }
+  if (!residency.fits(node, socket, lease)) {
+    // The lease exceeds even the emptied pool: the channel thrashes,
+    // rewriting its overflow every iteration. Charge that churn and
+    // clamp the lease so the pool booking stays consistent.
+    const capacity::CapacityPool& pool = residency.pool(node, socket);
+    const Bytes overflow = lease - pool.free();
+    overhead +=
+        capacity::gc_drain_ns(overflow, config.capacity.retention) *
+        task.iterations;
+    lease = pool.free();
+  }
+  if (lease > 0) {
+    const Status acquired = residency.acquire(node, socket, lease);
+    PMEMFLOW_ASSERT_MSG(acquired.has_value(),
+                        "capacity lease must fit after eviction/clamp");
+  }
+  task.lease_bytes = lease;
+  task.lease_socket = socket;
+  return overhead;
+}
+
+std::optional<PlacementChoice> RunState::choose_capacity_placement(
+    const Submission& next, SimTime now) {
+  // Rank fully-idle nodes by fit tier, then least busy time (lowest
+  // index as the deterministic tiebreak):
+  //   0 — lease fits the preferred socket outright;
+  //   1 — fits the node's other socket (spill: run placement-flipped);
+  //   2 — fits the preferred socket after evicting cold residue;
+  //   3 — fits the other socket after eviction (spill + evict).
+  const std::uint32_t preferred = channel_socket_of(config.fixed_config);
+  const std::uint32_t other = preferred ^ 1u;
+  const capacity::ResidencyTracker& residency = fleet.residency();
+  std::optional<PlacementChoice> best;
+  int best_tier = 0;
+  SimDuration best_busy = 0;
+  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+    const NodeState& node = fleet.node(i);
+    bool idle = true;
+    for (const SlotState& slot : node.slots) {
+      if (slot.running.has_value() || slot.free_at_ns > now) {
+        idle = false;
+        break;
+      }
+    }
+    if (!idle) continue;
+    const std::uint64_t hits_before = cache.stats().hits;
+    auto profile = lookup_profile(next.spec, i);
+    if (!profile.has_value()) {
+      failure = profile.error();
+      return std::nullopt;
+    }
+    const bool cache_hit = cache.stats().hits > hits_before;
+    const Bytes lease = lease_for(**profile, next.spec);
+    int tier = 0;
+    bool flip = false;
+    if (residency.fits(i, preferred, lease)) {
+      tier = 0;
+    } else if (residency.fits(i, other, lease)) {
+      tier = 1;
+      flip = true;
+    } else if (residency.fits_after_eviction(i, preferred, lease)) {
+      tier = 2;
+    } else if (residency.fits_after_eviction(i, other, lease)) {
+      tier = 3;
+      flip = true;
+    } else {
+      continue;
+    }
+    if (!best.has_value() || tier < best_tier ||
+        (tier == best_tier && node.busy_ns < best_busy)) {
+      PlacementChoice choice;
+      choice.ref = SlotRef{i, 0};
+      choice.profile = *profile;
+      choice.cache_hit = cache_hit;
+      choice.flip_placement = flip;
+      choice.lease_bytes = lease;
+      best = std::move(choice);
+      best_tier = tier;
+      best_busy = node.busy_ns;
+    }
+  }
+  if (best.has_value()) return best;
+  // No node can hold the lease even after eviction. If running work
+  // will free capacity, wait for a completion; otherwise fall through
+  // to plain least-loaded so a lease larger than any pool still makes
+  // progress (charge_lease prices the thrash).
+  if (fleet.any_task_active(now)) return std::nullopt;
+  const auto node = fleet.pick_idle_node(config.policy, now);
+  if (!node.has_value()) return std::nullopt;
+  PlacementChoice choice;
+  choice.ref = SlotRef{*node, 0};
+  return choice;
+}
+
 std::optional<PlacementChoice> RunState::choose_placement(
     const Submission& next, SimTime now) {
   if (config.policy != PlacementPolicy::kColocationAware) {
+    if (config.policy == PlacementPolicy::kCapacityAware && capacity_on()) {
+      return choose_capacity_placement(next, now);
+    }
     const auto node = pick_node(next, now);
     if (failure.has_value() || !node.has_value()) return std::nullopt;
     PlacementChoice choice;
@@ -330,7 +511,36 @@ void RunState::start_fresh(const PlacementChoice& choice,
     // co-tenant needs.
     chosen = preferred_parallel_config(*profile);
   }
-  const SimDuration runtime = profile->runtime_ns[config_index(chosen)];
+  if (config.policy == PlacementPolicy::kCapacityAware &&
+      choice.flip_placement) {
+    // Capacity spill: the preferred socket's pool is full, so run the
+    // placement-flipped config and land the channel on the other one.
+    chosen.placement = flipped(chosen.placement);
+  }
+  SimDuration runtime = profile->runtime_ns[config_index(chosen)];
+
+  // Snapshot basis: the channel materializes every rank's part each
+  // iteration; the profile's bytes_per_iteration is one rank's share.
+  const Bytes snapshot =
+      profile->profile.simulation.bytes_per_iteration * submission.spec.ranks;
+  const auto iterations =
+      std::max<std::uint32_t>(1, submission.spec.iterations);
+  if (capacity_on() && config.capacity.staging.enabled() && snapshot != 0 &&
+      snapshot <= config.capacity.staging.stage_bytes) {
+    // An iteration's snapshot fits the DRAM staging tier: writes land
+    // at DRAM rather than device write bandwidth and the drain overlaps
+    // the next iteration's compute. The per-iteration saving is the
+    // bandwidth delta, capped at half the runtime — staging cannot
+    // erase the compute/read side of the pipeline.
+    const SimDuration drain =
+        transfer_time(snapshot, config.capacity.staging.drain_write_bw);
+    const SimDuration dram =
+        transfer_time(snapshot, config.capacity.staging.dram_write_bw);
+    SimDuration saving = drain > dram ? (drain - dram) * iterations : 0;
+    saving = std::min(saving, runtime / 2);
+    runtime -= saving;
+    stage_hits += iterations;
+  }
 
   RunningTask task;
   task.record.id = submission.id;
@@ -345,14 +555,38 @@ void RunState::start_fresh(const PlacementChoice& choice,
   task.record.best_runtime_ns = profile->best_runtime_ns();
   task.record.config_runtime_ns = runtime;
   task.remaining_ns = runtime;
-  task.segment_overhead_ns = 0;
   task.interference = choice.factor;
   if (choice.packs) ++task.record.colocations;
-  // Snapshot basis: the channel materializes every rank's part each
-  // iteration; the profile's bytes_per_iteration is one rank's share.
-  task.snapshot_bytes_per_iteration =
-      profile->profile.simulation.bytes_per_iteration * submission.spec.ranks;
-  task.iterations = std::max<std::uint32_t>(1, submission.spec.iterations);
+  task.snapshot_bytes_per_iteration = snapshot;
+  task.iterations = iterations;
+
+  SimDuration capacity_overhead = 0;
+  if (capacity_on()) {
+    // Every policy pays for residency once the model is on; only
+    // kCapacityAware *places* with it. The lease was sized during
+    // capacity-aware ranking; blind policies size it here.
+    const std::uint32_t socket = channel_socket_of(chosen);
+    const Bytes lease = choice.lease_bytes != 0
+                            ? choice.lease_bytes
+                            : lease_for(*profile, submission.spec);
+    capacity_overhead = charge_lease(task, choice.ref.node, socket, lease);
+    const capacity::RetentionParams& retention = config.capacity.retention;
+    // Residue left cold at finish: without GC the whole version volume
+    // lingers; with retain-k GC only the retained window does.
+    task.cold_bytes =
+        !retention.gc
+            ? task.lease_bytes
+            : (retention.enabled()
+                   ? std::min(task.lease_bytes,
+                              capacity::retained_bytes(snapshot, iterations,
+                                                       retention))
+                   : Bytes{0});
+    task.gc_bytes =
+        retention.gc
+            ? capacity::gc_reclaimable_bytes(snapshot, iterations, retention)
+            : Bytes{0};
+  }
+  task.segment_overhead_ns = capacity_overhead;
   task.submission = std::move(submission);
 
   if (config.tracer != nullptr) {
@@ -361,11 +595,11 @@ void RunState::start_fresh(const PlacementChoice& choice,
                                 chosen.label().c_str()),
                          now);
   }
-  const SimDuration busy = interference_scaled(runtime, choice.factor);
+  const SimDuration work_wall = interference_scaled(runtime, choice.factor);
   if (choice.packs) {
-    interference_delta_ns += static_cast<std::int64_t>(busy - runtime);
+    interference_delta_ns += static_cast<std::int64_t>(work_wall - runtime);
   }
-  launch(choice.ref, busy, std::move(task), now);
+  launch(choice.ref, capacity_overhead + work_wall, std::move(task), now);
 }
 
 void RunState::resume_checkpointed(const PlacementChoice& choice,
@@ -388,7 +622,15 @@ void RunState::resume_checkpointed(const PlacementChoice& choice,
   task.record.restore_ns += overhead;
   task.record.node = choice.ref.node;
   task.record.slot = choice.ref.slot;
-  task.segment_overhead_ns = overhead;
+  // Re-charge the lease released at preemption (its size survived in
+  // lease_bytes); the resume node may need an eviction first.
+  SimDuration capacity_overhead = 0;
+  if (capacity_on() && task.lease_bytes > 0) {
+    capacity_overhead =
+        charge_lease(task, choice.ref.node,
+                     channel_socket_of(task.record.config), task.lease_bytes);
+  }
+  task.segment_overhead_ns = overhead + capacity_overhead;
   task.interference = choice.factor;
   if (choice.packs) ++task.record.colocations;
   task.submission = std::move(submission);
@@ -406,7 +648,8 @@ void RunState::resume_checkpointed(const PlacementChoice& choice,
     interference_delta_ns +=
         static_cast<std::int64_t>(work_wall - task.remaining_ns);
   }
-  launch(choice.ref, overhead + work_wall, std::move(task), now);
+  launch(choice.ref, overhead + capacity_overhead + work_wall, std::move(task),
+         now);
 }
 
 void RunState::launch(SlotRef ref, SimDuration busy_ns, RunningTask task,
@@ -434,6 +677,21 @@ void RunState::on_finish(SlotRef ref) {
     if (const auto other = fleet.sole_tenant_slot(ref.node)) {
       apply_interference(SlotRef{ref.node, *other}, finish, 1.0);
     }
+  }
+  if (capacity_on() && task.lease_bytes > 0) {
+    // The working lease frees, but the retained residue stays cold on
+    // the socket until GC or a later eviction reclaims it.
+    capacity::ResidencyTracker& residency = fleet.residency();
+    const Bytes cold = std::min(task.cold_bytes, task.lease_bytes);
+    if (task.lease_bytes > cold) {
+      residency.release(ref.node, task.lease_socket, task.lease_bytes - cold);
+    }
+    if (cold > 0) {
+      residency.add_cold(ref.node, task.lease_socket, task.record.id, cold,
+                         finish);
+    }
+    if (task.gc_bytes > 0) residency.note_gc(task.gc_bytes);
+    task.lease_bytes = 0;
   }
   completions.push_back(std::move(task.record));
   dispatch(finish);
@@ -546,6 +804,13 @@ void RunState::maybe_preempt(SimTime now) {
   RunningTask task = fleet.preempt(victim->ref, now, victim->checkpoint_ns);
   const bool cancelled = events.cancel(task.finish_event);
   PMEMFLOW_ASSERT_MSG(cancelled, "victim finish event already fired");
+
+  // The checkpoint drain moves the channel off PMEM: its lease frees
+  // now and is re-charged at resume (lease_bytes keeps the size).
+  if (capacity_on() && task.lease_bytes > 0) {
+    fleet.residency().release(victim->ref.node, task.lease_socket,
+                              task.lease_bytes);
+  }
 
   // The departing victim releases its co-tenant back to solo speed.
   if (config.policy == PlacementPolicy::kColocationAware) {
@@ -693,11 +958,14 @@ Expected<ServiceResult> OnlineScheduler::run(
   for (std::uint32_t i = 0; i < state.fleet.size(); ++i) {
     utilization.push_back(state.fleet.utilization(i, makespan));
   }
+  const capacity::ResidencyTracker& residency = state.fleet.residency();
   result.metrics = aggregate_metrics(
       result.completions, makespan, utilization, state.queue.stats(),
       cache_.stats(), state.retries, state.dropped, state.colocations,
       static_cast<SimDuration>(
-          std::max<std::int64_t>(0, state.interference_delta_ns)));
+          std::max<std::int64_t>(0, state.interference_delta_ns)),
+      residency.stats().evictions, residency.stats().gc_bytes,
+      state.stage_hits, residency.residency_high_water());
   return result;
 }
 

@@ -41,6 +41,7 @@
 #include <span>
 #include <vector>
 
+#include "capacity/residency.hpp"
 #include "core/batch.hpp"
 #include "service/colocation.hpp"
 #include "service/fleet.hpp"
@@ -88,6 +89,13 @@ struct ServiceConfig {
   PreemptionPolicy preemption = PreemptionPolicy::kNone;
   /// Checkpoint/restore/migration cost model (calibrated device rates).
   CheckpointParams checkpoint;
+  /// PMEM capacity model: per-socket pools, version retention + GC,
+  /// and the DRAM staging tier. Disabled by default
+  /// (pmem_per_socket == 0), in which case no pools exist, no leases
+  /// are charged, and schedules are byte-identical to a build without
+  /// the model. A NodeSpec whose DeviceSpec carries its own `capacity`
+  /// overrides pmem_per_socket for that node's sockets.
+  capacity::ResidencyParams capacity;
   /// Optional span/instant sink: per-node workflow spans on "node-<i>"
   /// tracks, admission instants on the "service" track. Must outlive
   /// run().

@@ -103,6 +103,9 @@ struct ChannelStats {
   std::uint64_t versions_committed = 0;
   std::uint64_t versions_recycled = 0;
   std::uint64_t checksum_failures = 0;
+  /// Bytes returned to the space allocator by recycling (payload +
+  /// record extents); the capacity model's per-channel GC yield.
+  Bytes bytes_reclaimed = 0;
 };
 
 class StreamChannel {

@@ -354,11 +354,21 @@ Expected<Ok> NovaFs::unlink(std::string_view path) {
   const InodeId inode_id = name_it->second;
   Inode& inode = inode_ref(inode_id);
 
-  // Punch data extents back to the host.
+  // Release data extents (holes too: both reserved space) and the
+  // extent-record chain back to the space allocator, so unlinking
+  // really frees capacity rather than leaving punched-but-reserved
+  // extents behind.
   for (const Extent& extent : inode.extent_list) {
-    if (!extent.is_hole) {
-      device_.space().punch_hole(extent.data_offset, extent.length);
-    }
+    device_.space().release(extent.data_offset, extent.length);
+    stats_.bytes_reclaimed += extent.length;
+  }
+  for (pmemsim::PmemOffset record = inode.chain_head; record != 0;) {
+    auto loaded = load_extent_record(record);
+    const pmemsim::PmemOffset next =
+        loaded.has_value() ? loaded->next : pmemsim::PmemOffset{0};
+    device_.space().release(record, kExtentRecordSize);
+    stats_.bytes_reclaimed += kExtentRecordSize;
+    record = next;
   }
 
   // Tombstone dirent append.
@@ -438,7 +448,8 @@ std::size_t NovaFs::compact_directory() {
   persist_superblock();
 
   for (const auto old_offset : old_records) {
-    device_.space().punch_hole(old_offset, kDirentRecordSize);
+    device_.space().release(old_offset, kDirentRecordSize);
+    stats_.bytes_reclaimed += kDirentRecordSize;
   }
   return old_records.size();
 }

@@ -55,6 +55,9 @@ class NovaFs {
     std::uint64_t extents_appended = 0;
     Bytes bytes_appended = 0;
     Bytes bytes_read = 0;
+    /// Bytes returned to the space allocator by unlinks (data + extent
+    /// records) and directory compaction (shadowed dirents).
+    Bytes bytes_reclaimed = 0;
   };
 
   /// Formats a fresh filesystem on the device's space.

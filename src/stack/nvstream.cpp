@@ -352,9 +352,13 @@ void NvStreamChannel::recycle_version(std::uint64_t version) {
   for (std::uint32_t rank = 0; rank < num_ranks_; ++rank) {
     for (const auto offset : it->second[rank]) {
       auto record = load_record(offset);
-      if (record.has_value() && record->payload_bytes > 0) {
-        device_.space().punch_hole(record->payload_offset,
-                                   record->payload_bytes);
+      if (record.has_value()) {
+        // Release, not just punch: the extent returns to the space
+        // allocator so a long-running stream's footprint stays bounded
+        // by its live versions (write_part reserved max(1, bytes)).
+        const Bytes extent = std::max<Bytes>(1, record->payload_bytes);
+        device_.space().release(record->payload_offset, extent);
+        stats_.bytes_reclaimed += extent;
       }
       // Advance the persistent chain head past this record (recycling
       // is in order, so heads always point at the oldest live record).
@@ -362,7 +366,8 @@ void NvStreamChannel::recycle_version(std::uint64_t version) {
         head_[rank] = record->next_offset;
         if (head_[rank] == 0) tail_[rank] = 0;
       }
-      device_.space().punch_hole(offset, kRecordSize);
+      device_.space().release(offset, kRecordSize);
+      stats_.bytes_reclaimed += kRecordSize;
     }
   }
   index_.erase(it);

@@ -59,6 +59,7 @@ struct Instance {
   std::string track_prefix;  // disambiguates tracer tracks per tenant
 
   std::unique_ptr<stack::StreamChannel> channel;
+  devices::MemoryDevice* device = nullptr;  // the channel's device
   std::unique_ptr<sim::VersionGate> version_gate;   // snapshot commits
   std::unique_ptr<sim::VersionGate> writers_done;   // serial-mode gate
   std::unique_ptr<sim::Barrier> writer_barrier;
@@ -66,11 +67,74 @@ struct Instance {
   std::unique_ptr<sim::Semaphore> capacity;  // null when unbounded
   std::unique_ptr<sim::VersionGate> capacity_gate;
 
+  /// Per-socket DRAM staging tier (shared across co-located tenants on
+  /// the socket); null when this deployment writes straight through.
+  capacity::StagingTier* staging = nullptr;
+  std::unique_ptr<sim::VersionGate> drain_gate;  // fully drained versions
+  std::vector<std::uint32_t> drained_ranks;      // [version] drain count
+  std::vector<bool> drain_complete;              // [version]
+  std::uint64_t drained_through = 0;  // drain_gate is contiguous to here
+
   SimTime writer_finish = 0;
   SimTime finish = 0;
   std::uint64_t objects_verified = 0;
   std::uint64_t verification_failures = 0;
+  Bytes gc_bytes = 0;
 };
+
+/// Background device write modelling retention GC rewriting `bytes`
+/// of superseded snapshots out of the log. Runs off the critical path
+/// but contends for the channel device's write bandwidth.
+sim::Task gc_rewrite(Instance& instance, Bytes bytes) {
+  sim::FlowSpec flow;
+  flow.kind = sim::IoKind::kWrite;
+  flow.total_bytes = bytes;
+  flow.op_size = 256 * kKiB;
+  co_await instance.device->io(instance.options.channel_socket, flow);
+}
+
+/// Background drain of one staged part: performs the real device write
+/// (issued from the channel socket — the drain is device-side, so it
+/// classifies local) and, when every rank of `version` has drained,
+/// advances the drain gate contiguously.
+sim::Task drain_part(Instance& instance, std::uint64_t version,
+                     std::uint32_t rank, stack::SnapshotPart part,
+                     Bytes staged_bytes) {
+  co_await instance.channel->write_part(instance.options.channel_socket,
+                                        version, rank, std::move(part), 0.0);
+  if (staged_bytes > 0) instance.staging->drained(staged_bytes);
+  instance.drained_ranks[version] += 1;
+  if (instance.drained_ranks[version] == instance.spec->ranks) {
+    instance.drain_complete[version] = true;
+    while (instance.drained_through + 1 < instance.drain_complete.size() &&
+           instance.drain_complete[instance.drained_through + 1]) {
+      instance.drained_through += 1;
+      instance.drain_gate->advance_to(instance.drained_through);
+    }
+  }
+}
+
+/// Commits staged versions in order as their drains complete; under
+/// staging this replaces the writer-barrier releaser's commit.
+sim::Task commit_pump(sim::Engine& engine, Instance& instance) {
+  const WorkflowSpec& spec = *instance.spec;
+  trace::Tracer* tracer = instance.options.tracer;
+  for (std::uint64_t version = 1; version <= spec.iterations; ++version) {
+    co_await instance.drain_gate->wait_for(version);
+    instance.channel->commit_version(version);
+    if (tracer != nullptr) {
+      tracer->instant(instance.track_prefix + "channel",
+                      format("commit v%llu (drained)",
+                             static_cast<unsigned long long>(version)),
+                      engine.now());
+    }
+    instance.version_gate->advance_to(version);
+    if (version == spec.iterations) {
+      instance.writer_finish = engine.now();
+      instance.writers_done->advance_to(1);
+    }
+  }
+}
 
 sim::Task writer_rank(sim::Engine& engine, Instance& instance,
                       std::uint32_t rank) {
@@ -110,13 +174,31 @@ sim::Task writer_rank(sim::Engine& engine, Instance& instance,
                                   static_cast<unsigned long long>(version)),
                     engine.now());
     }
-    co_await instance.channel->write_part(options.writer_socket, version,
-                                          rank, std::move(part),
-                                          compute_per_op);
+    if (instance.staging != nullptr) {
+      // Staged cost path: run the iteration's compute, land the part
+      // in the DRAM stage (DRAM rate while it has room, drain rate for
+      // the overflow), and hand the real device write to a background
+      // drain. The commit pump publishes the version once every rank's
+      // drain completes.
+      if (objects > 0 && compute > 0.0) {
+        co_await sim::sleep_for(engine, static_cast<SimDuration>(compute));
+      }
+      const capacity::AbsorbResult absorbed =
+          instance.staging->absorb(stack::part_bytes(part));
+      if (absorbed.absorb_ns > 0) {
+        co_await sim::sleep_for(engine, absorbed.absorb_ns);
+      }
+      engine.spawn(drain_part(instance, version, rank, std::move(part),
+                              absorbed.staged_bytes));
+    } else {
+      co_await instance.channel->write_part(options.writer_socket, version,
+                                            rank, std::move(part),
+                                            compute_per_op);
+    }
     if (tracer != nullptr) tracer->end(track, engine.now());
     const bool releaser =
         co_await instance.writer_barrier->arrive_and_wait();
-    if (releaser) {
+    if (releaser && instance.staging == nullptr) {
       instance.channel->commit_version(version);
       if (tracer != nullptr) {
         tracer->instant(instance.track_prefix + "channel",
@@ -185,7 +267,24 @@ sim::Task reader_rank(sim::Engine& engine, Instance& instance,
     const bool releaser =
         co_await instance.reader_barrier->arrive_and_wait();
     if (releaser) {
-      instance.channel->recycle_version(version);
+      const capacity::RetentionParams& retention = options.retention;
+      if (!retention.enabled()) {
+        instance.channel->recycle_version(version);
+      } else if (retention.gc && version > retention.retain_versions) {
+        // Retain-k: version v keeps the k most recent read versions
+        // live; GC recycles v-k and rewrites it out of the log as a
+        // background device write. The final k versions are never
+        // recycled — they are the run's cold residue.
+        const std::uint64_t victim = version - retention.retain_versions;
+        const Bytes before = instance.channel->stats().bytes_reclaimed;
+        instance.channel->recycle_version(victim);
+        const Bytes reclaimed =
+            instance.channel->stats().bytes_reclaimed - before;
+        instance.gc_bytes += reclaimed;
+        if (reclaimed > 0) {
+          engine.spawn(gc_rewrite(instance, reclaimed));
+        }
+      }
       if (instance.capacity != nullptr) {
         instance.capacity->release();
       }
@@ -295,14 +394,25 @@ Expected<ColocatedResult> Runner::run_colocated(
   sim::Engine engine;
 
   // One device per socket that hosts at least one channel, each built
-  // from that socket's backend spec.
+  // from that socket's backend spec, with its backing space sized by
+  // the spec's own capacity (falling back to the platform DIMM
+  // population when the spec leaves it 0).
   std::map<topo::SocketId, std::unique_ptr<devices::MemoryDevice>> devices;
+  // One DRAM staging tier per socket where any tenant asked for one
+  // (first tenant's parameters win; the buffer is shared).
+  std::map<topo::SocketId, std::unique_ptr<capacity::StagingTier>> stages;
   for (const Deployment& deployment : deployments) {
     const topo::SocketId socket = deployment.options.channel_socket;
     if (!devices.contains(socket)) {
+      const devices::DeviceSpec& spec = devices_.for_socket(socket);
       devices.emplace(socket,
-                      devices_.for_socket(socket).instantiate(
-                          engine, socket, platform_.pmem_per_socket()));
+                      spec.instantiate(
+                          engine, socket,
+                          spec.capacity_or(platform_.pmem_per_socket())));
+    }
+    if (deployment.options.staging.enabled() && !stages.contains(socket)) {
+      stages.emplace(socket, std::make_unique<capacity::StagingTier>(
+                                 deployment.options.staging));
     }
   }
 
@@ -330,6 +440,7 @@ Expected<ColocatedResult> Runner::run_colocated(
             spec.cost_override.value_or(stack::nova_cost_model()));
         break;
     }
+    instance->device = &device;
     instance->version_gate = std::make_unique<sim::VersionGate>(engine);
     instance->writers_done = std::make_unique<sim::VersionGate>(engine);
     instance->writer_barrier =
@@ -341,6 +452,13 @@ Expected<ColocatedResult> Runner::run_colocated(
           engine, spec.channel_capacity);
       instance->capacity_gate = std::make_unique<sim::VersionGate>(engine);
     }
+    if (deployment.options.staging.enabled()) {
+      instance->staging =
+          stages.at(deployment.options.channel_socket).get();
+      instance->drain_gate = std::make_unique<sim::VersionGate>(engine);
+      instance->drained_ranks.assign(spec.iterations + 1, 0);
+      instance->drain_complete.assign(spec.iterations + 1, false);
+    }
     instances.push_back(std::move(instance));
   }
 
@@ -348,6 +466,9 @@ Expected<ColocatedResult> Runner::run_colocated(
     for (std::uint32_t rank = 0; rank < instance->spec->ranks; ++rank) {
       engine.spawn(writer_rank(engine, *instance, rank));
       engine.spawn(reader_rank(engine, *instance, rank));
+    }
+    if (instance->staging != nullptr) {
+      engine.spawn(commit_pump(engine, *instance));
     }
   }
   const sim::RunStats engine_stats = engine.run_to_completion();
@@ -361,6 +482,15 @@ Expected<ColocatedResult> Runner::run_colocated(
     run.verification_failures = instance->verification_failures;
     run.channel = instance->channel->stats();
     run.device = devices.at(instance->options.channel_socket)->stats();
+    if (const auto stage = stages.find(instance->options.channel_socket);
+        stage != stages.end()) {
+      run.staging = stage->second->stats();
+    }
+    run.gc_bytes = instance->gc_bytes;
+    run.resident_bytes =
+        run.channel.payload_bytes_written > run.channel.bytes_reclaimed
+            ? run.channel.payload_bytes_written - run.channel.bytes_reclaimed
+            : 0;
     run.engine_events = engine_stats.events_processed;
     result.makespan_ns = std::max(result.makespan_ns, run.total_ns);
     result.workflows.push_back(std::move(run));

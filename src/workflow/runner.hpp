@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "capacity/lifecycle.hpp"
+#include "capacity/staging.hpp"
 #include "common/expected.hpp"
 #include "devices/registry.hpp"
 #include "topo/platform.hpp"
@@ -48,6 +50,21 @@ struct RunOptions {
   /// writer_socket for local-write placement, reader_socket for
   /// local-read placement.
   topo::SocketId channel_socket = 0;
+
+  /// DRAM staging tier on the channel socket. Disabled by default:
+  /// writes go straight to the device exactly as before. When enabled,
+  /// writer ranks land their parts in the stage at DRAM rate
+  /// (throttling to the drain rate once it fills) and a background
+  /// drain performs the real device write; a version commits only
+  /// after every rank's drain completes.
+  capacity::StagingParams staging;
+  /// nvstream version retention + GC. Disabled by default: a version
+  /// recycles the moment its readers finish, exactly as before. When
+  /// enabled, the k most recent read versions stay live and GC
+  /// recycles version v-k after v is read, charging the rewrite as a
+  /// background device write flow; the final k versions are never
+  /// recycled and remain resident at the end of the run.
+  capacity::RetentionParams retention;
 
   /// Optional execution tracer: records per-rank compute / write /
   /// wait / read spans against the simulated clock (Chrome trace
@@ -79,6 +96,16 @@ struct RunResult {
   /// Stats of the channel's device. Under co-location the device is
   /// shared, so these aggregate all tenants' traffic on that socket.
   sim::FlowResourceStats device;
+  /// Staging-tier stats of the channel socket (all zero when staging
+  /// is disabled; aggregated across tenants sharing the socket).
+  capacity::StagingStats staging;
+  /// Bytes retention GC reclaimed and rewrote during the run (0 when
+  /// retention is disabled).
+  Bytes gc_bytes = 0;
+  /// Channel bytes still live when the run ended: the retained
+  /// versions retention never recycled — the cold residue a
+  /// capacity-aware service must evict or collect.
+  Bytes resident_bytes = 0;
   std::uint64_t engine_events = 0;
 };
 

@@ -1,0 +1,94 @@
+#include "capacity/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace pmemflow::capacity {
+namespace {
+
+RetentionParams retain(std::uint32_t versions, bool gc = true) {
+  RetentionParams retention;
+  retention.retain_versions = versions;
+  retention.gc = gc;
+  return retention;
+}
+
+TEST(Retention, DisabledHoldsOneVersion) {
+  // retain_versions == 0 is the pre-capacity behaviour: only the
+  // in-flight version is live.
+  EXPECT_EQ(retained_versions(retain(0), 10), 1u);
+  EXPECT_EQ(retained_bytes(1 * kGiB, 10, retain(0)), 1 * kGiB);
+}
+
+TEST(Retention, WindowClampsToIterations) {
+  EXPECT_EQ(retained_versions(retain(3), 10), 3u);
+  EXPECT_EQ(retained_versions(retain(16), 10), 10u);
+  EXPECT_EQ(retained_versions(retain(3), 1), 1u);
+  EXPECT_EQ(retained_versions(retain(3), 0), 1u);
+}
+
+TEST(Retention, RetainedBytesScaleWithWindow) {
+  EXPECT_EQ(retained_bytes(2 * kGiB, 8, retain(3)), 6 * kGiB);
+  EXPECT_EQ(retained_bytes(2 * kGiB, 2, retain(3)), 4 * kGiB);
+}
+
+TEST(Retention, GcReclaimsEverythingBeyondTheWindow) {
+  EXPECT_EQ(gc_reclaimable_bytes(1 * kGiB, 10, retain(2)), 8 * kGiB);
+  // Runs shorter than the window supersede nothing.
+  EXPECT_EQ(gc_reclaimable_bytes(1 * kGiB, 2, retain(2)), 0u);
+}
+
+TEST(Retention, GcReclaimsNothingWhenOff) {
+  EXPECT_EQ(gc_reclaimable_bytes(1 * kGiB, 10, retain(0)), 0u);
+  EXPECT_EQ(gc_reclaimable_bytes(1 * kGiB, 10, retain(2, /*gc=*/false)), 0u);
+}
+
+TEST(Retention, GcDrainChargesTheConfiguredRate) {
+  RetentionParams retention = retain(2);
+  retention.gc_write_bw = gbps(10.0);  // 10 bytes per ns
+  EXPECT_EQ(gc_drain_ns(1000, retention), 100u);
+  EXPECT_EQ(gc_drain_ns(0, retention), 0u);
+}
+
+TEST(NovaGrowth, MetadataGrowsUpToTheCheckpointInterval) {
+  NovaGrowthParams growth;
+  growth.log_bytes_per_op = 100.0;
+  growth.journal_bytes_per_op = 60.0;
+  growth.checkpoint_interval_ops = 1000;
+  // Below the interval the footprint is linear in total ops.
+  EXPECT_EQ(metadata_peak_bytes(growth, 100, 4), 160 * 400u);
+  // Beyond it, checkpoint-truncate caps the peak at one interval.
+  EXPECT_EQ(metadata_peak_bytes(growth, 1000, 4), 160 * 1000u);
+}
+
+TEST(NovaGrowth, ZeroIntervalNeverTruncates) {
+  NovaGrowthParams growth;
+  growth.log_bytes_per_op = 100.0;
+  growth.journal_bytes_per_op = 60.0;
+  growth.checkpoint_interval_ops = 0;
+  EXPECT_EQ(metadata_peak_bytes(growth, 1 << 20, 8), 160ull * (8u << 20));
+}
+
+TEST(NovaGrowth, NegativePerOpRatesClampToZero) {
+  NovaGrowthParams growth;
+  growth.log_bytes_per_op = -1.0;
+  growth.journal_bytes_per_op = 64.0;
+  growth.checkpoint_interval_ops = 0;
+  EXPECT_EQ(metadata_peak_bytes(growth, 10, 1), 640u);
+}
+
+TEST(Lease, ComposesSnapshotAndMetadataTerms) {
+  NovaGrowthParams growth;
+  growth.log_bytes_per_op = 96.0;
+  growth.journal_bytes_per_op = 64.0;
+  growth.checkpoint_interval_ops = 1u << 16;
+  const ChannelLease lease =
+      estimate_lease(1 * kGiB, 512, 6, retain(2), growth);
+  EXPECT_EQ(lease.snapshot_bytes, retained_bytes(1 * kGiB, 6, retain(2)));
+  EXPECT_EQ(lease.metadata_bytes, metadata_peak_bytes(growth, 512, 6));
+  EXPECT_EQ(lease.total(), lease.snapshot_bytes + lease.metadata_bytes);
+}
+
+}  // namespace
+}  // namespace pmemflow::capacity

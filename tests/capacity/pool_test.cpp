@@ -1,0 +1,68 @@
+#include "capacity/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace pmemflow::capacity {
+namespace {
+
+TEST(CapacityPool, DefaultIsUnbounded) {
+  CapacityPool pool;
+  EXPECT_FALSE(pool.bounded());
+  EXPECT_EQ(pool.capacity(), 0u);
+  EXPECT_TRUE(pool.fits(~Bytes{0}));
+  EXPECT_EQ(pool.free(), ~Bytes{0});
+}
+
+TEST(CapacityPool, UnboundedStillAccounts) {
+  CapacityPool pool;
+  ASSERT_TRUE(pool.acquire(10 * kGiB).has_value());
+  EXPECT_EQ(pool.used(), 10 * kGiB);
+  EXPECT_EQ(pool.high_water(), 10 * kGiB);
+  pool.release(10 * kGiB);
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(pool.high_water(), 10 * kGiB);
+}
+
+TEST(CapacityPool, BoundedAcquireRelease) {
+  CapacityPool pool(4 * kGiB);
+  EXPECT_TRUE(pool.bounded());
+  EXPECT_EQ(pool.free(), 4 * kGiB);
+  ASSERT_TRUE(pool.acquire(3 * kGiB).has_value());
+  EXPECT_EQ(pool.used(), 3 * kGiB);
+  EXPECT_EQ(pool.free(), 1 * kGiB);
+  EXPECT_TRUE(pool.fits(1 * kGiB));
+  EXPECT_FALSE(pool.fits(1 * kGiB + 1));
+  pool.release(2 * kGiB);
+  EXPECT_EQ(pool.used(), 1 * kGiB);
+  EXPECT_TRUE(pool.fits(3 * kGiB));
+}
+
+TEST(CapacityPool, RejectedAcquireHasNoSideEffects) {
+  CapacityPool pool(1 * kGiB);
+  ASSERT_TRUE(pool.acquire(512 * kMiB).has_value());
+  auto status = pool.acquire(1 * kGiB);
+  ASSERT_FALSE(status.has_value());
+  EXPECT_NE(status.error().message.find("capacity"), std::string::npos);
+  EXPECT_EQ(pool.used(), 512 * kMiB);
+  EXPECT_EQ(pool.high_water(), 512 * kMiB);
+}
+
+TEST(CapacityPool, HighWaterTracksPeakNotCurrent) {
+  CapacityPool pool(8 * kGiB);
+  ASSERT_TRUE(pool.acquire(5 * kGiB).has_value());
+  pool.release(4 * kGiB);
+  ASSERT_TRUE(pool.acquire(2 * kGiB).has_value());
+  EXPECT_EQ(pool.used(), 3 * kGiB);
+  EXPECT_EQ(pool.high_water(), 5 * kGiB);
+}
+
+TEST(CapacityPoolDeathTest, OverReleaseAsserts) {
+  CapacityPool pool(1 * kGiB);
+  ASSERT_TRUE(pool.acquire(1 * kMiB).has_value());
+  EXPECT_DEATH(pool.release(2 * kMiB), "release");
+}
+
+}  // namespace
+}  // namespace pmemflow::capacity

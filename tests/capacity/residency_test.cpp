@@ -1,0 +1,128 @@
+#include "capacity/residency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace pmemflow::capacity {
+namespace {
+
+/// Two nodes x two sockets, 10 GiB each.
+ResidencyTracker small_fleet(Bytes per_socket = 10 * kGiB) {
+  return ResidencyTracker(
+      {{per_socket, per_socket}, {per_socket, per_socket}});
+}
+
+TEST(ResidencyTracker, DefaultConstructedIsEmpty) {
+  ResidencyTracker tracker;
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_EQ(tracker.nodes(), 0u);
+  EXPECT_EQ(tracker.residency_high_water(), 0u);
+}
+
+TEST(ResidencyTracker, PoolsAreIndependentPerNodeAndSocket) {
+  ResidencyTracker tracker = small_fleet();
+  ASSERT_TRUE(tracker.acquire(0, 0, 6 * kGiB).has_value());
+  ASSERT_TRUE(tracker.acquire(1, 1, 2 * kGiB).has_value());
+  EXPECT_EQ(tracker.pool(0, 0).used(), 6 * kGiB);
+  EXPECT_EQ(tracker.pool(0, 1).used(), 0u);
+  EXPECT_EQ(tracker.pool(1, 0).used(), 0u);
+  EXPECT_EQ(tracker.pool(1, 1).used(), 2 * kGiB);
+  EXPECT_FALSE(tracker.fits(0, 0, 5 * kGiB));
+  EXPECT_TRUE(tracker.fits(0, 1, 5 * kGiB));
+  tracker.release(0, 0, 6 * kGiB);
+  EXPECT_TRUE(tracker.fits(0, 0, 10 * kGiB));
+}
+
+TEST(ResidencyTracker, ZeroCapacitySocketIsUnbounded) {
+  ResidencyTracker tracker({{0, 4 * kGiB}});
+  EXPECT_FALSE(tracker.pool(0, 0).bounded());
+  EXPECT_TRUE(tracker.fits(0, 0, 100 * kGiB));
+  EXPECT_TRUE(tracker.pool(0, 1).bounded());
+  EXPECT_FALSE(tracker.fits(0, 1, 100 * kGiB));
+}
+
+TEST(ResidencyTracker, ColdResidueCountsAsEvictable) {
+  ResidencyTracker tracker = small_fleet();
+  ASSERT_TRUE(tracker.acquire(0, 0, 8 * kGiB).has_value());
+  tracker.add_cold(0, 0, /*id=*/1, 5 * kGiB, /*finished_ns=*/100);
+  tracker.add_cold(0, 0, /*id=*/2, 3 * kGiB, /*finished_ns=*/200);
+  EXPECT_EQ(tracker.evictable_bytes(0, 0), 8 * kGiB);
+  EXPECT_FALSE(tracker.fits(0, 0, 6 * kGiB));
+  EXPECT_TRUE(tracker.fits_after_eviction(0, 0, 6 * kGiB));
+  EXPECT_FALSE(tracker.fits_after_eviction(0, 0, 11 * kGiB));
+}
+
+TEST(ResidencyTracker, EvictsOldestFirstUntilTheLeaseFits) {
+  ResidencyTracker tracker = small_fleet();
+  ASSERT_TRUE(tracker.acquire(0, 0, 9 * kGiB).has_value());
+  tracker.add_cold(0, 0, 1, 4 * kGiB, 100);
+  tracker.add_cold(0, 0, 2, 5 * kGiB, 200);
+  // 3 GiB needs only the oldest resident evicted (frees 4 GiB).
+  EXPECT_EQ(tracker.evict_cold(0, 0, 3 * kGiB), 4 * kGiB);
+  EXPECT_EQ(tracker.pool(0, 0).used(), 5 * kGiB);
+  EXPECT_EQ(tracker.stats().evictions, 1u);
+  EXPECT_EQ(tracker.stats().evicted_bytes, 4 * kGiB);
+  // The younger resident survives and is still collectable by id.
+  EXPECT_EQ(tracker.collect_cold(0, 0, 2), 5 * kGiB);
+  EXPECT_EQ(tracker.pool(0, 0).used(), 0u);
+}
+
+TEST(ResidencyTracker, EvictionStopsWhenNothingColdRemains) {
+  ResidencyTracker tracker = small_fleet();
+  ASSERT_TRUE(tracker.acquire(0, 0, 9 * kGiB).has_value());
+  tracker.add_cold(0, 0, 1, 2 * kGiB, 100);
+  // 20 GiB can never fit; eviction still drains all cold residue.
+  EXPECT_EQ(tracker.evict_cold(0, 0, 20 * kGiB), 2 * kGiB);
+  EXPECT_EQ(tracker.stats().evictions, 1u);
+  EXPECT_EQ(tracker.evictable_bytes(0, 0), 0u);
+}
+
+TEST(ResidencyTracker, EvictionIsANoOpWhenTheLeaseAlreadyFits) {
+  ResidencyTracker tracker = small_fleet();
+  ASSERT_TRUE(tracker.acquire(0, 0, 4 * kGiB).has_value());
+  tracker.add_cold(0, 0, 1, 4 * kGiB, 100);
+  EXPECT_EQ(tracker.evict_cold(0, 0, 2 * kGiB), 0u);
+  EXPECT_EQ(tracker.stats().evictions, 0u);
+}
+
+TEST(ResidencyTracker, CollectColdDoesNotCountAnEviction) {
+  ResidencyTracker tracker = small_fleet();
+  ASSERT_TRUE(tracker.acquire(0, 0, 3 * kGiB).has_value());
+  tracker.add_cold(0, 0, 7, 3 * kGiB, 100);
+  EXPECT_EQ(tracker.collect_cold(0, 0, 7), 3 * kGiB);
+  EXPECT_EQ(tracker.stats().evictions, 0u);
+  EXPECT_EQ(tracker.stats().evicted_bytes, 0u);
+  // Absent ids collect nothing.
+  EXPECT_EQ(tracker.collect_cold(0, 0, 7), 0u);
+}
+
+TEST(ResidencyTracker, ZeroByteColdResidueIsIgnored) {
+  ResidencyTracker tracker = small_fleet();
+  tracker.add_cold(0, 0, 1, 0, 100);
+  EXPECT_EQ(tracker.evictable_bytes(0, 0), 0u);
+}
+
+TEST(ResidencyTracker, GcBytesAccumulate) {
+  ResidencyTracker tracker = small_fleet();
+  tracker.note_gc(1 * kGiB);
+  tracker.note_gc(2 * kGiB);
+  EXPECT_EQ(tracker.stats().gc_bytes, 3 * kGiB);
+}
+
+TEST(ResidencyTracker, HighWaterIsTheFleetPeak) {
+  ResidencyTracker tracker = small_fleet();
+  ASSERT_TRUE(tracker.acquire(0, 0, 2 * kGiB).has_value());
+  ASSERT_TRUE(tracker.acquire(1, 1, 7 * kGiB).has_value());
+  tracker.release(1, 1, 7 * kGiB);
+  EXPECT_EQ(tracker.residency_high_water(), 7 * kGiB);
+}
+
+TEST(ResidencyTrackerDeathTest, OutOfRangeSocketAsserts) {
+  ResidencyTracker tracker = small_fleet();
+  EXPECT_DEATH((void)tracker.pool(0, 2), "socket out of range");
+  EXPECT_DEATH((void)tracker.pool(2, 0), "node out of range");
+}
+
+}  // namespace
+}  // namespace pmemflow::capacity

@@ -1,0 +1,82 @@
+#include "capacity/staging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace pmemflow::capacity {
+namespace {
+
+StagingParams params(Bytes stage_bytes) {
+  StagingParams staging;
+  staging.stage_bytes = stage_bytes;
+  staging.dram_write_bw = gbps(100.0);  // 100 bytes/ns
+  staging.drain_write_bw = gbps(10.0);  // 10 bytes/ns
+  return staging;
+}
+
+TEST(StagingTier, DisabledPassesThroughAtDrainRate) {
+  StagingTier tier(params(0));
+  EXPECT_FALSE(tier.enabled());
+  const AbsorbResult result = tier.absorb(1000);
+  EXPECT_EQ(result.absorb_ns, 100u);  // 1000 B / 10 B/ns
+  EXPECT_EQ(result.staged_bytes, 0u);
+  EXPECT_FALSE(result.hit);
+  EXPECT_EQ(tier.used(), 0u);
+  EXPECT_EQ(tier.stats().writes, 0u);
+}
+
+TEST(StagingTier, AbsorbsAtDramRateWhileRoomRemains) {
+  StagingTier tier(params(10000));
+  const AbsorbResult result = tier.absorb(1000);
+  EXPECT_EQ(result.absorb_ns, 10u);  // 1000 B / 100 B/ns
+  EXPECT_EQ(result.staged_bytes, 1000u);
+  EXPECT_TRUE(result.hit);
+  EXPECT_EQ(tier.used(), 1000u);
+  EXPECT_EQ(tier.free(), 9000u);
+  EXPECT_EQ(tier.stats().writes, 1u);
+  EXPECT_EQ(tier.stats().hits, 1u);
+  EXPECT_EQ(tier.stats().bytes_staged, 1000u);
+  EXPECT_EQ(tier.stats().bytes_throttled, 0u);
+}
+
+TEST(StagingTier, OverflowThrottlesToDrainRate) {
+  StagingTier tier(params(1000));
+  ASSERT_TRUE(tier.absorb(800).hit);
+  // 200 B fit at DRAM rate, the remaining 300 B throttle to drain.
+  const AbsorbResult result = tier.absorb(500);
+  EXPECT_EQ(result.staged_bytes, 200u);
+  EXPECT_FALSE(result.hit);
+  EXPECT_EQ(result.absorb_ns, 2u + 30u);
+  EXPECT_EQ(tier.used(), 1000u);
+  EXPECT_EQ(tier.stats().hits, 1u);
+  EXPECT_EQ(tier.stats().writes, 2u);
+  EXPECT_EQ(tier.stats().bytes_throttled, 300u);
+}
+
+TEST(StagingTier, FullTierThrottlesEverything) {
+  StagingTier tier(params(500));
+  ASSERT_EQ(tier.absorb(500).staged_bytes, 500u);
+  const AbsorbResult result = tier.absorb(1000);
+  EXPECT_EQ(result.staged_bytes, 0u);
+  EXPECT_EQ(result.absorb_ns, 100u);  // pure drain rate
+}
+
+TEST(StagingTier, DrainFreesRoomForLaterWrites) {
+  StagingTier tier(params(1000));
+  ASSERT_EQ(tier.absorb(1000).staged_bytes, 1000u);
+  tier.drained(600);
+  EXPECT_EQ(tier.used(), 400u);
+  const AbsorbResult result = tier.absorb(600);
+  EXPECT_TRUE(result.hit);
+  EXPECT_EQ(result.staged_bytes, 600u);
+}
+
+TEST(StagingTierDeathTest, DrainingMoreThanStagedAsserts) {
+  StagingTier tier(params(1000));
+  ASSERT_EQ(tier.absorb(100).staged_bytes, 100u);
+  EXPECT_DEATH(tier.drained(200), "drained more than staged");
+}
+
+}  // namespace
+}  // namespace pmemflow::capacity

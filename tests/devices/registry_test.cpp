@@ -72,6 +72,52 @@ TEST(Registry, FingerprintTracksParameterChanges) {
   EXPECT_NE(spec.fingerprint(), base);
 }
 
+TEST(Registry, CapacityRoundTripsThroughSerialization) {
+  DeviceSpec spec;
+  spec.capacity = 128 * kGB + 17;  // odd byte count: must survive exactly
+  const std::string text = serialize_device_spec(spec);
+  EXPECT_NE(text.find("capacity=128000000017"), std::string::npos) << text;
+  const auto parsed = parse_device_spec(text);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(parsed->capacity, spec.capacity);
+  EXPECT_EQ(parsed->fingerprint(), spec.fingerprint());
+}
+
+TEST(Registry, CapacityChangesTheFingerprint) {
+  DeviceSpec spec;
+  const std::uint64_t platform_sized = spec.fingerprint();
+  spec.capacity = 128 * kGB;
+  EXPECT_NE(spec.fingerprint(), platform_sized);
+  spec.capacity += 1;
+  EXPECT_NE(spec.fingerprint(), platform_sized);
+}
+
+TEST(Registry, BuiltinPresetsArePlatformSized) {
+  // Presets leave capacity 0 so the scheduler's pmem_per_socket (or
+  // the caller's space size) decides; capacity_or is the fallback.
+  for (const auto& preset : DeviceRegistry::builtin().presets()) {
+    EXPECT_EQ(preset.spec.capacity, 0u) << preset.name;
+    EXPECT_EQ(preset.spec.capacity_or(256 * kGB), 256 * kGB) << preset.name;
+  }
+  DeviceSpec pinned;
+  pinned.capacity = 64 * kGB;
+  EXPECT_EQ(pinned.capacity_or(256 * kGB), 64 * kGB);
+}
+
+TEST(Registry, InstantiateHonoursCapacityOverCaller) {
+  // instantiate(engine, socket, space_bytes) receives the resolved
+  // size; a spec-pinned capacity must have been applied by the caller
+  // via capacity_or. Verify the plumbing end to end at both sizes.
+  sim::Engine engine;
+  DeviceSpec spec;
+  const auto small = spec.instantiate(engine, 0, 1 * kGiB);
+  ASSERT_NE(small, nullptr);
+  const auto big = spec.instantiate(engine, 0, 4 * kGiB);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(small->space().capacity(), 1 * kGiB);
+  EXPECT_EQ(big->space().capacity(), 4 * kGiB);
+}
+
 TEST(Registry, DeviceKindRoundTrip) {
   for (const DeviceKind kind :
        {DeviceKind::kOptane, DeviceKind::kDram, DeviceKind::kCxl}) {

@@ -134,6 +134,81 @@ TEST(Space, PunchHoleKeepsPartialBoundaryPages) {
   EXPECT_EQ(dropped, 1u);  // only page 1 fully covered
 }
 
+TEST(Space, ReleaseReuseDoesNotGrowHighWater) {
+  // The GC regression: a steady reserve/release cycle must recycle the
+  // same extent instead of bumping the footprint forever.
+  PmemSpace space(1 * kMiB);
+  const auto first = space.reserve(64 * kKiB).value();
+  (void)space.reserve(4 * kKiB).value();  // pin the tail
+  const Bytes high = space.high_water();
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    space.release(first, 64 * kKiB);
+    const auto again = space.reserve(64 * kKiB).value();
+    EXPECT_EQ(again, first);
+    EXPECT_EQ(space.high_water(), high);
+  }
+  EXPECT_EQ(space.reserved(), 68 * kKiB);
+}
+
+TEST(Space, ReleaseReusesLowestFittingExtent) {
+  PmemSpace space(1 * kMiB);
+  const auto a = space.reserve(100 * kKiB).value();
+  const auto b = space.reserve(50 * kKiB).value();
+  const auto c = space.reserve(100 * kKiB).value();
+  (void)space.reserve(10 * kKiB).value();  // pin the tail
+  space.release(a, 100 * kKiB);
+  space.release(c, 100 * kKiB);
+  // A 40 KiB request fits both holes; the lower-offset one wins.
+  EXPECT_EQ(space.reserve(40 * kKiB).value(), a);
+  // A 90 KiB request no longer fits the remains of hole A.
+  EXPECT_EQ(space.reserve(90 * kKiB).value(), c);
+  EXPECT_EQ(b, 100 * kKiB);
+}
+
+TEST(Space, ReleaseCoalescesNeighbours) {
+  PmemSpace space(1 * kMiB);
+  const auto a = space.reserve(32 * kKiB).value();
+  const auto b = space.reserve(32 * kKiB).value();
+  const auto c = space.reserve(32 * kKiB).value();
+  (void)space.reserve(8 * kKiB).value();  // pin the tail
+  // Release the outer extents, then the middle: the three holes must
+  // coalesce into one 96 KiB extent a single reserve can fill.
+  space.release(a, 32 * kKiB);
+  space.release(c, 32 * kKiB);
+  space.release(b, 32 * kKiB);
+  EXPECT_EQ(space.reserve(96 * kKiB).value(), a);
+}
+
+TEST(Space, TailReleaseLowersHighWater) {
+  PmemSpace space(1 * kMiB);
+  const auto a = space.reserve(100 * kKiB).value();
+  const auto b = space.reserve(100 * kKiB).value();
+  EXPECT_EQ(space.high_water(), 200 * kKiB);
+  space.release(b, 100 * kKiB);
+  EXPECT_EQ(space.high_water(), 100 * kKiB);
+  // The lowered tail is bump-allocatable again.
+  EXPECT_EQ(space.reserve(100 * kKiB).value(), b);
+  (void)a;
+}
+
+TEST(Space, ReleasePunchesMaterializedPages) {
+  PmemSpace space(1 * kMiB);
+  const Bytes page = PmemSpace::kPageSize;
+  const auto a = space.reserve(4 * page).value();
+  (void)space.reserve(page).value();  // keep the extent interior
+  space.write(a, random_bytes(10, static_cast<std::size_t>(4 * page)));
+  EXPECT_EQ(space.materialized(), 4 * page);
+  space.release(a, 4 * page);
+  EXPECT_EQ(space.materialized(), 0u);
+  // Reusing the extent reads back zeroes, not stale bytes.
+  const auto again = space.reserve(4 * page).value();
+  ASSERT_EQ(again, a);
+  std::vector<std::byte> out(static_cast<std::size_t>(4 * page),
+                             std::byte{0xff});
+  space.read(again, out);
+  for (std::byte x : out) ASSERT_EQ(x, std::byte{0});
+}
+
 TEST(Space, ResetClearsEverything) {
   PmemSpace space(1 * kMiB);
   const auto offset = space.reserve(4096).value();

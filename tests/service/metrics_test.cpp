@@ -74,6 +74,10 @@ TEST(ServiceMetricsZeroCompletions, CsvHeaderHasNewColumns) {
   EXPECT_TRUE(has("high_water"));
   EXPECT_TRUE(has("preemptions"));
   EXPECT_TRUE(has("migrations"));
+  EXPECT_TRUE(has("evictions"));
+  EXPECT_TRUE(has("gc_bytes"));
+  EXPECT_TRUE(has("stage_hits"));
+  EXPECT_TRUE(has("residency_high_water"));
 }
 
 }  // namespace

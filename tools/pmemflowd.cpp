@@ -16,6 +16,8 @@
 //   pmemflowd --record-trace out.csv           # record this run's stream
 //   pmemflowd --backend dram-like --compare    # fleet on another backend
 //   pmemflowd --node-backends optane-gen1,cxl-like   # heterogeneous fleet
+//   pmemflowd --pmem-capacity 64 --retain-versions 2 --policy capacity
+//                                              # bounded per-socket pools
 #include <iostream>
 
 #include "common/flags.hpp"
@@ -40,8 +42,12 @@ Expected<service::PlacementPolicy> parse_policy(const std::string& name) {
   if (name == "colocation" || name == "colocation-aware") {
     return service::PlacementPolicy::kColocationAware;
   }
+  if (name == "capacity" || name == "capacity-aware") {
+    return service::PlacementPolicy::kCapacityAware;
+  }
   return make_error("unknown policy '" + name +
-                    "' (first-fit | least-loaded | recommender | colocation)");
+                    "' (first-fit | least-loaded | recommender | colocation "
+                    "| capacity)");
 }
 
 }  // namespace
@@ -53,7 +59,17 @@ int main(int argc, char** argv) {
   flags.add_int("queue-capacity", 64, "submission queue capacity");
   flags.add_string("policy", "recommender",
                    "placement policy: first-fit | least-loaded | recommender "
-                   "| colocation");
+                   "| colocation | capacity");
+  flags.add_double("pmem-capacity", 0.0,
+                   "per-socket PMEM pool size in GB (0 = unbounded: the "
+                   "capacity model stays off and schedules are unchanged)");
+  flags.add_double("staging", 0.0,
+                   "per-socket DRAM staging tier size in GB (with "
+                   "--pmem-capacity; 0 = no staging)");
+  flags.add_int("retain-versions", 0,
+                "nvstream retain-k version retention: keep the k most "
+                "recent snapshot versions live and GC the rest (with "
+                "--pmem-capacity; 0 = recycle immediately, no GC traffic)");
   flags.add_bool("rule-based", false,
                  "recommender policy uses Table II rules instead of the "
                  "model-based estimate");
@@ -171,6 +187,19 @@ int main(int argc, char** argv) {
                           : service::PreemptionPolicy::kNone;
   config.cache_capacity =
       static_cast<std::size_t>(flags.get_int("cache-capacity"));
+  const double pmem_capacity_gb = flags.get_double("pmem-capacity");
+  if (pmem_capacity_gb < 0.0 || flags.get_double("staging") < 0.0 ||
+      flags.get_int("retain-versions") < 0) {
+    std::cerr << "error: --pmem-capacity, --staging, and --retain-versions "
+                 "must be >= 0\n";
+    return 1;
+  }
+  config.capacity.pmem_per_socket =
+      static_cast<Bytes>(pmem_capacity_gb * 1e9);
+  config.capacity.staging.stage_bytes =
+      static_cast<Bytes>(flags.get_double("staging") * 1e9);
+  config.capacity.retention.retain_versions =
+      static_cast<std::uint32_t>(flags.get_int("retain-versions"));
 
   // Fleet memory backend(s). --backend sets the uniform fleet backend
   // (the scheduler executor's Runner); --node-backends builds a
@@ -209,10 +238,15 @@ int main(int argc, char** argv) {
                      "Slowdown", "Util"},
                     {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
                      Align::kRight, Align::kRight});
-    for (const auto policy : {service::PlacementPolicy::kFirstFit,
-                              service::PlacementPolicy::kLeastLoaded,
-                              service::PlacementPolicy::kRecommenderAware,
-                              service::PlacementPolicy::kColocationAware}) {
+    std::vector<service::PlacementPolicy> policies = {
+        service::PlacementPolicy::kFirstFit,
+        service::PlacementPolicy::kLeastLoaded,
+        service::PlacementPolicy::kRecommenderAware,
+        service::PlacementPolicy::kColocationAware};
+    if (config.capacity.enabled()) {
+      policies.push_back(service::PlacementPolicy::kCapacityAware);
+    }
+    for (const auto policy : policies) {
       config.policy = policy;
       service::OnlineScheduler scheduler(config, executor);
       auto result = scheduler.run(stream);
