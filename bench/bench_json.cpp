@@ -25,7 +25,14 @@ bool parse_string(const std::string& text, std::size_t& at,
   ++at;
   out.clear();
   while (at < text.size() && text[at] != '"') {
-    if (text[at] == '\\' && at + 1 < text.size()) ++at;  // keep escapes raw
+    if (text[at] == '\\' && at + 1 < text.size()) {
+      // Keep escapes raw: the backslash AND the escaped character are
+      // stored verbatim, so a read -> rewrite cycle reproduces the
+      // original bytes (dropping the backslash used to corrupt section
+      // names containing \" or \\ on rewrite).
+      out.push_back(text[at]);
+      ++at;
+    }
     out.push_back(text[at]);
     ++at;
   }

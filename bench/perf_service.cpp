@@ -1,0 +1,238 @@
+// Incremental-DES perf gate (ISSUE 7).
+//
+// Replays one large Poisson submission stream through the online
+// scheduler twice — allocator memoization off, then on — and checks
+// three things:
+//
+//   1. determinism: the completion schedules are byte-identical (same
+//      fingerprint over id/node/slot/config/start/finish for every
+//      record, in order);
+//   2. the cache works: the memoized run avoids fixed-point solves
+//      (solves_avoided > 0, hit rate > 0);
+//   3. no regression: memoized events/sec is no worse than the
+//      uncached baseline (with a small tolerance for wall-clock noise).
+//
+// Results land in the "perf_service" section of BENCH_perf.json via
+// bench::BenchJson, which CI uploads as an artifact, so the events/sec
+// trend is visible across commits.
+//
+//   perf_service [--submissions N] [--nodes N] [--classes N]
+//                [--json f] [--smoke]
+//
+// --smoke shrinks the stream for the CI tier-1 smoke job.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "pmemsim/allocator.hpp"
+#include "service/arrivals.hpp"
+#include "service/scheduler.hpp"
+
+namespace {
+
+using namespace pmemflow;
+
+/// FNV-1a over the schedule-defining fields of every completion, in
+/// order. Two runs that place, start, or finish anything differently —
+/// even by one nanosecond — disagree here.
+std::uint64_t fingerprint(
+    const std::vector<service::CompletionRecord>& records) {
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  for (const auto& record : records) {
+    mix(record.id);
+    mix(record.node);
+    mix(record.slot);
+    mix(static_cast<std::uint64_t>(record.config.mode));
+    mix(static_cast<std::uint64_t>(record.config.placement));
+    mix(record.start_ns);
+    mix(record.finish_ns);
+    mix(record.preemptions);
+    mix(record.checkpoint_ns);
+  }
+  return hash;
+}
+
+struct RunOutcome {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t des_events = 0;
+  double wall_seconds = 0.0;
+  pmemsim::AllocatorCounters counters;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(des_events) / wall_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double submissions_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(completed) / wall_seconds
+               : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pmemflow;
+
+  std::uint64_t submissions = 50000;
+  std::uint32_t nodes = 8;
+  std::uint32_t classes = 24;
+  bool smoke = false;
+  std::string json_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--submissions") == 0 && i + 1 < argc) {
+      submissions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--classes") == 0 && i + 1 < argc) {
+      classes =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) submissions = std::min<std::uint64_t>(submissions, 4000);
+
+  service::ArrivalParams arrivals;
+  arrivals.count = submissions;
+  arrivals.classes = classes;
+  arrivals.mean_interarrival_ns = 150.0e6;
+  const auto stream = *service::make_submission_stream(arrivals);
+
+  service::ServiceConfig config;
+  config.nodes = nodes;
+  config.policy = service::PlacementPolicy::kRecommenderAware;
+  // Admit everything: both runs must complete the identical set of
+  // submissions for the fingerprint comparison to be meaningful.
+  config.queue_capacity = static_cast<std::size_t>(submissions);
+  config.defer_watermark = 1.0;
+
+  std::cout << format(
+      "=== perf_service: %llu submissions, %u classes, %u nodes ===\n\n",
+      static_cast<unsigned long long>(submissions), classes, nodes);
+
+  // A fresh scheduler per run keeps the profile cache cold both times;
+  // the only difference between the runs is the memoization toggle.
+  auto run_once = [&](bool memoize) -> RunOutcome {
+    pmemsim::set_allocator_memoization(memoize);
+    pmemsim::reset_allocator_counters();
+    service::OnlineScheduler scheduler(config);
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto result = scheduler.run(stream);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (!result.has_value()) {
+      std::cerr << "error: " << result.error().message << "\n";
+      std::exit(1);
+    }
+    RunOutcome outcome;
+    outcome.fingerprint = fingerprint(result->completions);
+    outcome.completed = result->metrics.completed;
+    outcome.des_events = result->metrics.des_events;
+    outcome.wall_seconds = wall_seconds;
+    outcome.counters = pmemsim::allocator_counters();
+    return outcome;
+  };
+
+  const RunOutcome uncached = run_once(false);
+  const RunOutcome cached = run_once(true);
+  pmemsim::set_allocator_memoization(true);  // restore the default
+
+  TextTable table({"Mode", "Completed", "DES events", "Wall", "Events/s",
+                   "Solves", "Cache hits", "Hit rate"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& [label, run] :
+       {std::pair<const char*, const RunOutcome&>{"memo off", uncached},
+        std::pair<const char*, const RunOutcome&>{"memo on", cached}}) {
+    table.add_row(
+        {label, format("%llu", static_cast<unsigned long long>(run.completed)),
+         format("%llu", static_cast<unsigned long long>(run.des_events)),
+         format("%.3f s", run.wall_seconds),
+         format("%.0f", run.events_per_sec()),
+         format("%llu", static_cast<unsigned long long>(run.counters.solves)),
+         format("%llu",
+                static_cast<unsigned long long>(run.counters.cache_hits)),
+         format("%.1f %%", 100.0 * run.counters.hit_rate())});
+  }
+  table.write(std::cout);
+
+  // Gate 1: byte-identical schedules, memoization on vs off.
+  const bool identical = uncached.fingerprint == cached.fingerprint &&
+                         uncached.completed == cached.completed &&
+                         uncached.des_events == cached.des_events;
+  // Gate 2: the cache actually avoided fixed-point solves.
+  const std::uint64_t solves_avoided =
+      uncached.counters.solves > cached.counters.solves
+          ? uncached.counters.solves - cached.counters.solves
+          : 0;
+  const bool cache_effective =
+      solves_avoided > 0 && cached.counters.cache_hits > 0;
+  // Gate 3: memoized throughput is no worse than uncached. The 10%
+  // tolerance absorbs wall-clock noise on shared CI runners; the JSON
+  // artifact keeps the raw numbers for trend tracking.
+  const bool no_regression =
+      cached.events_per_sec() >= 0.9 * uncached.events_per_sec();
+  const bool pass = identical && cache_effective && no_regression;
+
+  std::cout << format(
+      "\nfingerprint        %016llx vs %016llx  %s\n",
+      static_cast<unsigned long long>(uncached.fingerprint),
+      static_cast<unsigned long long>(cached.fingerprint),
+      identical ? "IDENTICAL" : "DIVERGED");
+  std::cout << format(
+      "solves avoided     %llu (%llu -> %llu, %.1f %% hit rate)  %s\n",
+      static_cast<unsigned long long>(solves_avoided),
+      static_cast<unsigned long long>(uncached.counters.solves),
+      static_cast<unsigned long long>(cached.counters.solves),
+      100.0 * cached.counters.hit_rate(),
+      cache_effective ? "OK" : "INEFFECTIVE");
+  std::cout << format(
+      "events/sec         %.0f uncached -> %.0f memoized (%.2fx)  %s\n",
+      uncached.events_per_sec(), cached.events_per_sec(),
+      uncached.events_per_sec() > 0.0
+          ? cached.events_per_sec() / uncached.events_per_sec()
+          : 0.0,
+      no_regression ? "OK" : "REGRESSION");
+  std::cout << "\nresult: " << (pass ? "PASS" : "FAIL") << "\n";
+
+  bench::BenchJson json(json_path);
+  json.set_section(
+      "perf_service",
+      {{"submissions", static_cast<double>(submissions)},
+       {"nodes", static_cast<double>(nodes)},
+       {"classes", static_cast<double>(classes)},
+       {"des_events", static_cast<double>(cached.des_events)},
+       {"wall_seconds_uncached", uncached.wall_seconds},
+       {"wall_seconds_memoized", cached.wall_seconds},
+       {"events_per_sec_uncached", uncached.events_per_sec()},
+       {"events_per_sec_memoized", cached.events_per_sec()},
+       {"submissions_per_sec", cached.submissions_per_sec()},
+       {"solves_uncached", static_cast<double>(uncached.counters.solves)},
+       {"solves_memoized", static_cast<double>(cached.counters.solves)},
+       {"solves_avoided", static_cast<double>(solves_avoided)},
+       {"allocator_hit_rate", cached.counters.hit_rate()},
+       {"identical", identical ? 1.0 : 0.0},
+       {"pass", pass ? 1.0 : 0.0}});
+  if (!json.write()) {
+    std::cerr << "error: could not write " << json_path << "\n";
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

@@ -1,10 +1,10 @@
 #include "pmemsim/allocator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 #include "common/assert.hpp"
 
@@ -16,18 +16,37 @@ constexpr int kMaxIterations = 80;
 constexpr double kTolerance = 1e-6;
 constexpr double kDamping = 0.5;
 
-struct FlowView {
-  const sim::FlowSpec* spec;
-  bool small;
-  double off_device_ns;  // sw + compute per op, excluding latency
-  double utilization;    // current iterate u_i
-  double device_rate;    // solved device-side rate
-  double progress_rate;  // solved end-to-end rate
-};
+/// Cached solutions per allocator before the cache is wholesale
+/// cleared. A workflow run cycles through far fewer distinct flow-set
+/// sequences than this, so steady state never clears.
+constexpr std::size_t kMaxCachedSolutions = 256;
 
-ClassCensus make_census(const std::vector<FlowView>& views) {
+AllocatorCounters g_counters;
+bool g_memoization_enabled = true;
+
+std::uint64_t hash_mix(std::uint64_t hash, std::uint64_t value) {
+  // FNV-1a over 64-bit lanes: cheap and stable across runs.
+  hash ^= value;
+  return hash * 0x100000001b3ULL;
+}
+
+}  // namespace
+
+const AllocatorCounters& allocator_counters() noexcept { return g_counters; }
+
+void reset_allocator_counters() noexcept { g_counters = AllocatorCounters{}; }
+
+void set_allocator_memoization(bool enabled) noexcept {
+  g_memoization_enabled = enabled;
+}
+
+bool allocator_memoization_enabled() noexcept {
+  return g_memoization_enabled;
+}
+
+ClassCensus OptaneRateAllocator::make_census() const {
   ClassCensus census;
-  for (const FlowView& view : views) {
+  for (const View& view : views_) {
     const bool is_read = view.spec->kind == sim::IoKind::kRead;
     const bool is_local = view.spec->locality == sim::Locality::kLocal;
     if (is_read) {
@@ -44,15 +63,67 @@ ClassCensus make_census(const std::vector<FlowView>& views) {
   return census;
 }
 
-}  // namespace
-
 void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
   PMEMFLOW_ASSERT(!flows.empty());
+  ++g_counters.allocate_calls;
 
-  std::vector<FlowView> views;
-  views.reserve(flows.size());
+  key_.clear();
+  key_.reserve(flows.size());
   for (const sim::Flow* flow : flows) {
-    FlowView view;
+    key_.push_back(FlowClass{
+        flow->spec.kind, flow->spec.locality, flow->spec.op_size,
+        flow->spec.sw_ns_per_op + flow->spec.compute_ns_per_op});
+  }
+
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  if (g_memoization_enabled) {
+    for (const FlowClass& cls : key_) {
+      hash = hash_mix(hash, static_cast<std::uint64_t>(cls.kind));
+      hash = hash_mix(hash, static_cast<std::uint64_t>(cls.locality));
+      hash = hash_mix(hash, cls.op_size);
+      hash = hash_mix(hash, std::bit_cast<std::uint64_t>(cls.off_device_ns));
+    }
+    if (auto it = cache_.find(hash); it != cache_.end()) {
+      for (const CachedSolution& solution : it->second) {
+        if (solution.key != key_) continue;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          flows[i]->device_rate = solution.rates[i].first;
+          flows[i]->progress_rate = solution.rates[i].second;
+        }
+        last_report_ = solution.report;
+        ++g_counters.cache_hits;
+        return;
+      }
+    }
+  }
+
+  solve(flows);
+  ++g_counters.solves;
+  g_counters.solve_iterations +=
+      static_cast<std::uint64_t>(last_report_.iterations);
+
+  if (g_memoization_enabled) {
+    if (cached_solutions_ >= kMaxCachedSolutions) {
+      cache_.clear();
+      cached_solutions_ = 0;
+    }
+    CachedSolution solution;
+    solution.key = key_;
+    solution.rates.reserve(flows.size());
+    for (const sim::Flow* flow : flows) {
+      solution.rates.emplace_back(flow->device_rate, flow->progress_rate);
+    }
+    solution.report = last_report_;
+    cache_[hash].push_back(std::move(solution));
+    ++cached_solutions_;
+  }
+}
+
+void OptaneRateAllocator::solve(std::span<sim::Flow* const> flows) {
+  views_.clear();
+  views_.reserve(flows.size());
+  for (const sim::Flow* flow : flows) {
+    View view;
     view.spec = &flow->spec;
     view.small = model_.is_small(flow->spec.op_size);
     view.off_device_ns =
@@ -72,13 +143,13 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
                                                view.spec->locality, 1.0));
     view.device_rate = 0.0;
     view.progress_rate = 0.0;
-    views.push_back(view);
+    views_.push_back(view);
   }
 
   // Raw count of small-access flows (static per call): drives the
   // per-op stall multiplier without fixed-point feedback.
   double small_flow_count = 0.0;
-  for (const FlowView& view : views) {
+  for (const View& view : views_) {
     if (view.small) small_flow_count += 1.0;
   }
   const double stall_excess = std::max(
@@ -89,7 +160,7 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
   AllocationReport report;
   for (report.iterations = 1; report.iterations <= kMaxIterations;
        ++report.iterations) {
-    const ClassCensus census = make_census(views);
+    const ClassCensus census = make_census();
     report.census = census;
 
     const double thrash = model_.cache_thrash_factor(census.total());
@@ -108,9 +179,9 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
 
     // Pass 1: per-flow unconstrained device rates (class share bounded
     // by per-thread and interconnect ceilings).
-    std::vector<double> rates(views.size());
-    for (std::size_t i = 0; i < views.size(); ++i) {
-      const FlowView& view = views[i];
+    rates_.assign(views_.size(), 0.0);
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      const View& view = views_[i];
       const bool is_read = view.spec->kind == sim::IoKind::kRead;
       const bool is_remote = view.spec->locality == sim::Locality::kRemote;
       const double n_kind = is_read ? census.reads() : census.writes();
@@ -133,7 +204,7 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
         }
       }
       if (view.small) rate *= small_factor;
-      rates[i] = std::max(rate, 1e-6);  // keep progress strictly positive
+      rates_[i] = std::max(rate, 1e-6);  // keep progress strictly positive
     }
 
     // Shared-media constraint: reads and writes are serviced by the
@@ -142,32 +213,32 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
     // class peaks simultaneously" free lunch: a co-scheduled
     // reader+writer pair shares the media, it does not double it.
     double media_utilization = 0.0;
-    for (std::size_t i = 0; i < views.size(); ++i) {
-      const bool is_read = views[i].spec->kind == sim::IoKind::kRead;
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      const bool is_read = views_[i].spec->kind == sim::IoKind::kRead;
       const Rate class_cap = is_read ? read_cap : write_cap;
       media_utilization +=
-          views[i].utilization * rates[i] / std::max(class_cap, 1e-9);
+          views_[i].utilization * rates_[i] / std::max(class_cap, 1e-9);
     }
     if (media_utilization > 1.0) {
-      for (double& rate : rates) rate /= media_utilization;
+      for (double& rate : rates_) rate /= media_utilization;
     }
 
     // Pass 2: per-op times, progress rates, and the utilization update.
     double max_delta = 0.0;
-    for (std::size_t i = 0; i < views.size(); ++i) {
-      FlowView& view = views[i];
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      View& view = views_[i];
       const bool is_read = view.spec->kind == sim::IoKind::kRead;
       const double n_kind = is_read ? census.reads() : census.writes();
 
       const double latency =
           model_.op_latency_ns(view.spec->kind, view.spec->locality, n_kind);
       const double op_bytes = static_cast<double>(view.spec->op_size);
-      const double device_ns = op_bytes / rates[i];
+      const double device_ns = op_bytes / rates_[i];
       double op_ns = view.off_device_ns + latency + device_ns;
       if (view.small) op_ns *= small_stall;
       const double utilization = device_ns / op_ns;
 
-      view.device_rate = rates[i];
+      view.device_rate = rates_[i];
       view.progress_rate = op_bytes / op_ns;
 
       const double next =
@@ -190,8 +261,8 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
   }
 
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    flows[i]->device_rate = views[i].device_rate;
-    flows[i]->progress_rate = views[i].progress_rate;
+    flows[i]->device_rate = views_[i].device_rate;
+    flows[i]->progress_rate = views_[i].progress_rate;
   }
   last_report_ = report;
 }

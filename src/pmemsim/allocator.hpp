@@ -13,9 +13,23 @@
 // solved by damped iteration. This reproduces the paper's key mechanism:
 // high software overhead or interleaved compute lowers effective PMEM
 // concurrency and therefore contention (§VIII).
+//
+// Hot-path memoization: the solved rates are a pure function of the
+// flow-class sequence (kind, locality, op size, off-device ns per op) —
+// remaining bytes never enter the fixed point. FlowResource re-runs the
+// allocator on every flow add/complete, and a workflow's iteration loop
+// presents the same class sequences over and over, so each allocator
+// keeps a bounded cache of solved sequences and replays the rates on a
+// hit. A hit is byte-identical to re-solving (same sequence => same
+// iteration trajectory), so schedules do not change with the cache on
+// or off; set_allocator_memoization(false) exists to prove that and to
+// measure the speedup (bench/perf_service).
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "pmemsim/bandwidth.hpp"
 #include "sim/flow.hpp"
@@ -28,6 +42,33 @@ struct AllocationReport {
   int iterations = 0;
   bool converged = false;
 };
+
+/// Process-wide allocator counters, summed across every
+/// OptaneRateAllocator instance (one per simulated device/socket).
+/// Purely observational — they never feed back into simulated time —
+/// so benches can snapshot them around a run to report the allocator
+/// hit-rate and solve cost of the hot path.
+struct AllocatorCounters {
+  std::uint64_t allocate_calls = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t solve_iterations = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return allocate_calls == 0 ? 0.0
+                               : static_cast<double>(cache_hits) /
+                                     static_cast<double>(allocate_calls);
+  }
+};
+
+[[nodiscard]] const AllocatorCounters& allocator_counters() noexcept;
+void reset_allocator_counters() noexcept;
+
+/// Toggles solution memoization for all allocators (default on).
+/// Schedules are byte-identical either way; off exists for the
+/// perf-gate contrast and determinism tests.
+void set_allocator_memoization(bool enabled) noexcept;
+[[nodiscard]] bool allocator_memoization_enabled() noexcept;
 
 class OptaneRateAllocator final : public sim::RateAllocator {
  public:
@@ -45,8 +86,56 @@ class OptaneRateAllocator final : public sim::RateAllocator {
   }
 
  private:
+  /// Per-flow iterate of the fixed point (scratch, reused per call).
+  struct View {
+    const sim::FlowSpec* spec;
+    bool small;
+    double off_device_ns;  // sw + compute per op, excluding latency
+    double utilization;    // current iterate u_i
+    double device_rate;    // solved device-side rate
+    double progress_rate;  // solved end-to-end rate
+  };
+
+  /// Everything the fixed point reads from one flow: the memo key is
+  /// the ordered sequence of these (order matters only through
+  /// floating-point summation — keying on the sequence rather than the
+  /// multiset keeps cache replay bit-exact).
+  struct FlowClass {
+    sim::IoKind kind;
+    sim::Locality locality;
+    Bytes op_size;
+    double off_device_ns;
+
+    friend bool operator==(const FlowClass&, const FlowClass&) = default;
+  };
+
+  struct CachedSolution {
+    std::vector<FlowClass> key;
+    /// Per-position (device_rate, progress_rate).
+    std::vector<std::pair<double, double>> rates;
+    AllocationReport report;
+  };
+
+  [[nodiscard]] ClassCensus make_census() const;
+  /// Runs the damped fixed point over views_ and writes rates into
+  /// `flows`; sets last_report_.
+  void solve(std::span<sim::Flow* const> flows);
+
   BandwidthModel model_;
   AllocationReport last_report_;
+
+  // Scratch buffers reused across allocate() calls (the DES hot path
+  // calls allocate on every flow add/complete; per-call heap churn was
+  // measurable).
+  std::vector<View> views_;
+  std::vector<double> rates_;
+  std::vector<FlowClass> key_;
+
+  /// Solved sequences, bucketed by key hash (buckets guard against
+  /// hash collisions). Bounded: wholesale-cleared at a fixed entry
+  /// count, which is deterministic and keeps lookup O(1).
+  std::unordered_map<std::uint64_t, std::vector<CachedSolution>> cache_;
+  std::size_t cached_solutions_ = 0;
 };
 
 }  // namespace pmemflow::pmemsim

@@ -124,6 +124,10 @@ struct ServiceMetrics {
   std::uint64_t stage_hits = 0;
   /// Peak concurrent occupancy of any per-socket capacity pool.
   Bytes residency_high_water = 0;
+  /// Discrete events the service run loop processed (arrivals, retries,
+  /// dispatch completions, preemption timers). The perf gate divides
+  /// this by wall time to get events/sec.
+  std::uint64_t des_events = 0;
 };
 
 /// Condenses completion records + component stats into ServiceMetrics.

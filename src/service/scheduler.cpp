@@ -938,9 +938,11 @@ Expected<ServiceResult> OnlineScheduler::run(
         });
   }
 
+  std::uint64_t des_events = 0;
   while (!state.events.empty() && !state.failure.has_value()) {
     auto [time, callback] = state.events.pop();
     callback();
+    ++des_events;
   }
   if (state.failure.has_value()) return Unexpected{*state.failure};
   PMEMFLOW_ASSERT_MSG(state.checkpoints.empty(),
@@ -966,6 +968,7 @@ Expected<ServiceResult> OnlineScheduler::run(
           std::max<std::int64_t>(0, state.interference_delta_ns)),
       residency.stats().evictions, residency.stats().gc_bytes,
       state.stage_hits, residency.residency_high_water());
+  result.metrics.des_events = des_events;
   return result;
 }
 

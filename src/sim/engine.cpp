@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/log.hpp"
 
@@ -16,11 +18,15 @@ void notify_root_finished(Engine& engine, std::coroutine_handle<> handle,
 
 Engine::~Engine() {
   // Unfired callbacks may capture coroutine handles; drop them before
-  // destroying any stranded frames so nothing dangles.
+  // destroying any frames so nothing dangles.
   while (!queue_.empty()) {
     queue_.pop();
   }
-  for (auto handle : finished_roots_) {
+  reclaim_finished_roots();
+  // Stranded (suspended, never-finished) roots: the queue callbacks
+  // just dropped may have held the only other handle, so without this
+  // pass the frames — and everything they own — would leak.
+  for (auto handle : live_root_frames_) {
     handle.destroy();
   }
 }
@@ -40,21 +46,31 @@ void Engine::spawn(Task task) {
   PMEMFLOW_ASSERT_MSG(task.valid(), "cannot spawn an empty task");
   Task::Handle handle = task.release();
   handle.promise().owning_engine = this;
-  ++live_roots_;
+  live_root_frames_.push_back(handle);
   queue_.schedule(now_, [handle] { handle.resume(); });
 }
 
 void Engine::root_finished(std::coroutine_handle<> handle,
                            std::exception_ptr exception) {
-  PMEMFLOW_ASSERT(live_roots_ > 0);
-  --live_roots_;
+  auto it = std::find(live_root_frames_.begin(), live_root_frames_.end(),
+                      handle);
+  PMEMFLOW_ASSERT_MSG(it != live_root_frames_.end(),
+                      "finished root was never spawned");
+  live_root_frames_.erase(it);
   // The frame is suspended at its final suspend point; defer destruction
-  // until the engine is torn down or run() completes, so resuming code
-  // further up the stack never touches a freed frame.
+  // until the engine is torn down or run()/run_until() returns, so
+  // resuming code further up the stack never touches a freed frame.
   finished_roots_.push_back(handle);
   if (exception && !first_error_) {
     first_error_ = exception;
   }
+}
+
+void Engine::reclaim_finished_roots() {
+  for (auto handle : finished_roots_) {
+    handle.destroy();
+  }
+  finished_roots_.clear();
 }
 
 RunStats Engine::run() {
@@ -71,17 +87,14 @@ RunStats Engine::run() {
     }
   }
   stats.end_time = now_;
-  stats.stranded_roots = live_roots_;
+  stats.stranded_roots = live_root_frames_.size();
   if (stats.stranded_roots != 0) {
     PMEMFLOW_WARN("simulation drained with %zu stranded root task(s) "
                   "(deadlock?)",
                   stats.stranded_roots);
   }
   // Frames finished during this run can be reclaimed now.
-  for (auto handle : finished_roots_) {
-    handle.destroy();
-  }
-  finished_roots_.clear();
+  reclaim_finished_roots();
   return stats;
 }
 
@@ -99,7 +112,11 @@ RunStats Engine::run_until(SimTime deadline) {
     }
   }
   stats.end_time = now_;
-  stats.stranded_roots = live_roots_;
+  stats.stranded_roots = live_root_frames_.size();
+  // Roots that finished inside this slice are reclaimed here, exactly
+  // like run(): a long horizon-stepped co-simulation would otherwise
+  // accumulate every finished frame until teardown.
+  reclaim_finished_roots();
   return stats;
 }
 

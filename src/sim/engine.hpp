@@ -70,7 +70,7 @@ class Engine {
 
   /// Number of spawned roots that have not yet finished.
   [[nodiscard]] std::size_t live_roots() const noexcept {
-    return live_roots_;
+    return live_root_frames_.size();
   }
 
  private:
@@ -79,10 +79,16 @@ class Engine {
 
   void root_finished(std::coroutine_handle<> handle,
                      std::exception_ptr exception);
+  /// Destroys and forgets every frame in finished_roots_.
+  void reclaim_finished_roots();
 
   SimTime now_ = 0;
   EventQueue queue_;
-  std::size_t live_roots_ = 0;
+  /// Frames of spawned-but-unfinished roots. The engine owns detached
+  /// frames, so it must keep a handle to each: a stranded (deadlocked)
+  /// root's only other handle may sit inside a dropped queue callback,
+  /// and the destructor still has to destroy the frame.
+  std::vector<std::coroutine_handle<>> live_root_frames_;
   std::vector<std::coroutine_handle<>> finished_roots_;
   std::exception_ptr first_error_;
 };

@@ -2,13 +2,17 @@
 //
 // Events at equal timestamps fire in insertion order (FIFO), which makes
 // every simulation run fully deterministic. Cancellation is lazy: a
-// cancelled entry stays in the heap and is skipped when popped.
+// cancelled entry stays in the heap and is skipped when popped — but the
+// backlog is bounded: when dead entries outnumber live ones the heap is
+// compacted in one O(n) rebuild, so cancel/reschedule churn (e.g. a
+// FlowResource rescheduling its completion on every arrival) keeps the
+// heap O(live) instead of O(total events ever scheduled).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -55,14 +59,20 @@ class EventQueue {
   /// with its timestamp; queue must not be empty.
   std::pair<SimTime, Callback> pop();
 
+  /// Physical heap entries, live + dead (test hook: the compaction
+  /// invariant is heap_size() <= max(2 * size(), compaction floor)).
+  [[nodiscard]] std::size_t heap_size() const noexcept {
+    return heap_.size();
+  }
+
  private:
   struct Entry {
     SimTime when;
     std::uint64_t sequence;
     std::uint64_t id;
 
-    // std::priority_queue is a max-heap; invert for earliest-first, and
-    // break time ties by sequence for FIFO ordering.
+    // std::push_heap/pop_heap build a max-heap; invert for
+    // earliest-first, and break time ties by sequence for FIFO ordering.
     friend bool operator<(const Entry& a, const Entry& b) {
       if (a.when != b.when) return a.when > b.when;
       return a.sequence > b.sequence;
@@ -70,12 +80,17 @@ class EventQueue {
   };
 
   void drop_dead_entries() const;
+  /// Rebuilds the heap without dead entries once they outnumber live
+  /// ones (and the heap is big enough for the rebuild to matter).
+  void maybe_compact();
 
   // The heap is mutable so that next_time() can shed cancelled entries
   // without pretending to be non-const: dropping dead entries never
   // changes the observable queue state (live events and their order),
   // only the lazy-deletion backlog.
-  mutable std::priority_queue<Entry> heap_;
+  mutable std::vector<Entry> heap_;
+  /// Cancelled/rescheduled entries still sitting in heap_.
+  mutable std::size_t dead_ = 0;
   std::unordered_map<std::uint64_t, Callback> live_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_sequence_ = 0;

@@ -43,6 +43,7 @@ void FlowResource::add_flow(const FlowSpec& spec,
   entry->waiter = waiter;
   active_.push_back(std::move(entry));
   stats_.peak_concurrency = std::max(stats_.peak_concurrency, active_.size());
+  flows_dirty_ = true;
   reallocate();
 }
 
@@ -79,16 +80,25 @@ void FlowResource::reallocate() {
   }
   if (active_.empty()) return;
 
-  std::vector<Flow*> flows;
-  flows.reserve(active_.size());
-  for (const auto& entry : active_) flows.push_back(&entry->flow);
-  allocator_.allocate(flows);
+  if (flows_dirty_) {
+    flow_scratch_.clear();
+    flow_scratch_.reserve(active_.size());
+    for (const auto& entry : active_) flow_scratch_.push_back(&entry->flow);
+    allocator_.allocate(flow_scratch_);
+    flows_dirty_ = false;
+    ++stats_.rate_solves;
+  } else {
+    // Unchanged flow set: the allocator would re-derive the identical
+    // rates, so keep them and only refresh the completion event.
+    ++stats_.solves_skipped;
+  }
 
   double min_eta = std::numeric_limits<double>::infinity();
-  for (const Flow* flow : flows) {
-    PMEMFLOW_ASSERT_MSG(flow->progress_rate > 0.0,
+  for (const auto& entry : active_) {
+    const Flow& flow = entry->flow;
+    PMEMFLOW_ASSERT_MSG(flow.progress_rate > 0.0,
                         "allocator must assign a positive rate");
-    min_eta = std::min(min_eta, flow->remaining_bytes / flow->progress_rate);
+    min_eta = std::min(min_eta, flow.remaining_bytes / flow.progress_rate);
   }
   // Round up so the event fires at-or-after the true completion instant;
   // settle_progress clamps any overshoot.
@@ -102,21 +112,22 @@ void FlowResource::on_completion_event() {
   settle_progress();
 
   // Collect finished flows, remove them, then wake their waiters.
-  std::vector<std::coroutine_handle<>> to_resume;
+  resume_scratch_.clear();
   auto it = active_.begin();
   while (it != active_.end()) {
     if ((*it)->flow.remaining_bytes < kCompletionEpsilon) {
       ++stats_.flows_completed;
-      to_resume.push_back((*it)->waiter);
+      resume_scratch_.push_back((*it)->waiter);
       it = active_.erase(it);
+      flows_dirty_ = true;
     } else {
       ++it;
     }
   }
   // Rounding can fire the event one tick before any flow finishes; in
-  // that case just reschedule.
+  // that case reallocate() just reschedules (clean set => no re-solve).
   reallocate();
-  for (auto handle : to_resume) {
+  for (auto handle : resume_scratch_) {
     engine_.schedule_resume(engine_.now(), handle);
   }
 }

@@ -87,6 +87,11 @@ struct FlowResourceStats {
   double concurrency_time_integral = 0.0;
   /// Time during which at least one flow was active (ns).
   double busy_time = 0.0;
+  /// Allocator invocations (the flow set changed since the last solve).
+  std::uint64_t rate_solves = 0;
+  /// Completion events that rescheduled without re-running the
+  /// allocator because the flow set was unchanged (dirty-flag skip).
+  std::uint64_t solves_skipped = 0;
 };
 
 /// A shared transfer resource (one PMEM interleave set, one UPI link...).
@@ -131,7 +136,10 @@ class FlowResource {
   void add_flow(const FlowSpec& spec, std::coroutine_handle<> waiter);
   /// Settles progress at current rates since last_update_.
   void settle_progress();
-  /// Re-runs the allocator and (re)schedules the next completion event.
+  /// (Re)schedules the next completion event; re-runs the allocator
+  /// only when the flow set changed since the last solve (dirty flag —
+  /// an unchanged set re-solves to the identical rates, so skipping is
+  /// byte-identical and keeps spurious wakeups off the hot path).
   void reallocate();
   void on_completion_event();
 
@@ -142,6 +150,12 @@ class FlowResource {
   SimTime last_update_ = 0;
   EventId pending_completion_{};
   FlowResourceStats stats_;
+  /// True when active_ changed since the allocator last ran.
+  bool flows_dirty_ = false;
+  // Scratch buffers reused across events (hot path: every flow
+  // add/complete).
+  std::vector<Flow*> flow_scratch_;
+  std::vector<std::coroutine_handle<>> resume_scratch_;
 };
 
 }  // namespace pmemflow::sim

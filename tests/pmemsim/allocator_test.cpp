@@ -212,6 +212,125 @@ TEST_F(AllocatorTest, RatesAreAlwaysPositive) {
   }
 }
 
+/// Restores the global memoization toggle + counters around a test.
+class MemoizationGuard {
+ public:
+  MemoizationGuard() : was_enabled_(allocator_memoization_enabled()) {
+    reset_allocator_counters();
+  }
+  ~MemoizationGuard() {
+    set_allocator_memoization(was_enabled_);
+    reset_allocator_counters();
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST_F(AllocatorTest, MemoizedAllocateIsBitIdenticalToUncached) {
+  MemoizationGuard guard;
+  auto build = [] {
+    std::vector<sim::Flow> flows;
+    for (int i = 0; i < 16; ++i) {
+      flows.push_back(make_flow(
+          (i % 2 == 0) ? sim::IoKind::kRead : sim::IoKind::kWrite,
+          (i % 3 == 0) ? sim::Locality::kRemote : sim::Locality::kLocal,
+          (i % 5 == 0) ? 2 * kKB : 64 * kMB, (i % 4) * 500.0,
+          (i % 2) * 1000.0));
+    }
+    return flows;
+  };
+
+  // Uncached reference: every call re-runs the fixed point.
+  set_allocator_memoization(false);
+  OptaneRateAllocator uncached(
+      BandwidthModel(OptaneParams{}, interconnect::UpiModel{}));
+  auto reference = build();
+  {
+    std::vector<sim::Flow*> pointers;
+    for (auto& flow : reference) pointers.push_back(&flow);
+    uncached.allocate(pointers);
+  }
+  const AllocationReport uncached_report = uncached.last_report();
+
+  // Memoized: second allocate of the same sequence must hit and replay
+  // the exact same bits.
+  set_allocator_memoization(true);
+  reset_allocator_counters();
+  OptaneRateAllocator memoized(
+      BandwidthModel(OptaneParams{}, interconnect::UpiModel{}));
+  auto first = build();
+  auto second = build();
+  for (auto* flows : {&first, &second}) {
+    std::vector<sim::Flow*> pointers;
+    for (auto& flow : *flows) pointers.push_back(&flow);
+    memoized.allocate(pointers);
+  }
+  EXPECT_EQ(allocator_counters().allocate_calls, 2u);
+  EXPECT_EQ(allocator_counters().solves, 1u);
+  EXPECT_EQ(allocator_counters().cache_hits, 1u);
+
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-identity.
+    EXPECT_EQ(reference[i].progress_rate, first[i].progress_rate);
+    EXPECT_EQ(reference[i].device_rate, first[i].device_rate);
+    EXPECT_EQ(first[i].progress_rate, second[i].progress_rate);
+    EXPECT_EQ(first[i].device_rate, second[i].device_rate);
+  }
+  // last_report() replays from the cache too (tests rely on it).
+  EXPECT_EQ(memoized.last_report().iterations, uncached_report.iterations);
+  EXPECT_EQ(memoized.last_report().converged, uncached_report.converged);
+  EXPECT_EQ(memoized.last_report().census.local_write,
+            uncached_report.census.local_write);
+  EXPECT_EQ(memoized.last_report().census.small, uncached_report.census.small);
+}
+
+TEST_F(AllocatorTest, MemoKeyDistinguishesSequenceOrder) {
+  MemoizationGuard guard;
+  set_allocator_memoization(true);
+  // [read, write] then [write, read]: a (wrong) multiset key would hit
+  // and hand the reader the writer's rate. Per-position rates must
+  // follow each flow's own class.
+  std::vector<sim::Flow> forward{
+      make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 64 * kMB),
+      make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB)};
+  std::vector<sim::Flow> reversed{
+      make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB),
+      make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 64 * kMB)};
+  allocate(forward);
+  allocate(reversed);
+  EXPECT_EQ(forward[0].device_rate, reversed[1].device_rate);
+  EXPECT_EQ(forward[1].device_rate, reversed[0].device_rate);
+  EXPECT_NE(forward[0].device_rate, forward[1].device_rate);
+}
+
+TEST_F(AllocatorTest, MemoKeyDistinguishesOffDeviceCosts) {
+  MemoizationGuard guard;
+  set_allocator_memoization(true);
+  std::vector<sim::Flow> cheap{make_flow(sim::IoKind::kWrite,
+                                         sim::Locality::kLocal, 2 * kKB,
+                                         /*sw_ns=*/0.0)};
+  std::vector<sim::Flow> costly{make_flow(sim::IoKind::kWrite,
+                                          sim::Locality::kLocal, 2 * kKB,
+                                          /*sw_ns=*/50000.0)};
+  allocate(cheap);
+  allocate(costly);
+  EXPECT_EQ(allocator_counters().cache_hits, 0u);
+  EXPECT_GT(cheap[0].progress_rate, costly[0].progress_rate);
+}
+
+TEST_F(AllocatorTest, DisablingMemoizationStillSolvesEveryCall) {
+  MemoizationGuard guard;
+  set_allocator_memoization(false);
+  std::vector<sim::Flow> flows{
+      make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 64 * kMB)};
+  allocate(flows);
+  allocate(flows);
+  EXPECT_EQ(allocator_counters().allocate_calls, 2u);
+  EXPECT_EQ(allocator_counters().solves, 2u);
+  EXPECT_EQ(allocator_counters().cache_hits, 0u);
+}
+
 TEST_F(AllocatorTest, DeterministicAcrossCalls) {
   auto build = [] {
     std::vector<sim::Flow> flows;

@@ -191,6 +191,125 @@ TEST(Engine, RunUntilOnEmptyQueueIsNoop) {
   EXPECT_EQ(engine.now(), 0u);
 }
 
+/// Frame-lifetime observer: lives inside a coroutine frame, so the
+/// counter drops exactly when the frame is destroyed.
+class FrameProbe {
+ public:
+  explicit FrameProbe(int& alive) : alive_(&alive) { ++*alive_; }
+  FrameProbe(const FrameProbe&) = delete;
+  FrameProbe& operator=(const FrameProbe&) = delete;
+  ~FrameProbe() { --*alive_; }
+
+ private:
+  int* alive_;
+};
+
+TEST(Engine, RunUntilReclaimsFinishedFrames) {
+  // Regression: run_until() never reclaimed finished_roots_, so a long
+  // horizon-stepped run accumulated every finished coroutine frame
+  // until engine teardown.
+  Engine engine;
+  int alive = 0;
+  auto worker = [&](SimDuration d) -> Task {
+    FrameProbe probe(alive);
+    co_await sleep_for(engine, d);
+  };
+  for (int i = 0; i < 200; ++i) {
+    engine.spawn(worker(static_cast<SimDuration>(i % 50 + 1)));
+  }
+  EXPECT_EQ(alive, 0);  // frames only start inside the event loop
+  (void)engine.run_until(25);
+  // Every root that finished inside the slice must be destroyed at
+  // run_until() return, not parked until teardown.
+  EXPECT_EQ(alive, static_cast<int>(engine.live_roots()));
+  EXPECT_LT(engine.live_roots(), 200u);
+  (void)engine.run_until(1000);
+  EXPECT_EQ(alive, 0);
+  EXPECT_EQ(engine.live_roots(), 0u);
+}
+
+TEST(Engine, ManyRunUntilCyclesDoNotAccumulateFrames) {
+  Engine engine;
+  int alive = 0;
+  int completed = 0;
+  auto worker = [&](SimTime start) -> Task {
+    FrameProbe probe(alive);
+    co_await sleep_for(engine, start);
+    ++completed;
+  };
+  for (int i = 0; i < 500; ++i) {
+    engine.spawn(worker(static_cast<SimTime>(i + 1)));
+  }
+  for (SimTime horizon = 50; horizon <= 500; horizon += 50) {
+    (void)engine.run_until(horizon);
+    // At most the not-yet-finished roots hold frames.
+    EXPECT_LE(alive, 500 - completed);
+    EXPECT_EQ(alive, static_cast<int>(engine.live_roots()));
+  }
+  EXPECT_EQ(completed, 500);
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(Engine, StrandedRootFrameDestroyedAtTeardown) {
+  // Regression: ~Engine dropped the queued callbacks that held the only
+  // handles to stranded (suspended, never-finished) roots, leaking the
+  // frames — LeakSanitizer-visible under deadlock tests.
+  int alive = 0;
+  {
+    Engine engine;
+    auto stuck = [&]() -> Task {
+      FrameProbe probe(alive);
+      co_await NeverAwaiter{};
+    };
+    engine.spawn(stuck());
+    const RunStats stats = engine.run();
+    EXPECT_EQ(stats.stranded_roots, 1u);
+    EXPECT_EQ(alive, 1);  // frame still live while the engine exists
+  }
+  EXPECT_EQ(alive, 0);  // teardown destroyed the stranded frame
+}
+
+TEST(Engine, NeverStartedRootDestroyedAtTeardown) {
+  // A root spawned but never run: its only handle sits in the start
+  // callback still queued at teardown.
+  int alive = 0;
+  {
+    Engine engine;
+    auto worker = [&]() -> Task {
+      FrameProbe probe(alive);
+      co_return;
+    };
+    engine.spawn(worker());
+    // Never run: the frame was created by the coroutine call itself.
+    EXPECT_EQ(engine.live_roots(), 1u);
+  }
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(Engine, StrandedRootOwningChildDestroysBothAtTeardown) {
+  int alive_parents = 0;
+  int alive_children = 0;
+  {
+    Engine engine;
+    auto child = [&]() -> Task {
+      FrameProbe probe(alive_children);
+      co_await NeverAwaiter{};
+    };
+    auto parent = [&]() -> Task {
+      FrameProbe probe(alive_parents);
+      co_await child();
+    };
+    engine.spawn(parent());
+    (void)engine.run();
+    EXPECT_EQ(alive_parents, 1);
+    EXPECT_EQ(alive_children, 1);
+  }
+  // Destroying the stranded parent frame destroys the awaited child it
+  // owns.
+  EXPECT_EQ(alive_parents, 0);
+  EXPECT_EQ(alive_children, 0);
+}
+
 TEST(Engine, ManySequentialRootsReuseEngine) {
   Engine engine;
   int completed = 0;

@@ -197,6 +197,97 @@ TEST(EventQueue, RescheduleDeadEventReturnsInvalid) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(EventQueue, RescheduleChurnKeepsHeapBounded) {
+  // Regression: lazy deletion never compacted, so a single event
+  // rescheduled N times left N dead entries in the heap (FlowResource
+  // does exactly this with its pending-completion event on every flow
+  // add/complete). The heap must stay O(live), not O(total churn).
+  EventQueue queue;
+  EventId id = queue.schedule(1, [] {});
+  for (SimTime t = 2; t <= 10000; ++t) {
+    id = queue.reschedule(id, t);
+    ASSERT_TRUE(id.valid());
+  }
+  EXPECT_EQ(queue.size(), 1u);
+  // One live event: compaction triggers whenever dead entries exceed
+  // live ones past the rebuild floor, so the heap never exceeds it.
+  EXPECT_LE(queue.heap_size(), 64u);
+
+  auto [when, cb] = queue.pop();
+  EXPECT_EQ(when, 10000u);
+  cb();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.heap_size(), 0u);
+}
+
+TEST(EventQueue, CancelChurnKeepsHeapBounded) {
+  EventQueue queue;
+  std::vector<int> fired;
+  // A stable population of 100 live events, with 10k schedule+cancel
+  // churn on top.
+  std::vector<EventId> live;
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(
+        queue.schedule(static_cast<SimTime>(1000000 + i), [&fired, i] {
+          fired.push_back(i);
+        }));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id = queue.schedule(static_cast<SimTime>(i), [] {});
+    EXPECT_TRUE(queue.cancel(id));
+  }
+  EXPECT_EQ(queue.size(), 100u);
+  // Dead entries can never exceed max(live, floor) after a mutation.
+  EXPECT_LE(queue.heap_size(), 200u + 64u);
+
+  while (!queue.empty()) queue.pop().second();
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CompactionPreservesOrderingAndLiveEvents) {
+  // Interleave schedules, cancels, and reschedules so several
+  // compactions fire mid-stream, then verify the surviving events pop
+  // in exactly (time, insertion) order.
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      const int tag = round * 20 + i;
+      ids.push_back(queue.schedule(
+          static_cast<SimTime>((tag * 7919) % 500 + 1000),
+          [&fired, tag] { fired.push_back(tag); }));
+    }
+    // Kill three quarters of this round's events; reschedule one.
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t at = ids.size() - 20 + static_cast<std::size_t>(i);
+      if (i % 4 != 0) {
+        EXPECT_TRUE(queue.cancel(ids[at]));
+      } else if (i == 0) {
+        ids[at] = queue.reschedule(ids[at], 2000);
+        ASSERT_TRUE(ids[at].valid());
+      }
+    }
+  }
+  EXPECT_EQ(queue.size(), 250u);  // 5 survivors per round
+  EXPECT_LE(queue.heap_size(), 2 * 250u + 64u);
+
+  SimTime last = 0;
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    auto [when, cb] = queue.pop();
+    EXPECT_GE(when, last);
+    last = when;
+    cb();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 250u);
+  EXPECT_EQ(fired.size(), 250u);
+}
+
 TEST(EventQueueDeathTest, PopOnEmptyAborts) {
   EventQueue queue;
   EXPECT_DEATH((void)queue.pop(), "empty");

@@ -228,6 +228,76 @@ TEST(FlowResource, AllocatorPolicyControlsSharing) {
   EXPECT_EQ(finish[1].second, 600u);
 }
 
+/// EqualShare wrapped with an invocation counter, to pin down the
+/// incremental-reallocation contract: the allocator runs exactly once
+/// per flow-set change, never for an unchanged set.
+class CountingAllocator : public RateAllocator {
+ public:
+  explicit CountingAllocator(Rate aggregate) : aggregate_(aggregate) {}
+
+  void allocate(std::span<Flow* const> flows) override {
+    ++calls_;
+    const Rate share = aggregate_ / static_cast<double>(flows.size());
+    for (Flow* flow : flows) {
+      flow->progress_rate = share;
+      flow->device_rate = share;
+    }
+  }
+
+  [[nodiscard]] int calls() const noexcept { return calls_; }
+
+ private:
+  Rate aggregate_;
+  int calls_ = 0;
+};
+
+TEST(FlowResource, AllocatorRunsOncePerFlowSetChange) {
+  Engine engine;
+  CountingAllocator allocator(2.0);
+  FlowResource resource(engine, allocator, "dev");
+
+  auto first = [&]() -> Task {
+    co_await resource.transfer(read_spec(1000));
+  };
+  auto second = [&]() -> Task {
+    co_await sleep_for(engine, 250);
+    co_await resource.transfer(read_spec(1000));
+  };
+  engine.spawn(first());
+  engine.spawn(second());
+  engine.run_to_completion();
+
+  // Set changes: add flow 1, add flow 2, flow 1 completes (flow 2
+  // remains). Flow 2's completion empties the set — no solve needed.
+  EXPECT_EQ(allocator.calls(), 3);
+  EXPECT_EQ(resource.stats().rate_solves, 3u);
+  // Every completion event in this scenario removed a flow, so the
+  // dirty flag never short-circuited; the skip counter exists for the
+  // spurious-wakeup path (event fires, nothing finished).
+  EXPECT_EQ(resource.stats().solves_skipped, 0u);
+}
+
+TEST(FlowResource, SimultaneousCompletionsSolveOnce) {
+  Engine engine;
+  CountingAllocator allocator(2.0);
+  FlowResource resource(engine, allocator, "dev");
+
+  int done = 0;
+  auto proc = [&]() -> Task {
+    co_await resource.transfer(read_spec(1000));
+    ++done;
+  };
+  engine.spawn(proc());
+  engine.spawn(proc());
+  engine.run_to_completion();
+
+  // Two adds; both flows finish at the same instant in one completion
+  // event, which empties the set — exactly two solves in total.
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(allocator.calls(), 2);
+  EXPECT_EQ(resource.stats().rate_solves, 2u);
+}
+
 TEST(FlowResourceDeathTest, OpSizeZeroAborts) {
   Engine engine;
   EqualShareAllocator allocator(1.0);
