@@ -47,6 +47,11 @@ class Executor {
     return runner_;
   }
 
+  /// Forwards to the owned runner (see Runner::set_allocator_memoization).
+  void set_allocator_memoization(bool enabled) noexcept {
+    runner_.set_allocator_memoization(enabled);
+  }
+
  private:
   workflow::Runner runner_;
 };

@@ -21,9 +21,6 @@ constexpr double kDamping = 0.5;
 /// sequences than this, so steady state never clears.
 constexpr std::size_t kMaxCachedSolutions = 256;
 
-AllocatorCounters g_counters;
-bool g_memoization_enabled = true;
-
 std::uint64_t hash_mix(std::uint64_t hash, std::uint64_t value) {
   // FNV-1a over 64-bit lanes: cheap and stable across runs.
   hash ^= value;
@@ -31,18 +28,6 @@ std::uint64_t hash_mix(std::uint64_t hash, std::uint64_t value) {
 }
 
 }  // namespace
-
-const AllocatorCounters& allocator_counters() noexcept { return g_counters; }
-
-void reset_allocator_counters() noexcept { g_counters = AllocatorCounters{}; }
-
-void set_allocator_memoization(bool enabled) noexcept {
-  g_memoization_enabled = enabled;
-}
-
-bool allocator_memoization_enabled() noexcept {
-  return g_memoization_enabled;
-}
 
 ClassCensus OptaneRateAllocator::make_census() const {
   ClassCensus census;
@@ -65,7 +50,7 @@ ClassCensus OptaneRateAllocator::make_census() const {
 
 void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
   PMEMFLOW_ASSERT(!flows.empty());
-  ++g_counters.allocate_calls;
+  ++counters_.allocate_calls;
 
   key_.clear();
   key_.reserve(flows.size());
@@ -76,7 +61,7 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
   }
 
   std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
-  if (g_memoization_enabled) {
+  if (memoize_) {
     for (const FlowClass& cls : key_) {
       hash = hash_mix(hash, static_cast<std::uint64_t>(cls.kind));
       hash = hash_mix(hash, static_cast<std::uint64_t>(cls.locality));
@@ -91,18 +76,18 @@ void OptaneRateAllocator::allocate(std::span<sim::Flow* const> flows) {
           flows[i]->progress_rate = solution.rates[i].second;
         }
         last_report_ = solution.report;
-        ++g_counters.cache_hits;
+        ++counters_.cache_hits;
         return;
       }
     }
   }
 
   solve(flows);
-  ++g_counters.solves;
-  g_counters.solve_iterations +=
+  ++counters_.solves;
+  counters_.solve_iterations +=
       static_cast<std::uint64_t>(last_report_.iterations);
 
-  if (g_memoization_enabled) {
+  if (memoize_) {
     if (cached_solutions_ >= kMaxCachedSolutions) {
       cache_.clear();
       cached_solutions_ = 0;

@@ -22,8 +22,13 @@
 // keeps a bounded cache of solved sequences and replays the rates on a
 // hit. A hit is byte-identical to re-solving (same sequence => same
 // iteration trajectory), so schedules do not change with the cache on
-// or off; set_allocator_memoization(false) exists to prove that and to
-// measure the speedup (bench/perf_service).
+// or off; set_memoization(false) exists to prove that and to measure
+// the speedup (bench/perf_service).
+//
+// All memoization state — the solve cache, the hit/solve counters, and
+// the toggle — is per-instance. Two engines running concurrently (e.g.
+// two fleet regions advancing on separate threads) never share or
+// cross-pollinate allocator state.
 #pragma once
 
 #include <cstdint>
@@ -43,11 +48,11 @@ struct AllocationReport {
   bool converged = false;
 };
 
-/// Process-wide allocator counters, summed across every
-/// OptaneRateAllocator instance (one per simulated device/socket).
+/// Per-allocator counters (one allocator per simulated device/socket).
 /// Purely observational — they never feed back into simulated time —
 /// so benches can snapshot them around a run to report the allocator
-/// hit-rate and solve cost of the hot path.
+/// hit-rate and solve cost of the hot path. Layers that own several
+/// allocators (devices, runners, regions) sum them with operator+=.
 struct AllocatorCounters {
   std::uint64_t allocate_calls = 0;
   std::uint64_t cache_hits = 0;
@@ -59,16 +64,29 @@ struct AllocatorCounters {
                                : static_cast<double>(cache_hits) /
                                      static_cast<double>(allocate_calls);
   }
+
+  AllocatorCounters& operator+=(const AllocatorCounters& other) noexcept {
+    allocate_calls += other.allocate_calls;
+    cache_hits += other.cache_hits;
+    solves += other.solves;
+    solve_iterations += other.solve_iterations;
+    return *this;
+  }
+
+  /// Delta of two snapshots of the same monotonic counters (`a` taken
+  /// after `b`).
+  friend AllocatorCounters operator-(AllocatorCounters a,
+                                     const AllocatorCounters& b) noexcept {
+    a.allocate_calls -= b.allocate_calls;
+    a.cache_hits -= b.cache_hits;
+    a.solves -= b.solves;
+    a.solve_iterations -= b.solve_iterations;
+    return a;
+  }
+
+  friend bool operator==(const AllocatorCounters&,
+                         const AllocatorCounters&) = default;
 };
-
-[[nodiscard]] const AllocatorCounters& allocator_counters() noexcept;
-void reset_allocator_counters() noexcept;
-
-/// Toggles solution memoization for all allocators (default on).
-/// Schedules are byte-identical either way; off exists for the
-/// perf-gate contrast and determinism tests.
-void set_allocator_memoization(bool enabled) noexcept;
-[[nodiscard]] bool allocator_memoization_enabled() noexcept;
 
 class OptaneRateAllocator final : public sim::RateAllocator {
  public:
@@ -79,6 +97,21 @@ class OptaneRateAllocator final : public sim::RateAllocator {
   /// Census/convergence data of the most recent allocate() call.
   [[nodiscard]] const AllocationReport& last_report() const noexcept {
     return last_report_;
+  }
+
+  /// This allocator's call/hit/solve counters (never another
+  /// instance's: the counters are per-allocator state).
+  [[nodiscard]] const AllocatorCounters& counters() const noexcept {
+    return counters_;
+  }
+  void reset_counters() noexcept { counters_ = AllocatorCounters{}; }
+
+  /// Toggles solution memoization for THIS allocator (default on).
+  /// Schedules are byte-identical either way; off exists for the
+  /// perf-gate contrast and determinism tests.
+  void set_memoization(bool enabled) noexcept { memoize_ = enabled; }
+  [[nodiscard]] bool memoization_enabled() const noexcept {
+    return memoize_;
   }
 
   [[nodiscard]] const BandwidthModel& model() const noexcept {
@@ -123,6 +156,8 @@ class OptaneRateAllocator final : public sim::RateAllocator {
 
   BandwidthModel model_;
   AllocationReport last_report_;
+  AllocatorCounters counters_;
+  bool memoize_ = true;
 
   // Scratch buffers reused across allocate() calls (the DES hot path
   // calls allocate on every flow add/complete; per-call heap churn was

@@ -71,7 +71,8 @@ core::DeploymentConfig preferred_parallel_config(const CachedProfile& profile) {
 }
 
 InterferenceTable::InterferenceTable(workflow::Runner runner)
-    : runner_(std::move(runner)) {}
+    : runner_(std::move(runner)),
+      allocator_memoization_(runner_.allocator_memoization()) {}
 
 Expected<PairInterference> InterferenceTable::lookup(
     const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
@@ -114,8 +115,18 @@ Expected<PairInterference> InterferenceTable::lookup(
   const workflow::Runner* runner = &runner_;
   if (device_fp != runner_.devices().fingerprint()) {
     backend_runner.emplace(runner_.platform(), backend);
+    backend_runner->set_allocator_memoization(allocator_memoization_);
     runner = &*backend_runner;
   }
+  // The cross-backend runner dies with this scope; fold its counters in
+  // on every exit path (failed simulations still ran the allocator).
+  struct CounterFold {
+    std::optional<workflow::Runner>& runner;
+    pmemsim::AllocatorCounters& into;
+    ~CounterFold() {
+      if (runner.has_value()) into += runner->allocator_counters();
+    }
+  } fold{backend_runner, extra_allocator_counters_};
 
   PairInterference measured;
   // Mirrored sockets give each socket one tenant's writers plus the

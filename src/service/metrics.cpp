@@ -141,6 +141,18 @@ void print_service_report(std::ostream& out, const std::string& title,
                  format("%.3f GB",
                         static_cast<double>(metrics.residency_high_water) /
                             1e9)});
+  table.add_row({"rate solves", format("%llu", static_cast<unsigned long long>(
+                                                   metrics.rate_solves()))});
+  table.add_row(
+      {"allocator hit rate",
+       format("%.1f %% (%llu/%llu)", 100.0 * metrics.allocator.hit_rate(),
+              static_cast<unsigned long long>(metrics.allocator.cache_hits),
+              static_cast<unsigned long long>(
+                  metrics.allocator.allocate_calls))});
+  table.add_row({"regions", format("%u", metrics.regions)});
+  table.add_row({"shard migrations",
+                 format("%llu", static_cast<unsigned long long>(
+                                    metrics.shard_migrations))});
   table.write(out);
 }
 
@@ -170,7 +182,10 @@ std::vector<std::string> service_csv_header() {
           "evictions",
           "gc_bytes",
           "stage_hits",
-          "residency_high_water"};
+          "residency_high_water",
+          "rate_solves",
+          "regions",
+          "shard_migrations"};
 }
 
 void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
@@ -204,7 +219,11 @@ void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
        format("%llu", static_cast<unsigned long long>(metrics.gc_bytes)),
        format("%llu", static_cast<unsigned long long>(metrics.stage_hits)),
        format("%llu",
-              static_cast<unsigned long long>(metrics.residency_high_water))});
+              static_cast<unsigned long long>(metrics.residency_high_water)),
+       format("%llu", static_cast<unsigned long long>(metrics.rate_solves())),
+       format("%u", metrics.regions),
+       format("%llu",
+              static_cast<unsigned long long>(metrics.shard_migrations))});
 }
 
 }  // namespace pmemflow::service

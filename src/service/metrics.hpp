@@ -17,6 +17,7 @@
 #include "common/csv.hpp"
 #include "core/config.hpp"
 #include "metrics/summary.hpp"
+#include "pmemsim/allocator.hpp"
 #include "service/profile_cache.hpp"
 #include "service/submission_queue.hpp"
 
@@ -126,8 +127,25 @@ struct ServiceMetrics {
   Bytes residency_high_water = 0;
   /// Discrete events the service run loop processed (arrivals, retries,
   /// dispatch completions, preemption timers). The perf gate divides
-  /// this by wall time to get events/sec.
+  /// this by wall time to get events/sec. Sharded runs sum the
+  /// per-region loops in region-index order.
   std::uint64_t des_events = 0;
+  /// Rate-allocator work this run performed (characterizations and
+  /// interference measurements), as the delta of the per-allocator
+  /// counters across the run — summed per region in region-index order
+  /// when sharded. allocator.cache_hits / allocator.solves is the
+  /// memoization gate's signal.
+  pmemsim::AllocatorCounters allocator;
+  /// Fleet regions the run was sharded into (1 = classic unsharded).
+  std::uint32_t regions = 1;
+  /// Queued submissions migrated across regions at epoch barriers.
+  std::uint64_t shard_migrations = 0;
+
+  /// Bandwidth-share solves the run's characterizations performed
+  /// (memoization makes repeat classes hit instead).
+  [[nodiscard]] std::uint64_t rate_solves() const noexcept {
+    return allocator.solves;
+  }
 };
 
 /// Condenses completion records + component stats into ServiceMetrics.

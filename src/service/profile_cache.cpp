@@ -13,7 +13,8 @@ ProfileCache::ProfileCache(std::size_t capacity, core::Executor executor,
       executor_(std::move(executor)),
       characterizer_(executor_),
       recommender_(recommender),
-      default_device_fp_(executor_.runner().devices().fingerprint()) {
+      default_device_fp_(executor_.runner().devices().fingerprint()),
+      allocator_memoization_(executor_.runner().allocator_memoization()) {
   PMEMFLOW_ASSERT(capacity >= 1);
 }
 
@@ -59,9 +60,14 @@ Expected<CachedProfile> ProfileCache::characterize(
     const devices::NodeDevices& backend) const {
   const std::uint64_t device_fp = backend.fingerprint();
   if (device_fp == default_device_fp_) return characterize(spec);
-  const core::Executor executor{
+  core::Executor executor{
       workflow::Runner(executor_.runner().platform(), backend)};
-  return characterize_on(spec, executor, device_fp);
+  executor.set_allocator_memoization(allocator_memoization_);
+  auto result = characterize_on(spec, executor, device_fp);
+  // The executor dies with this scope; fold its counters in first (on
+  // the error path too — a failed sweep still ran the allocator).
+  extra_allocator_counters_ += executor.runner().allocator_counters();
+  return result;
 }
 
 Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup_keyed(

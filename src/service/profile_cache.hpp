@@ -102,6 +102,23 @@ class ProfileCache {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
 
+  /// Applies to the owned executor and to every temporary executor a
+  /// cross-backend characterization spins up. Default on.
+  void set_allocator_memoization(bool enabled) noexcept {
+    allocator_memoization_ = enabled;
+    executor_.set_allocator_memoization(enabled);
+  }
+
+  /// Rate-allocator counters of every characterization this cache has
+  /// run: the owned executor's plus those of the short-lived
+  /// cross-backend executors.
+  [[nodiscard]] pmemsim::AllocatorCounters allocator_counters()
+      const noexcept {
+    pmemsim::AllocatorCounters total = executor_.runner().allocator_counters();
+    total += extra_allocator_counters_;
+    return total;
+  }
+
  private:
   using LruList =
       std::list<std::pair<std::uint64_t, std::shared_ptr<const CachedProfile>>>;
@@ -120,6 +137,10 @@ class ProfileCache {
   core::Characterizer characterizer_;
   core::Recommender recommender_;
   std::uint64_t default_device_fp_;
+  bool allocator_memoization_;
+  /// Counters of torn-down cross-backend executors (mutable: const
+  /// characterize() creates and destroys them).
+  mutable pmemsim::AllocatorCounters extra_allocator_counters_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> entries_;
   CacheStats stats_;

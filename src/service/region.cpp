@@ -1,0 +1,860 @@
+#include "service/region.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace pmemflow::service {
+namespace {
+
+/// Floor for retry-after hints when the fleet is about to free anyway:
+/// a client cannot usefully spin faster than this.
+constexpr SimDuration kMinRetryNs = 1 * kMillisecond;
+
+std::uint32_t tenants_for(const ServiceConfig& config) {
+  if (config.policy != PlacementPolicy::kColocationAware) return 1;
+  return std::clamp<std::uint32_t>(config.colocation.tenants_per_node, 1,
+                                   Fleet::kMaxTenantsPerNode);
+}
+
+/// Dual-socket nodes throughout (the paper's testbed shape).
+constexpr std::uint32_t kSocketsPerNode = 2;
+
+/// Socket the streaming channel lands on under `config`: writer ranks
+/// live on socket 0 and reader ranks on socket 1, so local-write pins
+/// the channel to 0 and local-read to 1.
+std::uint32_t channel_socket_of(const core::DeploymentConfig& config) {
+  return config.placement == core::Placement::kLocalWrite ? 0u : 1u;
+}
+
+core::Placement flipped(core::Placement placement) {
+  return placement == core::Placement::kLocalWrite
+             ? core::Placement::kLocalRead
+             : core::Placement::kLocalWrite;
+}
+
+}  // namespace
+
+Region::Region(const ServiceConfig& config, ProfileCache& cache,
+               InterferenceTable& interference, std::uint32_t index,
+               std::uint32_t node_base, std::uint32_t node_count)
+    : config_(config),
+      cache_(cache),
+      interference_(interference),
+      index_(index),
+      node_base_(node_base),
+      fleet_(node_count, tenants_for(config)),
+      queue_(config.queue_capacity, config.defer_watermark) {
+  if (config.capacity.enabled()) {
+    // Per-(node, socket) pool sizes: the fleet-wide default, overridden
+    // by any node whose DeviceSpec carries its own capacity
+    // (heterogeneous DIMM populations). node_specs is indexed by the
+    // global node id, hence the node_base offset.
+    std::vector<std::vector<Bytes>> capacities(
+        node_count,
+        std::vector<Bytes>(kSocketsPerNode, config.capacity.pmem_per_socket));
+    for (std::uint32_t n = 0; n < node_count; ++n) {
+      const std::size_t global = node_base + n;
+      if (global >= config.node_specs.size()) break;
+      for (std::uint32_t s = 0; s < kSocketsPerNode; ++s) {
+        capacities[n][s] =
+            config.node_specs[global]
+                .devices.for_socket(static_cast<topo::SocketId>(s))
+                .capacity_or(config.capacity.pmem_per_socket);
+      }
+    }
+    fleet_.init_residency(std::move(capacities));
+  }
+}
+
+std::string Region::track_name(SlotRef ref) const {
+  const std::uint32_t global = node_base_ + ref.node;
+  return fleet_.tenants_per_node() > 1 ? format("node-%u.%u", global, ref.slot)
+                                       : format("node-%u", global);
+}
+
+Expected<std::shared_ptr<const CachedProfile>> Region::lookup_profile(
+    const workflow::WorkflowSpec& spec, std::uint32_t node) {
+  if (!heterogeneous()) return cache_.lookup(spec);
+  return cache_.lookup(spec, config_.node_specs[node_base_ + node].devices);
+}
+
+Expected<PairInterference> Region::lookup_interference(
+    const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
+    const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
+    std::uint32_t node) {
+  if (!heterogeneous()) return interference_.lookup(a, spec_a, b, spec_b);
+  return interference_.lookup(a, spec_a, b, spec_b,
+                              config_.node_specs[node_base_ + node].devices);
+}
+
+void Region::seed(std::vector<Submission> submissions) {
+  for (Submission& submission : submissions) {
+    const SimTime at = submission.arrival_ns;
+    events_.schedule(
+        at, [this, submission = std::move(submission), at]() mutable {
+          arrive(std::move(submission), 0, at);
+        });
+  }
+}
+
+void Region::inject(Submission submission, SimTime at) {
+  events_.schedule(at,
+                   [this, submission = std::move(submission), at]() mutable {
+                     arrive(std::move(submission), 0, at);
+                   });
+}
+
+void Region::advance_until(SimTime boundary) {
+  while (!failure_.has_value() && !events_.empty() &&
+         events_.next_time() < boundary) {
+    auto [time, callback] = events_.pop();
+    callback();
+    ++des_events_;
+  }
+}
+
+void Region::run_to_completion() {
+  while (!failure_.has_value() && !events_.empty()) {
+    auto [time, callback] = events_.pop();
+    callback();
+    ++des_events_;
+  }
+}
+
+std::optional<SimTime> Region::next_event_time() const {
+  if (events_.empty()) return std::nullopt;
+  return events_.next_time();
+}
+
+bool Region::has_stealable_head(SimTime now) const {
+  if (failure_.has_value() || queue_.empty()) return false;
+  if (checkpoints_.contains(queue_.front().id)) return false;
+  return !fleet_.pick_idle_node(config_.policy, now).has_value();
+}
+
+bool Region::can_accept(SimTime now) const {
+  if (failure_.has_value() || !queue_.empty()) return false;
+  return fleet_.pick_idle_node(config_.policy, now).has_value();
+}
+
+Submission Region::steal_head() { return queue_.pop(); }
+
+std::vector<CompletionRecord> Region::take_completions() {
+  for (CompletionRecord& record : completions_) record.node += node_base_;
+  return std::move(completions_);
+}
+
+void Region::arrive(Submission submission, std::uint32_t attempt,
+                    SimTime now) {
+  if (failure_.has_value()) return;
+  const SimTime earliest_free = fleet_.earliest_free_ns();
+  const SimDuration retry_after =
+      std::max(earliest_free > now ? earliest_free - now : SimDuration{0},
+               kMinRetryNs);
+  const std::uint64_t id = submission.id;
+  Submission retry_copy = submission;  // used only on deferral/rejection
+  const AdmissionDecision decision =
+      queue_.submit(std::move(submission), retry_after);
+  if (decision.verdict != AdmissionVerdict::kAdmitted) {
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(
+          "service",
+          format("%s #%llu", to_string(decision.verdict),
+                 static_cast<unsigned long long>(id)),
+          now);
+    }
+    // Deferred and rejected submissions share one retry budget:
+    // retry_after_ns is exactly the advisory resubmit hint a real
+    // client would honor, so the service honors it itself. Work that
+    // exhausts the budget is accounted as dropped — the invariant is
+    // completed + dropped == submissions.
+    if (attempt < config_.max_retries) {
+      ++retries_;
+      const SimTime retry_at = now + decision.retry_after_ns;
+      events_.schedule(retry_at, [this, retry = std::move(retry_copy),
+                                  attempt, retry_at]() mutable {
+        arrive(std::move(retry), attempt + 1, retry_at);
+      });
+    } else {
+      ++dropped_;
+    }
+  }
+  dispatch(now);
+}
+
+void Region::dispatch(SimTime now) {
+  while (!failure_.has_value() && !queue_.empty()) {
+    const auto choice = choose_placement(queue_.front(), now);
+    if (failure_.has_value()) return;
+    if (!choice.has_value()) {
+      maybe_preempt(now);
+      return;
+    }
+
+    Submission submission = queue_.pop();
+    if (choice->packs) {
+      // Charge the incumbent its measured slowdown before the joiner
+      // starts: settle its solo-rate progress, stretch the rest.
+      const SlotRef inc{choice->ref.node,
+                        *fleet_.sole_tenant_slot(choice->ref.node)};
+      ++fleet_.task_at(inc)->record.colocations;
+      apply_interference(inc, now, choice->incumbent_factor);
+      ++colocations_;
+    }
+
+    auto checkpointed = checkpoints_.find(submission.id);
+    if (checkpointed != checkpoints_.end()) {
+      ResumeState state = std::move(checkpointed->second);
+      checkpoints_.erase(checkpointed);
+      resume_checkpointed(*choice, std::move(submission), std::move(state),
+                          now);
+    } else {
+      start_fresh(*choice, std::move(submission), now);
+    }
+  }
+}
+
+std::optional<std::uint32_t> Region::pick_node(const Submission& next,
+                                               SimTime now) {
+  if (!heterogeneous() ||
+      config_.policy != PlacementPolicy::kRecommenderAware) {
+    return fleet_.pick_idle_node(config_.policy, now);
+  }
+  // Backend-aware routing: among fully-idle nodes, place the class on
+  // the backend where its recommended configuration runs fastest —
+  // e.g. a read-heavy class whose remote reads are the bottleneck on
+  // Optane routes to a locality-free backend. Lowest node index breaks
+  // runtime ties deterministically.
+  std::optional<std::uint32_t> best;
+  SimDuration best_runtime = 0;
+  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
+    const NodeState& node = fleet_.node(i);
+    bool idle = true;
+    for (const SlotState& slot : node.slots) {
+      if (slot.running.has_value() || slot.free_at_ns > now) {
+        idle = false;
+        break;
+      }
+    }
+    if (!idle) continue;
+    auto profile = lookup_profile(next.spec, i);
+    if (!profile.has_value()) {
+      failure_ = profile.error();
+      return std::nullopt;
+    }
+    const core::DeploymentConfig chosen =
+        config_.use_rule_based ? (*profile)->rule_based.config
+                               : (*profile)->model_based.config;
+    const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
+    if (!best.has_value() || runtime < best_runtime) {
+      best = i;
+      best_runtime = runtime;
+    }
+  }
+  return best;
+}
+
+Bytes Region::lease_for(const CachedProfile& profile,
+                        const workflow::WorkflowSpec& spec) const {
+  // Snapshot and op basis are fleet-wide per iteration: the profile's
+  // per-rank numbers times the rank count (same basis as
+  // snapshot_bytes_per_iteration below).
+  const Bytes snapshot =
+      profile.profile.simulation.bytes_per_iteration * spec.ranks;
+  const std::uint64_t ops =
+      profile.profile.simulation.objects_per_iteration * spec.ranks;
+  const auto iterations = std::max<std::uint32_t>(1, spec.iterations);
+  const capacity::RetentionParams& retention = config_.capacity.retention;
+  // Without GC every committed version stays resident until the channel
+  // finishes, so the lease must cover the full version volume — the
+  // capacity-blind regime. With GC only the retained window is live.
+  const Bytes snapshot_live =
+      retention.gc ? capacity::retained_bytes(snapshot, iterations, retention)
+                   : snapshot * iterations;
+  return snapshot_live +
+         capacity::metadata_peak_bytes(config_.capacity.nova, ops, iterations);
+}
+
+SimDuration Region::charge_lease(RunningTask& task, std::uint32_t node,
+                                 std::uint32_t socket, Bytes lease) {
+  capacity::ResidencyTracker& residency = fleet_.residency();
+  SimDuration overhead = 0;
+  if (!residency.fits(node, socket, lease)) {
+    // Make room by evicting cold finished-channel residue oldest-first;
+    // the reclaim is a device rewrite charged as dispatch overhead.
+    const Bytes evicted = residency.evict_cold(node, socket, lease);
+    overhead += capacity::gc_drain_ns(evicted, config_.capacity.retention);
+  }
+  if (!residency.fits(node, socket, lease)) {
+    // The lease exceeds even the emptied pool: the channel thrashes,
+    // rewriting its overflow every iteration. Charge that churn and
+    // clamp the lease so the pool booking stays consistent.
+    const capacity::CapacityPool& pool = residency.pool(node, socket);
+    const Bytes overflow = lease - pool.free();
+    overhead += capacity::gc_drain_ns(overflow, config_.capacity.retention) *
+                task.iterations;
+    lease = pool.free();
+  }
+  if (lease > 0) {
+    const Status acquired = residency.acquire(node, socket, lease);
+    PMEMFLOW_ASSERT_MSG(acquired.has_value(),
+                        "capacity lease must fit after eviction/clamp");
+  }
+  task.lease_bytes = lease;
+  task.lease_socket = socket;
+  return overhead;
+}
+
+std::optional<Region::PlacementChoice> Region::choose_capacity_placement(
+    const Submission& next, SimTime now) {
+  // Rank fully-idle nodes by fit tier, then least busy time (lowest
+  // index as the deterministic tiebreak):
+  //   0 — lease fits the preferred socket outright;
+  //   1 — fits the node's other socket (spill: run placement-flipped);
+  //   2 — fits the preferred socket after evicting cold residue;
+  //   3 — fits the other socket after eviction (spill + evict).
+  const std::uint32_t preferred = channel_socket_of(config_.fixed_config);
+  const std::uint32_t other = preferred ^ 1u;
+  const capacity::ResidencyTracker& residency = fleet_.residency();
+  std::optional<PlacementChoice> best;
+  int best_tier = 0;
+  SimDuration best_busy = 0;
+  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
+    const NodeState& node = fleet_.node(i);
+    bool idle = true;
+    for (const SlotState& slot : node.slots) {
+      if (slot.running.has_value() || slot.free_at_ns > now) {
+        idle = false;
+        break;
+      }
+    }
+    if (!idle) continue;
+    const std::uint64_t hits_before = cache_.stats().hits;
+    auto profile = lookup_profile(next.spec, i);
+    if (!profile.has_value()) {
+      failure_ = profile.error();
+      return std::nullopt;
+    }
+    const bool cache_hit = cache_.stats().hits > hits_before;
+    const Bytes lease = lease_for(**profile, next.spec);
+    int tier = 0;
+    bool flip = false;
+    if (residency.fits(i, preferred, lease)) {
+      tier = 0;
+    } else if (residency.fits(i, other, lease)) {
+      tier = 1;
+      flip = true;
+    } else if (residency.fits_after_eviction(i, preferred, lease)) {
+      tier = 2;
+    } else if (residency.fits_after_eviction(i, other, lease)) {
+      tier = 3;
+      flip = true;
+    } else {
+      continue;
+    }
+    if (!best.has_value() || tier < best_tier ||
+        (tier == best_tier && node.busy_ns < best_busy)) {
+      PlacementChoice choice;
+      choice.ref = SlotRef{i, 0};
+      choice.profile = *profile;
+      choice.cache_hit = cache_hit;
+      choice.flip_placement = flip;
+      choice.lease_bytes = lease;
+      best = std::move(choice);
+      best_tier = tier;
+      best_busy = node.busy_ns;
+    }
+  }
+  if (best.has_value()) return best;
+  // No node can hold the lease even after eviction. If running work
+  // will free capacity, wait for a completion; otherwise fall through
+  // to plain least-loaded so a lease larger than any pool still makes
+  // progress (charge_lease prices the thrash).
+  if (fleet_.any_task_active(now)) return std::nullopt;
+  const auto node = fleet_.pick_idle_node(config_.policy, now);
+  if (!node.has_value()) return std::nullopt;
+  PlacementChoice choice;
+  choice.ref = SlotRef{*node, 0};
+  return choice;
+}
+
+std::optional<Region::PlacementChoice> Region::choose_placement(
+    const Submission& next, SimTime now) {
+  if (config_.policy != PlacementPolicy::kColocationAware) {
+    if (config_.policy == PlacementPolicy::kCapacityAware && capacity_on()) {
+      return choose_capacity_placement(next, now);
+    }
+    const auto node = pick_node(next, now);
+    if (failure_.has_value() || !node.has_value()) return std::nullopt;
+    PlacementChoice choice;
+    choice.ref = SlotRef{*node, 0};
+    return choice;
+  }
+
+  // Co-location-aware placement needs the candidate's class profile
+  // before the submission is popped: pair compatibility and the
+  // interference charge depend on it. On a homogeneous fleet the
+  // profile is node-independent and resolved once up front; on a
+  // heterogeneous fleet it is resolved per candidate node below.
+  PlacementChoice choice;
+  if (!heterogeneous()) {
+    const std::uint64_t hits_before = cache_.stats().hits;
+    auto profile = cache_.lookup(next.spec);
+    if (!profile.has_value()) {
+      failure_ = profile.error();
+      return std::nullopt;
+    }
+    choice.profile = *profile;
+    choice.cache_hit = cache_.stats().hits > hits_before;
+  }
+
+  // Preference 1: an empty node (least-loaded) — solo running is always
+  // at least as fast as packing.
+  if (const auto node = fleet_.pick_idle_node(config_.policy, now)) {
+    choice.ref = SlotRef{*node, 0};
+    if (heterogeneous()) {
+      const std::uint64_t hits_before = cache_.stats().hits;
+      auto profile = lookup_profile(next.spec, *node);
+      if (!profile.has_value()) {
+        failure_ = profile.error();
+        return std::nullopt;
+      }
+      choice.profile = *profile;
+      choice.cache_hit = cache_.stats().hits > hits_before;
+    }
+    return choice;
+  }
+
+  // Preference 2: pack next to a compatible sole incumbent; among
+  // admissible nodes take the pair with the least combined slowdown,
+  // lowest node index as the deterministic tiebreak.
+  std::optional<PlacementChoice> best;
+  double best_cost = 0.0;
+  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
+    const auto target = fleet_.pack_slot(i, now);
+    if (!target.has_value()) continue;
+    if (heterogeneous()) {
+      // The candidate's profile on *this* node's backend.
+      const std::uint64_t hits_before = cache_.stats().hits;
+      auto profile = lookup_profile(next.spec, i);
+      if (!profile.has_value()) {
+        failure_ = profile.error();
+        return std::nullopt;
+      }
+      choice.profile = *profile;
+      choice.cache_hit = cache_.stats().hits > hits_before;
+    }
+    const RunningTask* incumbent =
+        fleet_.running(SlotRef{i, *fleet_.sole_tenant_slot(i)});
+    auto incumbent_profile = lookup_profile(incumbent->submission.spec, i);
+    if (!incumbent_profile.has_value()) {
+      failure_ = incumbent_profile.error();
+      return std::nullopt;
+    }
+    if (!colocation_compatible(**incumbent_profile, *choice.profile,
+                               config_.colocation)) {
+      continue;
+    }
+    auto pair = lookup_interference(**incumbent_profile,
+                                    incumbent->submission.spec,
+                                    *choice.profile, next.spec, i);
+    if (!pair.has_value()) {
+      failure_ = pair.error();
+      return std::nullopt;
+    }
+    if (!pair->feasible) continue;
+    const double cost = pair->slowdown_a + pair->slowdown_b;
+    if (!best.has_value() || cost < best_cost) {
+      best = choice;
+      best->ref = SlotRef{i, *target};
+      best->packs = true;
+      best->incumbent_factor = pair->slowdown_a;
+      best->factor = pair->slowdown_b;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void Region::apply_interference(SlotRef ref, SimTime now, double factor) {
+  RunningTask* task = fleet_.task_at(ref);
+  PMEMFLOW_ASSERT(task != nullptr);
+  if (task->interference == factor) return;
+  const SimTime old_finish = fleet_.node(ref.node).slots[ref.slot].free_at_ns;
+  const SimTime new_finish = fleet_.retime(ref, now, factor);
+  interference_delta_ns_ += static_cast<std::int64_t>(new_finish) -
+                            static_cast<std::int64_t>(old_finish);
+  task->record.finish_ns = new_finish;
+  task->finish_event = events_.reschedule(task->finish_event, new_finish);
+  PMEMFLOW_ASSERT_MSG(task->finish_event.valid(),
+                      "re-timed a task whose finish event already fired");
+}
+
+void Region::start_fresh(const PlacementChoice& choice, Submission submission,
+                         SimTime now) {
+  std::shared_ptr<const CachedProfile> profile = choice.profile;
+  bool cache_hit = choice.cache_hit;
+  if (profile == nullptr) {
+    const std::uint64_t hits_before = cache_.stats().hits;
+    auto looked_up = lookup_profile(submission.spec, choice.ref.node);
+    if (!looked_up.has_value()) {
+      failure_ = looked_up.error();
+      return;
+    }
+    profile = *looked_up;
+    cache_hit = cache_.stats().hits > hits_before;
+  }
+
+  core::DeploymentConfig chosen = config_.fixed_config;
+  if (config_.policy == PlacementPolicy::kRecommenderAware) {
+    chosen = config_.use_rule_based ? profile->rule_based.config
+                                    : profile->model_based.config;
+  } else if (config_.policy == PlacementPolicy::kColocationAware) {
+    // Tenants always co-run their components under the faster parallel
+    // placement: serial mode would idle the mirrored sockets a
+    // co-tenant needs.
+    chosen = preferred_parallel_config(*profile);
+  }
+  if (config_.policy == PlacementPolicy::kCapacityAware &&
+      choice.flip_placement) {
+    // Capacity spill: the preferred socket's pool is full, so run the
+    // placement-flipped config and land the channel on the other one.
+    chosen.placement = flipped(chosen.placement);
+  }
+  SimDuration runtime = profile->runtime_ns[config_index(chosen)];
+
+  // Snapshot basis: the channel materializes every rank's part each
+  // iteration; the profile's bytes_per_iteration is one rank's share.
+  const Bytes snapshot =
+      profile->profile.simulation.bytes_per_iteration * submission.spec.ranks;
+  const auto iterations =
+      std::max<std::uint32_t>(1, submission.spec.iterations);
+  if (capacity_on() && config_.capacity.staging.enabled() && snapshot != 0 &&
+      snapshot <= config_.capacity.staging.stage_bytes) {
+    // An iteration's snapshot fits the DRAM staging tier: writes land
+    // at DRAM rather than device write bandwidth and the drain overlaps
+    // the next iteration's compute. The per-iteration saving is the
+    // bandwidth delta, capped at half the runtime — staging cannot
+    // erase the compute/read side of the pipeline.
+    const SimDuration drain =
+        transfer_time(snapshot, config_.capacity.staging.drain_write_bw);
+    const SimDuration dram =
+        transfer_time(snapshot, config_.capacity.staging.dram_write_bw);
+    SimDuration saving = drain > dram ? (drain - dram) * iterations : 0;
+    saving = std::min(saving, runtime / 2);
+    runtime -= saving;
+    stage_hits_ += iterations;
+  }
+
+  RunningTask task;
+  task.record.id = submission.id;
+  task.record.label = submission.spec.label;
+  task.record.priority = submission.priority;
+  task.record.node = choice.ref.node;
+  task.record.slot = choice.ref.slot;
+  task.record.config = chosen;
+  task.record.cache_hit = cache_hit;
+  task.record.arrival_ns = submission.arrival_ns;
+  task.record.start_ns = now;
+  task.record.best_runtime_ns = profile->best_runtime_ns();
+  task.record.config_runtime_ns = runtime;
+  task.remaining_ns = runtime;
+  task.interference = choice.factor;
+  if (choice.packs) ++task.record.colocations;
+  task.snapshot_bytes_per_iteration = snapshot;
+  task.iterations = iterations;
+
+  SimDuration capacity_overhead = 0;
+  if (capacity_on()) {
+    // Every policy pays for residency once the model is on; only
+    // kCapacityAware *places* with it. The lease was sized during
+    // capacity-aware ranking; blind policies size it here.
+    const std::uint32_t socket = channel_socket_of(chosen);
+    const Bytes lease = choice.lease_bytes != 0
+                            ? choice.lease_bytes
+                            : lease_for(*profile, submission.spec);
+    capacity_overhead = charge_lease(task, choice.ref.node, socket, lease);
+    const capacity::RetentionParams& retention = config_.capacity.retention;
+    // Residue left cold at finish: without GC the whole version volume
+    // lingers; with retain-k GC only the retained window does.
+    task.cold_bytes =
+        !retention.gc
+            ? task.lease_bytes
+            : (retention.enabled()
+                   ? std::min(task.lease_bytes,
+                              capacity::retained_bytes(snapshot, iterations,
+                                                       retention))
+                   : Bytes{0});
+    task.gc_bytes =
+        retention.gc
+            ? capacity::gc_reclaimable_bytes(snapshot, iterations, retention)
+            : Bytes{0};
+  }
+  task.segment_overhead_ns = capacity_overhead;
+  task.submission = std::move(submission);
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->begin(track_name(choice.ref),
+                          format("%s [%s]", task.record.label.c_str(),
+                                 chosen.label().c_str()),
+                          now);
+  }
+  const SimDuration work_wall = interference_scaled(runtime, choice.factor);
+  if (choice.packs) {
+    interference_delta_ns_ += static_cast<std::int64_t>(work_wall - runtime);
+  }
+  launch(choice.ref, capacity_overhead + work_wall, std::move(task), now);
+}
+
+void Region::resume_checkpointed(const PlacementChoice& choice,
+                                 Submission submission, ResumeState state,
+                                 SimTime now) {
+  // On a heterogeneous fleet the remaining solo work carries over
+  // unscaled even when the resume lands on a different backend: a
+  // checkpoint preserves progress, not a re-profile, and the restore /
+  // migration legs use the fleet-wide CheckpointParams rates.
+  RunningTask task = std::move(state.task);
+  const SimDuration restore =
+      transfer_time(state.snapshot_bytes, config_.checkpoint.restore_read_bw);
+  SimDuration migration = 0;
+  if (choice.ref.node != state.checkpoint_node) {
+    migration =
+        transfer_time(state.snapshot_bytes, config_.checkpoint.migration_bw);
+    ++task.record.migrations;
+  }
+  const SimDuration overhead = restore + migration;
+  task.record.restore_ns += overhead;
+  task.record.node = choice.ref.node;
+  task.record.slot = choice.ref.slot;
+  // Re-charge the lease released at preemption (its size survived in
+  // lease_bytes); the resume node may need an eviction first.
+  SimDuration capacity_overhead = 0;
+  if (capacity_on() && task.lease_bytes > 0) {
+    capacity_overhead =
+        charge_lease(task, choice.ref.node,
+                     channel_socket_of(task.record.config), task.lease_bytes);
+  }
+  task.segment_overhead_ns = overhead + capacity_overhead;
+  task.interference = choice.factor;
+  if (choice.packs) ++task.record.colocations;
+  task.submission = std::move(submission);
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->begin(
+        track_name(choice.ref),
+        format("%s [resume%s]", task.record.label.c_str(),
+               migration > 0 ? ", migrated" : ""),
+        now);
+  }
+  const SimDuration work_wall =
+      interference_scaled(task.remaining_ns, choice.factor);
+  if (choice.packs) {
+    interference_delta_ns_ +=
+        static_cast<std::int64_t>(work_wall - task.remaining_ns);
+  }
+  launch(choice.ref, overhead + capacity_overhead + work_wall,
+         std::move(task), now);
+}
+
+void Region::launch(SlotRef ref, SimDuration busy_ns, RunningTask task,
+                    SimTime now) {
+  const SimTime finish = now + busy_ns;
+  task.record.finish_ns = finish;  // provisional until the event fires
+  // The callback reads the finish time from the slot, not a captured
+  // value: a re-timed finish event must see the re-timed clock.
+  task.finish_event =
+      events_.schedule(finish, [this, ref] { on_finish(ref); });
+  fleet_.start(ref, now, busy_ns, std::move(task));
+}
+
+void Region::on_finish(SlotRef ref) {
+  const SimTime finish = fleet_.node(ref.node).slots[ref.slot].free_at_ns;
+  RunningTask task = fleet_.complete(ref);
+  task.record.finish_ns = finish;
+  // The final segment ran to completion: all remaining work executed.
+  task.record.work_executed_ns += task.remaining_ns;
+  task.remaining_ns = 0;
+  if (config_.tracer != nullptr) {
+    config_.tracer->end(track_name(ref), finish);
+  }
+  // A departing tenant releases its co-tenant back to solo speed.
+  if (config_.policy == PlacementPolicy::kColocationAware) {
+    if (const auto other = fleet_.sole_tenant_slot(ref.node)) {
+      apply_interference(SlotRef{ref.node, *other}, finish, 1.0);
+    }
+  }
+  if (capacity_on() && task.lease_bytes > 0) {
+    // The working lease frees, but the retained residue stays cold on
+    // the socket until GC or a later eviction reclaims it.
+    capacity::ResidencyTracker& residency = fleet_.residency();
+    const Bytes cold = std::min(task.cold_bytes, task.lease_bytes);
+    if (task.lease_bytes > cold) {
+      residency.release(ref.node, task.lease_socket, task.lease_bytes - cold);
+    }
+    if (cold > 0) {
+      residency.add_cold(ref.node, task.lease_socket, task.record.id, cold,
+                         finish);
+    }
+    if (task.gc_bytes > 0) residency.note_gc(task.gc_bytes);
+    task.lease_bytes = 0;
+  }
+  completions_.push_back(std::move(task.record));
+  dispatch(finish);
+}
+
+bool Region::victim_frees_usable_slot(SlotRef victim, SimTime now) {
+  // Preempting only helps the urgent head if the victim's slot is
+  // actually usable afterwards: the node must end up empty (modulo the
+  // drain) or keep a co-tenant the urgent is allowed to pack with.
+  for (std::uint32_t s = 0; s < fleet_.tenants_per_node(); ++s) {
+    if (s == victim.slot) continue;
+    const SlotState& other = fleet_.node(victim.node).slots[s];
+    if (other.running.has_value()) {
+      auto urgent_profile = lookup_profile(queue_.front().spec, victim.node);
+      if (!urgent_profile.has_value()) {
+        failure_ = urgent_profile.error();
+        return false;
+      }
+      auto co_profile =
+          lookup_profile(other.running->submission.spec, victim.node);
+      if (!co_profile.has_value()) {
+        failure_ = co_profile.error();
+        return false;
+      }
+      if (!colocation_compatible(**co_profile, **urgent_profile,
+                                 config_.colocation)) {
+        return false;
+      }
+      auto pair = lookup_interference(
+          **co_profile, other.running->submission.spec, **urgent_profile,
+          queue_.front().spec, victim.node);
+      if (!pair.has_value()) {
+        failure_ = pair.error();
+        return false;
+      }
+      if (!pair->feasible) return false;
+    } else if (other.free_at_ns > now) {
+      return false;  // another drain holds the mirrored sockets
+    }
+  }
+  return true;
+}
+
+void Region::maybe_preempt(SimTime now) {
+  if (config_.preemption != PreemptionPolicy::kCheckpointRestore) return;
+  if (queue_.empty()) return;
+  if (queue_.front().priority != Priority::kUrgent) return;
+  // One preemption (== one node already draining) per waiting urgent:
+  // a second urgent behind the same head must not trigger a second
+  // checkpoint for work the first drain will already absorb.
+  if (queue_.count_at_least(Priority::kUrgent) <= urgent_reservations_) {
+    return;
+  }
+
+  // With one tenant per node, maybe_preempt is only reached when every
+  // slot is busy. Under co-location a slot can be free yet unusable
+  // (incompatible incumbent); preemption cannot help there — the urgent
+  // waits for a departure instead.
+  const SimTime earliest_free = fleet_.earliest_free_ns();
+  if (earliest_free <= now) return;
+  const SimDuration wait_without = earliest_free - now;
+
+  // Decision rule: preempting makes the urgent wait only for the
+  // checkpoint drain, so it saves (wait_without - checkpoint). Displace
+  // only when that saving exceeds the full checkpoint + restore cost
+  // the fleet pays for it; among profitable victims take the cheapest,
+  // lowest (node, slot) as the deterministic tiebreak.
+  struct Candidate {
+    SlotRef ref;
+    Bytes snapshot_bytes;
+    SimDuration checkpoint_ns;
+    SimDuration cost_ns;
+  };
+  std::optional<Candidate> victim;
+  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
+    for (std::uint32_t s = 0; s < fleet_.tenants_per_node(); ++s) {
+      const SlotRef ref{i, s};
+      const RunningTask* task = fleet_.running(ref);
+      if (task == nullptr) continue;  // free or already draining
+      if (task->record.priority >= Priority::kUrgent) continue;
+      if (config_.policy == PlacementPolicy::kColocationAware &&
+          !victim_frees_usable_slot(ref, now)) {
+        if (failure_.has_value()) return;
+        continue;
+      }
+      const SimDuration remaining = fleet_.remaining_work_at(ref, now);
+      const Bytes snapshot = task->snapshot_bytes(remaining);
+      const SimDuration checkpoint =
+          transfer_time(snapshot, config_.checkpoint.checkpoint_write_bw);
+      if (checkpoint >= wait_without) continue;  // saves no wait at all
+      const SimDuration restore =
+          transfer_time(snapshot, config_.checkpoint.restore_read_bw);
+      const SimDuration cost = checkpoint + restore;
+      if (wait_without - checkpoint <= cost) continue;
+      if (!victim.has_value() || cost < victim->cost_ns) {
+        victim = Candidate{ref, snapshot, checkpoint, cost};
+      }
+    }
+  }
+  if (!victim.has_value()) return;
+
+  // A co-located victim's pack charge covered stretch for all of its
+  // remaining work; the part it will now re-run solo elsewhere never
+  // materializes, so refund it.
+  if (const RunningTask* task = fleet_.running(victim->ref);
+      task->interference > 1.0) {
+    const SimDuration remaining = fleet_.remaining_work_at(victim->ref, now);
+    interference_delta_ns_ -= static_cast<std::int64_t>(
+        interference_scaled(remaining, task->interference) - remaining);
+  }
+
+  RunningTask task = fleet_.preempt(victim->ref, now, victim->checkpoint_ns);
+  const bool cancelled = events_.cancel(task.finish_event);
+  PMEMFLOW_ASSERT_MSG(cancelled, "victim finish event already fired");
+
+  // The checkpoint drain moves the channel off PMEM: its lease frees
+  // now and is re-charged at resume (lease_bytes keeps the size).
+  if (capacity_on() && task.lease_bytes > 0) {
+    fleet_.residency().release(victim->ref.node, task.lease_socket,
+                               task.lease_bytes);
+  }
+
+  // The departing victim releases its co-tenant back to solo speed.
+  if (config_.policy == PlacementPolicy::kColocationAware) {
+    if (const auto other = fleet_.sole_tenant_slot(victim->ref.node)) {
+      apply_interference(SlotRef{victim->ref.node, *other}, now, 1.0);
+    }
+  }
+
+  if (config_.tracer != nullptr) {
+    const std::string track = track_name(victim->ref);
+    config_.tracer->end(track, now);  // victim's segment ends here
+    config_.tracer->begin(track,
+                          format("ckpt %s", task.record.label.c_str()), now);
+    config_.tracer->end(track, now + victim->checkpoint_ns);
+    config_.tracer->instant(
+        "service",
+        format("preempt #%llu",
+               static_cast<unsigned long long>(task.submission.id)),
+        now);
+  }
+
+  Submission requeue = std::move(task.submission);
+  checkpoints_.emplace(
+      requeue.id,
+      ResumeState{victim->snapshot_bytes, victim->ref.node, std::move(task)});
+  queue_.reinstate(std::move(requeue));
+
+  ++urgent_reservations_;
+  const SimTime drain_done = now + victim->checkpoint_ns;
+  events_.schedule(drain_done, [this, drain_done] {
+    PMEMFLOW_ASSERT(urgent_reservations_ > 0);
+    --urgent_reservations_;
+    dispatch(drain_done);
+  });
+}
+
+}  // namespace pmemflow::service

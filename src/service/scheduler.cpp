@@ -1,853 +1,14 @@
 #include "service/scheduler.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/strings.hpp"
-#include "sim/event_queue.hpp"
+#include "service/region.hpp"
 
 namespace pmemflow::service {
-namespace {
-
-/// Floor for retry-after hints when the fleet is about to free anyway:
-/// a client cannot usefully spin faster than this.
-constexpr SimDuration kMinRetryNs = 1 * kMillisecond;
-
-/// Checkpointed state of a preempted victim waiting in the queue.
-struct ResumeState {
-  /// Volume drained at preemption; what a restore (and any migration
-  /// leg) must stream back.
-  Bytes snapshot_bytes = 0;
-  /// Node holding the snapshot; resuming elsewhere pays the
-  /// interconnect transfer.
-  std::uint32_t checkpoint_node = 0;
-  RunningTask task;
-};
-
-/// Where (and at what interference rate) the next dispatch lands.
-struct PlacementChoice {
-  SlotRef ref;
-  /// Interference factor charged to the dispatched task (1.0 solo).
-  double factor = 1.0;
-  /// True when joining an incumbent on a partially-occupied node.
-  bool packs = false;
-  /// New factor for the incumbent when packing.
-  double incumbent_factor = 1.0;
-  /// Candidate's profile, resolved during placement (colocation and
-  /// capacity-aware — the pack/fit decision needs it before the
-  /// submission is popped).
-  std::shared_ptr<const CachedProfile> profile;
-  bool cache_hit = false;
-  /// Capacity-aware spill: run under the placement-flipped fixed
-  /// config so the channel lands on the node's other socket.
-  bool flip_placement = false;
-  /// Lease already sized during capacity-aware node ranking (0 = size
-  /// it at dispatch).
-  Bytes lease_bytes = 0;
-};
-
-std::uint32_t tenants_for(const ServiceConfig& config) {
-  if (config.policy != PlacementPolicy::kColocationAware) return 1;
-  return std::clamp<std::uint32_t>(config.colocation.tenants_per_node, 1,
-                                   Fleet::kMaxTenantsPerNode);
-}
-
-/// Dual-socket nodes throughout (the paper's testbed shape).
-constexpr std::uint32_t kSocketsPerNode = 2;
-
-/// Socket the streaming channel lands on under `config`: writer ranks
-/// live on socket 0 and reader ranks on socket 1, so local-write pins
-/// the channel to 0 and local-read to 1.
-std::uint32_t channel_socket_of(const core::DeploymentConfig& config) {
-  return config.placement == core::Placement::kLocalWrite ? 0u : 1u;
-}
-
-core::Placement flipped(core::Placement placement) {
-  return placement == core::Placement::kLocalWrite
-             ? core::Placement::kLocalRead
-             : core::Placement::kLocalWrite;
-}
-
-/// Mutable state of one run(); groups what the event callbacks share.
-struct RunState {
-  const ServiceConfig& config;
-  ProfileCache& cache;
-  InterferenceTable& interference;
-  sim::EventQueue events;
-  Fleet fleet;
-  SubmissionQueue queue;
-  std::vector<CompletionRecord> completions;
-  /// Checkpoints awaiting resume, keyed by submission id.
-  std::unordered_map<std::uint64_t, ResumeState> checkpoints;
-  /// Nodes currently draining a checkpoint on behalf of a waiting
-  /// urgent submission; bounds preemptions to one per waiting urgent.
-  std::uint64_t urgent_reservations = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t dropped = 0;
-  /// Pack placements performed.
-  std::uint64_t colocations = 0;
-  /// Iterations whose snapshot writes fit the DRAM staging tier.
-  std::uint64_t stage_hits = 0;
-  /// Net wall-clock added (pack) and returned (relax/settle) by
-  /// interference charging; >= 0 over any completed pairing.
-  std::int64_t interference_delta_ns = 0;
-  std::optional<Error> failure;
-
-  RunState(const ServiceConfig& cfg, ProfileCache& profile_cache,
-           InterferenceTable& interference_table)
-      : config(cfg),
-        cache(profile_cache),
-        interference(interference_table),
-        fleet(cfg.nodes, tenants_for(cfg)),
-        queue(cfg.queue_capacity, cfg.defer_watermark) {
-    if (cfg.capacity.enabled()) {
-      // Per-(node, socket) pool sizes: the fleet-wide default,
-      // overridden by any node whose DeviceSpec carries its own
-      // capacity (heterogeneous DIMM populations).
-      std::vector<std::vector<Bytes>> capacities(
-          cfg.nodes,
-          std::vector<Bytes>(kSocketsPerNode, cfg.capacity.pmem_per_socket));
-      for (std::size_t n = 0; n < cfg.node_specs.size(); ++n) {
-        for (std::uint32_t s = 0; s < kSocketsPerNode; ++s) {
-          capacities[n][s] =
-              cfg.node_specs[n]
-                  .devices.for_socket(static_cast<topo::SocketId>(s))
-                  .capacity_or(cfg.capacity.pmem_per_socket);
-        }
-      }
-      fleet.init_residency(std::move(capacities));
-    }
-  }
-
-  [[nodiscard]] bool capacity_on() const noexcept {
-    return config.capacity.enabled();
-  }
-
-  [[nodiscard]] std::string track_name(SlotRef ref) const {
-    return fleet.tenants_per_node() > 1
-               ? format("node-%u.%u", ref.node, ref.slot)
-               : format("node-%u", ref.node);
-  }
-
-  /// True when the fleet mixes memory backends (node_specs provided).
-  [[nodiscard]] bool heterogeneous() const noexcept {
-    return !config.node_specs.empty();
-  }
-
-  /// Profile lookup against the backend of `node` (the cache's default
-  /// backend on a homogeneous fleet).
-  [[nodiscard]] Expected<std::shared_ptr<const CachedProfile>> lookup_profile(
-      const workflow::WorkflowSpec& spec, std::uint32_t node) {
-    if (!heterogeneous()) return cache.lookup(spec);
-    return cache.lookup(spec, config.node_specs[node].devices);
-  }
-
-  /// Interference lookup measured on the backend of `node`.
-  [[nodiscard]] Expected<PairInterference> lookup_interference(
-      const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
-      const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
-      std::uint32_t node) {
-    if (!heterogeneous()) return interference.lookup(a, spec_a, b, spec_b);
-    return interference.lookup(a, spec_a, b, spec_b,
-                               config.node_specs[node].devices);
-  }
-
-  void dispatch(SimTime now);
-  std::optional<std::uint32_t> pick_node(const Submission& next, SimTime now);
-  std::optional<PlacementChoice> choose_placement(const Submission& next,
-                                                  SimTime now);
-  std::optional<PlacementChoice> choose_capacity_placement(
-      const Submission& next, SimTime now);
-  [[nodiscard]] Bytes lease_for(const CachedProfile& profile,
-                                const workflow::WorkflowSpec& spec) const;
-  SimDuration charge_lease(RunningTask& task, std::uint32_t node,
-                           std::uint32_t socket, Bytes lease);
-  void apply_interference(SlotRef ref, SimTime now, double factor);
-  bool victim_frees_usable_slot(SlotRef victim, SimTime now);
-  void maybe_preempt(SimTime now);
-  void start_fresh(const PlacementChoice& choice, Submission submission,
-                   SimTime now);
-  void resume_checkpointed(const PlacementChoice& choice,
-                           Submission submission, ResumeState state,
-                           SimTime now);
-  void launch(SlotRef ref, SimDuration busy_ns, RunningTask task, SimTime now);
-  void on_finish(SlotRef ref);
-};
-
-void RunState::dispatch(SimTime now) {
-  while (!failure.has_value() && !queue.empty()) {
-    const auto choice = choose_placement(queue.front(), now);
-    if (failure.has_value()) return;
-    if (!choice.has_value()) {
-      maybe_preempt(now);
-      return;
-    }
-
-    Submission submission = queue.pop();
-    if (choice->packs) {
-      // Charge the incumbent its measured slowdown before the joiner
-      // starts: settle its solo-rate progress, stretch the rest.
-      const SlotRef inc{choice->ref.node,
-                        *fleet.sole_tenant_slot(choice->ref.node)};
-      ++fleet.task_at(inc)->record.colocations;
-      apply_interference(inc, now, choice->incumbent_factor);
-      ++colocations;
-    }
-
-    auto checkpointed = checkpoints.find(submission.id);
-    if (checkpointed != checkpoints.end()) {
-      ResumeState state = std::move(checkpointed->second);
-      checkpoints.erase(checkpointed);
-      resume_checkpointed(*choice, std::move(submission), std::move(state),
-                          now);
-    } else {
-      start_fresh(*choice, std::move(submission), now);
-    }
-  }
-}
-
-std::optional<std::uint32_t> RunState::pick_node(const Submission& next,
-                                                 SimTime now) {
-  if (!heterogeneous() || config.policy != PlacementPolicy::kRecommenderAware) {
-    return fleet.pick_idle_node(config.policy, now);
-  }
-  // Backend-aware routing: among fully-idle nodes, place the class on
-  // the backend where its recommended configuration runs fastest —
-  // e.g. a read-heavy class whose remote reads are the bottleneck on
-  // Optane routes to a locality-free backend. Lowest node index breaks
-  // runtime ties deterministically.
-  std::optional<std::uint32_t> best;
-  SimDuration best_runtime = 0;
-  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
-    const NodeState& node = fleet.node(i);
-    bool idle = true;
-    for (const SlotState& slot : node.slots) {
-      if (slot.running.has_value() || slot.free_at_ns > now) {
-        idle = false;
-        break;
-      }
-    }
-    if (!idle) continue;
-    auto profile = lookup_profile(next.spec, i);
-    if (!profile.has_value()) {
-      failure = profile.error();
-      return std::nullopt;
-    }
-    const core::DeploymentConfig chosen = config.use_rule_based
-                                              ? (*profile)->rule_based.config
-                                              : (*profile)->model_based.config;
-    const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
-    if (!best.has_value() || runtime < best_runtime) {
-      best = i;
-      best_runtime = runtime;
-    }
-  }
-  return best;
-}
-
-Bytes RunState::lease_for(const CachedProfile& profile,
-                          const workflow::WorkflowSpec& spec) const {
-  // Snapshot and op basis are fleet-wide per iteration: the profile's
-  // per-rank numbers times the rank count (same basis as
-  // snapshot_bytes_per_iteration below).
-  const Bytes snapshot =
-      profile.profile.simulation.bytes_per_iteration * spec.ranks;
-  const std::uint64_t ops =
-      profile.profile.simulation.objects_per_iteration * spec.ranks;
-  const auto iterations = std::max<std::uint32_t>(1, spec.iterations);
-  const capacity::RetentionParams& retention = config.capacity.retention;
-  // Without GC every committed version stays resident until the channel
-  // finishes, so the lease must cover the full version volume — the
-  // capacity-blind regime. With GC only the retained window is live.
-  const Bytes snapshot_live =
-      retention.gc ? capacity::retained_bytes(snapshot, iterations, retention)
-                   : snapshot * iterations;
-  return snapshot_live +
-         capacity::metadata_peak_bytes(config.capacity.nova, ops, iterations);
-}
-
-SimDuration RunState::charge_lease(RunningTask& task, std::uint32_t node,
-                                   std::uint32_t socket, Bytes lease) {
-  capacity::ResidencyTracker& residency = fleet.residency();
-  SimDuration overhead = 0;
-  if (!residency.fits(node, socket, lease)) {
-    // Make room by evicting cold finished-channel residue oldest-first;
-    // the reclaim is a device rewrite charged as dispatch overhead.
-    const Bytes evicted = residency.evict_cold(node, socket, lease);
-    overhead += capacity::gc_drain_ns(evicted, config.capacity.retention);
-  }
-  if (!residency.fits(node, socket, lease)) {
-    // The lease exceeds even the emptied pool: the channel thrashes,
-    // rewriting its overflow every iteration. Charge that churn and
-    // clamp the lease so the pool booking stays consistent.
-    const capacity::CapacityPool& pool = residency.pool(node, socket);
-    const Bytes overflow = lease - pool.free();
-    overhead +=
-        capacity::gc_drain_ns(overflow, config.capacity.retention) *
-        task.iterations;
-    lease = pool.free();
-  }
-  if (lease > 0) {
-    const Status acquired = residency.acquire(node, socket, lease);
-    PMEMFLOW_ASSERT_MSG(acquired.has_value(),
-                        "capacity lease must fit after eviction/clamp");
-  }
-  task.lease_bytes = lease;
-  task.lease_socket = socket;
-  return overhead;
-}
-
-std::optional<PlacementChoice> RunState::choose_capacity_placement(
-    const Submission& next, SimTime now) {
-  // Rank fully-idle nodes by fit tier, then least busy time (lowest
-  // index as the deterministic tiebreak):
-  //   0 — lease fits the preferred socket outright;
-  //   1 — fits the node's other socket (spill: run placement-flipped);
-  //   2 — fits the preferred socket after evicting cold residue;
-  //   3 — fits the other socket after eviction (spill + evict).
-  const std::uint32_t preferred = channel_socket_of(config.fixed_config);
-  const std::uint32_t other = preferred ^ 1u;
-  const capacity::ResidencyTracker& residency = fleet.residency();
-  std::optional<PlacementChoice> best;
-  int best_tier = 0;
-  SimDuration best_busy = 0;
-  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
-    const NodeState& node = fleet.node(i);
-    bool idle = true;
-    for (const SlotState& slot : node.slots) {
-      if (slot.running.has_value() || slot.free_at_ns > now) {
-        idle = false;
-        break;
-      }
-    }
-    if (!idle) continue;
-    const std::uint64_t hits_before = cache.stats().hits;
-    auto profile = lookup_profile(next.spec, i);
-    if (!profile.has_value()) {
-      failure = profile.error();
-      return std::nullopt;
-    }
-    const bool cache_hit = cache.stats().hits > hits_before;
-    const Bytes lease = lease_for(**profile, next.spec);
-    int tier = 0;
-    bool flip = false;
-    if (residency.fits(i, preferred, lease)) {
-      tier = 0;
-    } else if (residency.fits(i, other, lease)) {
-      tier = 1;
-      flip = true;
-    } else if (residency.fits_after_eviction(i, preferred, lease)) {
-      tier = 2;
-    } else if (residency.fits_after_eviction(i, other, lease)) {
-      tier = 3;
-      flip = true;
-    } else {
-      continue;
-    }
-    if (!best.has_value() || tier < best_tier ||
-        (tier == best_tier && node.busy_ns < best_busy)) {
-      PlacementChoice choice;
-      choice.ref = SlotRef{i, 0};
-      choice.profile = *profile;
-      choice.cache_hit = cache_hit;
-      choice.flip_placement = flip;
-      choice.lease_bytes = lease;
-      best = std::move(choice);
-      best_tier = tier;
-      best_busy = node.busy_ns;
-    }
-  }
-  if (best.has_value()) return best;
-  // No node can hold the lease even after eviction. If running work
-  // will free capacity, wait for a completion; otherwise fall through
-  // to plain least-loaded so a lease larger than any pool still makes
-  // progress (charge_lease prices the thrash).
-  if (fleet.any_task_active(now)) return std::nullopt;
-  const auto node = fleet.pick_idle_node(config.policy, now);
-  if (!node.has_value()) return std::nullopt;
-  PlacementChoice choice;
-  choice.ref = SlotRef{*node, 0};
-  return choice;
-}
-
-std::optional<PlacementChoice> RunState::choose_placement(
-    const Submission& next, SimTime now) {
-  if (config.policy != PlacementPolicy::kColocationAware) {
-    if (config.policy == PlacementPolicy::kCapacityAware && capacity_on()) {
-      return choose_capacity_placement(next, now);
-    }
-    const auto node = pick_node(next, now);
-    if (failure.has_value() || !node.has_value()) return std::nullopt;
-    PlacementChoice choice;
-    choice.ref = SlotRef{*node, 0};
-    return choice;
-  }
-
-  // Co-location-aware placement needs the candidate's class profile
-  // before the submission is popped: pair compatibility and the
-  // interference charge depend on it. On a homogeneous fleet the
-  // profile is node-independent and resolved once up front; on a
-  // heterogeneous fleet it is resolved per candidate node below.
-  PlacementChoice choice;
-  if (!heterogeneous()) {
-    const std::uint64_t hits_before = cache.stats().hits;
-    auto profile = cache.lookup(next.spec);
-    if (!profile.has_value()) {
-      failure = profile.error();
-      return std::nullopt;
-    }
-    choice.profile = *profile;
-    choice.cache_hit = cache.stats().hits > hits_before;
-  }
-
-  // Preference 1: an empty node (least-loaded) — solo running is always
-  // at least as fast as packing.
-  if (const auto node = fleet.pick_idle_node(config.policy, now)) {
-    choice.ref = SlotRef{*node, 0};
-    if (heterogeneous()) {
-      const std::uint64_t hits_before = cache.stats().hits;
-      auto profile = lookup_profile(next.spec, *node);
-      if (!profile.has_value()) {
-        failure = profile.error();
-        return std::nullopt;
-      }
-      choice.profile = *profile;
-      choice.cache_hit = cache.stats().hits > hits_before;
-    }
-    return choice;
-  }
-
-  // Preference 2: pack next to a compatible sole incumbent; among
-  // admissible nodes take the pair with the least combined slowdown,
-  // lowest node index as the deterministic tiebreak.
-  std::optional<PlacementChoice> best;
-  double best_cost = 0.0;
-  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
-    const auto target = fleet.pack_slot(i, now);
-    if (!target.has_value()) continue;
-    if (heterogeneous()) {
-      // The candidate's profile on *this* node's backend.
-      const std::uint64_t hits_before = cache.stats().hits;
-      auto profile = lookup_profile(next.spec, i);
-      if (!profile.has_value()) {
-        failure = profile.error();
-        return std::nullopt;
-      }
-      choice.profile = *profile;
-      choice.cache_hit = cache.stats().hits > hits_before;
-    }
-    const RunningTask* incumbent =
-        fleet.running(SlotRef{i, *fleet.sole_tenant_slot(i)});
-    auto incumbent_profile = lookup_profile(incumbent->submission.spec, i);
-    if (!incumbent_profile.has_value()) {
-      failure = incumbent_profile.error();
-      return std::nullopt;
-    }
-    if (!colocation_compatible(**incumbent_profile, *choice.profile,
-                               config.colocation)) {
-      continue;
-    }
-    auto pair = lookup_interference(**incumbent_profile,
-                                    incumbent->submission.spec,
-                                    *choice.profile, next.spec, i);
-    if (!pair.has_value()) {
-      failure = pair.error();
-      return std::nullopt;
-    }
-    if (!pair->feasible) continue;
-    const double cost = pair->slowdown_a + pair->slowdown_b;
-    if (!best.has_value() || cost < best_cost) {
-      best = choice;
-      best->ref = SlotRef{i, *target};
-      best->packs = true;
-      best->incumbent_factor = pair->slowdown_a;
-      best->factor = pair->slowdown_b;
-      best_cost = cost;
-    }
-  }
-  return best;
-}
-
-void RunState::apply_interference(SlotRef ref, SimTime now, double factor) {
-  RunningTask* task = fleet.task_at(ref);
-  PMEMFLOW_ASSERT(task != nullptr);
-  if (task->interference == factor) return;
-  const SimTime old_finish = fleet.node(ref.node).slots[ref.slot].free_at_ns;
-  const SimTime new_finish = fleet.retime(ref, now, factor);
-  interference_delta_ns += static_cast<std::int64_t>(new_finish) -
-                           static_cast<std::int64_t>(old_finish);
-  task->record.finish_ns = new_finish;
-  task->finish_event = events.reschedule(task->finish_event, new_finish);
-  PMEMFLOW_ASSERT_MSG(task->finish_event.valid(),
-                      "re-timed a task whose finish event already fired");
-}
-
-void RunState::start_fresh(const PlacementChoice& choice,
-                           Submission submission, SimTime now) {
-  std::shared_ptr<const CachedProfile> profile = choice.profile;
-  bool cache_hit = choice.cache_hit;
-  if (profile == nullptr) {
-    const std::uint64_t hits_before = cache.stats().hits;
-    auto looked_up = lookup_profile(submission.spec, choice.ref.node);
-    if (!looked_up.has_value()) {
-      failure = looked_up.error();
-      return;
-    }
-    profile = *looked_up;
-    cache_hit = cache.stats().hits > hits_before;
-  }
-
-  core::DeploymentConfig chosen = config.fixed_config;
-  if (config.policy == PlacementPolicy::kRecommenderAware) {
-    chosen = config.use_rule_based ? profile->rule_based.config
-                                   : profile->model_based.config;
-  } else if (config.policy == PlacementPolicy::kColocationAware) {
-    // Tenants always co-run their components under the faster parallel
-    // placement: serial mode would idle the mirrored sockets a
-    // co-tenant needs.
-    chosen = preferred_parallel_config(*profile);
-  }
-  if (config.policy == PlacementPolicy::kCapacityAware &&
-      choice.flip_placement) {
-    // Capacity spill: the preferred socket's pool is full, so run the
-    // placement-flipped config and land the channel on the other one.
-    chosen.placement = flipped(chosen.placement);
-  }
-  SimDuration runtime = profile->runtime_ns[config_index(chosen)];
-
-  // Snapshot basis: the channel materializes every rank's part each
-  // iteration; the profile's bytes_per_iteration is one rank's share.
-  const Bytes snapshot =
-      profile->profile.simulation.bytes_per_iteration * submission.spec.ranks;
-  const auto iterations =
-      std::max<std::uint32_t>(1, submission.spec.iterations);
-  if (capacity_on() && config.capacity.staging.enabled() && snapshot != 0 &&
-      snapshot <= config.capacity.staging.stage_bytes) {
-    // An iteration's snapshot fits the DRAM staging tier: writes land
-    // at DRAM rather than device write bandwidth and the drain overlaps
-    // the next iteration's compute. The per-iteration saving is the
-    // bandwidth delta, capped at half the runtime — staging cannot
-    // erase the compute/read side of the pipeline.
-    const SimDuration drain =
-        transfer_time(snapshot, config.capacity.staging.drain_write_bw);
-    const SimDuration dram =
-        transfer_time(snapshot, config.capacity.staging.dram_write_bw);
-    SimDuration saving = drain > dram ? (drain - dram) * iterations : 0;
-    saving = std::min(saving, runtime / 2);
-    runtime -= saving;
-    stage_hits += iterations;
-  }
-
-  RunningTask task;
-  task.record.id = submission.id;
-  task.record.label = submission.spec.label;
-  task.record.priority = submission.priority;
-  task.record.node = choice.ref.node;
-  task.record.slot = choice.ref.slot;
-  task.record.config = chosen;
-  task.record.cache_hit = cache_hit;
-  task.record.arrival_ns = submission.arrival_ns;
-  task.record.start_ns = now;
-  task.record.best_runtime_ns = profile->best_runtime_ns();
-  task.record.config_runtime_ns = runtime;
-  task.remaining_ns = runtime;
-  task.interference = choice.factor;
-  if (choice.packs) ++task.record.colocations;
-  task.snapshot_bytes_per_iteration = snapshot;
-  task.iterations = iterations;
-
-  SimDuration capacity_overhead = 0;
-  if (capacity_on()) {
-    // Every policy pays for residency once the model is on; only
-    // kCapacityAware *places* with it. The lease was sized during
-    // capacity-aware ranking; blind policies size it here.
-    const std::uint32_t socket = channel_socket_of(chosen);
-    const Bytes lease = choice.lease_bytes != 0
-                            ? choice.lease_bytes
-                            : lease_for(*profile, submission.spec);
-    capacity_overhead = charge_lease(task, choice.ref.node, socket, lease);
-    const capacity::RetentionParams& retention = config.capacity.retention;
-    // Residue left cold at finish: without GC the whole version volume
-    // lingers; with retain-k GC only the retained window does.
-    task.cold_bytes =
-        !retention.gc
-            ? task.lease_bytes
-            : (retention.enabled()
-                   ? std::min(task.lease_bytes,
-                              capacity::retained_bytes(snapshot, iterations,
-                                                       retention))
-                   : Bytes{0});
-    task.gc_bytes =
-        retention.gc
-            ? capacity::gc_reclaimable_bytes(snapshot, iterations, retention)
-            : Bytes{0};
-  }
-  task.segment_overhead_ns = capacity_overhead;
-  task.submission = std::move(submission);
-
-  if (config.tracer != nullptr) {
-    config.tracer->begin(track_name(choice.ref),
-                         format("%s [%s]", task.record.label.c_str(),
-                                chosen.label().c_str()),
-                         now);
-  }
-  const SimDuration work_wall = interference_scaled(runtime, choice.factor);
-  if (choice.packs) {
-    interference_delta_ns += static_cast<std::int64_t>(work_wall - runtime);
-  }
-  launch(choice.ref, capacity_overhead + work_wall, std::move(task), now);
-}
-
-void RunState::resume_checkpointed(const PlacementChoice& choice,
-                                   Submission submission, ResumeState state,
-                                   SimTime now) {
-  // On a heterogeneous fleet the remaining solo work carries over
-  // unscaled even when the resume lands on a different backend: a
-  // checkpoint preserves progress, not a re-profile, and the restore /
-  // migration legs use the fleet-wide CheckpointParams rates.
-  RunningTask task = std::move(state.task);
-  const SimDuration restore =
-      transfer_time(state.snapshot_bytes, config.checkpoint.restore_read_bw);
-  SimDuration migration = 0;
-  if (choice.ref.node != state.checkpoint_node) {
-    migration =
-        transfer_time(state.snapshot_bytes, config.checkpoint.migration_bw);
-    ++task.record.migrations;
-  }
-  const SimDuration overhead = restore + migration;
-  task.record.restore_ns += overhead;
-  task.record.node = choice.ref.node;
-  task.record.slot = choice.ref.slot;
-  // Re-charge the lease released at preemption (its size survived in
-  // lease_bytes); the resume node may need an eviction first.
-  SimDuration capacity_overhead = 0;
-  if (capacity_on() && task.lease_bytes > 0) {
-    capacity_overhead =
-        charge_lease(task, choice.ref.node,
-                     channel_socket_of(task.record.config), task.lease_bytes);
-  }
-  task.segment_overhead_ns = overhead + capacity_overhead;
-  task.interference = choice.factor;
-  if (choice.packs) ++task.record.colocations;
-  task.submission = std::move(submission);
-
-  if (config.tracer != nullptr) {
-    config.tracer->begin(
-        track_name(choice.ref),
-        format("%s [resume%s]", task.record.label.c_str(),
-               migration > 0 ? ", migrated" : ""),
-        now);
-  }
-  const SimDuration work_wall =
-      interference_scaled(task.remaining_ns, choice.factor);
-  if (choice.packs) {
-    interference_delta_ns +=
-        static_cast<std::int64_t>(work_wall - task.remaining_ns);
-  }
-  launch(choice.ref, overhead + capacity_overhead + work_wall, std::move(task),
-         now);
-}
-
-void RunState::launch(SlotRef ref, SimDuration busy_ns, RunningTask task,
-                      SimTime now) {
-  const SimTime finish = now + busy_ns;
-  task.record.finish_ns = finish;  // provisional until the event fires
-  // The callback reads the finish time from the slot, not a captured
-  // value: a re-timed finish event must see the re-timed clock.
-  task.finish_event = events.schedule(finish, [this, ref] { on_finish(ref); });
-  fleet.start(ref, now, busy_ns, std::move(task));
-}
-
-void RunState::on_finish(SlotRef ref) {
-  const SimTime finish = fleet.node(ref.node).slots[ref.slot].free_at_ns;
-  RunningTask task = fleet.complete(ref);
-  task.record.finish_ns = finish;
-  // The final segment ran to completion: all remaining work executed.
-  task.record.work_executed_ns += task.remaining_ns;
-  task.remaining_ns = 0;
-  if (config.tracer != nullptr) {
-    config.tracer->end(track_name(ref), finish);
-  }
-  // A departing tenant releases its co-tenant back to solo speed.
-  if (config.policy == PlacementPolicy::kColocationAware) {
-    if (const auto other = fleet.sole_tenant_slot(ref.node)) {
-      apply_interference(SlotRef{ref.node, *other}, finish, 1.0);
-    }
-  }
-  if (capacity_on() && task.lease_bytes > 0) {
-    // The working lease frees, but the retained residue stays cold on
-    // the socket until GC or a later eviction reclaims it.
-    capacity::ResidencyTracker& residency = fleet.residency();
-    const Bytes cold = std::min(task.cold_bytes, task.lease_bytes);
-    if (task.lease_bytes > cold) {
-      residency.release(ref.node, task.lease_socket, task.lease_bytes - cold);
-    }
-    if (cold > 0) {
-      residency.add_cold(ref.node, task.lease_socket, task.record.id, cold,
-                         finish);
-    }
-    if (task.gc_bytes > 0) residency.note_gc(task.gc_bytes);
-    task.lease_bytes = 0;
-  }
-  completions.push_back(std::move(task.record));
-  dispatch(finish);
-}
-
-bool RunState::victim_frees_usable_slot(SlotRef victim, SimTime now) {
-  // Preempting only helps the urgent head if the victim's slot is
-  // actually usable afterwards: the node must end up empty (modulo the
-  // drain) or keep a co-tenant the urgent is allowed to pack with.
-  for (std::uint32_t s = 0; s < fleet.tenants_per_node(); ++s) {
-    if (s == victim.slot) continue;
-    const SlotState& other = fleet.node(victim.node).slots[s];
-    if (other.running.has_value()) {
-      auto urgent_profile = lookup_profile(queue.front().spec, victim.node);
-      if (!urgent_profile.has_value()) {
-        failure = urgent_profile.error();
-        return false;
-      }
-      auto co_profile =
-          lookup_profile(other.running->submission.spec, victim.node);
-      if (!co_profile.has_value()) {
-        failure = co_profile.error();
-        return false;
-      }
-      if (!colocation_compatible(**co_profile, **urgent_profile,
-                                 config.colocation)) {
-        return false;
-      }
-      auto pair = lookup_interference(
-          **co_profile, other.running->submission.spec, **urgent_profile,
-          queue.front().spec, victim.node);
-      if (!pair.has_value()) {
-        failure = pair.error();
-        return false;
-      }
-      if (!pair->feasible) return false;
-    } else if (other.free_at_ns > now) {
-      return false;  // another drain holds the mirrored sockets
-    }
-  }
-  return true;
-}
-
-void RunState::maybe_preempt(SimTime now) {
-  if (config.preemption != PreemptionPolicy::kCheckpointRestore) return;
-  if (queue.empty()) return;
-  if (queue.front().priority != Priority::kUrgent) return;
-  // One preemption (== one node already draining) per waiting urgent:
-  // a second urgent behind the same head must not trigger a second
-  // checkpoint for work the first drain will already absorb.
-  if (queue.count_at_least(Priority::kUrgent) <= urgent_reservations) return;
-
-  // With one tenant per node, maybe_preempt is only reached when every
-  // slot is busy. Under co-location a slot can be free yet unusable
-  // (incompatible incumbent); preemption cannot help there — the urgent
-  // waits for a departure instead.
-  const SimTime earliest_free = fleet.earliest_free_ns();
-  if (earliest_free <= now) return;
-  const SimDuration wait_without = earliest_free - now;
-
-  // Decision rule: preempting makes the urgent wait only for the
-  // checkpoint drain, so it saves (wait_without - checkpoint). Displace
-  // only when that saving exceeds the full checkpoint + restore cost
-  // the fleet pays for it; among profitable victims take the cheapest,
-  // lowest (node, slot) as the deterministic tiebreak.
-  struct Candidate {
-    SlotRef ref;
-    Bytes snapshot_bytes;
-    SimDuration checkpoint_ns;
-    SimDuration cost_ns;
-  };
-  std::optional<Candidate> victim;
-  for (std::uint32_t i = 0; i < fleet.size(); ++i) {
-    for (std::uint32_t s = 0; s < fleet.tenants_per_node(); ++s) {
-      const SlotRef ref{i, s};
-      const RunningTask* task = fleet.running(ref);
-      if (task == nullptr) continue;  // free or already draining
-      if (task->record.priority >= Priority::kUrgent) continue;
-      if (config.policy == PlacementPolicy::kColocationAware &&
-          !victim_frees_usable_slot(ref, now)) {
-        if (failure.has_value()) return;
-        continue;
-      }
-      const SimDuration remaining = fleet.remaining_work_at(ref, now);
-      const Bytes snapshot = task->snapshot_bytes(remaining);
-      const SimDuration checkpoint =
-          transfer_time(snapshot, config.checkpoint.checkpoint_write_bw);
-      if (checkpoint >= wait_without) continue;  // saves no wait at all
-      const SimDuration restore =
-          transfer_time(snapshot, config.checkpoint.restore_read_bw);
-      const SimDuration cost = checkpoint + restore;
-      if (wait_without - checkpoint <= cost) continue;
-      if (!victim.has_value() || cost < victim->cost_ns) {
-        victim = Candidate{ref, snapshot, checkpoint, cost};
-      }
-    }
-  }
-  if (!victim.has_value()) return;
-
-  // A co-located victim's pack charge covered stretch for all of its
-  // remaining work; the part it will now re-run solo elsewhere never
-  // materializes, so refund it.
-  if (const RunningTask* task = fleet.running(victim->ref);
-      task->interference > 1.0) {
-    const SimDuration remaining = fleet.remaining_work_at(victim->ref, now);
-    interference_delta_ns -= static_cast<std::int64_t>(
-        interference_scaled(remaining, task->interference) - remaining);
-  }
-
-  RunningTask task = fleet.preempt(victim->ref, now, victim->checkpoint_ns);
-  const bool cancelled = events.cancel(task.finish_event);
-  PMEMFLOW_ASSERT_MSG(cancelled, "victim finish event already fired");
-
-  // The checkpoint drain moves the channel off PMEM: its lease frees
-  // now and is re-charged at resume (lease_bytes keeps the size).
-  if (capacity_on() && task.lease_bytes > 0) {
-    fleet.residency().release(victim->ref.node, task.lease_socket,
-                              task.lease_bytes);
-  }
-
-  // The departing victim releases its co-tenant back to solo speed.
-  if (config.policy == PlacementPolicy::kColocationAware) {
-    if (const auto other = fleet.sole_tenant_slot(victim->ref.node)) {
-      apply_interference(SlotRef{victim->ref.node, *other}, now, 1.0);
-    }
-  }
-
-  if (config.tracer != nullptr) {
-    const std::string track = track_name(victim->ref);
-    config.tracer->end(track, now);  // victim's segment ends here
-    config.tracer->begin(track,
-                         format("ckpt %s", task.record.label.c_str()), now);
-    config.tracer->end(track, now + victim->checkpoint_ns);
-    config.tracer->instant(
-        "service",
-        format("preempt #%llu",
-               static_cast<unsigned long long>(task.submission.id)),
-        now);
-  }
-
-  Submission requeue = std::move(task.submission);
-  checkpoints.emplace(
-      requeue.id,
-      ResumeState{victim->snapshot_bytes, victim->ref.node, std::move(task)});
-  queue.reinstate(std::move(requeue));
-
-  ++urgent_reservations;
-  const SimTime drain_done = now + victim->checkpoint_ns;
-  events.schedule(drain_done, [this, drain_done] {
-    PMEMFLOW_ASSERT(urgent_reservations > 0);
-    --urgent_reservations;
-    dispatch(drain_done);
-  });
-}
-
-}  // namespace
 
 std::size_t config_index(const core::DeploymentConfig& config) {
   const auto configs = core::all_configs();
@@ -860,9 +21,28 @@ std::size_t config_index(const core::DeploymentConfig& config) {
 
 OnlineScheduler::OnlineScheduler(ServiceConfig config, core::Executor executor,
                                  core::Recommender recommender)
-    : config_(config),
+    : config_(std::move(config)),
+      runner_proto_(executor.runner()),
+      recommender_(recommender),
       interference_(executor.runner()),
-      cache_(config.cache_capacity, std::move(executor), recommender) {}
+      cache_(config_.cache_capacity, std::move(executor), recommender) {
+  cache_.set_allocator_memoization(config_.allocator_memoization);
+  interference_.set_allocator_memoization(config_.allocator_memoization);
+}
+
+void OnlineScheduler::ensure_region_caches(std::uint32_t regions) {
+  while (extra_caches_.size() + 1 < regions) {
+    auto interference = std::make_unique<InterferenceTable>(
+        workflow::Runner(runner_proto_));
+    auto cache = std::make_unique<ProfileCache>(
+        config_.cache_capacity, core::Executor(workflow::Runner(runner_proto_)),
+        recommender_);
+    cache->set_allocator_memoization(config_.allocator_memoization);
+    interference->set_allocator_memoization(config_.allocator_memoization);
+    extra_caches_.push_back(std::move(cache));
+    extra_interference_.push_back(std::move(interference));
+  }
+}
 
 Expected<ServiceResult> OnlineScheduler::run(
     std::span<const Submission> submissions) {
@@ -876,7 +56,40 @@ Expected<ServiceResult> OnlineScheduler::run(
                "(must be empty or exactly one per node)",
                config_.node_specs.size(), config_.nodes));
   }
-  RunState state(config_, cache_, interference_);
+
+  // Region count is a semantic knob clamped to the fleet size; the
+  // worker-thread count is a pure performance knob on top of it.
+  const std::uint32_t region_count = std::min(
+      std::max<std::uint32_t>(1, config_.sharding.regions), config_.nodes);
+  ensure_region_caches(region_count);
+
+  std::vector<std::unique_ptr<Region>> regions;
+  regions.reserve(region_count);
+  for (std::uint32_t r = 0; r < region_count; ++r) {
+    ProfileCache& cache = r == 0 ? cache_ : *extra_caches_[r - 1];
+    InterferenceTable& interference =
+        r == 0 ? interference_ : *extra_interference_[r - 1];
+    regions.push_back(std::make_unique<Region>(
+        config_, cache, interference, r,
+        region_node_base(config_.nodes, region_count, r),
+        region_node_count(config_.nodes, region_count, r)));
+  }
+
+  // Allocator counters are cumulative per cache; this run's share is
+  // the before/after delta, summed in region-index order.
+  auto region_allocator_counters =
+      [&](std::uint32_t r) -> pmemsim::AllocatorCounters {
+    const ProfileCache& cache = r == 0 ? cache_ : *extra_caches_[r - 1];
+    const InterferenceTable& interference =
+        r == 0 ? interference_ : *extra_interference_[r - 1];
+    pmemsim::AllocatorCounters total = cache.allocator_counters();
+    total += interference.allocator_counters();
+    return total;
+  };
+  std::vector<pmemsim::AllocatorCounters> counters_before(region_count);
+  for (std::uint32_t r = 0; r < region_count; ++r) {
+    counters_before[r] = region_allocator_counters(r);
+  }
 
   std::vector<Submission> ordered(submissions.begin(), submissions.end());
   std::stable_sort(ordered.begin(), ordered.end(),
@@ -887,88 +100,120 @@ Expected<ServiceResult> OnlineScheduler::run(
                      return a.id < b.id;
                    });
 
-  // One arrival path for fresh submissions and deferred/rejected
-  // retries; the std::function indirection is what lets the retry event
-  // re-enter it.
-  std::function<void(Submission, std::uint32_t, SimTime)> arrive;
-  arrive = [&state, &arrive](Submission submission, std::uint32_t attempt,
-                             SimTime now) {
-    if (state.failure.has_value()) return;
-    const SimTime earliest_free = state.fleet.earliest_free_ns();
-    const SimDuration retry_after =
-        std::max(earliest_free > now ? earliest_free - now : SimDuration{0},
-                 kMinRetryNs);
-    const std::uint64_t id = submission.id;
-    Submission retry_copy = submission;  // used only on deferral/rejection
-    const AdmissionDecision decision =
-        state.queue.submit(std::move(submission), retry_after);
-    if (decision.verdict != AdmissionVerdict::kAdmitted) {
-      if (state.config.tracer != nullptr) {
-        state.config.tracer->instant(
-            "service",
-            format("%s #%llu", to_string(decision.verdict),
-                   static_cast<unsigned long long>(id)),
-            now);
-      }
-      // Deferred and rejected submissions share one retry budget:
-      // retry_after_ns is exactly the advisory resubmit hint a real
-      // client would honor, so the service honors it itself. Work that
-      // exhausts the budget is accounted as dropped — the invariant is
-      // completed + dropped == submissions.
-      if (attempt < state.config.max_retries) {
-        ++state.retries;
-        const SimTime retry_at = now + decision.retry_after_ns;
-        state.events.schedule(
-            retry_at, [&arrive, retry = std::move(retry_copy), attempt,
-                       retry_at]() mutable {
-              arrive(std::move(retry), attempt + 1, retry_at);
-            });
-      } else {
-        ++state.dropped;
-      }
-    }
-    state.dispatch(now);
-  };
-
+  // Route by a stable hash of the id (all to region 0 when unsharded):
+  // the split depends only on each submission, never on stream order.
+  std::vector<std::vector<Submission>> routed(region_count);
   for (Submission& submission : ordered) {
-    const SimTime at = submission.arrival_ns;
-    state.events.schedule(
-        at, [&arrive, submission = std::move(submission), at]() mutable {
-          arrive(std::move(submission), 0, at);
-        });
+    routed[region_of(submission.id, region_count)].push_back(
+        std::move(submission));
+  }
+  for (std::uint32_t r = 0; r < region_count; ++r) {
+    regions[r]->seed(std::move(routed[r]));
   }
 
-  std::uint64_t des_events = 0;
-  while (!state.events.empty() && !state.failure.has_value()) {
-    auto [time, callback] = state.events.pop();
-    callback();
-    ++des_events;
+  EpochRunStats epoch_stats;
+  if (region_count == 1) {
+    regions[0]->run_to_completion();
+  } else {
+    // The Tracer sink is not thread-safe; a traced sharded run keeps
+    // its schedule (regions are the semantic knob) but runs the
+    // regions on one thread.
+    const std::uint32_t threads =
+        config_.tracer != nullptr ? 1 : config_.sharding.threads;
+    epoch_stats = run_epochs(regions, config_.sharding.epoch_ns, threads);
   }
-  if (state.failure.has_value()) return Unexpected{*state.failure};
-  PMEMFLOW_ASSERT_MSG(state.checkpoints.empty(),
-                      "checkpointed victim never resumed");
 
+  for (const auto& region : regions) {
+    if (region->failure().has_value()) {
+      return Unexpected{*region->failure()};
+    }
+  }
+  if (epoch_stats.failure.has_value()) {
+    return Unexpected{*epoch_stats.failure};
+  }
+  for (const auto& region : regions) {
+    PMEMFLOW_ASSERT_MSG(region->checkpoints_empty(),
+                        "checkpointed victim never resumed");
+  }
+
+  // -- Deterministic merge, region-index order throughout. --
   ServiceResult result;
-  result.completions = std::move(state.completions);
+  if (region_count == 1) {
+    result.completions = regions[0]->take_completions();
+  } else {
+    for (const auto& region : regions) {
+      auto records = region->take_completions();
+      result.completions.insert(result.completions.end(),
+                                std::make_move_iterator(records.begin()),
+                                std::make_move_iterator(records.end()));
+    }
+    // Global completion order; (finish, id) is a total order because
+    // ids are unique, so the merged stream is schedule-determined.
+    std::stable_sort(result.completions.begin(), result.completions.end(),
+                     [](const CompletionRecord& a, const CompletionRecord& b) {
+                       if (a.finish_ns != b.finish_ns) {
+                         return a.finish_ns < b.finish_ns;
+                       }
+                       return a.id < b.id;
+                     });
+  }
 
   SimDuration makespan = 0;
   for (const CompletionRecord& record : result.completions) {
     makespan = std::max(makespan, record.finish_ns);
   }
+
+  // Node utilization lines up with global node indices because regions
+  // own contiguous slices in index order; every node is normalized by
+  // the global makespan.
   std::vector<double> utilization;
-  utilization.reserve(state.fleet.size());
-  for (std::uint32_t i = 0; i < state.fleet.size(); ++i) {
-    utilization.push_back(state.fleet.utilization(i, makespan));
+  utilization.reserve(config_.nodes);
+  QueueStats admission;
+  CacheStats cache_stats;
+  std::uint64_t retries = 0, dropped = 0, colocations = 0, stage_hits = 0;
+  std::uint64_t des_events = 0, evictions = 0;
+  Bytes gc_bytes = 0, residency_high_water = 0;
+  std::int64_t interference_delta_ns = 0;
+  pmemsim::AllocatorCounters allocator;
+  for (std::uint32_t r = 0; r < region_count; ++r) {
+    const Region& region = *regions[r];
+    for (std::uint32_t i = 0; i < region.fleet().size(); ++i) {
+      utilization.push_back(region.fleet().utilization(i, makespan));
+    }
+    const QueueStats& queue = region.queue().stats();
+    admission.admitted += queue.admitted;
+    admission.deferred += queue.deferred;
+    admission.rejected += queue.rejected;
+    admission.high_water = std::max(admission.high_water, queue.high_water);
+    const CacheStats& cache =
+        (r == 0 ? cache_ : *extra_caches_[r - 1]).stats();
+    cache_stats.hits += cache.hits;
+    cache_stats.misses += cache.misses;
+    cache_stats.evictions += cache.evictions;
+    retries += region.retries();
+    dropped += region.dropped();
+    colocations += region.colocations();
+    stage_hits += region.stage_hits();
+    des_events += region.des_events();
+    interference_delta_ns += region.interference_delta_ns();
+    const capacity::ResidencyTracker& residency = region.fleet().residency();
+    evictions += residency.stats().evictions;
+    gc_bytes += residency.stats().gc_bytes;
+    residency_high_water =
+        std::max(residency_high_water, residency.residency_high_water());
+    allocator += region_allocator_counters(r) - counters_before[r];
   }
-  const capacity::ResidencyTracker& residency = state.fleet.residency();
+
   result.metrics = aggregate_metrics(
-      result.completions, makespan, utilization, state.queue.stats(),
-      cache_.stats(), state.retries, state.dropped, state.colocations,
+      result.completions, makespan, utilization, admission, cache_stats,
+      retries, dropped, colocations,
       static_cast<SimDuration>(
-          std::max<std::int64_t>(0, state.interference_delta_ns)),
-      residency.stats().evictions, residency.stats().gc_bytes,
-      state.stage_hits, residency.residency_high_water());
+          std::max<std::int64_t>(0, interference_delta_ns)),
+      evictions, gc_bytes, stage_hits, residency_high_water);
   result.metrics.des_events = des_events;
+  result.metrics.allocator = allocator;
+  result.metrics.regions = region_count;
+  result.metrics.shard_migrations = epoch_stats.shard_migrations;
   return result;
 }
 

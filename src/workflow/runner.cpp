@@ -405,10 +405,10 @@ Expected<ColocatedResult> Runner::run_colocated(
     const topo::SocketId socket = deployment.options.channel_socket;
     if (!devices.contains(socket)) {
       const devices::DeviceSpec& spec = devices_.for_socket(socket);
-      devices.emplace(socket,
-                      spec.instantiate(
-                          engine, socket,
-                          spec.capacity_or(platform_.pmem_per_socket())));
+      auto device = spec.instantiate(
+          engine, socket, spec.capacity_or(platform_.pmem_per_socket()));
+      device->set_allocator_memoization(allocator_memoization_);
+      devices.emplace(socket, std::move(device));
     }
     if (deployment.options.staging.enabled() && !stages.contains(socket)) {
       stages.emplace(socket, std::make_unique<capacity::StagingTier>(
@@ -472,6 +472,9 @@ Expected<ColocatedResult> Runner::run_colocated(
     }
   }
   const sim::RunStats engine_stats = engine.run_to_completion();
+  for (const auto& [socket, device] : devices) {
+    allocator_counters_ += device->allocator_counters();
+  }
 
   ColocatedResult result;
   for (const auto& instance : instances) {

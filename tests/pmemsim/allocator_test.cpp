@@ -212,23 +212,7 @@ TEST_F(AllocatorTest, RatesAreAlwaysPositive) {
   }
 }
 
-/// Restores the global memoization toggle + counters around a test.
-class MemoizationGuard {
- public:
-  MemoizationGuard() : was_enabled_(allocator_memoization_enabled()) {
-    reset_allocator_counters();
-  }
-  ~MemoizationGuard() {
-    set_allocator_memoization(was_enabled_);
-    reset_allocator_counters();
-  }
-
- private:
-  bool was_enabled_;
-};
-
 TEST_F(AllocatorTest, MemoizedAllocateIsBitIdenticalToUncached) {
-  MemoizationGuard guard;
   auto build = [] {
     std::vector<sim::Flow> flows;
     for (int i = 0; i < 16; ++i) {
@@ -242,9 +226,9 @@ TEST_F(AllocatorTest, MemoizedAllocateIsBitIdenticalToUncached) {
   };
 
   // Uncached reference: every call re-runs the fixed point.
-  set_allocator_memoization(false);
   OptaneRateAllocator uncached(
       BandwidthModel(OptaneParams{}, interconnect::UpiModel{}));
+  uncached.set_memoization(false);
   auto reference = build();
   {
     std::vector<sim::Flow*> pointers;
@@ -255,10 +239,9 @@ TEST_F(AllocatorTest, MemoizedAllocateIsBitIdenticalToUncached) {
 
   // Memoized: second allocate of the same sequence must hit and replay
   // the exact same bits.
-  set_allocator_memoization(true);
-  reset_allocator_counters();
   OptaneRateAllocator memoized(
       BandwidthModel(OptaneParams{}, interconnect::UpiModel{}));
+  ASSERT_TRUE(memoized.memoization_enabled());  // default on
   auto first = build();
   auto second = build();
   for (auto* flows : {&first, &second}) {
@@ -266,9 +249,9 @@ TEST_F(AllocatorTest, MemoizedAllocateIsBitIdenticalToUncached) {
     for (auto& flow : *flows) pointers.push_back(&flow);
     memoized.allocate(pointers);
   }
-  EXPECT_EQ(allocator_counters().allocate_calls, 2u);
-  EXPECT_EQ(allocator_counters().solves, 1u);
-  EXPECT_EQ(allocator_counters().cache_hits, 1u);
+  EXPECT_EQ(memoized.counters().allocate_calls, 2u);
+  EXPECT_EQ(memoized.counters().solves, 1u);
+  EXPECT_EQ(memoized.counters().cache_hits, 1u);
 
   for (std::size_t i = 0; i < reference.size(); ++i) {
     // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-identity.
@@ -286,8 +269,6 @@ TEST_F(AllocatorTest, MemoizedAllocateIsBitIdenticalToUncached) {
 }
 
 TEST_F(AllocatorTest, MemoKeyDistinguishesSequenceOrder) {
-  MemoizationGuard guard;
-  set_allocator_memoization(true);
   // [read, write] then [write, read]: a (wrong) multiset key would hit
   // and hand the reader the writer's rate. Per-position rates must
   // follow each flow's own class.
@@ -305,8 +286,6 @@ TEST_F(AllocatorTest, MemoKeyDistinguishesSequenceOrder) {
 }
 
 TEST_F(AllocatorTest, MemoKeyDistinguishesOffDeviceCosts) {
-  MemoizationGuard guard;
-  set_allocator_memoization(true);
   std::vector<sim::Flow> cheap{make_flow(sim::IoKind::kWrite,
                                          sim::Locality::kLocal, 2 * kKB,
                                          /*sw_ns=*/0.0)};
@@ -315,20 +294,64 @@ TEST_F(AllocatorTest, MemoKeyDistinguishesOffDeviceCosts) {
                                           /*sw_ns=*/50000.0)};
   allocate(cheap);
   allocate(costly);
-  EXPECT_EQ(allocator_counters().cache_hits, 0u);
+  EXPECT_EQ(allocator_.counters().cache_hits, 0u);
   EXPECT_GT(cheap[0].progress_rate, costly[0].progress_rate);
 }
 
 TEST_F(AllocatorTest, DisablingMemoizationStillSolvesEveryCall) {
-  MemoizationGuard guard;
-  set_allocator_memoization(false);
+  allocator_.set_memoization(false);
   std::vector<sim::Flow> flows{
       make_flow(sim::IoKind::kRead, sim::Locality::kLocal, 64 * kMB)};
   allocate(flows);
   allocate(flows);
-  EXPECT_EQ(allocator_counters().allocate_calls, 2u);
-  EXPECT_EQ(allocator_counters().solves, 2u);
-  EXPECT_EQ(allocator_counters().cache_hits, 0u);
+  EXPECT_EQ(allocator_.counters().allocate_calls, 2u);
+  EXPECT_EQ(allocator_.counters().solves, 2u);
+  EXPECT_EQ(allocator_.counters().cache_hits, 0u);
+}
+
+TEST_F(AllocatorTest, InstancesDoNotCrossPollinate) {
+  // Two allocators (stand-ins for two engines running side by side)
+  // must keep independent memo caches, counters, and toggles: the
+  // sharded scheduler relies on per-instance state for its regions to
+  // be advanceable on separate threads.
+  OptaneRateAllocator a(
+      BandwidthModel(OptaneParams{}, interconnect::UpiModel{}));
+  OptaneRateAllocator b(
+      BandwidthModel(OptaneParams{}, interconnect::UpiModel{}));
+  b.set_memoization(false);
+  EXPECT_TRUE(a.memoization_enabled());  // b's toggle is b's alone
+
+  auto run = [](OptaneRateAllocator& allocator) {
+    std::vector<sim::Flow> flows{
+        make_flow(sim::IoKind::kWrite, sim::Locality::kLocal, 64 * kMB)};
+    std::vector<sim::Flow*> pointers{&flows[0]};
+    allocator.allocate(pointers);
+    return flows[0].progress_rate;
+  };
+
+  // Warm a's memo; the repeat hits a without touching b.
+  const double rate_a1 = run(a);
+  const double rate_a2 = run(a);
+  EXPECT_EQ(rate_a1, rate_a2);
+  EXPECT_EQ(a.counters().allocate_calls, 2u);
+  EXPECT_EQ(a.counters().solves, 1u);
+  EXPECT_EQ(a.counters().cache_hits, 1u);
+  EXPECT_EQ(b.counters(), AllocatorCounters{});
+
+  // The same sequence on b cannot hit a's cache entry, and b's
+  // (memoization-off) solves don't inflate a's counters.
+  const double rate_b = run(b);
+  run(b);
+  EXPECT_EQ(rate_b, rate_a1);  // same physics, separate caches
+  EXPECT_EQ(b.counters().allocate_calls, 2u);
+  EXPECT_EQ(b.counters().solves, 2u);
+  EXPECT_EQ(b.counters().cache_hits, 0u);
+  EXPECT_EQ(a.counters().allocate_calls, 2u);
+
+  // reset_counters is per-instance too.
+  a.reset_counters();
+  EXPECT_EQ(a.counters(), AllocatorCounters{});
+  EXPECT_EQ(b.counters().solves, 2u);
 }
 
 TEST_F(AllocatorTest, DeterministicAcrossCalls) {
