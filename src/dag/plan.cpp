@@ -1,0 +1,213 @@
+#include "dag/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace pmemflow::dag {
+namespace {
+
+/// Payload bytes one edge moves per iteration (all producer ranks).
+Bytes edge_bytes(const DagSpec& dag, const DagEdge& edge) {
+  const DagComponent& producer =
+      dag.components[*component_index(dag, edge.producer)];
+  return producer.object_size * producer.objects_per_rank * producer.ranks;
+}
+
+/// Longest-path depth of every component from the sources (Kahn order;
+/// validate() guarantees acyclicity before planners run).
+std::vector<std::uint32_t> pipeline_depths(const DagSpec& dag) {
+  const std::size_t n = dag.components.size();
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (const DagEdge& e : dag.edges) {
+    const std::size_t p = *component_index(dag, e.producer);
+    const std::size_t c = *component_index(dag, e.consumer);
+    succ[p].push_back(c);
+    ++indegree[c];
+  }
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const std::size_t node = frontier[head];
+    for (std::size_t next : succ[node]) {
+      depth[next] = std::max(depth[next], depth[node] + 1);
+      if (--indegree[next] == 0) frontier.push_back(next);
+    }
+  }
+  return depth;
+}
+
+/// True when no socket's summed rank demand exceeds cores_per_socket.
+bool feasible(const DagSpec& dag, const topo::PlatformSpec& platform,
+              const std::vector<topo::SocketId>& sockets) {
+  std::vector<std::uint64_t> demand(platform.sockets, 0);
+  for (std::size_t i = 0; i < dag.components.size(); ++i) {
+    demand[sockets[i]] += dag.components[i].ranks;
+  }
+  return std::all_of(demand.begin(), demand.end(), [&](std::uint64_t d) {
+    return d <= platform.cores_per_socket;
+  });
+}
+
+/// Completes a component assignment into a full plan. Each cut edge's
+/// channel lands on the cheaper endpoint socket (consumer on ties — the
+/// P-LocR bias); with `consumer_local_only` every cut edge stays
+/// consumer-local regardless of cost, which is what makes the spread
+/// baseline land exactly on today's pair deployment. Ephemeral edges
+/// trivially live on the shared socket.
+FusionPlan finish_plan(const DagSpec& dag,
+                       std::vector<topo::SocketId> sockets,
+                       const PlanParams& params, bool consumer_local_only) {
+  FusionPlan plan;
+  plan.component_sockets = std::move(sockets);
+  plan.edge_sockets.reserve(dag.edges.size());
+  std::map<topo::SocketId, Bytes> socket_bytes;
+  double cost = 0.0;
+  for (const DagEdge& edge : dag.edges) {
+    const topo::SocketId producer =
+        plan.component_sockets[*component_index(dag, edge.producer)];
+    const topo::SocketId consumer =
+        plan.component_sockets[*component_index(dag, edge.consumer)];
+    const double bytes = static_cast<double>(edge_bytes(dag, edge)) *
+                         static_cast<double>(dag.iterations);
+    topo::SocketId channel = consumer;
+    if (producer == consumer) {
+      plan.ephemeral_edges += 1;
+      cost += bytes / params.local_write_bw + bytes / params.local_read_bw;
+    } else {
+      // Producer-local channel: local write leg, remote read leg.
+      const double producer_local =
+          bytes / params.local_write_bw + bytes / params.remote_read_bw;
+      // Consumer-local channel: remote write leg, local read leg.
+      const double consumer_local =
+          bytes / params.remote_write_bw + bytes / params.local_read_bw;
+      if (!consumer_local_only && producer_local < consumer_local) {
+        channel = producer;
+        cost += producer_local;
+      } else {
+        cost += consumer_local;
+      }
+    }
+    plan.edge_sockets.push_back(channel);
+    socket_bytes[channel] += edge_bytes(dag, edge);
+  }
+  plan.estimated_cost_ns = cost;
+  Bytes heaviest = 0;
+  for (const auto& [socket, bytes] : socket_bytes) {  // ascending socket id
+    if (bytes > heaviest) {
+      heaviest = bytes;
+      plan.lease_socket = socket;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+Expected<FusionPlan> plan_spread(const DagSpec& dag,
+                                 const topo::PlatformSpec& platform) {
+  if (auto status = validate(dag); !status) {
+    return Unexpected{status.error()};
+  }
+  if (platform.sockets == 0) {
+    return make_error("platform has no sockets");
+  }
+  const std::vector<std::uint32_t> depth = pipeline_depths(dag);
+  std::vector<topo::SocketId> sockets(dag.components.size(), 0);
+  for (std::size_t i = 0; i < dag.components.size(); ++i) {
+    sockets[i] = static_cast<topo::SocketId>(depth[i] % platform.sockets);
+  }
+  if (!feasible(dag, platform, sockets)) {
+    return make_error(format(
+        "dag \"%s\" does not fit: spread placement needs more than %u "
+        "cores on a socket",
+        dag.label.c_str(), platform.cores_per_socket));
+  }
+  return finish_plan(dag, std::move(sockets), PlanParams{},
+                     /*consumer_local_only=*/true);
+}
+
+Expected<FusionPlan> plan_fusion(const DagSpec& dag,
+                                 const topo::PlatformSpec& platform,
+                                 const PlanParams& params) {
+  if (auto status = validate(dag); !status) {
+    return Unexpected{status.error()};
+  }
+  if (platform.sockets == 0) {
+    return make_error("platform has no sockets");
+  }
+  const std::size_t n = dag.components.size();
+  const std::size_t sockets = platform.sockets;
+
+  // Exhaustive enumeration while the assignment space is small (the
+  // common case: 2 sockets, a handful of stages); deterministic greedy
+  // descent from the spread placement otherwise.
+  double space = 1.0;
+  for (std::size_t i = 0; i < n; ++i) space *= static_cast<double>(sockets);
+  if (space <= 65536.0) {
+    std::vector<topo::SocketId> assignment(n, 0);
+    bool found = false;
+    FusionPlan best;
+    for (;;) {
+      if (feasible(dag, platform, assignment)) {
+        FusionPlan candidate = finish_plan(dag, assignment, params,
+                                           /*consumer_local_only=*/false);
+        if (!found || candidate.estimated_cost_ns < best.estimated_cost_ns) {
+          found = true;
+          best = std::move(candidate);
+        }
+      }
+      // Odometer increment: earliest assignments win ties.
+      std::size_t i = 0;
+      while (i < n) {
+        if (static_cast<std::size_t>(assignment[i]) + 1 < sockets) {
+          ++assignment[i];
+          break;
+        }
+        assignment[i] = 0;
+        ++i;
+      }
+      if (i == n) break;
+    }
+    if (!found) {
+      return make_error(format(
+          "dag \"%s\" does not fit: no socket assignment keeps every "
+          "socket within %u cores",
+          dag.label.c_str(), platform.cores_per_socket));
+    }
+    return best;
+  }
+
+  auto seeded = plan_spread(dag, platform);
+  if (!seeded.has_value()) return Unexpected{seeded.error()};
+  std::vector<topo::SocketId> assignment = seeded->component_sockets;
+  FusionPlan best = finish_plan(dag, assignment, params,
+                                /*consumer_local_only=*/false);
+  for (bool improved = true; improved;) {
+    improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t s = 0; s < sockets; ++s) {
+        if (assignment[i] == static_cast<topo::SocketId>(s)) continue;
+        std::vector<topo::SocketId> moved = assignment;
+        moved[i] = static_cast<topo::SocketId>(s);
+        if (!feasible(dag, platform, moved)) continue;
+        FusionPlan candidate = finish_plan(dag, moved, params,
+                                           /*consumer_local_only=*/false);
+        if (candidate.estimated_cost_ns < best.estimated_cost_ns) {
+          assignment = std::move(moved);
+          best = std::move(candidate);
+          improved = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pmemflow::dag

@@ -14,6 +14,7 @@ const char* to_string(PlacementPolicy policy) noexcept {
     case PlacementPolicy::kRecommenderAware: return "recommender-aware";
     case PlacementPolicy::kColocationAware: return "colocation-aware";
     case PlacementPolicy::kCapacityAware: return "capacity-aware";
+    case PlacementPolicy::kDagFusion: return "dag-fusion";
   }
   return "?";
 }

@@ -59,6 +59,12 @@ enum class PlacementPolicy : std::uint8_t {
   /// Requires ServiceConfig::capacity to be enabled; behaves exactly
   /// like kLeastLoaded otherwise.
   kCapacityAware,
+  /// Least-loaded placement that runs DAG submissions under their
+  /// fusion plan (dag::plan_fusion): producer→consumer stages co-locate
+  /// on one socket when that minimizes the Table II edge cost, making
+  /// the edge between them ephemeral. Pair submissions place exactly
+  /// like kLeastLoaded.
+  kDagFusion,
 };
 
 [[nodiscard]] const char* to_string(PlacementPolicy policy) noexcept;

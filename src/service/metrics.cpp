@@ -39,6 +39,8 @@ ServiceMetrics aggregate_metrics(const std::vector<CompletionRecord>& records,
     metrics.migrations += record.migrations;
     metrics.checkpoint_overhead_ns += record.checkpoint_ns;
     metrics.restore_overhead_ns += record.restore_ns;
+    if (record.dag) ++metrics.dag_completed;
+    metrics.ephemeral_edges += record.ephemeral_edges;
     if (record.preemptions > 0) {
       victim_slowdowns.push_back(record.victim_slowdown());
     }
@@ -153,6 +155,12 @@ void print_service_report(std::ostream& out, const std::string& title,
   table.add_row({"shard migrations",
                  format("%llu", static_cast<unsigned long long>(
                                     metrics.shard_migrations))});
+  table.add_row({"dag completed",
+                 format("%llu", static_cast<unsigned long long>(
+                                    metrics.dag_completed))});
+  table.add_row({"ephemeral edges",
+                 format("%llu", static_cast<unsigned long long>(
+                                    metrics.ephemeral_edges))});
   table.write(out);
 }
 
@@ -185,7 +193,9 @@ std::vector<std::string> service_csv_header() {
           "residency_high_water",
           "rate_solves",
           "regions",
-          "shard_migrations"};
+          "shard_migrations",
+          "dag_completed",
+          "ephemeral_edges"};
 }
 
 void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
@@ -223,7 +233,10 @@ void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
        format("%llu", static_cast<unsigned long long>(metrics.rate_solves())),
        format("%u", metrics.regions),
        format("%llu",
-              static_cast<unsigned long long>(metrics.shard_migrations))});
+              static_cast<unsigned long long>(metrics.shard_migrations)),
+       format("%llu", static_cast<unsigned long long>(metrics.dag_completed)),
+       format("%llu",
+              static_cast<unsigned long long>(metrics.ephemeral_edges))});
 }
 
 }  // namespace pmemflow::service

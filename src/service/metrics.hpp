@@ -57,6 +57,13 @@ struct CompletionRecord {
   /// Times this workflow shared its node with a co-tenant (counted per
   /// pairing event, whether it was the incumbent or the joiner).
   std::uint32_t colocations = 0;
+  /// True when the submission was a general DAG (src/dag) rather than a
+  /// classic writer+reader pair.
+  bool dag = false;
+  /// Edges whose producer and consumer stages shared a socket under the
+  /// chosen plan (0 for pair submissions and spread placements of
+  /// chains).
+  std::uint32_t ephemeral_edges = 0;
 
   [[nodiscard]] SimDuration queue_delay_ns() const noexcept {
     return start_ns - arrival_ns;
@@ -140,6 +147,11 @@ struct ServiceMetrics {
   std::uint32_t regions = 1;
   /// Queued submissions migrated across regions at epoch barriers.
   std::uint64_t shard_migrations = 0;
+  /// Completed submissions that were general DAGs.
+  std::uint64_t dag_completed = 0;
+  /// Producer→consumer stage pairs fused onto one socket, summed over
+  /// completed DAG submissions (the kDagFusion signal).
+  std::uint64_t ephemeral_edges = 0;
 
   /// Bandwidth-share solves the run's characterizations performed
   /// (memoization makes repeat classes hit instead).

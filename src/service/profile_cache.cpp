@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
+#include "dag/runner.hpp"
+#include "dag/spec.hpp"
 
 namespace pmemflow::service {
 
@@ -106,6 +108,101 @@ Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup(
 Expected<std::shared_ptr<const CachedProfile>> ProfileCache::lookup(
     const workflow::WorkflowSpec& spec, const devices::NodeDevices& backend) {
   return lookup_keyed(spec, &backend);
+}
+
+Expected<CachedDagProfile> ProfileCache::characterize_dag_on(
+    const dag::DagSpec& spec, const devices::NodeDevices& backend,
+    std::uint64_t device_fp) const {
+  // Invalid specs are hard errors; a *valid* DAG that no socket
+  // assignment fits is a placement outcome the region handles (graceful
+  // drop), so plan errors past validation mean "infeasible here".
+  if (auto status = dag::validate(spec); !status) {
+    return Unexpected{status.error()};
+  }
+  CachedDagProfile cached;
+  cached.fingerprint = dag::class_fingerprint(spec);
+  cached.device_fingerprint = device_fp;
+  cached.iterations = spec.iterations;
+  for (const dag::DagEdge& edge : spec.edges) {
+    const dag::DagComponent& producer =
+        spec.components[*dag::component_index(spec, edge.producer)];
+    cached.bytes_per_iteration +=
+        producer.object_size * producer.objects_per_rank * producer.ranks;
+    cached.objects_per_iteration +=
+        static_cast<std::uint64_t>(producer.objects_per_rank) * producer.ranks;
+  }
+
+  const topo::PlatformSpec& platform = executor_.runner().platform();
+  dag::Runner runner(platform, backend);
+  runner.set_allocator_memoization(allocator_memoization_);
+  if (auto plan = dag::plan_spread(spec, platform); plan.has_value()) {
+    auto run = runner.run(spec, plan->run_options());
+    if (!run.has_value()) return Unexpected{run.error()};
+    cached.spread_feasible = true;
+    cached.spread = *std::move(plan);
+    cached.spread_runtime_ns = run->total_ns;
+  }
+  if (auto plan = dag::plan_fusion(spec, platform); plan.has_value()) {
+    auto run = runner.run(spec, plan->run_options());
+    if (!run.has_value()) return Unexpected{run.error()};
+    cached.fused_feasible = true;
+    cached.fused = *std::move(plan);
+    cached.fused_runtime_ns = run->total_ns;
+  }
+  // The runner dies with this scope; fold its counters in first.
+  extra_allocator_counters_ += runner.allocator_counters();
+  return cached;
+}
+
+Expected<CachedDagProfile> ProfileCache::characterize_dag(
+    const dag::DagSpec& spec) const {
+  return characterize_dag_on(spec, executor_.runner().devices(),
+                             default_device_fp_);
+}
+
+Expected<CachedDagProfile> ProfileCache::characterize_dag(
+    const dag::DagSpec& spec, const devices::NodeDevices& backend) const {
+  const std::uint64_t device_fp = backend.fingerprint();
+  if (device_fp == default_device_fp_) return characterize_dag(spec);
+  return characterize_dag_on(spec, backend, device_fp);
+}
+
+Expected<std::shared_ptr<const CachedDagProfile>>
+ProfileCache::lookup_dag_keyed(const dag::DagSpec& spec,
+                               const devices::NodeDevices* backend) {
+  const std::uint64_t device_fp =
+      backend == nullptr ? default_device_fp_ : backend->fingerprint();
+  const std::uint64_t key = key_of(dag::class_fingerprint(spec), device_fp);
+  if (auto it = dag_entries_.find(key); it != dag_entries_.end()) {
+    ++stats_.hits;
+    dag_lru_.splice(dag_lru_.begin(), dag_lru_, it->second);
+    return it->second->second;
+  }
+
+  ++stats_.misses;
+  auto fresh = backend == nullptr ? characterize_dag(spec)
+                                  : characterize_dag(spec, *backend);
+  if (!fresh.has_value()) return Unexpected{fresh.error()};
+
+  if (dag_entries_.size() >= capacity_) {
+    ++stats_.evictions;
+    dag_entries_.erase(dag_lru_.back().first);
+    dag_lru_.pop_back();
+  }
+  auto entry = std::make_shared<const CachedDagProfile>(*std::move(fresh));
+  dag_lru_.emplace_front(key, entry);
+  dag_entries_.emplace(key, dag_lru_.begin());
+  return entry;
+}
+
+Expected<std::shared_ptr<const CachedDagProfile>> ProfileCache::lookup_dag(
+    const dag::DagSpec& spec) {
+  return lookup_dag_keyed(spec, nullptr);
+}
+
+Expected<std::shared_ptr<const CachedDagProfile>> ProfileCache::lookup_dag(
+    const dag::DagSpec& spec, const devices::NodeDevices& backend) {
+  return lookup_dag_keyed(spec, &backend);
 }
 
 }  // namespace pmemflow::service

@@ -18,12 +18,14 @@
 // counters feed the service report.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <list>
 #include <memory>
 #include <unordered_map>
 
 #include "core/autotuner.hpp"
+#include "dag/plan.hpp"
 #include "devices/registry.hpp"
 
 namespace pmemflow::service {
@@ -46,6 +48,47 @@ struct CachedProfile {
 
   [[nodiscard]] SimDuration best_runtime_ns() const noexcept {
     return runtime_ns[best_index];
+  }
+};
+
+/// Everything the service ever needs to know about one DAG class: the
+/// two candidate placements (spread baseline, fusion search) with their
+/// measured runtimes, plus the byte/object volume the lease sizing
+/// needs. A plan can be infeasible on this node shape (per-socket core
+/// demand too high); an unplaceable class (neither plan fits) is still
+/// cached so the region can drop repeats without re-planning.
+struct CachedDagProfile {
+  /// DAG-class half of the cache key (dag::class_fingerprint).
+  std::uint64_t fingerprint = 0;
+  /// Device half of the cache key.
+  std::uint64_t device_fingerprint = 0;
+  bool spread_feasible = false;
+  bool fused_feasible = false;
+  /// Spread baseline: alternate sockets by depth, consumer-local
+  /// channels (a 2-node chain lands exactly on the pair P-LocR shape).
+  dag::FusionPlan spread;
+  /// Fusion search result (minimum Table II edge cost).
+  dag::FusionPlan fused;
+  /// Measured dag::Runner runtimes under each feasible plan.
+  SimDuration spread_runtime_ns = 0;
+  SimDuration fused_runtime_ns = 0;
+  /// Channel bytes all edges materialize per iteration (lease basis).
+  Bytes bytes_per_iteration = 0;
+  /// Objects all edges move per iteration (metadata lease basis).
+  std::uint64_t objects_per_iteration = 0;
+  std::uint32_t iterations = 1;
+
+  /// True when at least one plan fits the node shape.
+  [[nodiscard]] bool placeable() const noexcept {
+    return spread_feasible || fused_feasible;
+  }
+  /// Fastest feasible runtime (0 when unplaceable).
+  [[nodiscard]] SimDuration best_runtime_ns() const noexcept {
+    if (spread_feasible && fused_feasible) {
+      return std::min(spread_runtime_ns, fused_runtime_ns);
+    }
+    return spread_feasible ? spread_runtime_ns
+                           : (fused_feasible ? fused_runtime_ns : 0);
   }
 };
 
@@ -92,6 +135,27 @@ class ProfileCache {
       const workflow::WorkflowSpec& spec,
       const devices::NodeDevices& backend) const;
 
+  /// Returns the DAG-class profile on the default backend,
+  /// characterizing (plan + measured run per feasible plan) on miss.
+  /// DAG entries live in their own LRU of the same capacity; hits,
+  /// misses, and evictions fold into the shared stats(). Errors only on
+  /// invalid specs — an unplaceable DAG caches as !placeable().
+  [[nodiscard]] Expected<std::shared_ptr<const CachedDagProfile>> lookup_dag(
+      const dag::DagSpec& spec);
+
+  /// DAG-class profile as measured on `backend` (heterogeneous fleets).
+  [[nodiscard]] Expected<std::shared_ptr<const CachedDagProfile>> lookup_dag(
+      const dag::DagSpec& spec, const devices::NodeDevices& backend);
+
+  /// Fresh DAG characterization on the default backend, bypassing the
+  /// cache (tests prove hits are identical to recomputation with this).
+  [[nodiscard]] Expected<CachedDagProfile> characterize_dag(
+      const dag::DagSpec& spec) const;
+
+  /// Fresh DAG characterization on an explicit backend.
+  [[nodiscard]] Expected<CachedDagProfile> characterize_dag(
+      const dag::DagSpec& spec, const devices::NodeDevices& backend) const;
+
   /// Device fingerprint of the default backend (what plain lookup()
   /// keys its entries under).
   [[nodiscard]] std::uint64_t default_device_fingerprint() const noexcept {
@@ -122,6 +186,8 @@ class ProfileCache {
  private:
   using LruList =
       std::list<std::pair<std::uint64_t, std::shared_ptr<const CachedProfile>>>;
+  using DagLruList = std::list<
+      std::pair<std::uint64_t, std::shared_ptr<const CachedDagProfile>>>;
 
   /// Combined (class, device) cache key.
   [[nodiscard]] static std::uint64_t key_of(std::uint64_t class_fp,
@@ -130,6 +196,12 @@ class ProfileCache {
       const workflow::WorkflowSpec& spec, const devices::NodeDevices* backend);
   [[nodiscard]] Expected<CachedProfile> characterize_on(
       const workflow::WorkflowSpec& spec, const core::Executor& executor,
+      std::uint64_t device_fp) const;
+  [[nodiscard]] Expected<std::shared_ptr<const CachedDagProfile>>
+  lookup_dag_keyed(const dag::DagSpec& spec,
+                   const devices::NodeDevices* backend);
+  [[nodiscard]] Expected<CachedDagProfile> characterize_dag_on(
+      const dag::DagSpec& spec, const devices::NodeDevices& backend,
       std::uint64_t device_fp) const;
 
   std::size_t capacity_;
@@ -143,6 +215,8 @@ class ProfileCache {
   mutable pmemsim::AllocatorCounters extra_allocator_counters_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> entries_;
+  DagLruList dag_lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, DagLruList::iterator> dag_entries_;
   CacheStats stats_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/strings.hpp"
+#include "dag/spec.hpp"
 
 namespace pmemflow::service {
 namespace {
@@ -79,6 +80,12 @@ Expected<std::shared_ptr<const CachedProfile>> Region::lookup_profile(
     const workflow::WorkflowSpec& spec, std::uint32_t node) {
   if (!heterogeneous()) return cache_.lookup(spec);
   return cache_.lookup(spec, config_.node_specs[node_base_ + node].devices);
+}
+
+Expected<std::shared_ptr<const CachedDagProfile>> Region::lookup_dag_profile(
+    const dag::DagSpec& spec, std::uint32_t node) {
+  if (!heterogeneous()) return cache_.lookup_dag(spec);
+  return cache_.lookup_dag(spec, config_.node_specs[node_base_ + node].devices);
 }
 
 Expected<PairInterference> Region::lookup_interference(
@@ -187,6 +194,33 @@ void Region::arrive(Submission submission, std::uint32_t attempt,
 
 void Region::dispatch(SimTime now) {
   while (!failure_.has_value() && !queue_.empty()) {
+    if (queue_.front().dag != nullptr) {
+      const auto choice = choose_dag_placement(queue_.front(), now);
+      if (failure_.has_value()) return;
+      if (!choice.has_value()) {
+        maybe_preempt(now);
+        return;
+      }
+      Submission submission = queue_.pop();
+      if (!choice->dag_profile->placeable()) {
+        // No socket assignment fits this DAG's per-socket core demand
+        // on any plan: the node shape, not transient load, is the
+        // blocker, so retrying cannot help. Count it dropped (the
+        // completed + dropped == submissions invariant holds) instead
+        // of asserting in the fleet's slot accounting.
+        ++dropped_;
+        if (config_.tracer != nullptr) {
+          config_.tracer->instant(
+              "service",
+              format("unplaceable #%llu",
+                     static_cast<unsigned long long>(submission.id)),
+              now);
+        }
+        continue;
+      }
+      start_fresh_dag(*choice, std::move(submission), now);
+      continue;
+    }
     const auto choice = choose_placement(queue_.front(), now);
     if (failure_.has_value()) return;
     if (!choice.has_value()) {
@@ -271,6 +305,20 @@ Bytes Region::lease_for(const CachedProfile& profile,
   // Without GC every committed version stays resident until the channel
   // finishes, so the lease must cover the full version volume — the
   // capacity-blind regime. With GC only the retained window is live.
+  const Bytes snapshot_live =
+      retention.gc ? capacity::retained_bytes(snapshot, iterations, retention)
+                   : snapshot * iterations;
+  return snapshot_live +
+         capacity::metadata_peak_bytes(config_.capacity.nova, ops, iterations);
+}
+
+Bytes Region::lease_for_dag(const CachedDagProfile& profile) const {
+  // Same basis as lease_for, generalized over every edge: the profile's
+  // per-iteration byte/object volume already sums all edges and ranks.
+  const Bytes snapshot = profile.bytes_per_iteration;
+  const std::uint64_t ops = profile.objects_per_iteration;
+  const auto iterations = std::max<std::uint32_t>(1, profile.iterations);
+  const capacity::RetentionParams& retention = config_.capacity.retention;
   const Bytes snapshot_live =
       retention.gc ? capacity::retained_bytes(snapshot, iterations, retention)
                    : snapshot * iterations;
@@ -381,6 +429,27 @@ std::optional<Region::PlacementChoice> Region::choose_capacity_placement(
   return choice;
 }
 
+std::optional<Region::PlacementChoice> Region::choose_dag_placement(
+    const Submission& next, SimTime now) {
+  // A DAG's stages span both sockets regardless of plan, so only a
+  // fully-idle node will do; kFirstFit keeps its index preference and
+  // every other policy (kDagFusion included) places least-loaded. The
+  // plan choice (fused vs spread) happens at dispatch, not here.
+  const auto node = fleet_.pick_idle_node(config_.policy, now);
+  if (!node.has_value()) return std::nullopt;
+  const std::uint64_t hits_before = cache_.stats().hits;
+  auto profile = lookup_dag_profile(*next.dag, *node);
+  if (!profile.has_value()) {
+    failure_ = profile.error();
+    return std::nullopt;
+  }
+  PlacementChoice choice;
+  choice.ref = SlotRef{*node, 0};
+  choice.dag_profile = *profile;
+  choice.cache_hit = cache_.stats().hits > hits_before;
+  return choice;
+}
+
 std::optional<Region::PlacementChoice> Region::choose_placement(
     const Submission& next, SimTime now) {
   if (config_.policy != PlacementPolicy::kColocationAware) {
@@ -449,6 +518,9 @@ std::optional<Region::PlacementChoice> Region::choose_placement(
     }
     const RunningTask* incumbent =
         fleet_.running(SlotRef{i, *fleet_.sole_tenant_slot(i)});
+    // A DAG incumbent owns both sockets under its plan; nothing packs
+    // next to it.
+    if (incumbent->submission.dag != nullptr) continue;
     auto incumbent_profile = lookup_profile(incumbent->submission.spec, i);
     if (!incumbent_profile.has_value()) {
       failure_ = incumbent_profile.error();
@@ -609,6 +681,90 @@ void Region::start_fresh(const PlacementChoice& choice, Submission submission,
   launch(choice.ref, capacity_overhead + work_wall, std::move(task), now);
 }
 
+void Region::start_fresh_dag(const PlacementChoice& choice,
+                             Submission submission, SimTime now) {
+  const std::shared_ptr<const CachedDagProfile>& profile = choice.dag_profile;
+  // Plan selection: kDagFusion runs the fusion-search placement, every
+  // other policy the spread baseline; either falls back to the other
+  // when its own plan does not fit this node shape (placeable() was
+  // checked before the pop).
+  const bool fuse = config_.policy == PlacementPolicy::kDagFusion
+                        ? profile->fused_feasible
+                        : !profile->spread_feasible;
+  const dag::FusionPlan& plan = fuse ? profile->fused : profile->spread;
+  SimDuration runtime =
+      fuse ? profile->fused_runtime_ns : profile->spread_runtime_ns;
+
+  const Bytes snapshot = profile->bytes_per_iteration;
+  const auto iterations = std::max<std::uint32_t>(1, profile->iterations);
+  if (capacity_on() && config_.capacity.staging.enabled() && snapshot != 0 &&
+      snapshot <= config_.capacity.staging.stage_bytes) {
+    // Same staging discount as the pair path, over the summed per-edge
+    // snapshot volume.
+    const SimDuration drain =
+        transfer_time(snapshot, config_.capacity.staging.drain_write_bw);
+    const SimDuration dram =
+        transfer_time(snapshot, config_.capacity.staging.dram_write_bw);
+    SimDuration saving = drain > dram ? (drain - dram) * iterations : 0;
+    saving = std::min(saving, runtime / 2);
+    runtime -= saving;
+    stage_hits_ += iterations;
+  }
+
+  RunningTask task;
+  task.record.id = submission.id;
+  task.record.label = submission.dag->label;
+  task.record.priority = submission.priority;
+  task.record.node = choice.ref.node;
+  task.record.slot = choice.ref.slot;
+  // A chain's spread placement is exactly the P-LocR pair deployment;
+  // the record keeps the fleet's fixed config as the closest Table I
+  // description (dag/ephemeral_edges carry the real placement).
+  task.record.config = config_.fixed_config;
+  task.record.cache_hit = choice.cache_hit;
+  task.record.arrival_ns = submission.arrival_ns;
+  task.record.start_ns = now;
+  task.record.best_runtime_ns = profile->best_runtime_ns();
+  task.record.config_runtime_ns = runtime;
+  task.record.dag = true;
+  task.record.ephemeral_edges =
+      static_cast<std::uint32_t>(plan.ephemeral_edges);
+  task.remaining_ns = runtime;
+  task.snapshot_bytes_per_iteration = snapshot;
+  task.iterations = iterations;
+
+  SimDuration capacity_overhead = 0;
+  if (capacity_on()) {
+    // The lease lands on the plan's heaviest-channel socket.
+    const Bytes lease = lease_for_dag(*profile);
+    capacity_overhead =
+        charge_lease(task, choice.ref.node, plan.lease_socket, lease);
+    const capacity::RetentionParams& retention = config_.capacity.retention;
+    task.cold_bytes =
+        !retention.gc
+            ? task.lease_bytes
+            : (retention.enabled()
+                   ? std::min(task.lease_bytes,
+                              capacity::retained_bytes(snapshot, iterations,
+                                                       retention))
+                   : Bytes{0});
+    task.gc_bytes =
+        retention.gc
+            ? capacity::gc_reclaimable_bytes(snapshot, iterations, retention)
+            : Bytes{0};
+  }
+  task.segment_overhead_ns = capacity_overhead;
+  task.submission = std::move(submission);
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->begin(track_name(choice.ref),
+                          format("%s [%s]", task.record.label.c_str(),
+                                 fuse ? "dag-fused" : "dag-spread"),
+                          now);
+  }
+  launch(choice.ref, capacity_overhead + runtime, std::move(task), now);
+}
+
 void Region::resume_checkpointed(const PlacementChoice& choice,
                                  Submission submission, ResumeState state,
                                  SimTime now) {
@@ -713,6 +869,10 @@ bool Region::victim_frees_usable_slot(SlotRef victim, SimTime now) {
     if (s == victim.slot) continue;
     const SlotState& other = fleet_.node(victim.node).slots[s];
     if (other.running.has_value()) {
+      // An urgent DAG needs the whole node, and a DAG co-tenant never
+      // admits a packer: either way the freed slot is unusable.
+      if (queue_.front().dag != nullptr) return false;
+      if (other.running->submission.dag != nullptr) return false;
       auto urgent_profile = lookup_profile(queue_.front().spec, victim.node);
       if (!urgent_profile.has_value()) {
         failure_ = urgent_profile.error();
@@ -780,6 +940,9 @@ void Region::maybe_preempt(SimTime now) {
       const RunningTask* task = fleet_.running(ref);
       if (task == nullptr) continue;  // free or already draining
       if (task->record.priority >= Priority::kUrgent) continue;
+      // A DAG's in-flight state spans several channels on both sockets;
+      // the single-snapshot checkpoint model does not cover it.
+      if (task->submission.dag != nullptr) continue;
       if (config_.policy == PlacementPolicy::kColocationAware &&
           !victim_frees_usable_slot(ref, now)) {
         if (failure_.has_value()) return;

@@ -137,6 +137,10 @@ class Region {
     /// capacity-aware — the pack/fit decision needs it before the
     /// submission is popped).
     std::shared_ptr<const CachedProfile> profile;
+    /// DAG candidate's profile (exactly one of profile/dag_profile is
+    /// set for a resolved choice; dag_profile may be !placeable(), in
+    /// which case dispatch drops the submission instead of launching).
+    std::shared_ptr<const CachedDagProfile> dag_profile;
     bool cache_hit = false;
     /// Capacity-aware spill: run under the placement-flipped fixed
     /// config so the channel lands on the node's other socket.
@@ -158,6 +162,9 @@ class Region {
   /// cache's default backend on a homogeneous fleet).
   [[nodiscard]] Expected<std::shared_ptr<const CachedProfile>> lookup_profile(
       const workflow::WorkflowSpec& spec, std::uint32_t node);
+  /// DAG profile lookup against the backend of region-local `node`.
+  [[nodiscard]] Expected<std::shared_ptr<const CachedDagProfile>>
+  lookup_dag_profile(const dag::DagSpec& spec, std::uint32_t node);
   /// Interference lookup measured on the backend of region-local
   /// `node`.
   [[nodiscard]] Expected<PairInterference> lookup_interference(
@@ -174,8 +181,13 @@ class Region {
                                                   SimTime now);
   std::optional<PlacementChoice> choose_capacity_placement(
       const Submission& next, SimTime now);
+  /// DAG submissions take the whole node (stages span both sockets):
+  /// idle-node placement under every policy, no packing.
+  std::optional<PlacementChoice> choose_dag_placement(const Submission& next,
+                                                      SimTime now);
   [[nodiscard]] Bytes lease_for(const CachedProfile& profile,
                                 const workflow::WorkflowSpec& spec) const;
+  [[nodiscard]] Bytes lease_for_dag(const CachedDagProfile& profile) const;
   SimDuration charge_lease(RunningTask& task, std::uint32_t node,
                            std::uint32_t socket, Bytes lease);
   void apply_interference(SlotRef ref, SimTime now, double factor);
@@ -183,6 +195,8 @@ class Region {
   void maybe_preempt(SimTime now);
   void start_fresh(const PlacementChoice& choice, Submission submission,
                    SimTime now);
+  void start_fresh_dag(const PlacementChoice& choice, Submission submission,
+                       SimTime now);
   void resume_checkpointed(const PlacementChoice& choice,
                            Submission submission, ResumeState state,
                            SimTime now);

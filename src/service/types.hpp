@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/units.hpp"
@@ -16,6 +17,10 @@
 #include "interconnect/upi.hpp"
 #include "pmemsim/params.hpp"
 #include "workflow/model.hpp"
+
+namespace pmemflow::dag {
+struct DagSpec;
+}  // namespace pmemflow::dag
 
 namespace pmemflow::service {
 
@@ -33,6 +38,12 @@ struct Submission {
   /// broken by id, so ids must be unique for a deterministic schedule.
   std::uint64_t id = 0;
   workflow::WorkflowSpec spec;
+  /// General DAG workflow (src/dag). Null for the classic pair case;
+  /// when set, `spec` is ignored and the submission is characterized,
+  /// placed, and priced through the DAG profile path (plan_spread /
+  /// plan_fusion). Shared so retries, checkpoints, and sharded-region
+  /// migrations carry the spec without copying it.
+  std::shared_ptr<const dag::DagSpec> dag;
   SimTime arrival_ns = 0;
   Priority priority = Priority::kNormal;
 };

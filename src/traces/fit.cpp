@@ -10,17 +10,21 @@
 namespace pmemflow::traces {
 namespace {
 
-// Tags keep the three class-reference shapes from aliasing when a trace
+// Tags keep the class-reference shapes from aliasing when a trace
 // mixes them (a fingerprint is used verbatim as its own key).
 constexpr std::uint64_t kTagInline = 0x696e6c696e65ULL;  // "inline"
 constexpr std::uint64_t kTagClassId = 0x636c617373ULL;   // "class"
+constexpr std::uint64_t kTagDag = 0x646167ULL;           // "dag"
 
 std::uint64_t class_key(const TraceRecord& record) {
   if (record.class_fingerprint.has_value()) {
     return *record.class_fingerprint;
   }
   Hasher64 hasher;
-  if (record.inline_class.has_value()) {
+  if (record.dag_fingerprint.has_value()) {
+    hasher.update_u64(kTagDag);
+    hasher.update_u64(*record.dag_fingerprint);
+  } else if (record.inline_class.has_value()) {
     const auto& inline_class = *record.inline_class;
     hasher.update_u64(kTagInline);
     hasher.update_u64(inline_class.object_size);

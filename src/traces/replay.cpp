@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/strings.hpp"
+#include "dag/spec.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace pmemflow::traces {
@@ -97,6 +98,25 @@ TraceReplayer::TraceReplayer(std::vector<workflow::WorkflowSpec> pool,
       fingerprints_.end());
 }
 
+void TraceReplayer::set_dag_pool(
+    std::vector<std::shared_ptr<const dag::DagSpec>> pool) {
+  dag_pool_.clear();
+  dag_pool_.reserve(pool.size());
+  for (auto& spec : pool) {
+    if (spec == nullptr) continue;
+    dag_pool_.emplace_back(dag::class_fingerprint(*spec), std::move(spec));
+  }
+  std::stable_sort(dag_pool_.begin(), dag_pool_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  dag_pool_.erase(std::unique(dag_pool_.begin(), dag_pool_.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.first == b.first;
+                              }),
+                  dag_pool_.end());
+}
+
 Expected<std::vector<service::Submission>> TraceReplayer::replay(
     const Trace& trace) const {
   if (!(options_.time_scale > 0.0) || !std::isfinite(options_.time_scale)) {
@@ -136,7 +156,21 @@ Expected<std::vector<service::Submission>> TraceReplayer::replay(
     }
 
     workflow::WorkflowSpec spec;
-    if (record.class_id.has_value()) {
+    std::shared_ptr<const dag::DagSpec> dag;
+    if (record.dag_fingerprint.has_value()) {
+      const auto it = std::lower_bound(
+          dag_pool_.begin(), dag_pool_.end(), *record.dag_fingerprint,
+          [](const auto& entry, std::uint64_t value) {
+            return entry.first < value;
+          });
+      if (it == dag_pool_.end() || it->first != *record.dag_fingerprint) {
+        return record_error(
+            index, record,
+            format("dag_fingerprint %016llx is not in the replay DAG pool",
+                   static_cast<unsigned long long>(*record.dag_fingerprint)));
+      }
+      dag = it->second;
+    } else if (record.class_id.has_value()) {
       if (*record.class_id >= pool_.size()) {
         return record_error(
             index, record,
@@ -192,7 +226,7 @@ Expected<std::vector<service::Submission>> TraceReplayer::replay(
                  static_cast<unsigned long long>(
                      record.class_fingerprint.value_or(0))));
     }
-    if (!record.label.empty()) spec.label = record.label;
+    if (!record.label.empty() && dag == nullptr) spec.label = record.label;
 
     const double scaled =
         static_cast<double>(record.arrival_ns) * options_.time_scale;
@@ -210,6 +244,7 @@ Expected<std::vector<service::Submission>> TraceReplayer::replay(
     service::Submission submission;
     submission.id = record.id;
     submission.spec = std::move(spec);
+    submission.dag = std::move(dag);
     submission.arrival_ns = arrival;
     submission.priority = record.priority;
     stream.push_back(std::move(submission));
@@ -242,11 +277,28 @@ Trace record_trace(std::span<const service::Submission> submissions,
 
   Trace trace;
   trace.records.reserve(submissions.size());
+  // DAG fingerprints are a pure function of the class too.
+  std::unordered_map<const dag::DagSpec*, std::uint64_t> dag_memo;
+
   for (const auto& submission : submissions) {
     TraceRecord record;
     record.id = submission.id;
     record.arrival_ns = submission.arrival_ns;
     record.priority = submission.priority;
+
+    if (submission.dag != nullptr) {
+      record.label = submission.dag->label;
+      auto memo = dag_memo.find(submission.dag.get());
+      if (memo == dag_memo.end()) {
+        memo = dag_memo
+                   .emplace(submission.dag.get(),
+                            dag::class_fingerprint(*submission.dag))
+                   .first;
+      }
+      record.dag_fingerprint = memo->second;
+      trace.records.push_back(std::move(record));
+      continue;
+    }
     record.label = submission.spec.label;
 
     const auto fingerprint = workflow::class_fingerprint(submission.spec);

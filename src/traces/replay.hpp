@@ -17,6 +17,7 @@
 // labels, and class fingerprints bit-for-bit.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -47,10 +48,16 @@ class TraceReplayer {
   explicit TraceReplayer(std::vector<workflow::WorkflowSpec> pool,
                          ReplayOptions options = {});
 
+  /// Installs the DAG classes that dag_fingerprint rows bind against
+  /// (keyed by dag::class_fingerprint; first occurrence wins on
+  /// duplicates). Without a DAG pool, any dag_fingerprint row is a
+  /// replay error.
+  void set_dag_pool(std::vector<std::shared_ptr<const dag::DagSpec>> pool);
+
   /// Binds and replays the whole trace. Errors name the offending
   /// record: an out-of-range class_id, a fingerprint absent from the
-  /// pool, a fingerprint that contradicts its binding (wrong pool), or
-  /// non-positive time scaling.
+  /// pool (pair or DAG), a fingerprint that contradicts its binding
+  /// (wrong pool), or non-positive time scaling.
   [[nodiscard]] Expected<std::vector<service::Submission>> replay(
       const Trace& trace) const;
 
@@ -63,6 +70,9 @@ class TraceReplayer {
   /// fingerprint → pool index, for class_fingerprint bindings and for
   /// cross-checking class_id rows.
   std::vector<std::pair<std::uint64_t, std::size_t>> fingerprints_;
+  /// dag::class_fingerprint → shared spec, for dag_fingerprint rows.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const dag::DagSpec>>>
+      dag_pool_;
   ReplayOptions options_;
 };
 

@@ -22,7 +22,7 @@ constexpr const char* kColumns[] = {
     "class_fingerprint", "ranks",       "iterations",
     "object_size_bytes", "objects_per_rank", "sim_compute_ns",
     "analytics_compute_ns", "sim_seed", "sim_name",
-    "ana_name",
+    "ana_name",    "dag_fingerprint",
 };
 
 enum Column : std::size_t {
@@ -42,6 +42,7 @@ enum Column : std::size_t {
   kSimSeed,
   kSimName,
   kAnaName,
+  kDagFingerprint,
   kColumnCount,
 };
 
@@ -215,12 +216,29 @@ Expected<TraceRecord> parse_record(const std::vector<std::string>& row,
     record.inline_class = std::move(inline_class);
   }
 
+  if (!row[kDagFingerprint].empty()) {
+    auto dag_fp = parse_hex64(row[kDagFingerprint], "dag_fingerprint", line);
+    if (!dag_fp.has_value()) return Unexpected{dag_fp.error()};
+    // A row is either a DAG class or a pair class; mixing the two would
+    // make the binding ambiguous at replay, so reject it here.
+    if (record.class_id.has_value() || record.class_fingerprint.has_value() ||
+        record.inline_class.has_value()) {
+      return make_error(format(
+          "line %zu: dag_fingerprint is exclusive with class_id, "
+          "class_fingerprint, and the inline class columns",
+          line));
+    }
+    record.dag_fingerprint = *dag_fp;
+  }
+
   if (!record.class_id.has_value() &&
       !record.class_fingerprint.has_value() &&
-      !record.inline_class.has_value()) {
+      !record.inline_class.has_value() &&
+      !record.dag_fingerprint.has_value()) {
     return make_error(
         format("line %zu: row has no class reference (need class_id, "
-               "class_fingerprint, or the inline class columns)",
+               "class_fingerprint, dag_fingerprint, or the inline class "
+               "columns)",
                line));
   }
   return record;
@@ -331,6 +349,11 @@ std::string serialize_trace(const Trace& trace) {
           "%016llx", static_cast<unsigned long long>(inline_class.sim_seed));
       row[kSimName] = inline_class.sim_name;
       row[kAnaName] = inline_class.ana_name;
+    }
+    if (record.dag_fingerprint.has_value()) {
+      row[kDagFingerprint] =
+          format("%016llx",
+                 static_cast<unsigned long long>(*record.dag_fingerprint));
     }
     csv.add_row(std::move(row));
   }

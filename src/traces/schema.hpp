@@ -8,7 +8,7 @@
 // Poisson generator — pmemflowd can replay a recorded production
 // stream, and any scheduler run can be written back out as a trace.
 //
-// A row references its workflow class one of three ways (resolution
+// A row references its workflow class one of four ways (resolution
 // order at replay time):
 //   1. `class_id`          — index into a WorkflowSpec pool supplied at
 //                            replay time (the make_class_pool contract);
@@ -18,7 +18,12 @@
 //                            description (object size, ranks, compute,
 //                            seed, model names) that reconstructs the
 //                            WorkflowSpec, and its exact fingerprint,
-//                            without any pool.
+//                            without any pool;
+//   4. `dag_fingerprint`   — dag::class_fingerprint digest of a general
+//                            DAG class, bound against the DAG pool
+//                            supplied at replay time. Exclusive with
+//                            the pair references above: a row carries a
+//                            DAG class or a pair class, never both.
 // When both a binding and a fingerprint are present the fingerprint is
 // verified, so replaying a trace against the wrong pool is an error,
 // never a silent class remap.
@@ -79,6 +84,9 @@ struct TraceRecord {
   std::optional<std::uint32_t> class_id;
   std::optional<std::uint64_t> class_fingerprint;
   std::optional<InlineClass> inline_class;
+  /// General-DAG class reference (dag::class_fingerprint). Exclusive
+  /// with every pair-class reference above.
+  std::optional<std::uint64_t> dag_fingerprint;
 
   friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };

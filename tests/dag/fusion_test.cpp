@@ -1,0 +1,126 @@
+#include "dag/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmemflow::dag {
+namespace {
+
+DagSpec make_chain(std::uint32_t ranks = 4) {
+  DagSpec spec;
+  spec.label = "chain";
+  spec.iterations = 3;
+  DagComponent writer;
+  writer.name = "writer";
+  writer.ranks = ranks;
+  writer.object_size = 8 * kMiB;
+  writer.objects_per_rank = 8;
+  writer.compute_ns = 1e7;
+  DagComponent reader;
+  reader.name = "reader";
+  reader.ranks = ranks;
+  reader.analytics_ns_per_object = 1000.0;
+  spec.components = {writer, reader};
+  spec.edges = {DagEdge{"writer", "reader", {}, 0}};
+  return spec;
+}
+
+DagSpec make_io_heavy_fanout() {
+  DagSpec spec;
+  spec.label = "fanout";
+  spec.iterations = 4;
+  DagComponent sim;
+  sim.name = "sim";
+  sim.ranks = 8;
+  sim.object_size = 16 * kMiB;
+  sim.objects_per_rank = 16;
+  sim.compute_ns = 1e6;  // transfer-dominated
+  DagComponent stats;
+  stats.name = "stats";
+  stats.ranks = 8;
+  stats.analytics_ns_per_object = 1000.0;
+  DagComponent viz = stats;
+  viz.name = "viz";
+  spec.components = {sim, stats, viz};
+  spec.edges = {DagEdge{"sim", "stats", {}, 2}, DagEdge{"sim", "viz", {}, 2}};
+  return spec;
+}
+
+TEST(FusionPlan, SpreadChainMatchesPairDeployment) {
+  const auto dag = make_chain();
+  auto plan = plan_spread(dag, topo::PlatformSpec{});
+  ASSERT_TRUE(plan.has_value()) << plan.error().message;
+  // Writer on socket 0, reader on socket 1, channel consumer-local:
+  // exactly the pair model's P-LocR placement.
+  ASSERT_EQ(plan->component_sockets.size(), 2u);
+  EXPECT_EQ(plan->component_sockets[0], 0u);
+  EXPECT_EQ(plan->component_sockets[1], 1u);
+  ASSERT_EQ(plan->edge_sockets.size(), 1u);
+  EXPECT_EQ(plan->edge_sockets[0], 1u);
+  EXPECT_EQ(plan->ephemeral_edges, 0u);
+}
+
+TEST(FusionPlan, FusionIsDeterministic) {
+  const auto dag = make_io_heavy_fanout();
+  auto a = plan_fusion(dag, topo::PlatformSpec{});
+  auto b = plan_fusion(dag, topo::PlatformSpec{});
+  ASSERT_TRUE(a.has_value()) << a.error().message;
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->component_sockets, b->component_sockets);
+  EXPECT_EQ(a->edge_sockets, b->edge_sockets);
+  EXPECT_EQ(a->ephemeral_edges, b->ephemeral_edges);
+  EXPECT_DOUBLE_EQ(a->estimated_cost_ns, b->estimated_cost_ns);
+}
+
+TEST(FusionPlan, FusionFusesTransferDominatedEdges) {
+  const auto dag = make_io_heavy_fanout();
+  const topo::PlatformSpec platform;
+  auto fused = plan_fusion(dag, platform);
+  auto spread = plan_spread(dag, platform);
+  ASSERT_TRUE(fused.has_value()) << fused.error().message;
+  ASSERT_TRUE(spread.has_value());
+  EXPECT_GT(fused->ephemeral_edges, 0u);
+  EXPECT_LT(fused->estimated_cost_ns, spread->estimated_cost_ns);
+  // Each edge's channel lives on one of its endpoints' sockets.
+  for (std::size_t e = 0; e < dag.edges.size(); ++e) {
+    const auto producer =
+        *component_index(dag, dag.edges[e].producer);
+    const auto consumer =
+        *component_index(dag, dag.edges[e].consumer);
+    const auto socket = fused->edge_sockets[e];
+    EXPECT_TRUE(socket == fused->component_sockets[producer] ||
+                socket == fused->component_sockets[consumer]);
+  }
+}
+
+TEST(FusionPlan, CoreCapacityForcesSpreading) {
+  // Two 28-rank components fill both sockets of the default platform:
+  // no feasible fused grouping, so fusion must cut the edge.
+  const auto dag = make_chain(28);
+  auto plan = plan_fusion(dag, topo::PlatformSpec{});
+  ASSERT_TRUE(plan.has_value()) << plan.error().message;
+  EXPECT_EQ(plan->ephemeral_edges, 0u);
+  EXPECT_NE(plan->component_sockets[0], plan->component_sockets[1]);
+}
+
+TEST(FusionPlan, InfeasibleDagsError) {
+  // 29 ranks exceed any single socket: no assignment fits.
+  const auto dag = make_chain(29);
+  EXPECT_FALSE(plan_spread(dag, topo::PlatformSpec{}).has_value());
+  EXPECT_FALSE(plan_fusion(dag, topo::PlatformSpec{}).has_value());
+}
+
+TEST(FusionPlan, LeaseSocketCarriesTheHeaviestChannel) {
+  const auto dag = make_io_heavy_fanout();
+  auto plan = plan_fusion(dag, topo::PlatformSpec{});
+  ASSERT_TRUE(plan.has_value());
+  // All channel bytes land on sockets named by the plan; the lease
+  // socket must be one of them.
+  bool hosts_a_channel = false;
+  for (const auto socket : plan->edge_sockets) {
+    hosts_a_channel = hosts_a_channel || socket == plan->lease_socket;
+  }
+  EXPECT_TRUE(hosts_a_channel);
+}
+
+}  // namespace
+}  // namespace pmemflow::dag

@@ -1,0 +1,144 @@
+// Service-layer integration of general DAG workflows: placement,
+// completion accounting, and the graceful-drop path for DAGs no node
+// shape can host (regression: this used to be unreachable only because
+// DAG submissions did not exist; the slot-accounting invariants assert
+// on a partial placement, so unplaceable DAGs must be dropped before
+// ever touching the fleet).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dag/spec.hpp"
+#include "service/scheduler.hpp"
+
+namespace pmemflow::service {
+namespace {
+
+std::shared_ptr<const dag::DagSpec> make_chain_dag(std::uint32_t ranks) {
+  dag::DagSpec spec;
+  spec.label = "chain";
+  spec.iterations = 2;
+  dag::DagComponent writer;
+  writer.name = "writer";
+  writer.ranks = ranks;
+  writer.object_size = 1 * kMiB;
+  writer.objects_per_rank = 4;
+  writer.compute_ns = 1e7;
+  dag::DagComponent reader;
+  reader.name = "reader";
+  reader.ranks = ranks;
+  reader.analytics_ns_per_object = 500.0;
+  spec.components = {writer, reader};
+  spec.edges = {dag::DagEdge{"writer", "reader", {}, 0}};
+  return std::make_shared<const dag::DagSpec>(std::move(spec));
+}
+
+/// A single 29-rank stage: exceeds the 28-core socket under every
+/// plan, so no node of the default platform can host it.
+std::shared_ptr<const dag::DagSpec> make_unplaceable_dag() {
+  dag::DagSpec spec;
+  spec.label = "too-wide";
+  spec.iterations = 1;
+  dag::DagComponent wide;
+  wide.name = "wide";
+  wide.ranks = 29;
+  wide.object_size = 1 * kMiB;
+  wide.objects_per_rank = 1;
+  wide.compute_ns = 1e6;
+  spec.components = {wide};
+  return std::make_shared<const dag::DagSpec>(std::move(spec));
+}
+
+TEST(DagService, DagSubmissionsCompleteAndAreCounted) {
+  const auto chain = make_chain_dag(4);
+  std::vector<Submission> stream;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Submission s;
+    s.id = i;
+    s.arrival_ns = i * 50 * kMillisecond;
+    s.dag = chain;
+    stream.push_back(std::move(s));
+  }
+
+  ServiceConfig config;
+  config.nodes = 2;
+  config.queue_capacity = stream.size();
+  config.defer_watermark = 1.0;
+  config.policy = PlacementPolicy::kLeastLoaded;
+  OnlineScheduler scheduler(config);
+  auto result = scheduler.run(stream);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->metrics.completed, 6u);
+  EXPECT_EQ(result->metrics.dag_completed, 6u);
+  EXPECT_EQ(result->metrics.dropped, 0u);
+  // Spread chains never fuse.
+  EXPECT_EQ(result->metrics.ephemeral_edges, 0u);
+  for (const auto& record : result->completions) {
+    EXPECT_TRUE(record.dag);
+    EXPECT_EQ(record.label, "chain");
+    EXPECT_GT(record.config_runtime_ns, 0u);
+  }
+}
+
+TEST(DagService, FusionPolicyFusesChainsOntoOneSocket) {
+  const auto chain = make_chain_dag(4);
+  std::vector<Submission> stream;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Submission s;
+    s.id = i;
+    s.arrival_ns = i * 50 * kMillisecond;
+    s.dag = chain;
+    stream.push_back(std::move(s));
+  }
+
+  ServiceConfig config;
+  config.nodes = 2;
+  config.queue_capacity = stream.size();
+  config.defer_watermark = 1.0;
+  config.policy = PlacementPolicy::kDagFusion;
+  OnlineScheduler scheduler(config);
+  auto result = scheduler.run(stream);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->metrics.dag_completed, 4u);
+  // A transfer-cheap chain may or may not fuse; the accounting must
+  // match the records either way.
+  std::uint64_t ephemeral = 0;
+  for (const auto& record : result->completions) {
+    ephemeral += record.ephemeral_edges;
+  }
+  EXPECT_EQ(result->metrics.ephemeral_edges, ephemeral);
+}
+
+// Regression: a DAG whose core demand exceeds every node shape must be
+// dropped gracefully (queue pop + dropped counter), not trip the fleet
+// slot-accounting asserts with a partial placement.
+TEST(DagService, UnplaceableDagIsDroppedNotAsserted) {
+  const auto wide = make_unplaceable_dag();
+  const auto chain = make_chain_dag(4);
+  std::vector<Submission> stream;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Submission s;
+    s.id = i;
+    s.arrival_ns = i * 20 * kMillisecond;
+    s.dag = i == 1 ? wide : chain;
+    stream.push_back(std::move(s));
+  }
+
+  ServiceConfig config;
+  config.nodes = 2;
+  config.queue_capacity = stream.size();
+  config.defer_watermark = 1.0;
+  config.policy = PlacementPolicy::kDagFusion;
+  OnlineScheduler scheduler(config);
+  auto result = scheduler.run(stream);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->metrics.completed, 3u);
+  EXPECT_EQ(result->metrics.dag_completed, 3u);
+  EXPECT_EQ(result->metrics.dropped, 1u);
+  for (const auto& record : result->completions) {
+    EXPECT_NE(record.label, "too-wide");
+  }
+}
+
+}  // namespace
+}  // namespace pmemflow::service

@@ -1,0 +1,190 @@
+#include "dag/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace pmemflow::dag {
+namespace {
+
+DagSpec make_fanout() {
+  DagSpec spec;
+  spec.label = "fanout";
+  spec.iterations = 4;
+  DagComponent sim;
+  sim.name = "sim";
+  sim.ranks = 4;
+  sim.object_size = 2 * kMiB;
+  sim.objects_per_rank = 8;
+  sim.compute_ns = 1e8;
+  DagComponent stats;
+  stats.name = "stats";
+  stats.ranks = 4;
+  stats.analytics_ns_per_object = 2500.0;
+  DagComponent viz = stats;
+  viz.name = "viz";
+  viz.analytics_ns_per_object = 1250.0;
+  spec.components = {sim, stats, viz};
+  spec.edges = {DagEdge{"sim", "stats", {}, 2}, DagEdge{"sim", "viz", {}, 2}};
+  return spec;
+}
+
+TEST(DagSpec, ValidatesFanout) {
+  EXPECT_TRUE(validate(make_fanout()).has_value());
+}
+
+TEST(DagSpec, SerializeParseRoundTripIsExact) {
+  const auto spec = make_fanout();
+  const auto text = serialize(spec);
+  auto parsed = parse(text);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_TRUE(*parsed == spec);
+  EXPECT_EQ(class_fingerprint(*parsed), class_fingerprint(spec));
+  // Canonical: a second serialize is byte-identical.
+  EXPECT_EQ(serialize(*parsed), text);
+}
+
+TEST(DagSpec, FingerprintStableAcrossFieldReorder) {
+  const auto spec = make_fanout();
+  DagSpec shuffled = spec;
+  std::reverse(shuffled.components.begin(), shuffled.components.end());
+  std::reverse(shuffled.edges.begin(), shuffled.edges.end());
+  EXPECT_EQ(class_fingerprint(shuffled), class_fingerprint(spec));
+  EXPECT_EQ(hash_value(shuffled), hash_value(spec));
+  EXPECT_TRUE(shuffled == spec);
+  EXPECT_EQ(serialize(shuffled), serialize(spec));
+}
+
+TEST(DagSpec, LabelExcludedFromClassFingerprintOnly) {
+  auto a = make_fanout();
+  auto b = a;
+  b.label = "renamed";
+  EXPECT_EQ(class_fingerprint(a), class_fingerprint(b));
+  EXPECT_NE(hash_value(a), hash_value(b));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DagSpec, BehaviouralFieldsChangeTheFingerprint) {
+  const auto base = make_fanout();
+  auto larger = base;
+  larger.components[0].object_size *= 2;
+  EXPECT_NE(class_fingerprint(larger), class_fingerprint(base));
+  auto rebound = base;
+  rebound.edges[0].capacity = 0;
+  EXPECT_NE(class_fingerprint(rebound), class_fingerprint(base));
+}
+
+TEST(DagSpec, RejectsDuplicateComponentNames) {
+  auto spec = make_fanout();
+  spec.components[2].name = "stats";
+  auto status = validate(spec);
+  ASSERT_FALSE(status.has_value());
+  EXPECT_NE(status.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(DagSpec, RejectsUnknownEdgeEndpoint) {
+  auto spec = make_fanout();
+  spec.edges[0].consumer = "nowhere";
+  EXPECT_FALSE(validate(spec).has_value());
+}
+
+TEST(DagSpec, RejectsRankMismatchAcrossAnEdge) {
+  auto spec = make_fanout();
+  spec.components[1].ranks = 8;  // sim has 4
+  EXPECT_FALSE(validate(spec).has_value());
+}
+
+TEST(DagSpec, RejectsSelfAndDuplicateEdges) {
+  auto self_edge = make_fanout();
+  self_edge.edges[0].consumer = "sim";
+  EXPECT_FALSE(validate(self_edge).has_value());
+
+  auto duplicate = make_fanout();
+  duplicate.edges[1] = duplicate.edges[0];
+  EXPECT_FALSE(validate(duplicate).has_value());
+}
+
+TEST(DagSpec, RejectsCycles) {
+  auto spec = make_fanout();
+  spec.edges.push_back(DagEdge{"stats", "sim", {}, 0});
+  auto status = validate(spec);
+  ASSERT_FALSE(status.has_value());
+  EXPECT_NE(status.error().message.find("cycl"), std::string::npos)
+      << status.error().message;
+}
+
+TEST(DagSpec, RejectsDisconnectedGraphs) {
+  auto spec = make_fanout();
+  // Drop sim→viz: viz becomes an isolated second job.
+  spec.edges.pop_back();
+  EXPECT_FALSE(validate(spec).has_value());
+}
+
+TEST(DagSpec, ParserNamesTheOffendingLine) {
+  auto no_banner = parse("dag label=x iterations=1 verify_reads=1\n");
+  ASSERT_FALSE(no_banner.has_value());
+  EXPECT_NE(no_banner.error().message.find("line 1"), std::string::npos);
+
+  auto bad_directive = parse(
+      "# pmemflow-dag v1\n"
+      "dag label=x iterations=1 verify_reads=1\n"
+      "widget name=a\n");
+  ASSERT_FALSE(bad_directive.has_value());
+  EXPECT_NE(bad_directive.error().message.find("line 3"), std::string::npos);
+
+  auto bad_value = parse(
+      "# pmemflow-dag v1\n"
+      "dag label=x iterations=soon verify_reads=1\n");
+  ASSERT_FALSE(bad_value.has_value());
+  EXPECT_NE(bad_value.error().message.find("iterations"), std::string::npos);
+}
+
+TEST(DagSpec, LoadDagRoundTripsThroughAFile) {
+  const auto spec = make_fanout();
+  const std::string path = "dag_spec_test_tmp.dag";
+  {
+    std::ofstream out(path);
+    out << serialize(spec);
+  }
+  auto loaded = load_dag(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  EXPECT_TRUE(*loaded == spec);
+}
+
+TEST(DagSpec, LoadErrorsArePrefixedWithPath) {
+  auto missing = load_dag("definitely-not-here.dag");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_NE(missing.error().message.find("definitely-not-here.dag"),
+            std::string::npos);
+}
+
+TEST(DagSpec, ToPairWorkflowAcceptsOnlyTwoComponentChains) {
+  DagSpec chain;
+  chain.label = "chain";
+  chain.iterations = 3;
+  DagComponent writer;
+  writer.name = "writer";
+  writer.ranks = 2;
+  writer.compute_ns = 1e7;
+  DagComponent reader;
+  reader.name = "reader";
+  reader.ranks = 2;
+  reader.analytics_ns_per_object = 100.0;
+  chain.components = {writer, reader};
+  chain.edges = {DagEdge{"writer", "reader", {}, 0}};
+
+  auto pair = to_pair_workflow(chain);
+  ASSERT_TRUE(pair.has_value()) << pair.error().message;
+  EXPECT_EQ(pair->label, "chain");
+  EXPECT_EQ(pair->ranks, 2u);
+  EXPECT_EQ(pair->iterations, 3u);
+
+  auto fanout = to_pair_workflow(make_fanout());
+  EXPECT_FALSE(fanout.has_value());
+}
+
+}  // namespace
+}  // namespace pmemflow::dag

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "dag/spec.hpp"
 #include "service/arrivals.hpp"
 #include "workflow/model.hpp"
 #include "workloads/synthetic.hpp"
@@ -272,6 +275,48 @@ TEST(TraceReplay, RecordedSyntheticTraceIsSelfContained) {
     EXPECT_EQ(workflow::class_fingerprint((*replayed)[i].spec),
               workflow::class_fingerprint(stream[i].spec));
   }
+}
+
+TEST(TraceReplay, DagRowsBindAgainstTheDagPool) {
+  dag::DagSpec chain;
+  chain.label = "replayed-chain";
+  chain.iterations = 2;
+  dag::DagComponent writer;
+  writer.name = "writer";
+  writer.ranks = 2;
+  writer.compute_ns = 1e6;
+  dag::DagComponent reader;
+  reader.name = "reader";
+  reader.ranks = 2;
+  reader.analytics_ns_per_object = 100.0;
+  chain.components = {writer, reader};
+  chain.edges = {dag::DagEdge{"writer", "reader", {}, 0}};
+  auto shared = std::make_shared<const dag::DagSpec>(std::move(chain));
+
+  Submission original;
+  original.id = 7;
+  original.arrival_ns = 500;
+  original.dag = shared;
+  std::vector<Submission> stream{original};
+  const auto trace = record_trace(stream, {});
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_EQ(trace.records[0].dag_fingerprint,
+            std::optional<std::uint64_t>{dag::class_fingerprint(*shared)});
+  EXPECT_EQ(trace.records[0].label, "replayed-chain");
+
+  // Without a DAG pool the row is a replay error; with it, the row
+  // binds to the shared spec.
+  TraceReplayer replayer{{}};
+  auto unbound = replayer.replay(trace);
+  ASSERT_FALSE(unbound.has_value());
+  EXPECT_NE(unbound.error().message.find("DAG pool"), std::string::npos);
+
+  replayer.set_dag_pool({shared});
+  auto bound = replayer.replay(trace);
+  ASSERT_TRUE(bound.has_value()) << bound.error().message;
+  ASSERT_EQ(bound->size(), 1u);
+  EXPECT_EQ((*bound)[0].dag.get(), shared.get());
+  EXPECT_EQ((*bound)[0].id, 7u);
 }
 
 TEST(TraceReplay, InlineClassOfRejectsNonDefaultShapes) {

@@ -10,7 +10,7 @@ namespace {
 const char* kHeader =
     "id,arrival_ns,priority,deadline_ns,label,class_id,class_fingerprint,"
     "ranks,iterations,object_size_bytes,objects_per_rank,sim_compute_ns,"
-    "analytics_compute_ns,sim_seed,sim_name,ana_name";
+    "analytics_compute_ns,sim_seed,sim_name,ana_name,dag_fingerprint";
 
 std::string with_banner(const std::string& csv) {
   return "# pmemflow-trace v1\n" + csv;
@@ -19,8 +19,8 @@ std::string with_banner(const std::string& csv) {
 std::string minimal_trace_text() {
   return with_banner(std::string(kHeader) +
                      "\n"
-                     "0,1000,normal,,job-a,3,,,,,,,,,,\n"
-                     "1,2500,urgent,500000,job-b,5,,,,,,,,,,\n");
+                     "0,1000,normal,,job-a,3,,,,,,,,,,,\n"
+                     "1,2500,urgent,500000,job-b,5,,,,,,,,,,,\n");
 }
 
 TEST(TraceSchema, ParsesMinimalClassIdTrace) {
@@ -48,9 +48,9 @@ TEST(TraceSchema, ParsesFingerprintAndInlineBindings) {
   auto trace = parse_trace(with_banner(
       std::string(kHeader) +
       "\n"
-      "0,10,batch,,,,00000000deadbeef,,,,,,,,,\n"
+      "0,10,batch,,,,00000000deadbeef,,,,,,,,,,\n"
       "1,20,normal,,,,,8,2,1048576,16,1e+08,2097.152,000000000000002a,"
-      "sim-a,ana-a\n"));
+      "sim-a,ana-a,\n"));
   ASSERT_TRUE(trace.has_value()) << trace.error().message;
   ASSERT_EQ(trace->records.size(), 2u);
   EXPECT_EQ(trace->records[0].class_fingerprint,
@@ -91,8 +91,8 @@ TEST(TraceSchema, HeaderMismatchRejected) {
 
 TEST(TraceSchema, BadPriorityNamesItsLine) {
   auto trace = parse_trace(with_banner(
-      std::string(kHeader) + "\n0,10,normal,,,1,,,,,,,,,,\n"
-                             "1,20,wild,,,1,,,,,,,,,,\n"));
+      std::string(kHeader) + "\n0,10,normal,,,1,,,,,,,,,,,\n"
+                             "1,20,wild,,,1,,,,,,,,,,,\n"));
   ASSERT_FALSE(trace.has_value());
   EXPECT_NE(trace.error().message.find("line 4"), std::string::npos)
       << trace.error().message;
@@ -101,7 +101,7 @@ TEST(TraceSchema, BadPriorityNamesItsLine) {
 
 TEST(TraceSchema, BadNumberNamesColumnAndLine) {
   auto trace = parse_trace(with_banner(std::string(kHeader) +
-                                       "\n0,soon,normal,,,1,,,,,,,,,,\n"));
+                                       "\n0,soon,normal,,,1,,,,,,,,,,,\n"));
   ASSERT_FALSE(trace.has_value());
   EXPECT_NE(trace.error().message.find("line 3"), std::string::npos);
   EXPECT_NE(trace.error().message.find("arrival_ns"), std::string::npos);
@@ -110,7 +110,7 @@ TEST(TraceSchema, BadNumberNamesColumnAndLine) {
 
 TEST(TraceSchema, RowWithoutClassReferenceRejected) {
   auto trace = parse_trace(with_banner(std::string(kHeader) +
-                                       "\n0,10,normal,,job,,,,,,,,,,,\n"));
+                                       "\n0,10,normal,,job,,,,,,,,,,,,\n"));
   ASSERT_FALSE(trace.has_value());
   EXPECT_NE(trace.error().message.find("no class reference"),
             std::string::npos);
@@ -119,15 +119,48 @@ TEST(TraceSchema, RowWithoutClassReferenceRejected) {
 TEST(TraceSchema, HalfFilledInlineColumnsRejected) {
   // ranks present but the rest of the inline block missing.
   auto trace = parse_trace(with_banner(std::string(kHeader) +
-                                       "\n0,10,normal,,,,,8,,,,,,,,\n"));
+                                       "\n0,10,normal,,,,,8,,,,,,,,,\n"));
   ASSERT_FALSE(trace.has_value());
   EXPECT_NE(trace.error().message.find("all-or-nothing"),
             std::string::npos);
 }
 
+TEST(TraceSchema, ParsesDagFingerprintRow) {
+  auto trace = parse_trace(with_banner(
+      std::string(kHeader) +
+      "\n0,10,urgent,,fanout,,,,,,,,,,,,00000000cafef00d\n"));
+  ASSERT_TRUE(trace.has_value()) << trace.error().message;
+  ASSERT_EQ(trace->records.size(), 1u);
+  const auto& record = trace->records[0];
+  EXPECT_EQ(record.label, "fanout");
+  EXPECT_EQ(record.dag_fingerprint,
+            std::optional<std::uint64_t>{0xcafef00dULL});
+  EXPECT_FALSE(record.class_id.has_value());
+  EXPECT_FALSE(record.class_fingerprint.has_value());
+  EXPECT_FALSE(record.inline_class.has_value());
+}
+
+TEST(TraceSchema, DagFingerprintExclusiveWithClassId) {
+  auto trace = parse_trace(with_banner(
+      std::string(kHeader) +
+      "\n0,10,normal,,,3,,,,,,,,,,,00000000cafef00d\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("line 3"), std::string::npos);
+  EXPECT_NE(trace.error().message.find("exclusive"), std::string::npos);
+}
+
+TEST(TraceSchema, DagFingerprintExclusiveWithInlineColumns) {
+  auto trace = parse_trace(with_banner(
+      std::string(kHeader) +
+      "\n0,10,normal,,,,,8,2,1048576,16,1e+08,2097.152,000000000000002a,"
+      "sim-a,ana-a,00000000cafef00d\n"));
+  ASSERT_FALSE(trace.has_value());
+  EXPECT_NE(trace.error().message.find("exclusive"), std::string::npos);
+}
+
 TEST(TraceSchema, ZeroDeadlineRejected) {
   auto trace = parse_trace(with_banner(std::string(kHeader) +
-                                       "\n0,10,normal,0,,1,,,,,,,,,,\n"));
+                                       "\n0,10,normal,0,,1,,,,,,,,,,,\n"));
   ASSERT_FALSE(trace.has_value());
   EXPECT_NE(trace.error().message.find("deadline_ns"), std::string::npos);
 }
@@ -135,7 +168,7 @@ TEST(TraceSchema, ZeroDeadlineRejected) {
 TEST(TraceSchema, CrlfAndQuotedLabelAccepted) {
   auto trace = parse_trace(with_banner(
       std::string(kHeader) +
-      "\r\n0,10,normal,,\"fluid, 3d\",1,,,,,,,,,,\r\n"));
+      "\r\n0,10,normal,,\"fluid, 3d\",1,,,,,,,,,,,\r\n"));
   ASSERT_TRUE(trace.has_value()) << trace.error().message;
   EXPECT_EQ(trace->records[0].label, "fluid, 3d");
 }
@@ -168,6 +201,14 @@ TEST(TraceSchema, SerializeParseRoundTripIsExact) {
   inline_class.ana_name = "matmult";
   inline_row.inline_class = inline_class;
   trace.records.push_back(inline_row);
+
+  TraceRecord dag_row;
+  dag_row.id = 9;
+  dag_row.arrival_ns = 323456789;
+  dag_row.priority = service::Priority::kNormal;
+  dag_row.label = "fanout-analytics";
+  dag_row.dag_fingerprint = 0x646167f1a9e57ULL;
+  trace.records.push_back(dag_row);
 
   const auto text = serialize_trace(trace);
   auto parsed = parse_trace(text);

@@ -16,10 +16,12 @@
 // docs/TRACES.md for the column reference and a walkthrough.
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "dag/spec.hpp"
 #include "devices/registry.hpp"
 #include "service/arrivals.hpp"
 #include "traces/fit.hpp"
@@ -45,6 +47,7 @@ int run_summarize(const std::string& path) {
 
   std::uint64_t urgent = 0, normal = 0, batch = 0, with_deadline = 0;
   std::uint64_t by_class_id = 0, by_fingerprint = 0, with_inline = 0;
+  std::uint64_t by_dag = 0;
   SimTime first = 0, last = 0;
   for (std::size_t i = 0; i < trace->records.size(); ++i) {
     const auto& record = trace->records[i];
@@ -57,6 +60,7 @@ int run_summarize(const std::string& path) {
     if (record.class_id.has_value()) ++by_class_id;
     if (record.class_fingerprint.has_value()) ++by_fingerprint;
     if (record.inline_class.has_value()) ++with_inline;
+    if (record.dag_fingerprint.has_value()) ++by_dag;
     first = i == 0 ? record.arrival_ns : std::min(first, record.arrival_ns);
     last = std::max(last, record.arrival_ns);
   }
@@ -86,6 +90,9 @@ int run_summarize(const std::string& path) {
   table.add_row(
       {"self-contained (inline)",
        format("%llu", static_cast<unsigned long long>(with_inline))});
+  table.add_row(
+      {"bound by dag_fingerprint",
+       format("%llu", static_cast<unsigned long long>(by_dag))});
 
   if (auto fit = traces::fit_arrival_params(*trace); fit.has_value()) {
     table.add_row({"arrival rate",
@@ -202,6 +209,17 @@ int run_validate(const std::string& path, const FlagParser& flags) {
   traces::TraceReplayer replayer(service::make_class_pool(
       static_cast<std::uint32_t>(flags.get_int("classes")),
       static_cast<std::uint64_t>(flags.get_int("seed"))));
+  const std::string dag_paths = flags.get_string("dags");
+  if (!dag_paths.empty()) {
+    std::vector<std::shared_ptr<const dag::DagSpec>> dag_pool;
+    for (const auto& dag_path : split(dag_paths, ',')) {
+      auto spec = dag::load_dag(dag_path);
+      if (!spec.has_value()) return fail(spec.error().message);
+      dag_pool.push_back(
+          std::make_shared<const dag::DagSpec>(std::move(*spec)));
+    }
+    replayer.set_dag_pool(std::move(dag_pool));
+  }
   auto stream = replayer.replay(*trace);
   if (!stream.has_value()) {
     return fail(path + ": parses but does not bind: " +
@@ -241,6 +259,9 @@ int main(int argc, char** argv) {
                    "statistically matched synthetic twin");
   flags.add_bool("parse-only", false,
                  "validate: skip the pool binding dry-run");
+  flags.add_string("dags", "",
+                   "validate: comma-separated .dag files forming the DAG "
+                   "pool that dag_fingerprint rows bind against");
   auto status = flags.parse(argc, argv);
   if (!status.has_value()) {
     std::cerr << status.error().message << "\n";

@@ -18,12 +18,17 @@
 //   pmemflowd --node-backends optane-gen1,cxl-like   # heterogeneous fleet
 //   pmemflowd --pmem-capacity 64 --retain-versions 2 --policy capacity
 //                                              # bounded per-socket pools
+//   pmemflowd --dag examples/dags/fanout_analytics.dag --policy dag-fusion
+//                                              # general DAG workflows
 #include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "dag/spec.hpp"
 #include "devices/registry.hpp"
 #include "service/arrivals.hpp"
 #include "service/scheduler.hpp"
@@ -46,9 +51,12 @@ Expected<service::PlacementPolicy> parse_policy(const std::string& name) {
   if (name == "capacity" || name == "capacity-aware") {
     return service::PlacementPolicy::kCapacityAware;
   }
+  if (name == "dag-fusion" || name == "fusion") {
+    return service::PlacementPolicy::kDagFusion;
+  }
   return make_error("unknown policy '" + name +
                     "' (first-fit | least-loaded | recommender | colocation "
-                    "| capacity)");
+                    "| capacity | dag-fusion)");
 }
 
 }  // namespace
@@ -60,7 +68,16 @@ int main(int argc, char** argv) {
   flags.add_int("queue-capacity", 64, "submission queue capacity");
   flags.add_string("policy", "recommender",
                    "placement policy: first-fit | least-loaded | recommender "
-                   "| colocation | capacity");
+                   "| colocation | capacity | dag-fusion");
+  flags.add_string("dag", "",
+                   "comma-separated .dag files: general DAG workflow classes "
+                   "(see docs/DAG.md). Synthetic streams convert a "
+                   "deterministic --dag-frac slice of submissions to DAGs "
+                   "round-robin; trace replays bind dag_fingerprint rows "
+                   "against this pool");
+  flags.add_double("dag-frac", 0.25,
+                   "fraction of synthetic submissions converted to DAG "
+                   "workflows (with --dag)");
   flags.add_double("pmem-capacity", 0.0,
                    "per-socket PMEM pool size in GB (0 = unbounded: the "
                    "capacity model stays off and schedules are unchanged)");
@@ -137,6 +154,28 @@ int main(int argc, char** argv) {
   arrivals.urgent_fraction = flags.get_double("urgent-frac");
   arrivals.batch_fraction = flags.get_double("batch-frac");
 
+  // DAG workflow classes (satellites of the pair stream). For synthetic
+  // streams a deterministic slice of submissions is converted below; for
+  // trace replays the pool binds dag_fingerprint rows.
+  std::vector<std::shared_ptr<const dag::DagSpec>> dag_pool;
+  const std::string dag_paths = flags.get_string("dag");
+  if (!dag_paths.empty()) {
+    for (const auto& dag_path : split(dag_paths, ',')) {
+      auto spec = dag::load_dag(dag_path);
+      if (!spec.has_value()) {
+        std::cerr << "error: --dag: " << spec.error().message << "\n";
+        return 1;
+      }
+      dag_pool.push_back(
+          std::make_shared<const dag::DagSpec>(std::move(*spec)));
+    }
+  }
+  const double dag_frac = flags.get_double("dag-frac");
+  if (!(dag_frac > 0.0) || dag_frac > 1.0) {
+    std::cerr << "error: --dag-frac must be in (0, 1]\n";
+    return 1;
+  }
+
   std::vector<service::Submission> stream;
   std::string stream_origin;
   const std::string trace_path = flags.get_string("trace");
@@ -153,6 +192,7 @@ int main(int argc, char** argv) {
     options.limit = static_cast<std::uint64_t>(flags.get_int("limit"));
     traces::TraceReplayer replayer(
         service::make_class_pool(arrivals.classes, arrivals.seed), options);
+    if (!dag_pool.empty()) replayer.set_dag_pool(dag_pool);
     auto replayed = replayer.replay(*trace);
     if (!replayed.has_value()) {
       std::cerr << "error: " << trace_path << ": "
@@ -169,6 +209,20 @@ int main(int argc, char** argv) {
     }
     stream = std::move(*generated);
     stream_origin = "synthetic stream";
+    if (!dag_pool.empty()) {
+      // Deterministic conversion: every stride-th submission becomes a
+      // DAG, round-robin over the loaded classes, so the same flags
+      // always produce the same mixed stream.
+      const auto stride = static_cast<std::size_t>(
+          std::max<long long>(1, std::llround(1.0 / dag_frac)));
+      std::size_t next_dag = 0;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (i % stride != 0) continue;
+        stream[i].dag = dag_pool[next_dag++ % dag_pool.size()];
+        stream[i].spec = workflow::WorkflowSpec{};
+      }
+      stream_origin += format(" + %zu dags", next_dag);
+    }
   }
 
   const std::string record_path = flags.get_string("record-trace");
@@ -272,6 +326,12 @@ int main(int argc, char** argv) {
         service::PlacementPolicy::kColocationAware};
     if (config.capacity.enabled()) {
       policies.push_back(service::PlacementPolicy::kCapacityAware);
+    }
+    if (std::any_of(stream.begin(), stream.end(),
+                    [](const service::Submission& s) {
+                      return s.dag != nullptr;
+                    })) {
+      policies.push_back(service::PlacementPolicy::kDagFusion);
     }
     for (const auto policy : policies) {
       config.policy = policy;
