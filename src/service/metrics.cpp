@@ -161,6 +161,15 @@ void print_service_report(std::ostream& out, const std::string& title,
   table.add_row({"ephemeral edges",
                  format("%llu", static_cast<unsigned long long>(
                                     metrics.ephemeral_edges))});
+  table.add_row({"planner window", format("%u", metrics.planner_window)});
+  table.add_row({"plans", format("%llu", static_cast<unsigned long long>(
+                                             metrics.plans))});
+  table.add_row(
+      {"plan cache hit rate",
+       format("%.1f %% (%llu/%llu)", 100.0 * metrics.plan_cache_hit_rate(),
+              static_cast<unsigned long long>(metrics.plan_cache_hits),
+              static_cast<unsigned long long>(metrics.plan_cache_hits +
+                                              metrics.plan_cache_misses))});
   table.write(out);
 }
 
@@ -195,7 +204,11 @@ std::vector<std::string> service_csv_header() {
           "regions",
           "shard_migrations",
           "dag_completed",
-          "ephemeral_edges"};
+          "ephemeral_edges",
+          "planner_window",
+          "plans",
+          "plan_cache_hits",
+          "plan_cache_misses"};
 }
 
 void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
@@ -236,7 +249,13 @@ void append_service_csv_row(CsvWriter& csv, const std::string& run_label,
               static_cast<unsigned long long>(metrics.shard_migrations)),
        format("%llu", static_cast<unsigned long long>(metrics.dag_completed)),
        format("%llu",
-              static_cast<unsigned long long>(metrics.ephemeral_edges))});
+              static_cast<unsigned long long>(metrics.ephemeral_edges)),
+       format("%u", metrics.planner_window),
+       format("%llu", static_cast<unsigned long long>(metrics.plans)),
+       format("%llu",
+              static_cast<unsigned long long>(metrics.plan_cache_hits)),
+       format("%llu",
+              static_cast<unsigned long long>(metrics.plan_cache_misses))});
 }
 
 }  // namespace pmemflow::service

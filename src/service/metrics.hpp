@@ -152,11 +152,28 @@ struct ServiceMetrics {
   /// Producer→consumer stage pairs fused onto one socket, summed over
   /// completed DAG submissions (the kDagFusion signal).
   std::uint64_t ephemeral_edges = 0;
+  /// Lookahead window the placement planner ran with (1 = classic
+  /// greedy one-submission-at-a-time).
+  std::uint32_t planner_window = 1;
+  /// Planner invocations this run (each plans up to planner_window
+  /// steps), summed per region when sharded.
+  std::uint64_t plans = 0;
+  /// Cacheable windows served from the memoized plan cache / planned
+  /// fresh. Both zero when the plan cache is off.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
 
   /// Bandwidth-share solves the run's characterizations performed
   /// (memoization makes repeat classes hit instead).
   [[nodiscard]] std::uint64_t rate_solves() const noexcept {
     return allocator.solves;
+  }
+
+  [[nodiscard]] double plan_cache_hit_rate() const noexcept {
+    const std::uint64_t total = plan_cache_hits + plan_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(plan_cache_hits) /
+                            static_cast<double>(total);
   }
 };
 

@@ -1,0 +1,303 @@
+// The placement planner: candidate generation, policy scoring, and
+// bounded lookahead over a window of queued submissions.
+//
+// Placement used to live inside Region as five per-policy chooser
+// methods that enumerated nodes, scored them, and leaked partial
+// decisions into the dispatch path. The planner splits that into the
+// three stages the rest of the service composes:
+//
+//   1. candidate generation — a policy-neutral enumerator over idle
+//      nodes, sockets (capacity spill), co-location pairings, and
+//      whole-node DAG placements. Which candidates need their class
+//      profile resolved *during* enumeration is a per-policy property
+//      (capacity tiers and heterogeneous recommender routing do;
+//      first-fit/least-loaded do not), and the enumerator mirrors the
+//      legacy lookup pattern exactly so a window-1 plan is
+//      byte-identical to the pre-planner greedy path — including the
+//      profile-cache traffic.
+//   2. scoring — each PlacementPolicy is a pure lexicographic score
+//      (tier, load, cost, node, slot) over candidates, built from the
+//      device-aware runtime estimates in the ProfileCache and the
+//      measured InterferenceTable slowdowns. Lower wins; ties resolve
+//      by node index, so selection is deterministic.
+//   3. commit — the planner never mutates the Fleet. Region::dispatch
+//      commits the returned steps one at a time (the only code path
+//      that starts work, charges leases, or evicts), and preemption
+//      goes through the same commit surface.
+//
+// With window > 1 the planner batches: it plans up to k queued
+// submissions per wake-up with a greedy min-estimated-finish insertion
+// (urgent before normal before batch; deterministic tie-breaks), so
+// short work backfills around a stuck head and heterogeneous fleets
+// route each class to the backend where it finishes earliest.
+//
+// Plans are memoizable: the cache key fingerprints the window's class
+// sequence and the fleet state a plan depends on — per-node device
+// fingerprints, per-slot occupancy (running incumbent classes,
+// draining), the idle-node load ranking, and (when the capacity model
+// is on) the exact per-socket residency — so steady-state traffic
+// replays cached plans and planning cost amortizes to near zero. A
+// cached plan is only ever replayed against a byte-equal key, which is
+// what keeps an optane-gen1 plan off a dram-like fleet and a
+// roomy-pool plan off a near-full one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "service/colocation.hpp"
+#include "service/fleet.hpp"
+#include "service/profile_cache.hpp"
+#include "service/types.hpp"
+
+namespace pmemflow::service {
+
+struct ServiceConfig;  // service/scheduler.hpp (which includes us)
+
+/// Knobs of the lookahead planner (ServiceConfig::planner).
+struct PlannerConfig {
+  /// Queued submissions planned jointly per scheduler wake-up. 1 (the
+  /// default) plans greedily one-at-a-time and is byte-identical to
+  /// the pre-planner per-policy placement path.
+  std::uint32_t window = 1;
+  /// Memoize whole window plans keyed on (window class sequence ×
+  /// fleet/device/residency state). Schedules are identical with the
+  /// cache on or off; only profile-cache traffic differs (a replayed
+  /// plan re-resolves profiles for its chosen nodes only).
+  bool plan_cache = false;
+  /// Cached plans kept before a deterministic wholesale clear (the
+  /// same bounded-memo shape as the allocator's solve cache).
+  std::size_t plan_cache_capacity = 1024;
+};
+
+/// Cumulative planner counters (the scheduler reports per-run deltas).
+struct PlannerStats {
+  /// plan() invocations.
+  std::uint64_t plans = 0;
+  /// Placement steps planned across all invocations.
+  std::uint64_t planned_steps = 0;
+  /// Cacheable windows served from the plan cache.
+  std::uint64_t cache_hits = 0;
+  /// Cacheable windows planned fresh (and then memoized).
+  std::uint64_t cache_misses = 0;
+  /// Wholesale cache clears on reaching capacity.
+  std::uint64_t cache_clears = 0;
+
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+};
+
+/// One scored placement option for one submission: where it would land
+/// and everything the commit stage needs to start it there.
+struct PlacementCandidate {
+  SlotRef ref;
+  /// Interference factor charged to the dispatched task (1.0 solo).
+  double factor = 1.0;
+  /// True when joining an incumbent on a partially-occupied node.
+  bool packs = false;
+  /// New factor for the incumbent when packing.
+  double incumbent_factor = 1.0;
+  /// Candidate's profile when the policy resolved it during
+  /// enumeration (colocation, capacity tiers, lookahead estimates);
+  /// null means the commit stage resolves it.
+  std::shared_ptr<const CachedProfile> profile;
+  /// DAG candidate's profile (exactly one of profile/dag_profile is
+  /// set for a resolved DAG choice; dag_profile may be !placeable(),
+  /// in which case the commit drops the submission instead).
+  std::shared_ptr<const CachedDagProfile> dag_profile;
+  bool cache_hit = false;
+  /// Capacity-aware spill: run under the placement-flipped fixed
+  /// config so the channel lands on the node's other socket.
+  bool flip_placement = false;
+  /// Lease already sized during capacity-aware tiering (0 = size it
+  /// at commit).
+  Bytes lease_bytes = 0;
+
+  // -- scoring inputs (stage 2), lower is better, lexicographic --
+  /// Policy preference class: 0 = solo/idle placement (or the best
+  /// capacity fit), 1..3 = worse capacity fits / co-location packs,
+  /// 4 = capacity's untracked fallback.
+  std::uint64_t tier = 0;
+  /// Policy load key: accumulated busy time (least-loaded family),
+  /// estimated runtime (heterogeneous recommender routing), or 0
+  /// (first-fit — node index alone decides).
+  std::uint64_t load = 0;
+  /// Measured combined pack slowdown (co-location packs only).
+  double cost = 0.0;
+  /// Estimated solo runtime under the policy's chosen configuration
+  /// (lookahead windows only; 0 at window 1).
+  SimDuration estimate_ns = 0;
+};
+
+/// One planned placement: which queued submission goes where.
+struct PlannedStep {
+  /// Submission id at plan time (commit pops it from the queue by id).
+  std::uint64_t id = 0;
+  /// Window position the step was planned for (plan-cache basis).
+  std::uint32_t entry = 0;
+  PlacementCandidate candidate;
+};
+
+struct Plan {
+  /// Steps in commit order; empty when nothing in the window can place
+  /// (the dispatcher then considers preemption).
+  std::vector<PlannedStep> steps;
+  /// True when the plan was replayed from the plan cache.
+  bool from_cache = false;
+};
+
+/// What the planner needs from its owner to resolve profiles and
+/// interference: Region implements this over its per-region
+/// ProfileCache/InterferenceTable (heterogeneous lookups keyed by the
+/// node's backend). `cache_hit` reports whether the lookup was served
+/// from the cache — observable in completion records and metrics, so
+/// resolution order is part of the window-1 equivalence contract.
+class PlanResolver {
+ public:
+  struct Resolved {
+    std::shared_ptr<const CachedProfile> profile;
+    bool cache_hit = false;
+  };
+  struct ResolvedDag {
+    std::shared_ptr<const CachedDagProfile> profile;
+    bool cache_hit = false;
+  };
+
+  virtual ~PlanResolver() = default;
+
+  [[nodiscard]] virtual Expected<Resolved> resolve_profile(
+      const workflow::WorkflowSpec& spec, std::uint32_t node) = 0;
+  [[nodiscard]] virtual Expected<ResolvedDag> resolve_dag_profile(
+      const dag::DagSpec& spec, std::uint32_t node) = 0;
+  [[nodiscard]] virtual Expected<PairInterference> resolve_interference(
+      const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
+      const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
+      std::uint32_t node) = 0;
+};
+
+class Planner {
+ public:
+  /// `config` must outlive the planner. `node_base`/`node_count` name
+  /// the global node slice the owning region plans over (device
+  /// fingerprints are precomputed per local node).
+  Planner(const ServiceConfig& config, std::uint32_t node_base,
+          std::uint32_t node_count);
+
+  /// Plans up to PlannerConfig::window steps for `window` (the first
+  /// queued submissions in dispatch order) against `fleet` at `now`.
+  /// Never mutates the fleet. `cacheable` must be false when any
+  /// window entry is a checkpointed victim (its remaining work is not
+  /// part of the cache key).
+  [[nodiscard]] Expected<Plan> plan(PlanResolver& resolver,
+                                    const Fleet& fleet,
+                                    std::span<const Submission* const> window,
+                                    SimTime now, bool cacheable);
+
+  [[nodiscard]] const PlannerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return cache_.size();
+  }
+
+  /// The full (pre-hash) plan-cache key for this window and fleet
+  /// state. Exposed so tests can pin what the key must distinguish:
+  /// device fingerprints, slot occupancy/incumbent classes, the
+  /// idle-node load ranking, and per-socket residency bytes.
+  [[nodiscard]] std::vector<std::uint64_t> cache_key(
+      const Fleet& fleet, std::span<const Submission* const> window,
+      SimTime now) const;
+
+ private:
+  /// How a compactly cached step is re-resolved at replay.
+  enum class StepKind : std::uint8_t {
+    kSolo,              ///< idle-node placement; commit resolves the profile
+    kPack,              ///< co-location join; re-resolve pair factors
+    kCapacity,          ///< capacity-tiered; re-resolve profile + lease
+    kCapacityFallback,  ///< untracked lease fallback (bare least-loaded)
+    kDag,               ///< whole-node DAG; re-resolve the DAG profile
+  };
+  struct CompactStep {
+    std::uint32_t entry = 0;
+    SlotRef ref;
+    StepKind kind = StepKind::kSolo;
+    bool flip_placement = false;
+  };
+  struct CachedPlan {
+    /// Full key, kept to reject 64-bit digest collisions exactly.
+    std::vector<std::uint64_t> key;
+    std::vector<CompactStep> steps;
+  };
+
+  [[nodiscard]] bool heterogeneous() const noexcept;
+  [[nodiscard]] bool capacity_on() const noexcept;
+  /// Candidate generation (stage 1). `consumed[n]` marks nodes taken
+  /// by earlier steps of the same window plan. In lookahead mode every
+  /// candidate carries a resolved profile and runtime estimate; at
+  /// window 1 resolution follows the legacy per-policy pattern and
+  /// finalize() completes the winner.
+  [[nodiscard]] Expected<std::vector<PlacementCandidate>> enumerate(
+      PlanResolver& resolver, const Fleet& fleet, const Submission& next,
+      SimTime now, const std::vector<bool>& consumed, bool lookahead);
+  /// Resolves whatever the window-1 winner still lacks (DAG profile;
+  /// heterogeneous co-location solo profile).
+  [[nodiscard]] Status finalize(PlanResolver& resolver, const Submission& next,
+                                PlacementCandidate& candidate);
+  /// Estimated solo runtime of `next` under `candidate` (device-aware
+  /// roofline from the cached profile sweep; pack-scaled).
+  [[nodiscard]] SimDuration estimate_runtime(
+      const Submission& next, const PlacementCandidate& candidate) const;
+  [[nodiscard]] Expected<Plan> plan_window(
+      PlanResolver& resolver, const Fleet& fleet,
+      std::span<const Submission* const> window, SimTime now);
+  [[nodiscard]] Expected<Plan> replay(
+      PlanResolver& resolver, const Fleet& fleet,
+      std::span<const Submission* const> window,
+      const std::vector<CompactStep>& steps);
+  void memoize(std::uint64_t digest, std::vector<std::uint64_t> key,
+               const Plan& plan);
+
+  const ServiceConfig& config_;
+  std::uint32_t node_base_;
+  std::uint32_t node_count_;
+  /// Per-local-node device fingerprint (all zero on a homogeneous
+  /// fleet — the backend is then a config constant, not fleet state).
+  std::vector<std::uint64_t> device_fps_;
+  std::unordered_map<std::uint64_t, CachedPlan> cache_;
+  PlannerStats stats_;
+};
+
+/// Dual-socket nodes throughout (the paper's testbed shape).
+inline constexpr std::uint32_t kSocketsPerNode = 2;
+
+/// Socket the streaming channel lands on under `config`: writer ranks
+/// live on socket 0 and reader ranks on socket 1, so local-write pins
+/// the channel to 0 and local-read to 1.
+[[nodiscard]] std::uint32_t channel_socket_of(
+    const core::DeploymentConfig& config) noexcept;
+
+[[nodiscard]] core::Placement flipped(core::Placement placement) noexcept;
+
+/// Capacity lease for one pair-workflow channel: live snapshot volume
+/// under the retention policy plus metadata growth (docs/CAPACITY.md).
+[[nodiscard]] Bytes lease_for(const capacity::ResidencyParams& params,
+                              const CachedProfile& profile,
+                              const workflow::WorkflowSpec& spec);
+
+/// Same basis generalized over every DAG edge.
+[[nodiscard]] Bytes lease_for_dag(const capacity::ResidencyParams& params,
+                                  const CachedDagProfile& profile);
+
+/// Table I configuration the configured policy would run `profile`
+/// under (fixed → recommender → colocation preferred-parallel, with
+/// the capacity spill flip applied last).
+[[nodiscard]] core::DeploymentConfig planned_config(
+    const ServiceConfig& config, const CachedProfile& profile,
+    bool flip_placement);
+
+}  // namespace pmemflow::service

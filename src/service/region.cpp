@@ -20,30 +20,16 @@ std::uint32_t tenants_for(const ServiceConfig& config) {
                                    Fleet::kMaxTenantsPerNode);
 }
 
-/// Dual-socket nodes throughout (the paper's testbed shape).
-constexpr std::uint32_t kSocketsPerNode = 2;
-
-/// Socket the streaming channel lands on under `config`: writer ranks
-/// live on socket 0 and reader ranks on socket 1, so local-write pins
-/// the channel to 0 and local-read to 1.
-std::uint32_t channel_socket_of(const core::DeploymentConfig& config) {
-  return config.placement == core::Placement::kLocalWrite ? 0u : 1u;
-}
-
-core::Placement flipped(core::Placement placement) {
-  return placement == core::Placement::kLocalWrite
-             ? core::Placement::kLocalRead
-             : core::Placement::kLocalWrite;
-}
-
 }  // namespace
 
 Region::Region(const ServiceConfig& config, ProfileCache& cache,
-               InterferenceTable& interference, std::uint32_t index,
-               std::uint32_t node_base, std::uint32_t node_count)
+               InterferenceTable& interference, Planner& planner,
+               std::uint32_t index, std::uint32_t node_base,
+               std::uint32_t node_count)
     : config_(config),
       cache_(cache),
       interference_(interference),
+      planner_(planner),
       index_(index),
       node_base_(node_base),
       fleet_(node_count, tenants_for(config)),
@@ -95,6 +81,29 @@ Expected<PairInterference> Region::lookup_interference(
   if (!heterogeneous()) return interference_.lookup(a, spec_a, b, spec_b);
   return interference_.lookup(a, spec_a, b, spec_b,
                               config_.node_specs[node_base_ + node].devices);
+}
+
+Expected<PlanResolver::Resolved> Region::resolve_profile(
+    const workflow::WorkflowSpec& spec, std::uint32_t node) {
+  const std::uint64_t hits_before = cache_.stats().hits;
+  auto profile = lookup_profile(spec, node);
+  if (!profile.has_value()) return Unexpected{profile.error()};
+  return Resolved{*profile, cache_.stats().hits > hits_before};
+}
+
+Expected<PlanResolver::ResolvedDag> Region::resolve_dag_profile(
+    const dag::DagSpec& spec, std::uint32_t node) {
+  const std::uint64_t hits_before = cache_.stats().hits;
+  auto profile = lookup_dag_profile(spec, node);
+  if (!profile.has_value()) return Unexpected{profile.error()};
+  return ResolvedDag{*profile, cache_.stats().hits > hits_before};
+}
+
+Expected<PairInterference> Region::resolve_interference(
+    const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
+    const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
+    std::uint32_t node) {
+  return lookup_interference(a, spec_a, b, spec_b, node);
 }
 
 void Region::seed(std::vector<Submission> submissions) {
@@ -194,136 +203,78 @@ void Region::arrive(Submission submission, std::uint32_t attempt,
 
 void Region::dispatch(SimTime now) {
   while (!failure_.has_value() && !queue_.empty()) {
-    if (queue_.front().dag != nullptr) {
-      const auto choice = choose_dag_placement(queue_.front(), now);
-      if (failure_.has_value()) return;
-      if (!choice.has_value()) {
-        maybe_preempt(now);
-        return;
-      }
-      Submission submission = queue_.pop();
-      if (!choice->dag_profile->placeable()) {
-        // No socket assignment fits this DAG's per-socket core demand
-        // on any plan: the node shape, not transient load, is the
-        // blocker, so retrying cannot help. Count it dropped (the
-        // completed + dropped == submissions invariant holds) instead
-        // of asserting in the fleet's slot accounting.
-        ++dropped_;
-        if (config_.tracer != nullptr) {
-          config_.tracer->instant(
-              "service",
-              format("unplaceable #%llu",
-                     static_cast<unsigned long long>(submission.id)),
-              now);
-        }
-        continue;
-      }
-      start_fresh_dag(*choice, std::move(submission), now);
-      continue;
-    }
-    const auto choice = choose_placement(queue_.front(), now);
-    if (failure_.has_value()) return;
-    if (!choice.has_value()) {
-      maybe_preempt(now);
-      return;
-    }
-
-    Submission submission = queue_.pop();
-    if (choice->packs) {
-      // Charge the incumbent its measured slowdown before the joiner
-      // starts: settle its solo-rate progress, stretch the rest.
-      const SlotRef inc{choice->ref.node,
-                        *fleet_.sole_tenant_slot(choice->ref.node)};
-      ++fleet_.task_at(inc)->record.colocations;
-      apply_interference(inc, now, choice->incumbent_factor);
-      ++colocations_;
-    }
-
-    auto checkpointed = checkpoints_.find(submission.id);
-    if (checkpointed != checkpoints_.end()) {
-      ResumeState state = std::move(checkpointed->second);
-      checkpoints_.erase(checkpointed);
-      resume_checkpointed(*choice, std::move(submission), std::move(state),
-                          now);
-    } else {
-      start_fresh(*choice, std::move(submission), now);
-    }
-  }
-}
-
-std::optional<std::uint32_t> Region::pick_node(const Submission& next,
-                                               SimTime now) {
-  if (!heterogeneous() ||
-      config_.policy != PlacementPolicy::kRecommenderAware) {
-    return fleet_.pick_idle_node(config_.policy, now);
-  }
-  // Backend-aware routing: among fully-idle nodes, place the class on
-  // the backend where its recommended configuration runs fastest —
-  // e.g. a read-heavy class whose remote reads are the bottleneck on
-  // Optane routes to a locality-free backend. Lowest node index breaks
-  // runtime ties deterministically.
-  std::optional<std::uint32_t> best;
-  SimDuration best_runtime = 0;
-  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
-    const NodeState& node = fleet_.node(i);
-    bool idle = true;
-    for (const SlotState& slot : node.slots) {
-      if (slot.running.has_value() || slot.free_at_ns > now) {
-        idle = false;
+    // Stage 1+2 (candidates + scoring) live in the planner; the window
+    // is the first k queued submissions in dispatch order. A window
+    // containing a checkpointed victim is never cached: the victim's
+    // remaining work and snapshot location are not part of the key.
+    const auto window = queue_.window(
+        std::max<std::uint32_t>(1, config_.planner.window));
+    bool cacheable = true;
+    for (const Submission* submission : window) {
+      if (checkpoints_.contains(submission->id)) {
+        cacheable = false;
         break;
       }
     }
-    if (!idle) continue;
-    auto profile = lookup_profile(next.spec, i);
-    if (!profile.has_value()) {
-      failure_ = profile.error();
-      return std::nullopt;
+    auto plan = planner_.plan(*this, fleet_, window, now, cacheable);
+    if (!plan.has_value()) {
+      failure_ = plan.error();
+      return;
     }
-    const core::DeploymentConfig chosen =
-        config_.use_rule_based ? (*profile)->rule_based.config
-                               : (*profile)->model_based.config;
-    const SimDuration runtime = (*profile)->runtime_ns[config_index(chosen)];
-    if (!best.has_value() || runtime < best_runtime) {
-      best = i;
-      best_runtime = runtime;
+    if (plan->steps.empty()) {
+      maybe_preempt(now);
+      return;
+    }
+    for (const PlannedStep& step : plan->steps) {
+      commit_step(step, now);
+      if (failure_.has_value()) return;
     }
   }
-  return best;
 }
 
-Bytes Region::lease_for(const CachedProfile& profile,
-                        const workflow::WorkflowSpec& spec) const {
-  // Snapshot and op basis are fleet-wide per iteration: the profile's
-  // per-rank numbers times the rank count (same basis as
-  // snapshot_bytes_per_iteration below).
-  const Bytes snapshot =
-      profile.profile.simulation.bytes_per_iteration * spec.ranks;
-  const std::uint64_t ops =
-      profile.profile.simulation.objects_per_iteration * spec.ranks;
-  const auto iterations = std::max<std::uint32_t>(1, spec.iterations);
-  const capacity::RetentionParams& retention = config_.capacity.retention;
-  // Without GC every committed version stays resident until the channel
-  // finishes, so the lease must cover the full version volume — the
-  // capacity-blind regime. With GC only the retained window is live.
-  const Bytes snapshot_live =
-      retention.gc ? capacity::retained_bytes(snapshot, iterations, retention)
-                   : snapshot * iterations;
-  return snapshot_live +
-         capacity::metadata_peak_bytes(config_.capacity.nova, ops, iterations);
-}
+void Region::commit_step(const PlannedStep& step, SimTime now) {
+  Submission submission = queue_.take(step.id);
+  const PlacementCandidate& choice = step.candidate;
 
-Bytes Region::lease_for_dag(const CachedDagProfile& profile) const {
-  // Same basis as lease_for, generalized over every edge: the profile's
-  // per-iteration byte/object volume already sums all edges and ranks.
-  const Bytes snapshot = profile.bytes_per_iteration;
-  const std::uint64_t ops = profile.objects_per_iteration;
-  const auto iterations = std::max<std::uint32_t>(1, profile.iterations);
-  const capacity::RetentionParams& retention = config_.capacity.retention;
-  const Bytes snapshot_live =
-      retention.gc ? capacity::retained_bytes(snapshot, iterations, retention)
-                   : snapshot * iterations;
-  return snapshot_live +
-         capacity::metadata_peak_bytes(config_.capacity.nova, ops, iterations);
+  if (submission.dag != nullptr) {
+    if (!choice.dag_profile->placeable()) {
+      // No socket assignment fits this DAG's per-socket core demand
+      // on any plan: the node shape, not transient load, is the
+      // blocker, so retrying cannot help. Count it dropped (the
+      // completed + dropped == submissions invariant holds) instead
+      // of asserting in the fleet's slot accounting.
+      ++dropped_;
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant(
+            "service",
+            format("unplaceable #%llu",
+                   static_cast<unsigned long long>(submission.id)),
+            now);
+      }
+      return;
+    }
+    start_fresh_dag(choice, std::move(submission), now);
+    return;
+  }
+
+  if (choice.packs) {
+    // Charge the incumbent its measured slowdown before the joiner
+    // starts: settle its solo-rate progress, stretch the rest.
+    const SlotRef inc{choice.ref.node,
+                      *fleet_.sole_tenant_slot(choice.ref.node)};
+    ++fleet_.task_at(inc)->record.colocations;
+    apply_interference(inc, now, choice.incumbent_factor);
+    ++colocations_;
+  }
+
+  auto checkpointed = checkpoints_.find(submission.id);
+  if (checkpointed != checkpoints_.end()) {
+    ResumeState state = std::move(checkpointed->second);
+    checkpoints_.erase(checkpointed);
+    resume_checkpointed(choice, std::move(submission), std::move(state), now);
+  } else {
+    start_fresh(choice, std::move(submission), now);
+  }
 }
 
 SimDuration Region::charge_lease(RunningTask& task, std::uint32_t node,
@@ -356,201 +307,6 @@ SimDuration Region::charge_lease(RunningTask& task, std::uint32_t node,
   return overhead;
 }
 
-std::optional<Region::PlacementChoice> Region::choose_capacity_placement(
-    const Submission& next, SimTime now) {
-  // Rank fully-idle nodes by fit tier, then least busy time (lowest
-  // index as the deterministic tiebreak):
-  //   0 — lease fits the preferred socket outright;
-  //   1 — fits the node's other socket (spill: run placement-flipped);
-  //   2 — fits the preferred socket after evicting cold residue;
-  //   3 — fits the other socket after eviction (spill + evict).
-  const std::uint32_t preferred = channel_socket_of(config_.fixed_config);
-  const std::uint32_t other = preferred ^ 1u;
-  const capacity::ResidencyTracker& residency = fleet_.residency();
-  std::optional<PlacementChoice> best;
-  int best_tier = 0;
-  SimDuration best_busy = 0;
-  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
-    const NodeState& node = fleet_.node(i);
-    bool idle = true;
-    for (const SlotState& slot : node.slots) {
-      if (slot.running.has_value() || slot.free_at_ns > now) {
-        idle = false;
-        break;
-      }
-    }
-    if (!idle) continue;
-    const std::uint64_t hits_before = cache_.stats().hits;
-    auto profile = lookup_profile(next.spec, i);
-    if (!profile.has_value()) {
-      failure_ = profile.error();
-      return std::nullopt;
-    }
-    const bool cache_hit = cache_.stats().hits > hits_before;
-    const Bytes lease = lease_for(**profile, next.spec);
-    int tier = 0;
-    bool flip = false;
-    if (residency.fits(i, preferred, lease)) {
-      tier = 0;
-    } else if (residency.fits(i, other, lease)) {
-      tier = 1;
-      flip = true;
-    } else if (residency.fits_after_eviction(i, preferred, lease)) {
-      tier = 2;
-    } else if (residency.fits_after_eviction(i, other, lease)) {
-      tier = 3;
-      flip = true;
-    } else {
-      continue;
-    }
-    if (!best.has_value() || tier < best_tier ||
-        (tier == best_tier && node.busy_ns < best_busy)) {
-      PlacementChoice choice;
-      choice.ref = SlotRef{i, 0};
-      choice.profile = *profile;
-      choice.cache_hit = cache_hit;
-      choice.flip_placement = flip;
-      choice.lease_bytes = lease;
-      best = std::move(choice);
-      best_tier = tier;
-      best_busy = node.busy_ns;
-    }
-  }
-  if (best.has_value()) return best;
-  // No node can hold the lease even after eviction. If running work
-  // will free capacity, wait for a completion; otherwise fall through
-  // to plain least-loaded so a lease larger than any pool still makes
-  // progress (charge_lease prices the thrash).
-  if (fleet_.any_task_active(now)) return std::nullopt;
-  const auto node = fleet_.pick_idle_node(config_.policy, now);
-  if (!node.has_value()) return std::nullopt;
-  PlacementChoice choice;
-  choice.ref = SlotRef{*node, 0};
-  return choice;
-}
-
-std::optional<Region::PlacementChoice> Region::choose_dag_placement(
-    const Submission& next, SimTime now) {
-  // A DAG's stages span both sockets regardless of plan, so only a
-  // fully-idle node will do; kFirstFit keeps its index preference and
-  // every other policy (kDagFusion included) places least-loaded. The
-  // plan choice (fused vs spread) happens at dispatch, not here.
-  const auto node = fleet_.pick_idle_node(config_.policy, now);
-  if (!node.has_value()) return std::nullopt;
-  const std::uint64_t hits_before = cache_.stats().hits;
-  auto profile = lookup_dag_profile(*next.dag, *node);
-  if (!profile.has_value()) {
-    failure_ = profile.error();
-    return std::nullopt;
-  }
-  PlacementChoice choice;
-  choice.ref = SlotRef{*node, 0};
-  choice.dag_profile = *profile;
-  choice.cache_hit = cache_.stats().hits > hits_before;
-  return choice;
-}
-
-std::optional<Region::PlacementChoice> Region::choose_placement(
-    const Submission& next, SimTime now) {
-  if (config_.policy != PlacementPolicy::kColocationAware) {
-    if (config_.policy == PlacementPolicy::kCapacityAware && capacity_on()) {
-      return choose_capacity_placement(next, now);
-    }
-    const auto node = pick_node(next, now);
-    if (failure_.has_value() || !node.has_value()) return std::nullopt;
-    PlacementChoice choice;
-    choice.ref = SlotRef{*node, 0};
-    return choice;
-  }
-
-  // Co-location-aware placement needs the candidate's class profile
-  // before the submission is popped: pair compatibility and the
-  // interference charge depend on it. On a homogeneous fleet the
-  // profile is node-independent and resolved once up front; on a
-  // heterogeneous fleet it is resolved per candidate node below.
-  PlacementChoice choice;
-  if (!heterogeneous()) {
-    const std::uint64_t hits_before = cache_.stats().hits;
-    auto profile = cache_.lookup(next.spec);
-    if (!profile.has_value()) {
-      failure_ = profile.error();
-      return std::nullopt;
-    }
-    choice.profile = *profile;
-    choice.cache_hit = cache_.stats().hits > hits_before;
-  }
-
-  // Preference 1: an empty node (least-loaded) — solo running is always
-  // at least as fast as packing.
-  if (const auto node = fleet_.pick_idle_node(config_.policy, now)) {
-    choice.ref = SlotRef{*node, 0};
-    if (heterogeneous()) {
-      const std::uint64_t hits_before = cache_.stats().hits;
-      auto profile = lookup_profile(next.spec, *node);
-      if (!profile.has_value()) {
-        failure_ = profile.error();
-        return std::nullopt;
-      }
-      choice.profile = *profile;
-      choice.cache_hit = cache_.stats().hits > hits_before;
-    }
-    return choice;
-  }
-
-  // Preference 2: pack next to a compatible sole incumbent; among
-  // admissible nodes take the pair with the least combined slowdown,
-  // lowest node index as the deterministic tiebreak.
-  std::optional<PlacementChoice> best;
-  double best_cost = 0.0;
-  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
-    const auto target = fleet_.pack_slot(i, now);
-    if (!target.has_value()) continue;
-    if (heterogeneous()) {
-      // The candidate's profile on *this* node's backend.
-      const std::uint64_t hits_before = cache_.stats().hits;
-      auto profile = lookup_profile(next.spec, i);
-      if (!profile.has_value()) {
-        failure_ = profile.error();
-        return std::nullopt;
-      }
-      choice.profile = *profile;
-      choice.cache_hit = cache_.stats().hits > hits_before;
-    }
-    const RunningTask* incumbent =
-        fleet_.running(SlotRef{i, *fleet_.sole_tenant_slot(i)});
-    // A DAG incumbent owns both sockets under its plan; nothing packs
-    // next to it.
-    if (incumbent->submission.dag != nullptr) continue;
-    auto incumbent_profile = lookup_profile(incumbent->submission.spec, i);
-    if (!incumbent_profile.has_value()) {
-      failure_ = incumbent_profile.error();
-      return std::nullopt;
-    }
-    if (!colocation_compatible(**incumbent_profile, *choice.profile,
-                               config_.colocation)) {
-      continue;
-    }
-    auto pair = lookup_interference(**incumbent_profile,
-                                    incumbent->submission.spec,
-                                    *choice.profile, next.spec, i);
-    if (!pair.has_value()) {
-      failure_ = pair.error();
-      return std::nullopt;
-    }
-    if (!pair->feasible) continue;
-    const double cost = pair->slowdown_a + pair->slowdown_b;
-    if (!best.has_value() || cost < best_cost) {
-      best = choice;
-      best->ref = SlotRef{i, *target};
-      best->packs = true;
-      best->incumbent_factor = pair->slowdown_a;
-      best->factor = pair->slowdown_b;
-      best_cost = cost;
-    }
-  }
-  return best;
-}
-
 void Region::apply_interference(SlotRef ref, SimTime now, double factor) {
   RunningTask* task = fleet_.task_at(ref);
   PMEMFLOW_ASSERT(task != nullptr);
@@ -565,37 +321,25 @@ void Region::apply_interference(SlotRef ref, SimTime now, double factor) {
                       "re-timed a task whose finish event already fired");
 }
 
-void Region::start_fresh(const PlacementChoice& choice, Submission submission,
-                         SimTime now) {
+void Region::start_fresh(const PlacementCandidate& choice,
+                         Submission submission, SimTime now) {
   std::shared_ptr<const CachedProfile> profile = choice.profile;
   bool cache_hit = choice.cache_hit;
   if (profile == nullptr) {
-    const std::uint64_t hits_before = cache_.stats().hits;
-    auto looked_up = lookup_profile(submission.spec, choice.ref.node);
-    if (!looked_up.has_value()) {
-      failure_ = looked_up.error();
+    // The planner only resolves profiles where the *placement* needed
+    // one; bare steps resolve here, at commit, exactly like the legacy
+    // dispatch did.
+    auto resolved = resolve_profile(submission.spec, choice.ref.node);
+    if (!resolved.has_value()) {
+      failure_ = resolved.error();
       return;
     }
-    profile = *looked_up;
-    cache_hit = cache_.stats().hits > hits_before;
+    profile = resolved->profile;
+    cache_hit = resolved->cache_hit;
   }
 
-  core::DeploymentConfig chosen = config_.fixed_config;
-  if (config_.policy == PlacementPolicy::kRecommenderAware) {
-    chosen = config_.use_rule_based ? profile->rule_based.config
-                                    : profile->model_based.config;
-  } else if (config_.policy == PlacementPolicy::kColocationAware) {
-    // Tenants always co-run their components under the faster parallel
-    // placement: serial mode would idle the mirrored sockets a
-    // co-tenant needs.
-    chosen = preferred_parallel_config(*profile);
-  }
-  if (config_.policy == PlacementPolicy::kCapacityAware &&
-      choice.flip_placement) {
-    // Capacity spill: the preferred socket's pool is full, so run the
-    // placement-flipped config and land the channel on the other one.
-    chosen.placement = flipped(chosen.placement);
-  }
+  const core::DeploymentConfig chosen =
+      planned_config(config_, *profile, choice.flip_placement);
   SimDuration runtime = profile->runtime_ns[config_index(chosen)];
 
   // Snapshot basis: the channel materializes every rank's part each
@@ -645,9 +389,10 @@ void Region::start_fresh(const PlacementChoice& choice, Submission submission,
     // kCapacityAware *places* with it. The lease was sized during
     // capacity-aware ranking; blind policies size it here.
     const std::uint32_t socket = channel_socket_of(chosen);
-    const Bytes lease = choice.lease_bytes != 0
-                            ? choice.lease_bytes
-                            : lease_for(*profile, submission.spec);
+    const Bytes lease =
+        choice.lease_bytes != 0
+            ? choice.lease_bytes
+            : lease_for(config_.capacity, *profile, submission.spec);
     capacity_overhead = charge_lease(task, choice.ref.node, socket, lease);
     const capacity::RetentionParams& retention = config_.capacity.retention;
     // Residue left cold at finish: without GC the whole version volume
@@ -681,7 +426,7 @@ void Region::start_fresh(const PlacementChoice& choice, Submission submission,
   launch(choice.ref, capacity_overhead + work_wall, std::move(task), now);
 }
 
-void Region::start_fresh_dag(const PlacementChoice& choice,
+void Region::start_fresh_dag(const PlacementCandidate& choice,
                              Submission submission, SimTime now) {
   const std::shared_ptr<const CachedDagProfile>& profile = choice.dag_profile;
   // Plan selection: kDagFusion runs the fusion-search placement, every
@@ -736,7 +481,7 @@ void Region::start_fresh_dag(const PlacementChoice& choice,
   SimDuration capacity_overhead = 0;
   if (capacity_on()) {
     // The lease lands on the plan's heaviest-channel socket.
-    const Bytes lease = lease_for_dag(*profile);
+    const Bytes lease = lease_for_dag(config_.capacity, *profile);
     capacity_overhead =
         charge_lease(task, choice.ref.node, plan.lease_socket, lease);
     const capacity::RetentionParams& retention = config_.capacity.retention;
@@ -765,7 +510,7 @@ void Region::start_fresh_dag(const PlacementChoice& choice,
   launch(choice.ref, capacity_overhead + runtime, std::move(task), now);
 }
 
-void Region::resume_checkpointed(const PlacementChoice& choice,
+void Region::resume_checkpointed(const PlacementCandidate& choice,
                                  Submission submission, ResumeState state,
                                  SimTime now) {
   // On a heterogeneous fleet the remaining solo work carries over

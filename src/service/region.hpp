@@ -25,6 +25,7 @@
 
 #include "service/colocation.hpp"
 #include "service/fleet.hpp"
+#include "service/planner.hpp"
 #include "service/profile_cache.hpp"
 #include "service/scheduler.hpp"
 #include "service/submission_queue.hpp"
@@ -33,14 +34,15 @@
 
 namespace pmemflow::service {
 
-class Region {
+class Region : public PlanResolver {
  public:
-  /// `cache` and `interference` must be exclusive to this region and
-  /// outlive it. `node_base`/`node_count` name the global node slice
-  /// the region owns.
+  /// `cache`, `interference`, and `planner` must be exclusive to this
+  /// region and outlive it. `node_base`/`node_count` name the global
+  /// node slice the region owns (and the planner plans over).
   Region(const ServiceConfig& config, ProfileCache& cache,
-         InterferenceTable& interference, std::uint32_t index,
-         std::uint32_t node_base, std::uint32_t node_count);
+         InterferenceTable& interference, Planner& planner,
+         std::uint32_t index, std::uint32_t node_base,
+         std::uint32_t node_count);
 
   /// Schedules the arrival event of every submission (fresh retry
   /// budget each). Call before advancing.
@@ -112,6 +114,23 @@ class Region {
     return node_base_;
   }
 
+  // -- PlanResolver (the planner's view of this region's caches) --
+
+  /// Profile lookup against the backend of region-local `node` (the
+  /// cache's default backend on a homogeneous fleet). `cache_hit` is
+  /// the profile cache's hit-counter delta around the lookup.
+  [[nodiscard]] Expected<Resolved> resolve_profile(
+      const workflow::WorkflowSpec& spec, std::uint32_t node) override;
+  /// DAG profile lookup against the backend of region-local `node`.
+  [[nodiscard]] Expected<ResolvedDag> resolve_dag_profile(
+      const dag::DagSpec& spec, std::uint32_t node) override;
+  /// Interference lookup measured on the backend of region-local
+  /// `node`.
+  [[nodiscard]] Expected<PairInterference> resolve_interference(
+      const CachedProfile& a, const workflow::WorkflowSpec& spec_a,
+      const CachedProfile& b, const workflow::WorkflowSpec& spec_b,
+      std::uint32_t node) override;
+
  private:
   /// Checkpointed state of a preempted victim waiting in the queue.
   struct ResumeState {
@@ -122,32 +141,6 @@ class Region {
     /// the interconnect transfer.
     std::uint32_t checkpoint_node = 0;
     RunningTask task;
-  };
-
-  /// Where (and at what interference rate) the next dispatch lands.
-  struct PlacementChoice {
-    SlotRef ref;
-    /// Interference factor charged to the dispatched task (1.0 solo).
-    double factor = 1.0;
-    /// True when joining an incumbent on a partially-occupied node.
-    bool packs = false;
-    /// New factor for the incumbent when packing.
-    double incumbent_factor = 1.0;
-    /// Candidate's profile, resolved during placement (colocation and
-    /// capacity-aware — the pack/fit decision needs it before the
-    /// submission is popped).
-    std::shared_ptr<const CachedProfile> profile;
-    /// DAG candidate's profile (exactly one of profile/dag_profile is
-    /// set for a resolved choice; dag_profile may be !placeable(), in
-    /// which case dispatch drops the submission instead of launching).
-    std::shared_ptr<const CachedDagProfile> dag_profile;
-    bool cache_hit = false;
-    /// Capacity-aware spill: run under the placement-flipped fixed
-    /// config so the channel lands on the node's other socket.
-    bool flip_placement = false;
-    /// Lease already sized during capacity-aware node ranking (0 = size
-    /// it at dispatch).
-    Bytes lease_bytes = 0;
   };
 
   [[nodiscard]] bool capacity_on() const noexcept {
@@ -175,29 +168,25 @@ class Region {
   /// One arrival path for fresh submissions, deferred/rejected retries,
   /// and barrier migrations.
   void arrive(Submission submission, std::uint32_t attempt, SimTime now);
+  /// Asks the planner for a window plan and commits its steps. The
+  /// planner never mutates the fleet; everything below this line is the
+  /// commit stage — the only code that starts work, charges leases, or
+  /// preempts.
   void dispatch(SimTime now);
-  std::optional<std::uint32_t> pick_node(const Submission& next, SimTime now);
-  std::optional<PlacementChoice> choose_placement(const Submission& next,
-                                                  SimTime now);
-  std::optional<PlacementChoice> choose_capacity_placement(
-      const Submission& next, SimTime now);
-  /// DAG submissions take the whole node (stages span both sockets):
-  /// idle-node placement under every policy, no packing.
-  std::optional<PlacementChoice> choose_dag_placement(const Submission& next,
-                                                      SimTime now);
-  [[nodiscard]] Bytes lease_for(const CachedProfile& profile,
-                                const workflow::WorkflowSpec& spec) const;
-  [[nodiscard]] Bytes lease_for_dag(const CachedDagProfile& profile) const;
+  /// Commits one planned step: pops the submission by id, charges the
+  /// incumbent when packing, and starts fresh / resumes a checkpoint /
+  /// drops an unplaceable DAG.
+  void commit_step(const PlannedStep& step, SimTime now);
   SimDuration charge_lease(RunningTask& task, std::uint32_t node,
                            std::uint32_t socket, Bytes lease);
   void apply_interference(SlotRef ref, SimTime now, double factor);
   bool victim_frees_usable_slot(SlotRef victim, SimTime now);
   void maybe_preempt(SimTime now);
-  void start_fresh(const PlacementChoice& choice, Submission submission,
+  void start_fresh(const PlacementCandidate& choice, Submission submission,
                    SimTime now);
-  void start_fresh_dag(const PlacementChoice& choice, Submission submission,
-                       SimTime now);
-  void resume_checkpointed(const PlacementChoice& choice,
+  void start_fresh_dag(const PlacementCandidate& choice,
+                       Submission submission, SimTime now);
+  void resume_checkpointed(const PlacementCandidate& choice,
                            Submission submission, ResumeState state,
                            SimTime now);
   void launch(SlotRef ref, SimDuration busy_ns, RunningTask task, SimTime now);
@@ -206,6 +195,7 @@ class Region {
   const ServiceConfig& config_;
   ProfileCache& cache_;
   InterferenceTable& interference_;
+  Planner& planner_;
   std::uint32_t index_;
   std::uint32_t node_base_;
   sim::EventQueue events_;

@@ -78,6 +78,26 @@ Submission SubmissionQueue::pop() {
   return std::move(node.value());
 }
 
+std::vector<const Submission*> SubmissionQueue::window(std::size_t k) const {
+  std::vector<const Submission*> out;
+  out.reserve(std::min(k, queue_.size()));
+  for (const Submission& submission : queue_) {
+    if (out.size() >= k) break;
+    out.push_back(&submission);
+  }
+  return out;
+}
+
+Submission SubmissionQueue::take(std::uint64_t id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id != id) continue;
+    auto node = queue_.extract(it);
+    return std::move(node.value());
+  }
+  PMEMFLOW_ASSERT_MSG(false, "take() of an id not in the queue");
+  return Submission{};
+}
+
 void SubmissionQueue::reinstate(Submission submission) {
   // Preempted victims re-enter unconditionally: they already passed
   // admission once and their state (checkpoint) must not be lost, so

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <set>
+#include <vector>
 
 #include "service/types.hpp"
 
@@ -54,6 +55,15 @@ class SubmissionQueue {
 
   /// Removes and returns the front submission (moved, not copied).
   Submission pop();
+
+  /// The first min(k, size) submissions in dispatch order — the
+  /// planner's lookahead window. Pointers stay valid until the queue is
+  /// next modified.
+  [[nodiscard]] std::vector<const Submission*> window(std::size_t k) const;
+
+  /// Removes and returns the queued submission with `id` (the planner
+  /// commits window entries out of dispatch order). Asserts presence.
+  Submission take(std::uint64_t id);
 
   /// Re-enqueues a preempted victim, bypassing admission control (no
   /// capacity check, no stats). Victims already passed admission once;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace pmemflow::service {
 namespace {
 
@@ -134,6 +137,58 @@ TEST(Fleet, PreemptReturnsSettledRemainingWork) {
   EXPECT_EQ(fleet.node(0).slots[0].free_at_ns, 65u);
   EXPECT_FALSE(fleet.any_idle(50));
   EXPECT_TRUE(fleet.any_idle(65));
+}
+
+TEST(FleetIdleIndex, MatchesLinearScanUnderChurn) {
+  // The idle-slot index must agree with the reference O(nodes) linear
+  // scan after any interleaving of start/complete/preempt, for both
+  // orderings (first-fit by index, least-loaded by accumulated busy
+  // time) — including mid-drain nodes, which stay indexed but are
+  // filtered at query time.
+  Fleet fleet(7, 2);
+  std::uint64_t rng = 0x1D1E5EEDull;
+  auto next = [&rng](std::uint64_t bound) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return (rng >> 33) % bound;
+  };
+  SimTime now = 0;
+  std::vector<SlotRef> running;
+  auto check = [&](SimTime at) {
+    EXPECT_EQ(fleet.pick_idle_node(PlacementPolicy::kFirstFit, at),
+              fleet.pick_idle_node_linear(PlacementPolicy::kFirstFit, at));
+    EXPECT_EQ(fleet.pick_idle_node(PlacementPolicy::kLeastLoaded, at),
+              fleet.pick_idle_node_linear(PlacementPolicy::kLeastLoaded, at));
+  };
+  for (int step = 0; step < 2000; ++step) {
+    now += next(50);
+    const std::uint64_t op = next(3);
+    if (op == 0 || running.empty()) {
+      const auto node = static_cast<std::uint32_t>(next(fleet.size()));
+      for (std::uint32_t s = 0; s < fleet.tenants_per_node(); ++s) {
+        const SlotState& state = fleet.node(node).slots[s];
+        if (!state.running.has_value() && state.free_at_ns <= now) {
+          const SimDuration busy = 20 + next(200);
+          fleet.start(SlotRef{node, s}, now, busy, task_with_work(busy));
+          running.push_back(SlotRef{node, s});
+          break;
+        }
+      }
+    } else {
+      const std::uint64_t pick = next(running.size());
+      const SlotRef ref = running[pick];
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(pick));
+      const SimTime free_at = fleet.node(ref.node).slots[ref.slot].free_at_ns;
+      if (op == 1 || free_at <= now) {
+        (void)fleet.complete(ref);
+      } else {
+        // Preempt strictly inside the occupancy window; the drain keeps
+        // the slot busy, exercising the drained-but-indexed state.
+        (void)fleet.preempt(ref, now, /*checkpoint_ns=*/next(40));
+      }
+    }
+    check(now);
+    check(now + 25);
+  }
 }
 
 TEST(Fleet, BusyAccountingSurvivesRetime) {

@@ -111,6 +111,17 @@ int main(int argc, char** argv) {
   flags.add_double("urgent-frac", 0.10, "fraction of kUrgent submissions");
   flags.add_double("batch-frac", 0.30, "fraction of kBatch submissions");
   flags.add_int("cache-capacity", 1024, "profile cache capacity (classes)");
+  flags.add_int("planner-window", 1,
+                "lookahead window: submissions planned jointly per "
+                "scheduler wake-up (1 = classic greedy, byte-identical to "
+                "the pre-planner scheduler)");
+  flags.add_bool("plan-cache", false,
+                 "memoize window plans keyed on (window class sequence x "
+                 "fleet/device/residency state); schedules are unchanged, "
+                 "repeated states skip re-planning");
+  flags.add_int("plan-cache-capacity", 1024,
+                "memoized plans retained before the cache resets (with "
+                "--plan-cache)");
   flags.add_string("backend", "optane-gen1",
                    "memory backend preset for every node (see docs/DEVICES.md;"
                    " 'a/b' selects per-socket backends)");
@@ -251,6 +262,17 @@ int main(int argc, char** argv) {
                           : service::PreemptionPolicy::kNone;
   config.cache_capacity =
       static_cast<std::size_t>(flags.get_int("cache-capacity"));
+  if (flags.get_int("planner-window") < 1 ||
+      flags.get_int("plan-cache-capacity") < 1) {
+    std::cerr << "error: --planner-window and --plan-cache-capacity must "
+                 "be >= 1\n";
+    return 1;
+  }
+  config.planner.window =
+      static_cast<std::uint32_t>(flags.get_int("planner-window"));
+  config.planner.plan_cache = flags.get_bool("plan-cache");
+  config.planner.plan_cache_capacity =
+      static_cast<std::size_t>(flags.get_int("plan-cache-capacity"));
   const double pmem_capacity_gb = flags.get_double("pmem-capacity");
   if (pmem_capacity_gb < 0.0 || flags.get_double("staging") < 0.0 ||
       flags.get_int("retain-versions") < 0) {
@@ -316,9 +338,10 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("compare")) {
     TextTable table({"Policy", "Mean delay", "P99 delay", "Makespan",
-                     "Slowdown", "Util"},
+                     "Slowdown", "Util", "Plans", "Plan hits"},
                     {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
-                     Align::kRight, Align::kRight});
+                     Align::kRight, Align::kRight, Align::kRight,
+                     Align::kRight});
     std::vector<service::PlacementPolicy> policies = {
         service::PlacementPolicy::kFirstFit,
         service::PlacementPolicy::kLeastLoaded,
@@ -347,13 +370,17 @@ int main(int argc, char** argv) {
                      format("%.2f ms", m.queue_delay_ns.p99 / 1e6),
                      format("%.3f s", static_cast<double>(m.makespan_ns) / 1e9),
                      format("%.3fx", m.slowdown.mean),
-                     format("%.1f %%", 100.0 * m.mean_utilization)});
+                     format("%.1f %%", 100.0 * m.mean_utilization),
+                     format("%llu", static_cast<unsigned long long>(m.plans)),
+                     format("%.1f %%", 100.0 * m.plan_cache_hit_rate())});
       append_service_csv_row(csv, to_string(policy), m);
     }
     std::cout << format(
-        "=== %zu submissions (%s), %u nodes, backend %s ===\n\n",
+        "=== %zu submissions (%s), %u nodes, backend %s, "
+        "planner window %u%s ===\n\n",
         stream.size(), stream_origin.c_str(), config.nodes,
-        fleet_desc.c_str());
+        fleet_desc.c_str(), config.planner.window,
+        config.planner.plan_cache ? ", plan cache on" : "");
     table.write(std::cout);
   } else {
     auto policy = parse_policy(flags.get_string("policy"));
